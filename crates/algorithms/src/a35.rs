@@ -1,0 +1,254 @@
+//! The generic algorithm for `Π^{3.5}_{Δ,d,k}` (Section 8.2).
+//!
+//! Active components run the 3½ generic coloring with phase parameters
+//! `γ_i = (log* n)^{α_i}`, where the `α_i` are the optimal exponents of
+//! Lemma 36 evaluated at the upper-bound efficiency factor
+//! `x' = log(Δ-d+1)/log(Δ-1)`. Weight components run the adapted fast
+//! decomposition (Section 8.1): declines cost `O(1)` node-averaged rounds
+//! (Lemma 56), while the reserve-pruned copy components `C'(v)` of
+//! Lemmas 50–52 wait for their adjacent active node and then flood its
+//! output — the `W_i` sets of Lemmas 54–55.
+
+use crate::fast_decomposition::fast_dfree;
+use crate::generic_coloring::generic_coloring_masked;
+use crate::run::AlgorithmRun;
+use lcl_core::coloring::Variant;
+use lcl_core::dfree::{DfreeInput, DfreeOutput};
+use lcl_core::weighted::WeightedOutput;
+use lcl_graph::levels::Levels;
+use lcl_graph::weighted::NodeKind;
+use lcl_graph::{induced_components, NodeMask, Tree};
+use lcl_local::identifiers::Ids;
+
+/// Runs the `Π^{3.5}` algorithm on an `Active`/`Weight`-labeled tree.
+///
+/// Parameters mirror [`apoly`](crate::apoly::apoly): `k` and `d` are the
+/// problem parameters, `gammas` the `k - 1` phase budgets (use
+/// [`lcl_core::params::log_star_gammas`] with `x'` for the paper's
+/// choice).
+///
+/// The output verifies against
+/// [`WeightedColoring`](lcl_core::weighted::WeightedColoring) with
+/// `Variant::ThreeHalf`.
+///
+/// # Panics
+///
+/// Panics if `gammas.len() != k - 1` or `d == 0`.
+pub fn a35(
+    tree: &Tree,
+    kinds: &[NodeKind],
+    k: usize,
+    d: usize,
+    gammas: &[usize],
+    ids: &Ids,
+) -> AlgorithmRun<WeightedOutput> {
+    assert_eq!(gammas.len(), k - 1, "need k - 1 phase parameters");
+    let n = tree.node_count();
+    assert_eq!(kinds.len(), n, "kinds must cover all nodes");
+    let mut outputs: Vec<Option<WeightedOutput>> = vec![None; n];
+    let mut rounds: Vec<u64> = vec![0; n];
+
+    // --- Active side: 3½ generic coloring per component. ---
+    let active_mask =
+        NodeMask::from_nodes(n, tree.nodes().filter(|&v| kinds[v] == NodeKind::Active));
+    for comp in induced_components(tree, &active_mask) {
+        let comp_mask = NodeMask::from_nodes(n, comp.iter().copied());
+        let levels = Levels::compute_masked(tree, &comp_mask, k);
+        let run =
+            generic_coloring_masked(tree, &comp_mask, &levels, Variant::ThreeHalf, gammas, ids);
+        for v in comp {
+            outputs[v] = Some(WeightedOutput::Active(
+                run.outputs[v].expect("component fully decided"),
+            ));
+            rounds[v] = run.rounds[v];
+        }
+    }
+
+    // --- Weight side: adapted fast decomposition. ---
+    let weight_mask =
+        NodeMask::from_nodes(n, tree.nodes().filter(|&v| kinds[v] == NodeKind::Weight));
+    let dfree_input: Vec<DfreeInput> = tree
+        .nodes()
+        .map(|v| {
+            let adjacent_to_active = tree
+                .neighbors(v)
+                .iter()
+                .any(|&w| kinds[w as usize] == NodeKind::Active);
+            if adjacent_to_active {
+                DfreeInput::Adjacent
+            } else {
+                DfreeInput::Weight
+            }
+        })
+        .collect();
+    let fast = fast_dfree(tree, &weight_mask, &dfree_input, d);
+
+    for v in weight_mask.iter() {
+        match fast.outputs[v] {
+            Some(DfreeOutput::Decline) => {
+                outputs[v] = Some(WeightedOutput::Decline);
+                rounds[v] = fast.rounds[v];
+            }
+            Some(DfreeOutput::Connect) => {
+                outputs[v] = Some(WeightedOutput::Connect);
+                rounds[v] = fast.rounds[v];
+            }
+            Some(DfreeOutput::Copy) => unreachable!("components resolve below"),
+            None => {} // component member, resolved below
+        }
+    }
+
+    // --- Copy components: wait for the active neighbor, then flood. ---
+    for comp in &fast.components {
+        let anchor = comp.anchor;
+        let (source, color) = tree
+            .neighbors(anchor)
+            .iter()
+            .map(|&w| w as usize)
+            .filter(|&w| kinds[w] == NodeKind::Active)
+            .map(|w| {
+                let c = match outputs[w] {
+                    Some(WeightedOutput::Active(c)) => c,
+                    _ => unreachable!("active nodes decided above"),
+                };
+                (w, c)
+            })
+            .min_by_key(|&(w, _)| (rounds[w], ids.id(w)))
+            .expect("an A-labeled weight node has an active neighbor");
+        // Case 1 of Section 8.2 (active neighbor already terminated when
+        // the component formed) and case 2 (wait for it) share the same
+        // accounting: flooding starts once both the component is formed
+        // and the source has decided.
+        let start = rounds[source].max(comp.formed_round) + 1;
+        for &(u, depth) in &comp.members {
+            outputs[u] = Some(WeightedOutput::Copy(color));
+            rounds[u] = start + depth as u64;
+        }
+    }
+
+    let outputs = outputs
+        .into_iter()
+        .map(|o| o.expect("every node decided"))
+        .collect();
+    AlgorithmRun::new(outputs, rounds)
+}
+
+/// Convenience wrapper: runs the `Π^{3.5}` algorithm on a
+/// [`WeightedConstruction`](lcl_graph::weighted::WeightedConstruction) with
+/// the paper's phase parameters (`x'`-based `α_i`).
+pub fn a35_on_construction(
+    construction: &lcl_graph::weighted::WeightedConstruction,
+    k: usize,
+    d: usize,
+    ids: &Ids,
+) -> AlgorithmRun<WeightedOutput> {
+    let x_prime =
+        lcl_core::landscape::efficiency_x_prime(construction.delta(), d).min(1.0);
+    let gammas =
+        lcl_core::params::log_star_gammas(construction.tree().node_count(), x_prime, k);
+    a35(
+        construction.tree(),
+        construction.kinds(),
+        k,
+        d,
+        &gammas,
+        ids,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::problem::LclProblem;
+    use lcl_core::weighted::WeightedColoring;
+    use lcl_graph::weighted::{WeightedConstruction, WeightedParams};
+
+    fn build(lengths: Vec<usize>, delta: usize, w: usize) -> WeightedConstruction {
+        WeightedConstruction::new(&WeightedParams {
+            lengths,
+            delta,
+            weight_per_level: w,
+        })
+        .unwrap()
+    }
+
+    fn verify_run(
+        construction: &WeightedConstruction,
+        k: usize,
+        d: usize,
+        run: &AlgorithmRun<WeightedOutput>,
+    ) {
+        let problem =
+            WeightedColoring::new(Variant::ThreeHalf, construction.delta(), d, k).unwrap();
+        problem
+            .verify(construction.tree(), construction.kinds(), &run.outputs)
+            .unwrap_or_else(|e| panic!("invalid Π^3.5 output: {e}"));
+    }
+
+    #[test]
+    fn small_construction_verifies() {
+        let c = build(vec![6, 5], 6, 50);
+        let n = c.tree().node_count();
+        let ids = Ids::random(n, 21);
+        let run = a35(c.tree(), c.kinds(), 2, 3, &[3], &ids);
+        verify_run(&c, 2, 3, &run);
+    }
+
+    #[test]
+    fn three_level_construction_verifies() {
+        let c = build(vec![3, 4, 5], 6, 80);
+        let n = c.tree().node_count();
+        let ids = Ids::random(n, 8);
+        let run = a35(c.tree(), c.kinds(), 3, 3, &[2, 3], &ids);
+        verify_run(&c, 3, 3, &run);
+    }
+
+    #[test]
+    fn wrapper_with_paper_parameters_verifies() {
+        let c = build(vec![4, 200], 6, 800);
+        let n = c.tree().node_count();
+        let ids = Ids::random(n, 5);
+        let run = a35_on_construction(&c, 2, 3, &ids);
+        verify_run(&c, 2, 3, &run);
+    }
+
+    #[test]
+    fn copying_weight_nodes_wait_for_actives() {
+        let c = build(vec![8, 40], 6, 600);
+        let n = c.tree().node_count();
+        let ids = Ids::random(n, 9);
+        let run = a35(c.tree(), c.kinds(), 2, 3, &[3], &ids);
+        verify_run(&c, 2, 3, &run);
+        let mut copies = 0;
+        for v in 0..n {
+            if let WeightedOutput::Copy(_) = run.outputs[v] {
+                copies += 1;
+                let (anchor, _) = c.weight_anchor(v).unwrap();
+                assert!(
+                    run.rounds[v] > run.rounds[anchor],
+                    "copy node {v} should outlast active anchor {anchor}"
+                );
+            }
+        }
+        assert!(copies > 0, "some weight nodes must copy");
+    }
+
+    #[test]
+    fn declining_weight_mass_is_fast() {
+        // Most weight nodes decline in O(1)-ish rounds (Lemma 56): compare
+        // the median weight-node round to the worst active round.
+        let c = build(vec![6, 120], 6, 2_000);
+        let n = c.tree().node_count();
+        let ids = Ids::random(n, 12);
+        let run = a35(c.tree(), c.kinds(), 2, 3, &[3], &ids);
+        verify_run(&c, 2, 3, &run);
+        let mut weight_rounds: Vec<u64> = (c.active_count()..n)
+            .filter(|&v| matches!(run.outputs[v], WeightedOutput::Decline))
+            .map(|v| run.rounds[v])
+            .collect();
+        assert!(!weight_rounds.is_empty());
+        weight_rounds.sort_unstable();
+        let median = weight_rounds[weight_rounds.len() / 2];
+        assert!(median <= 40, "median declining round {median}");
+    }
+}

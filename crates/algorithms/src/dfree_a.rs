@@ -1,0 +1,371 @@
+//! Algorithm `A` for the `d`-free weight problem (Section 7).
+//!
+//! Every node collects its `(3⌈log_{d+1} n⌉ + 3)`-hop neighborhood and
+//! decides:
+//!
+//! - nodes on a path of length ≤ `2⌈log_{d+1} n⌉ + 2` between two `A`-nodes
+//!   output `Connect`,
+//! - every other `A`-node `v` runs the sequential witness `A*` of Lemma 37
+//!   on its `(⌈log_{d+1} n⌉ + 1)`-ball: `v` copies, and each copying node
+//!   declines its `d` heaviest child subtrees, so the copy set shrinks by a
+//!   factor `d + 1` per level and dies before the ball boundary,
+//! - everything else declines.
+//!
+//! The copy set around `v` has size `O(|ball|^x)` with
+//! `x = log(Δ-1-d)/log(Δ-1)` (Lemma 40), which is the upper-bound
+//! efficiency the weighted algorithms inherit.
+
+use lcl_core::dfree::{DfreeInput, DfreeOutput};
+use lcl_graph::{NodeId, NodeMask, Tree};
+use lcl_local::math::ceil_log;
+use std::collections::VecDeque;
+
+/// One maximal connected copy component, grown around an `A`-node.
+#[derive(Debug, Clone)]
+pub struct CopyComponent {
+    /// The `A`-node the component was grown around (Observation 39: each
+    /// component contains exactly one).
+    pub anchor: NodeId,
+    /// Members with their distance from the anchor (the anchor itself is
+    /// `(anchor, 0)`).
+    pub members: Vec<(NodeId, u32)>,
+}
+
+/// Result of running algorithm `A` on the subgraph induced by a mask.
+#[derive(Debug, Clone)]
+pub struct DfreeRun {
+    /// Output per node; `None` outside the mask.
+    pub outputs: Vec<Option<DfreeOutput>>,
+    /// The uniform termination round `3⌈log_{d+1} n⌉ + 3`.
+    pub radius: u64,
+    /// The copy components, one per non-`Connect` `A`-node that copies.
+    pub copy_components: Vec<CopyComponent>,
+}
+
+/// Runs algorithm `A` on the subgraph of `tree` induced by `mask`.
+///
+/// `input` must label every mask node (`Adjacent` for nodes standing next
+/// to active nodes, `Weight` otherwise); `n_hint` is the size of the whole
+/// instance (nodes know `n` in the LOCAL model) and `d ≥ 1` the decline
+/// budget.
+///
+/// # Panics
+///
+/// Panics if `d == 0` (algorithm `A`'s radius is `log_{d+1}` and the
+/// paper requires positive `d`).
+pub fn algorithm_a(
+    tree: &Tree,
+    mask: &NodeMask,
+    input: &[DfreeInput],
+    d: usize,
+    n_hint: usize,
+) -> DfreeRun {
+    assert!(d >= 1, "algorithm A needs d >= 1");
+    let n = tree.node_count();
+    let r = ceil_log((d + 1) as u64, n_hint as u64) as usize;
+    let connect_budget = 2 * r + 2;
+    let mut outputs: Vec<Option<DfreeOutput>> = vec![None; n];
+
+    let a_nodes: Vec<NodeId> = mask
+        .iter()
+        .filter(|&v| input[v] == DfreeInput::Adjacent)
+        .collect();
+
+    // --- Connect paths between nearby A-nodes. ---
+    for &a in &a_nodes {
+        for (b, _) in masked_ball(tree, mask, a, connect_budget as u32) {
+            if b != a && input[b] == DfreeInput::Adjacent {
+                for u in tree.path_between(a, b) {
+                    debug_assert!(mask.contains(u), "tree paths stay inside components");
+                    outputs[u] = Some(DfreeOutput::Connect);
+                }
+            }
+        }
+    }
+
+    // --- Copy balls around the remaining A-nodes. ---
+    let mut copy_components = Vec::new();
+    for &v in &a_nodes {
+        if outputs[v] == Some(DfreeOutput::Connect) {
+            continue;
+        }
+        let ball = masked_ball(tree, mask, v, (r + 1) as u32);
+        let copies = witness_phi(tree, mask, v, &ball, d, r);
+        let mut members = Vec::with_capacity(copies.len());
+        for &(u, dist) in &ball {
+            if copies.contains(&u) {
+                outputs[u] = Some(DfreeOutput::Copy);
+                members.push((u, dist));
+            } else if outputs[u].is_none() {
+                outputs[u] = Some(DfreeOutput::Decline);
+            }
+        }
+        copy_components.push(CopyComponent { anchor: v, members });
+    }
+
+    // --- Everything else declines. ---
+    for u in mask.iter() {
+        if outputs[u].is_none() {
+            outputs[u] = Some(DfreeOutput::Decline);
+        }
+    }
+
+    DfreeRun {
+        outputs,
+        radius: (3 * r + 3) as u64,
+        copy_components,
+    }
+}
+
+/// BFS ball of radius `radius` inside the mask: `(node, distance)` pairs in
+/// BFS order.
+fn masked_ball(tree: &Tree, mask: &NodeMask, center: NodeId, radius: u32) -> Vec<(NodeId, u32)> {
+    let mut dist = std::collections::HashMap::new();
+    let mut order = vec![(center, 0u32)];
+    let mut queue = VecDeque::new();
+    dist.insert(center, 0u32);
+    queue.push_back(center);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[&u];
+        if du == radius {
+            continue;
+        }
+        for &w in tree.neighbors(u) {
+            let w = w as usize;
+            if mask.contains(w) && !dist.contains_key(&w) {
+                dist.insert(w, du + 1);
+                order.push((w, du + 1));
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// The sequential witness `A*` of Lemma 37: returns the set of nodes that
+/// copy. Rooted at `v`; each copying node declines its `min(d, #children)`
+/// heaviest child subtrees (sizes measured inside the truncated ball).
+fn witness_phi(
+    tree: &Tree,
+    mask: &NodeMask,
+    v: NodeId,
+    ball: &[(NodeId, u32)],
+    d: usize,
+    r: usize,
+) -> std::collections::HashSet<NodeId> {
+    use std::collections::HashMap;
+    let in_ball: HashMap<NodeId, u32> = ball.iter().copied().collect();
+    // Children in the ball-rooted orientation; ball is in BFS order.
+    let mut children: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+    for &(u, du) in ball {
+        for &w in tree.neighbors(u) {
+            let w = w as usize;
+            if mask.contains(w) && in_ball.get(&w) == Some(&(du + 1)) && !parent.contains_key(&w)
+            {
+                parent.insert(w, u);
+                children.entry(u).or_default().push(w);
+            }
+        }
+    }
+    // Subtree sizes, bottom-up over the BFS order.
+    let mut size: HashMap<NodeId, usize> = ball.iter().map(|&(u, _)| (u, 1usize)).collect();
+    for &(u, _) in ball.iter().rev() {
+        if let Some(&p) = parent.get(&u) {
+            *size.get_mut(&p).expect("parent in ball") += size[&u];
+        }
+    }
+    // Greedy top-down: copy, declining the d heaviest subtrees.
+    let mut copies = std::collections::HashSet::new();
+    copies.insert(v);
+    let mut queue = VecDeque::new();
+    queue.push_back(v);
+    while let Some(u) = queue.pop_front() {
+        let mut kids: Vec<NodeId> = children.get(&u).cloned().unwrap_or_default();
+        kids.sort_by_key(|c| std::cmp::Reverse(size[c]));
+        for (rank, c) in kids.into_iter().enumerate() {
+            if rank >= d {
+                copies.insert(c);
+                queue.push_back(c);
+            }
+        }
+    }
+    // Lemma 37: the copy set dies out before the ball boundary.
+    debug_assert!(
+        copies.iter().all(|u| (in_ball[u] as usize) <= r),
+        "copy set must stay strictly inside the (r+1)-ball"
+    );
+    copies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::dfree::DFreeWeight;
+    use lcl_core::problem::LclProblem;
+    use lcl_graph::generators::{balanced_weight_tree, path, random_bounded_degree_tree};
+
+    fn full_inputs(tree: &Tree, a_nodes: &[NodeId]) -> Vec<DfreeInput> {
+        let mut input = vec![DfreeInput::Weight; tree.node_count()];
+        for &a in a_nodes {
+            input[a] = DfreeInput::Adjacent;
+        }
+        input
+    }
+
+    fn run_and_verify(tree: &Tree, a_nodes: &[NodeId], d: usize) -> DfreeRun {
+        let n = tree.node_count();
+        let mask = NodeMask::full(n);
+        let input = full_inputs(tree, a_nodes);
+        let run = algorithm_a(tree, &mask, &input, d, n);
+        let outputs: Vec<DfreeOutput> = run
+            .outputs
+            .iter()
+            .map(|o| o.expect("full mask decides everywhere"))
+            .collect();
+        DFreeWeight::new(d)
+            .verify(tree, &input, &outputs)
+            .unwrap_or_else(|e| panic!("invalid d-free output: {e}"));
+        run
+    }
+
+    #[test]
+    fn lone_a_node_copies_a_small_set() {
+        let tree = balanced_weight_tree(200, 5);
+        // Root is the A-node (stands next to the active anchor).
+        let run = run_and_verify(&tree, &[0], 2);
+        assert_eq!(run.copy_components.len(), 1);
+        let comp = &run.copy_components[0];
+        assert_eq!(comp.anchor, 0);
+        // Copy set is sublinear: |ball|^x with x = log(5-1-2)/log(4) = 0.5
+        // plus the Lemma 40 constant.
+        assert!(comp.members.len() < 120, "copied {}", comp.members.len());
+        assert!(comp.members.len() >= 2, "someone besides the root copies");
+    }
+
+    #[test]
+    fn no_a_nodes_means_all_decline() {
+        let tree = random_bounded_degree_tree(100, 4, 1);
+        let run = run_and_verify(&tree, &[], 2);
+        assert!(run
+            .outputs
+            .iter()
+            .all(|&o| o == Some(DfreeOutput::Decline)));
+        assert!(run.copy_components.is_empty());
+    }
+
+    #[test]
+    fn nearby_a_nodes_connect() {
+        // Two A-nodes at the ends of a short path: the whole path connects.
+        let tree = path(6);
+        let run = run_and_verify(&tree, &[0, 5], 1);
+        assert!(run
+            .outputs
+            .iter()
+            .all(|&o| o == Some(DfreeOutput::Connect)));
+        assert!(run.copy_components.is_empty());
+    }
+
+    #[test]
+    fn distant_a_nodes_do_not_connect() {
+        // A long path: the A-endpoints are farther apart than the connect
+        // budget 2⌈log₂ n⌉ + 2, so each copies locally instead.
+        let n = 600;
+        let tree = path(n);
+        let run = run_and_verify(&tree, &[0, n - 1], 1);
+        assert_eq!(run.copy_components.len(), 2);
+        assert_eq!(run.outputs[0], Some(DfreeOutput::Copy));
+        assert_eq!(run.outputs[n - 1], Some(DfreeOutput::Copy));
+        assert_eq!(run.outputs[n / 2], Some(DfreeOutput::Decline));
+    }
+
+    #[test]
+    fn copy_components_are_separated() {
+        // Spider with A-nodes on distinct legs far from each other.
+        let tree = lcl_graph::generators::spider(3, 300);
+        let a1 = 1 + 299; // end of leg 0
+        let a2 = 1 + 300 + 299; // end of leg 1
+        let run = run_and_verify(&tree, &[a1, a2], 1);
+        assert_eq!(run.copy_components.len(), 2);
+        // Components never touch: every neighbor of a copy member is Copy,
+        // Decline, or Connect-free.
+        for comp in &run.copy_components {
+            for &(u, _) in &comp.members {
+                for &w in tree.neighbors(u) {
+                    let w = w as usize;
+                    let in_other = run
+                        .copy_components
+                        .iter()
+                        .filter(|c| c.anchor != comp.anchor)
+                        .any(|c| c.members.iter().any(|&(m, _)| m == u || m == w));
+                    assert!(!in_other, "components touch at ({u}, {w})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_40_copy_bound() {
+        // |Copy| <= 6 |ball|^x with x = log(Δ-1-d)/log(Δ-1).
+        for (delta, d) in [(5usize, 2usize), (6, 2), (9, 4)] {
+            let w = 3_000;
+            let tree = balanced_weight_tree(w, delta);
+            let run = run_and_verify(&tree, &[0], d);
+            let comp = &run.copy_components[0];
+            let x = ((delta - 1 - d) as f64).ln() / ((delta - 1) as f64).ln();
+            let bound = 6.0 * (w as f64).powf(x);
+            assert!(
+                (comp.members.len() as f64) <= bound,
+                "Δ={delta}, d={d}: copied {} > bound {bound:.1}",
+                comp.members.len()
+            );
+        }
+    }
+
+    #[test]
+    fn radius_formula() {
+        let tree = path(100);
+        let mask = NodeMask::full(100);
+        let input = full_inputs(&tree, &[]);
+        let run = algorithm_a(&tree, &mask, &input, 1, 100);
+        // 3 * ceil(log2(100)) + 3 = 3 * 7 + 3.
+        assert_eq!(run.radius, 24);
+        let run = algorithm_a(&tree, &mask, &input, 3, 100);
+        // 3 * ceil(log4(100)) + 3 = 3 * 4 + 3.
+        assert_eq!(run.radius, 15);
+    }
+
+    #[test]
+    fn masked_run_leaves_outside_untouched() {
+        let tree = path(10);
+        let mask = NodeMask::from_nodes(10, 0..5);
+        let mut input = vec![DfreeInput::Weight; 10];
+        input[0] = DfreeInput::Adjacent;
+        let run = algorithm_a(&tree, &mask, &input, 1, 10);
+        for v in 5..10 {
+            assert!(run.outputs[v].is_none());
+        }
+        assert!(run.outputs[0].is_some());
+    }
+
+    #[test]
+    fn anchor_distances_are_exact() {
+        let tree = balanced_weight_tree(500, 4);
+        let run = run_and_verify(&tree, &[0], 1);
+        let dist = tree.bfs_distances(0);
+        for comp in &run.copy_components {
+            for &(u, du) in &comp.members {
+                assert_eq!(dist[u], du, "member {u}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= 1")]
+    fn zero_d_rejected() {
+        let tree = path(4);
+        let mask = NodeMask::full(4);
+        let input = full_inputs(&tree, &[]);
+        let _ = algorithm_a(&tree, &mask, &input, 0, 4);
+    }
+}

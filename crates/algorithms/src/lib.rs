@@ -1,0 +1,36 @@
+//! Distributed algorithms from *"Completing the Node-Averaged Complexity
+//! Landscape of LCLs on Trees"* (PODC 2024).
+//!
+//! Every algorithm reports per-node termination rounds so node-averaged
+//! complexity (Section 2 of the paper) can be measured directly:
+//!
+//! - [`linial`] — `O(log* n)` coloring by iterated polynomial reduction,
+//! - [`two_coloring`] — the rigid `Θ(n)` baseline on paths,
+//! - [`generic_coloring`] — the phase algorithm of Section 4.1,
+//! - [`dfree_a`] — algorithm `A` for the `d`-free weight problem (Sec. 7),
+//! - [`apoly`] — `A_poly` for `Π^{2.5}_{Δ,d,k}` (Section 7.1),
+//! - [`fast_decomposition`] — the adapted fast decomposition (Section 8.1),
+//! - [`a35`] — the `Π^{3.5}_{Δ,d,k}` algorithm (Section 8.2),
+//! - [`labeling_solver`] — `k`-hierarchical labeling in `O(k n^{1/k})`
+//!   (Lemma 65),
+//! - [`randomized`] — the randomized O(1) node-averaged side of the
+//!   landscape (3-coloring paths in O(1) expected average rounds),
+//! - [`weight_augmented_solver`] — weight-augmented 2½-coloring
+//!   (Section 10, Lemma 69).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod a35;
+pub mod apoly;
+pub mod dfree_a;
+pub mod fast_decomposition;
+pub mod generic_coloring;
+pub mod labeling_solver;
+pub mod linial;
+pub mod randomized;
+pub mod run;
+pub mod two_coloring;
+pub mod weight_augmented_solver;
+
+pub use run::AlgorithmRun;

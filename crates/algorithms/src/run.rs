@@ -1,0 +1,62 @@
+//! Common result type for algorithm executions.
+
+use lcl_local::metrics::RoundStats;
+
+/// Outputs and per-node termination rounds of one algorithm execution.
+#[derive(Debug, Clone)]
+pub struct AlgorithmRun<O> {
+    /// Output of every node, indexed by node id.
+    pub outputs: Vec<O>,
+    /// Termination round of every node.
+    pub rounds: Vec<u64>,
+}
+
+impl<O> AlgorithmRun<O> {
+    /// Bundles outputs with rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn new(outputs: Vec<O>, rounds: Vec<u64>) -> Self {
+        assert_eq!(
+            outputs.len(),
+            rounds.len(),
+            "outputs and rounds must cover the same nodes"
+        );
+        AlgorithmRun { outputs, rounds }
+    }
+
+    /// Round statistics of the execution.
+    pub fn stats(&self) -> RoundStats {
+        RoundStats::new(self.rounds.clone())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// True when no nodes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_roundtrip() {
+        let run = AlgorithmRun::new(vec!['a', 'b'], vec![1, 3]);
+        assert_eq!(run.stats().node_averaged(), 2.0);
+        assert_eq!(run.len(), 2);
+        assert!(!run.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "same nodes")]
+    fn mismatched_lengths_rejected() {
+        let _ = AlgorithmRun::new(vec![0u8], vec![1, 2]);
+    }
+}

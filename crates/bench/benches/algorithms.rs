@@ -1,0 +1,66 @@
+//! Criterion bench: core algorithm throughput (Linial coloring, the
+//! generic phase algorithm, and A_poly end to end).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcl_algorithms::apoly::apoly_on_construction;
+use lcl_algorithms::generic_coloring::generic_coloring;
+use lcl_algorithms::linial::three_color_path;
+use lcl_core::coloring::Variant;
+use lcl_core::params;
+use lcl_graph::generators::path;
+use lcl_graph::hierarchical::LowerBoundGraph;
+use lcl_graph::weighted::{WeightedConstruction, WeightedParams};
+use lcl_local::identifiers::Ids;
+
+fn bench_linial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linial_three_coloring");
+    group.sample_size(20);
+    for n in [10_000usize, 100_000] {
+        let tree = path(n);
+        let ids = Ids::random(n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| three_color_path(&tree, &ids))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generic_coloring_thm11");
+    group.sample_size(20);
+    for n in [10_000usize, 100_000] {
+        let lengths = params::theorem11_lengths(n, 2);
+        let g = LowerBoundGraph::new(&lengths).unwrap();
+        let total = g.tree().node_count();
+        let ids = Ids::random(total, 3);
+        let gammas = params::theorem11_gammas(total, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| generic_coloring(g.tree(), Variant::ThreeHalf, &gammas, &ids))
+        });
+    }
+    group.finish();
+}
+
+fn bench_apoly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apoly_end_to_end");
+    group.sample_size(10);
+    for n in [20_000usize] {
+        let x = lcl_core::landscape::efficiency_x(5, 2);
+        let lengths = params::poly_lengths(n / 2, x, 2);
+        let construction = WeightedConstruction::new(&WeightedParams {
+            lengths,
+            delta: 5,
+            weight_per_level: n / 2,
+        })
+        .unwrap();
+        let total = construction.tree().node_count();
+        let ids = Ids::random(total, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| apoly_on_construction(&construction, 2, 2, &ids))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linial, bench_generic, bench_apoly);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: rake-and-compress decompositions and the adapted fast
+//! decomposition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcl_algorithms::fast_decomposition::fast_dfree_standalone;
+use lcl_core::dfree::DfreeInput;
+use lcl_graph::decompose::{Decomposition, RakeCompressParams};
+use lcl_graph::generators::{balanced_weight_tree, random_bounded_degree_tree};
+use lcl_graph::NodeMask;
+
+fn bench_rake_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rake_compress_strict");
+    group.sample_size(20);
+    for n in [10_000usize, 100_000] {
+        let tree = random_bounded_degree_tree(n, 4, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                Decomposition::compute(
+                    &tree,
+                    RakeCompressParams {
+                        gamma: 2,
+                        ell: 4,
+                        strict: true,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fast_dfree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_dfree_standalone");
+    group.sample_size(20);
+    for n in [10_000usize, 100_000] {
+        let tree = balanced_weight_tree(n, 5);
+        let mask = NodeMask::full(n);
+        let mut input = vec![DfreeInput::Weight; n];
+        input[0] = DfreeInput::Adjacent;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| fast_dfree_standalone(&tree, &mask, &input, 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rake_compress, bench_fast_dfree);
+criterion_main!(benches);

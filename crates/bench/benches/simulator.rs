@@ -1,0 +1,54 @@
+//! Criterion bench: synchronous LOCAL engine throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcl_graph::generators::path;
+use lcl_local::engine::{run_sync, Action, NodeContext, Protocol};
+use lcl_local::identifiers::Ids;
+
+struct MinFlood {
+    best: u64,
+    budget: u64,
+}
+
+impl Protocol for MinFlood {
+    type Message = u64;
+    type Output = u64;
+    fn step(&mut self, ctx: &NodeContext, round: u64, inbox: &[(usize, u64)]) -> Action<u64, u64> {
+        for &(_, m) in inbox {
+            self.best = self.best.min(m);
+        }
+        if round == self.budget {
+            return Action::Output {
+                output: self.best,
+                final_messages: vec![],
+            };
+        }
+        Action::Send((0..ctx.degree).map(|p| (p, self.best)).collect())
+    }
+}
+
+fn bench_sync_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_engine_minflood");
+    for n in [1_000usize, 10_000] {
+        let tree = path(n);
+        let ids = Ids::random(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                run_sync(
+                    &tree,
+                    &ids,
+                    |c| MinFlood {
+                        best: c.id,
+                        budget: 64,
+                    },
+                    1_000,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync_engine);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: constraint-verifier throughput (verification must be
+//! cheap enough to run after every test and bench execution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcl_algorithms::apoly::apoly_on_construction;
+use lcl_algorithms::generic_coloring::generic_coloring;
+use lcl_core::coloring::{HierarchicalColoring, Variant};
+use lcl_core::params;
+use lcl_core::problem::LclProblem;
+use lcl_core::weighted::WeightedColoring;
+use lcl_graph::hierarchical::LowerBoundGraph;
+use lcl_graph::weighted::{WeightedConstruction, WeightedParams};
+use lcl_local::identifiers::Ids;
+
+fn bench_coloring_verifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_hierarchical_coloring");
+    group.sample_size(20);
+    for n in [10_000usize, 100_000] {
+        let lengths = params::theorem11_lengths(n, 2);
+        let g = LowerBoundGraph::new(&lengths).unwrap();
+        let total = g.tree().node_count();
+        let ids = Ids::random(total, 5);
+        let gammas = params::theorem11_gammas(total, 2);
+        let run = generic_coloring(g.tree(), Variant::ThreeHalf, &gammas, &ids);
+        let problem = HierarchicalColoring::new(2, Variant::ThreeHalf);
+        let input = vec![(); total];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| problem.verify(g.tree(), &input, &run.outputs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_weighted_verifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_weighted_coloring");
+    group.sample_size(20);
+    let n = 20_000;
+    let x = lcl_core::landscape::efficiency_x(5, 2);
+    let lengths = params::poly_lengths(n / 2, x, 2);
+    let construction = WeightedConstruction::new(&WeightedParams {
+        lengths,
+        delta: 5,
+        weight_per_level: n / 2,
+    })
+    .unwrap();
+    let total = construction.tree().node_count();
+    let ids = Ids::random(total, 6);
+    let run = apoly_on_construction(&construction, 2, 2, &ids);
+    let problem = WeightedColoring::new(Variant::TwoHalf, 5, 2, 2).unwrap();
+    group.bench_with_input(BenchmarkId::from_parameter(total), &total, |b, _| {
+        b.iter(|| {
+            problem
+                .verify(construction.tree(), construction.kinds(), &run.outputs)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coloring_verifier, bench_weighted_verifier);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every binary regenerates one figure or theorem of the paper (see
+//! `DESIGN.md` for the index), prints a human-readable table, and writes a
+//! machine-readable JSON record under `bench-results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod measure;
+pub mod report;

@@ -1,0 +1,196 @@
+//! Measurement runners shared by the experiment binaries.
+
+use lcl_algorithms::a35::a35_on_construction;
+use lcl_algorithms::apoly::apoly_on_construction;
+use lcl_algorithms::generic_coloring::generic_coloring;
+use lcl_core::coloring::Variant;
+use lcl_core::params;
+use lcl_graph::hierarchical::LowerBoundGraph;
+use lcl_graph::weighted::{WeightedConstruction, WeightedParams};
+use lcl_local::identifiers::Ids;
+use lcl_local::math::{fit_power_law, log_star, PowerLawFit};
+use serde::Serialize;
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Instance size (total nodes).
+    pub n: usize,
+    /// Measured node-averaged rounds.
+    pub node_averaged: f64,
+    /// Measured worst-case rounds.
+    pub worst_case: u64,
+    /// Node-averaged rounds of the *waiting mass* only: the sum of
+    /// termination times over nodes that do not output `Decline`/`Connect`,
+    /// divided by `n`. This is exactly the sum the proof of Theorem 2
+    /// bounds; the excluded nodes cost an additive `O(log n)` that the
+    /// paper's analysis absorbs but which dominates small instances.
+    pub waiting_averaged: f64,
+}
+
+/// Builds the weighted construction of Definition 25 for `Π^{2.5}/Π^{3.5}`
+/// with total size ≈ `n`: core lengths from the optimal `α_i`, `Δ`, and
+/// `n/k` weight per augmented level.
+pub fn weighted_instance(
+    n: usize,
+    delta: usize,
+    d: usize,
+    k: usize,
+    poly_regime: bool,
+) -> WeightedConstruction {
+    let x = lcl_core::landscape::efficiency_x(delta, d);
+    let core_budget = (n / k).max(4);
+    let lengths = if poly_regime {
+        params::poly_lengths(core_budget, x, k)
+    } else {
+        params::log_star_lengths(core_budget, x, k)
+    };
+    let weight_per_level = n / k;
+    WeightedConstruction::new(&WeightedParams {
+        lengths,
+        delta,
+        weight_per_level,
+    })
+    .expect("valid construction parameters")
+}
+
+/// Measures `A_poly` on a Definition 25 instance of size ≈ `n`.
+pub fn measure_apoly(n: usize, delta: usize, d: usize, k: usize, seed: u64) -> Point {
+    let c = weighted_instance(n, delta, d, k, true);
+    let total = c.tree().node_count();
+    let ids = Ids::random(total, seed);
+    let run = apoly_on_construction(&c, k, d, &ids);
+    let stats = run.stats();
+    let waiting: u128 = run
+        .outputs
+        .iter()
+        .zip(&run.rounds)
+        .filter(|(o, _)| {
+            !matches!(
+                o,
+                lcl_core::weighted::WeightedOutput::Decline
+                    | lcl_core::weighted::WeightedOutput::Connect
+            )
+        })
+        .map(|(_, &r)| r as u128)
+        .sum();
+    Point {
+        n: total,
+        node_averaged: stats.node_averaged(),
+        worst_case: stats.worst_case(),
+        waiting_averaged: waiting as f64 / total as f64,
+    }
+}
+
+/// Measures the `Π^{3.5}` algorithm on a Definition 25 instance.
+pub fn measure_a35(n: usize, delta: usize, d: usize, k: usize, seed: u64) -> Point {
+    let c = weighted_instance(n, delta, d, k, false);
+    let total = c.tree().node_count();
+    let ids = Ids::random(total, seed);
+    let run = a35_on_construction(&c, k, d, &ids);
+    let stats = run.stats();
+    let waiting: u128 = run
+        .outputs
+        .iter()
+        .zip(&run.rounds)
+        .filter(|(o, _)| {
+            !matches!(
+                o,
+                lcl_core::weighted::WeightedOutput::Decline
+                    | lcl_core::weighted::WeightedOutput::Connect
+            )
+        })
+        .map(|(_, &r)| r as u128)
+        .sum();
+    Point {
+        n: total,
+        node_averaged: stats.node_averaged(),
+        worst_case: stats.worst_case(),
+        waiting_averaged: waiting as f64 / total as f64,
+    }
+}
+
+/// Measures the generic 3½ algorithm on a Theorem 11 lower-bound instance.
+pub fn measure_theorem11(n: usize, k: usize, seed: u64) -> Point {
+    let lengths = params::theorem11_lengths(n, k);
+    let g = LowerBoundGraph::new(&lengths).expect("valid lengths");
+    let total = g.tree().node_count();
+    let ids = Ids::random(total, seed);
+    let gammas = params::theorem11_gammas(total.max(n), k);
+    let run = generic_coloring(g.tree(), Variant::ThreeHalf, &gammas, &ids);
+    let stats = run.stats();
+    let avg = stats.node_averaged();
+    Point {
+        n: total,
+        node_averaged: avg,
+        worst_case: stats.worst_case(),
+        waiting_averaged: avg,
+    }
+}
+
+/// Fits `node_averaged ≈ c · n^e` over the points.
+pub fn fit_points(points: &[Point]) -> PowerLawFit {
+    let data: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.n as f64, p.node_averaged.max(1e-9)))
+        .collect();
+    fit_power_law(&data)
+}
+
+/// Fits the waiting-mass average (the Theorem 2 quantity) instead.
+pub fn fit_waiting(points: &[Point]) -> PowerLawFit {
+    let data: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.n as f64, p.waiting_averaged.max(1e-9)))
+        .collect();
+    fit_power_law(&data)
+}
+
+/// The paper's predicted value `(log* n)^e`.
+pub fn log_star_power(n: usize, e: f64) -> f64 {
+    (log_star(n as u64) as f64).powf(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_instance_has_requested_scale() {
+        let c = weighted_instance(4_000, 5, 2, 2, true);
+        let total = c.tree().node_count();
+        assert!(total >= 2_000 && total <= 16_000, "total = {total}");
+        assert!(c.weight_count() >= 1_000);
+    }
+
+    #[test]
+    fn measure_apoly_produces_sane_point() {
+        let p = measure_apoly(3_000, 5, 2, 2, 1);
+        assert!(p.node_averaged > 0.0);
+        assert!(p.worst_case as f64 >= p.node_averaged);
+    }
+
+    #[test]
+    fn measure_a35_produces_sane_point() {
+        let p = measure_a35(3_000, 6, 3, 2, 1);
+        assert!(p.node_averaged > 0.0);
+    }
+
+    #[test]
+    fn theorem11_point() {
+        let p = measure_theorem11(5_000, 2, 3);
+        assert!(p.node_averaged > 0.0);
+        assert!(p.n >= 2_000);
+    }
+
+    #[test]
+    fn fit_recovers_shape() {
+        let pts = vec![
+            Point { n: 1_000, node_averaged: 31.6, worst_case: 100, waiting_averaged: 31.6 },
+            Point { n: 10_000, node_averaged: 100.0, worst_case: 400, waiting_averaged: 100.0 },
+            Point { n: 100_000, node_averaged: 316.0, worst_case: 1_600, waiting_averaged: 316.0 },
+        ];
+        let fit = fit_points(&pts);
+        assert!((fit.exponent - 0.5).abs() < 0.01, "{fit:?}");
+    }
+}

@@ -1,0 +1,216 @@
+//! The `d`-free weight problem (Section 7 of the paper).
+//!
+//! A subproblem shared by both weighted coloring families: weight nodes
+//! must decide between `Decline`, `Connect`, and `Copy` such that nodes
+//! adjacent to *adjacent* (`A`) nodes participate, and every `Copy` node
+//! has at most `d` declining neighbors. Efficient solutions copy only on a
+//! small (`≈ w^x`) subtree, which is exactly the efficiency factor `x` that
+//! drives the complexity landscape.
+
+use crate::problem::{check_labeling_shape, LclProblem, Violation};
+use lcl_graph::Tree;
+use std::fmt;
+
+/// Input alphabet of the `d`-free weight problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DfreeInput {
+    /// `A` — an *adjacent* node (stands in for an active node).
+    Adjacent,
+    /// `W` — a weight node.
+    Weight,
+}
+
+/// Output alphabet of the `d`-free weight problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DfreeOutput {
+    /// Refuse to copy; terminates dependency chains.
+    Decline,
+    /// Lie on a path connecting two `A`-nodes.
+    Connect,
+    /// Copy (and in the full weighted problem, wait for) an output.
+    Copy,
+}
+
+impl fmt::Display for DfreeOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DfreeOutput::Decline => "Decline",
+            DfreeOutput::Connect => "Connect",
+            DfreeOutput::Copy => "Copy",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The `d`-free weight problem with parameter `d < Δ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DFreeWeight {
+    d: usize,
+}
+
+impl DFreeWeight {
+    /// Creates the problem for a given `d ≥ 0`.
+    pub fn new(d: usize) -> Self {
+        DFreeWeight { d }
+    }
+
+    /// The free-decline budget `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+}
+
+impl LclProblem for DFreeWeight {
+    type Input = DfreeInput;
+    type Output = DfreeOutput;
+
+    fn name(&self) -> String {
+        format!("{}-free weight problem", self.d)
+    }
+
+    fn checkability_radius(&self) -> usize {
+        1
+    }
+
+    fn verify(
+        &self,
+        tree: &Tree,
+        input: &[Self::Input],
+        output: &[Self::Output],
+    ) -> Result<(), Violation> {
+        check_labeling_shape(tree, input, output);
+        for v in tree.nodes() {
+            match output[v] {
+                DfreeOutput::Connect => {
+                    // Property 1: A-nodes need ≥ 1 Connect neighbor,
+                    // W-nodes need ≥ 2.
+                    let connects = tree
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&w| output[w as usize] == DfreeOutput::Connect)
+                        .count();
+                    let need = match input[v] {
+                        DfreeInput::Adjacent => 1,
+                        DfreeInput::Weight => 2,
+                    };
+                    if connects < need {
+                        return Err(Violation::new(
+                            v,
+                            format!(
+                                "Connect node has {connects} Connect neighbors, needs {need}"
+                            ),
+                        ));
+                    }
+                }
+                DfreeOutput::Copy => {
+                    // Property 2: at most d declining neighbors.
+                    let declines = tree
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&w| output[w as usize] == DfreeOutput::Decline)
+                        .count();
+                    if declines > self.d {
+                        return Err(Violation::new(
+                            v,
+                            format!(
+                                "Copy node has {declines} declining neighbors > d = {}",
+                                self.d
+                            ),
+                        ));
+                    }
+                }
+                DfreeOutput::Decline => {
+                    // Property 3: A-nodes must not decline.
+                    if input[v] == DfreeInput::Adjacent {
+                        return Err(Violation::new(v, "A-node outputs Decline"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::generators::{path, star};
+    use DfreeInput::{Adjacent, Weight};
+    use DfreeOutput::{Connect, Copy, Decline};
+
+    #[test]
+    fn all_weight_all_decline_is_valid() {
+        let p = DFreeWeight::new(1);
+        let t = path(4);
+        let input = vec![Weight; 4];
+        let out = vec![Decline; 4];
+        assert!(p.verify(&t, &input, &out).is_ok());
+    }
+
+    #[test]
+    fn a_node_cannot_decline() {
+        let p = DFreeWeight::new(1);
+        let t = path(3);
+        let input = vec![Weight, Adjacent, Weight];
+        let out = vec![Decline, Decline, Decline];
+        let err = p.verify(&t, &input, &out).unwrap_err();
+        assert_eq!(err.node, 1);
+        assert!(err.rule.contains("A-node"), "{err}");
+    }
+
+    #[test]
+    fn copy_respects_decline_budget() {
+        let p = DFreeWeight::new(1);
+        let t = star(4); // center 0, leaves 1..3
+        let input = vec![Weight; 4];
+        let mut out = vec![Decline; 4];
+        out[0] = Copy;
+        // Center copies with 3 declining neighbors but d = 1.
+        let err = p.verify(&t, &input, &out).unwrap_err();
+        assert!(err.rule.contains("> d = 1"), "{err}");
+        // With d = 3 it is fine.
+        assert!(DFreeWeight::new(3).verify(&t, &input, &out).is_ok());
+    }
+
+    #[test]
+    fn connect_path_between_a_nodes() {
+        // A - w - w - A: middle weight nodes connect, A-endpoints connect.
+        let p = DFreeWeight::new(0);
+        let t = path(4);
+        let input = vec![Adjacent, Weight, Weight, Adjacent];
+        let out = vec![Connect; 4];
+        assert!(p.verify(&t, &input, &out).is_ok());
+    }
+
+    #[test]
+    fn lone_connect_weight_node_rejected() {
+        let p = DFreeWeight::new(0);
+        let t = path(3);
+        let input = vec![Weight, Weight, Weight];
+        let out = vec![Decline, Connect, Decline];
+        let err = p.verify(&t, &input, &out).unwrap_err();
+        assert!(err.rule.contains("needs 2"), "{err}");
+    }
+
+    #[test]
+    fn a_node_connect_needs_one_neighbor() {
+        let p = DFreeWeight::new(0);
+        let t = path(2);
+        let input = vec![Adjacent, Weight];
+        let out = vec![Connect, Decline];
+        let err = p.verify(&t, &input, &out).unwrap_err();
+        assert!(err.rule.contains("needs 1"), "{err}");
+    }
+
+    #[test]
+    fn copy_chain_is_valid() {
+        let p = DFreeWeight::new(2);
+        let t = path(5);
+        let input = vec![Adjacent, Weight, Weight, Weight, Weight];
+        let out = vec![Copy, Copy, Copy, Copy, Copy];
+        assert!(p.verify(&t, &input, &out).is_ok());
+        assert_eq!(p.name(), "2-free weight problem");
+        assert_eq!(p.checkability_radius(), 1);
+        assert_eq!(p.d(), 2);
+    }
+}

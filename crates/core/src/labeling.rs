@@ -1,0 +1,482 @@
+//! The `k`-hierarchical labeling problem (Definition 63).
+//!
+//! An LCL re-encoding of a `(γ, ℓ, k)` rake-and-compress decomposition:
+//! nodes output *rake* labels `R_1 < ... < R_k` or *compress* labels
+//! `C_1 < ... < C_{k-1}` (interleaved as `R_1 < C_1 < R_2 < ... < R_k`)
+//! plus an edge orientation. Because only `k` rake layers exist, the
+//! problem has worst-case complexity `Θ(n^{1/k})` (Lemma 65), which is what
+//! lets Section 10 build weight gadgets with efficiency factor `x = 1`.
+//!
+//! The paper's `Σ_out` lists labels `R_0, ..., R_k, C_1, ..., C_k`, but its
+//! rules only ever use `R_1..R_k` and `C_1..C_{k-1}`; we implement the
+//! latter.
+
+use crate::problem::{check_labeling_shape, LclProblem, Violation};
+use lcl_graph::{NodeId, NodeMask, Tree};
+use std::fmt;
+
+/// A rake or compress label with its position in the total order
+/// `R_1 < C_1 < R_2 < C_2 < ... < C_{k-1} < R_k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HierLabel {
+    /// Rake label `R_i`, `i ∈ 1..=k`.
+    Rake(u8),
+    /// Compress label `C_i`, `i ∈ 1..=k-1`.
+    Compress(u8),
+}
+
+impl HierLabel {
+    /// Position in the interleaved order (`R_i ↦ 2i-1`, `C_i ↦ 2i`).
+    pub fn order_key(self) -> u16 {
+        match self {
+            HierLabel::Rake(i) => 2 * i as u16 - 1,
+            HierLabel::Compress(i) => 2 * i as u16,
+        }
+    }
+
+    /// True for compress labels.
+    pub fn is_compress(self) -> bool {
+        matches!(self, HierLabel::Compress(_))
+    }
+}
+
+impl PartialOrd for HierLabel {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HierLabel {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.order_key().cmp(&other.order_key())
+    }
+}
+
+impl fmt::Display for HierLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierLabel::Rake(i) => write!(f, "R{i}"),
+            HierLabel::Compress(i) => write!(f, "C{i}"),
+        }
+    }
+}
+
+/// Output of one node: a label plus an optional outgoing edge (given as a
+/// port index into the node's adjacency list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelingOutput {
+    /// The hierarchical label.
+    pub label: HierLabel,
+    /// Port of the edge oriented *away* from this node, if any.
+    pub out_port: Option<usize>,
+}
+
+impl LabelingOutput {
+    /// Convenience constructor.
+    pub fn new(label: HierLabel, out_port: Option<usize>) -> Self {
+        LabelingOutput { label, out_port }
+    }
+}
+
+/// The `k`-hierarchical labeling problem (Definition 63).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchicalLabeling {
+    k: usize,
+}
+
+impl HierarchicalLabeling {
+    /// Creates the problem for `k ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > 127`.
+    pub fn new(k: usize) -> Self {
+        assert!((1..=127).contains(&k), "k must be in 1..=127");
+        HierarchicalLabeling { k }
+    }
+
+    /// The number of rake labels `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// True if `label` belongs to this problem's alphabet.
+    pub fn label_in_alphabet(&self, label: HierLabel) -> bool {
+        match label {
+            HierLabel::Rake(i) => (1..=self.k as u8).contains(&i),
+            HierLabel::Compress(i) => self.k >= 2 && (1..=(self.k - 1) as u8).contains(&i),
+        }
+    }
+
+    /// Verifies the constraints on the subgraph induced by `mask`.
+    ///
+    /// Out-ports pointing outside the mask are permitted (they occur in the
+    /// weight-augmented problem, where weight nodes orient toward active
+    /// nodes); such a node has no outgoing edge *within* the subgraph but
+    /// has spent its orientation budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn verify_masked(
+        &self,
+        tree: &Tree,
+        mask: &NodeMask,
+        out: impl Fn(NodeId) -> LabelingOutput,
+    ) -> Result<(), Violation> {
+        // `points_to(v) = Some(u)` if v's out-edge targets u inside the mask.
+        let points_to = |v: NodeId| -> Option<NodeId> {
+            out(v).out_port.and_then(|p| {
+                let u = *tree.neighbors(v).get(p)? as usize;
+                mask.contains(u).then_some(u)
+            })
+        };
+        for v in mask.iter() {
+            let ov = out(v);
+            if !self.label_in_alphabet(ov.label) {
+                return Err(Violation::new(
+                    v,
+                    format!("label {} outside alphabet for k = {}", ov.label, self.k),
+                ));
+            }
+            if let Some(p) = ov.out_port {
+                if p >= tree.degree(v) {
+                    return Err(Violation::new(
+                        v,
+                        format!("out-port {p} out of range for degree {}", tree.degree(v)),
+                    ));
+                }
+            }
+            let masked_neighbors: Vec<NodeId> = tree
+                .neighbors(v)
+                .iter()
+                .map(|&w| w as usize)
+                .filter(|&w| mask.contains(w))
+                .collect();
+
+            // Rule 1: all edges adjacent to a rake label must be oriented.
+            if matches!(ov.label, HierLabel::Rake(_)) {
+                for &w in &masked_neighbors {
+                    let oriented = points_to(v) == Some(w) || points_to(w) == Some(v);
+                    if !oriented {
+                        return Err(Violation::new(
+                            v,
+                            format!("edge to {w} adjacent to rake label but unoriented"),
+                        ));
+                    }
+                }
+            }
+
+            let compress_neighbors = masked_neighbors
+                .iter()
+                .filter(|&&w| out(w).label.is_compress())
+                .count();
+
+            // Rule 2 (exception part): compress nodes with two compress
+            // neighbors must not have any outgoing edge.
+            if ov.label.is_compress() && compress_neighbors >= 2 && ov.out_port.is_some() {
+                return Err(Violation::new(
+                    v,
+                    "interior compress node must not have an outgoing edge",
+                ));
+            }
+
+            // Rule 3: orientation is monotone in the label order.
+            if let Some(u) = points_to(v) {
+                if out(u).label < ov.label {
+                    return Err(Violation::new(
+                        v,
+                        format!(
+                            "oriented edge into smaller label: {} -> {}",
+                            ov.label,
+                            out(u).label
+                        ),
+                    ));
+                }
+            }
+
+            // Rules 4 & 5: compress labels induce disjoint paths, and
+            // different compress labels are never adjacent.
+            if let HierLabel::Compress(ci) = ov.label {
+                let mut same = 0;
+                for &w in &masked_neighbors {
+                    match out(w).label {
+                        HierLabel::Compress(cj) if cj == ci => same += 1,
+                        HierLabel::Compress(cj) => {
+                            return Err(Violation::new(
+                                v,
+                                format!("adjacent distinct compress labels C{ci} and C{cj}"),
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+                if same > 2 {
+                    return Err(Violation::new(
+                        v,
+                        format!("compress label C{ci} induces degree {same} > 2"),
+                    ));
+                }
+            }
+
+            // Rule 6: a rake node has at most one compress neighbor pointing
+            // at it; if one exists, every neighbor pointing at it has a
+            // strictly lower label.
+            if matches!(ov.label, HierLabel::Rake(_)) {
+                let pointing: Vec<NodeId> = masked_neighbors
+                    .iter()
+                    .copied()
+                    .filter(|&w| points_to(w) == Some(v))
+                    .collect();
+                let compress_pointing = pointing
+                    .iter()
+                    .filter(|&&w| out(w).label.is_compress())
+                    .count();
+                if compress_pointing > 1 {
+                    return Err(Violation::new(
+                        v,
+                        format!("{compress_pointing} compress neighbors point at rake node"),
+                    ));
+                }
+                if compress_pointing == 1 {
+                    for &w in &pointing {
+                        if out(w).label >= ov.label {
+                            return Err(Violation::new(
+                                v,
+                                format!(
+                                    "with a compress in-neighbor, in-neighbor {w} has label \
+                                     {} not strictly below {}",
+                                    out(w).label,
+                                    ov.label
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl LclProblem for HierarchicalLabeling {
+    type Input = ();
+    type Output = LabelingOutput;
+
+    fn name(&self) -> String {
+        format!("{}-hierarchical labeling", self.k)
+    }
+
+    fn checkability_radius(&self) -> usize {
+        1
+    }
+
+    fn verify(
+        &self,
+        tree: &Tree,
+        input: &[Self::Input],
+        output: &[Self::Output],
+    ) -> Result<(), Violation> {
+        check_labeling_shape(tree, input, output);
+        let mask = NodeMask::full(tree.node_count());
+        self.verify_masked(tree, &mask, |v| output[v])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::generators::{path, star};
+    use HierLabel::{Compress, Rake};
+
+    fn port_of(tree: &Tree, v: NodeId, target: NodeId) -> usize {
+        tree.neighbors(v)
+            .iter()
+            .position(|&w| w as usize == target)
+            .unwrap()
+    }
+
+    #[test]
+    fn label_order_is_interleaved() {
+        assert!(Rake(1) < Compress(1));
+        assert!(Compress(1) < Rake(2));
+        assert!(Rake(2) < Compress(2));
+        assert!(Compress(2) < Rake(3));
+        assert_eq!(Rake(2).order_key(), 3);
+        assert_eq!(format!("{}", Compress(2)), "C2");
+    }
+
+    #[test]
+    fn alphabet_bounds() {
+        let p = HierarchicalLabeling::new(2);
+        assert!(p.label_in_alphabet(Rake(1)));
+        assert!(p.label_in_alphabet(Rake(2)));
+        assert!(p.label_in_alphabet(Compress(1)));
+        assert!(!p.label_in_alphabet(Rake(3)));
+        assert!(!p.label_in_alphabet(Compress(2)));
+        let p1 = HierarchicalLabeling::new(1);
+        assert!(!p1.label_in_alphabet(Compress(1)));
+    }
+
+    /// Star: all leaves rake R1 pointing to the center, center R2.
+    #[test]
+    fn star_rake_tower_accepted() {
+        let t = star(5);
+        let p = HierarchicalLabeling::new(2);
+        let mut out = vec![LabelingOutput::new(Rake(2), None); 5];
+        for leaf in 1..5 {
+            out[leaf] = LabelingOutput::new(Rake(1), Some(port_of(&t, leaf, 0)));
+        }
+        let input = vec![(); 5];
+        assert!(p.verify(&t, &input, &out).is_ok());
+    }
+
+    #[test]
+    fn unoriented_rake_edge_rejected() {
+        let t = star(3);
+        let p = HierarchicalLabeling::new(2);
+        // Leaf 1 does not orient its edge.
+        let out = vec![
+            LabelingOutput::new(Rake(2), None),
+            LabelingOutput::new(Rake(1), None),
+            LabelingOutput::new(Rake(1), Some(0)),
+        ];
+        let err = p.verify(&t, &vec![(); 3], &out).unwrap_err();
+        assert!(err.rule.contains("unoriented"), "{err}");
+    }
+
+    #[test]
+    fn orientation_must_increase_labels() {
+        let t = path(2);
+        let p = HierarchicalLabeling::new(2);
+        // R2 points into R1: decreasing.
+        let out = vec![
+            LabelingOutput::new(Rake(2), Some(0)),
+            LabelingOutput::new(Rake(1), None),
+        ];
+        let err = p.verify(&t, &vec![(); 2], &out).unwrap_err();
+        assert!(err.rule.contains("smaller label"), "{err}");
+    }
+
+    /// Path handled as one compress layer: endpoints R2, interior C1.
+    #[test]
+    fn compress_path_accepted() {
+        let t = path(6);
+        let p = HierarchicalLabeling::new(2);
+        let mut out = Vec::new();
+        // Node 0: R2 endpoint; receives orientation from node 1.
+        out.push(LabelingOutput::new(Rake(2), None));
+        // Node 1..4: C1; endpoints of the compress run point outward.
+        out.push(LabelingOutput::new(Compress(1), Some(port_of(&t, 1, 0))));
+        out.push(LabelingOutput::new(Compress(1), None));
+        out.push(LabelingOutput::new(Compress(1), None));
+        out.push(LabelingOutput::new(Compress(1), Some(port_of(&t, 4, 5))));
+        out.push(LabelingOutput::new(Rake(2), None));
+        assert!(p.verify(&t, &vec![(); 6], &out).is_ok());
+    }
+
+    #[test]
+    fn interior_compress_node_must_not_orient() {
+        let t = path(5);
+        let p = HierarchicalLabeling::new(2);
+        let mut out = vec![
+            LabelingOutput::new(Rake(2), None),
+            LabelingOutput::new(Compress(1), Some(0)),
+            LabelingOutput::new(Compress(1), Some(0)), // interior: illegal
+            LabelingOutput::new(Compress(1), Some(1)),
+            LabelingOutput::new(Rake(2), None),
+        ];
+        out[1] = LabelingOutput::new(Compress(1), Some(port_of(&t, 1, 0)));
+        out[3] = LabelingOutput::new(Compress(1), Some(port_of(&t, 3, 4)));
+        let err = p.verify(&t, &vec![(); 5], &out).unwrap_err();
+        assert!(err.rule.contains("interior compress"), "{err}");
+    }
+
+    #[test]
+    fn distinct_compress_labels_cannot_touch() {
+        let t = path(4);
+        let p = HierarchicalLabeling::new(3);
+        let out = vec![
+            LabelingOutput::new(Rake(3), None),
+            LabelingOutput::new(Compress(1), Some(0)),
+            LabelingOutput::new(Compress(2), Some(1)),
+            LabelingOutput::new(Rake(3), None),
+        ];
+        let err = p.verify(&t, &vec![(); 4], &out).unwrap_err();
+        assert!(err.rule.contains("distinct compress"), "{err}");
+    }
+
+    #[test]
+    fn compress_must_induce_paths() {
+        let t = star(4);
+        let p = HierarchicalLabeling::new(2);
+        // Everything C1: center has 3 same-compress neighbors.
+        let out = vec![LabelingOutput::new(Compress(1), None); 4];
+        let err = p.verify(&t, &vec![(); 4], &out).unwrap_err();
+        assert!(err.rule.contains("degree 3 > 2"), "{err}");
+    }
+
+    #[test]
+    fn rule6_single_compress_in_neighbor() {
+        // Path 0-1-2, both 0 and 2 are C1 pointing at rake node 1.
+        let t = path(3);
+        let p = HierarchicalLabeling::new(2);
+        let out = vec![
+            LabelingOutput::new(Compress(1), Some(0)),
+            LabelingOutput::new(Rake(2), None),
+            LabelingOutput::new(Compress(1), Some(0)),
+        ];
+        let err = p.verify(&t, &vec![(); 3], &out).unwrap_err();
+        assert!(err.rule.contains("compress neighbors point"), "{err}");
+    }
+
+    #[test]
+    fn rule6_other_in_neighbors_strictly_lower() {
+        // Star center R2 with one compress in-neighbor and one R2
+        // in-neighbor: the R2 one is not strictly lower.
+        let t = star(3);
+        let p = HierarchicalLabeling::new(2);
+        let out = vec![
+            LabelingOutput::new(Rake(2), None),
+            LabelingOutput::new(Compress(1), Some(0)),
+            LabelingOutput::new(Rake(2), Some(0)),
+        ];
+        let err = p.verify(&t, &vec![(); 3], &out).unwrap_err();
+        assert!(err.rule.contains("strictly below"), "{err}");
+    }
+
+    #[test]
+    fn masked_out_ports_may_leave_mask() {
+        // Path 0-1-2 where node 0 is outside the mask; node 1 (rake R1)
+        // orients toward node 0: legal, no in-mask outgoing edge.
+        let t = path(3);
+        let p = HierarchicalLabeling::new(2);
+        let mask = NodeMask::from_nodes(3, [1, 2]);
+        let out = vec![
+            LabelingOutput::new(Rake(1), None), // ignored (outside mask)
+            LabelingOutput::new(Rake(1), Some(port_of(&t, 1, 0))),
+            LabelingOutput::new(Rake(2), None),
+        ];
+        // Node 1 spent its out-edge on node 0 (outside the mask) and node 2
+        // orients nothing, so the in-mask edge {1,2} is adjacent to rake
+        // labels but unoriented: violation.
+        let err = p.verify_masked(&t, &mask, |v| out[v]).unwrap_err();
+        assert!(err.rule.contains("unoriented"), "{err}");
+        // Fix: node 2 has no out-edge; let node 1 point at 2 instead and
+        // node 2 be the sink.
+        let out = vec![
+            LabelingOutput::new(Rake(1), None),
+            LabelingOutput::new(Rake(1), Some(port_of(&t, 1, 2))),
+            LabelingOutput::new(Rake(2), None),
+        ];
+        assert!(p.verify_masked(&t, &mask, |v| out[v]).is_ok());
+    }
+
+    #[test]
+    fn name_and_radius() {
+        let p = HierarchicalLabeling::new(3);
+        assert_eq!(p.name(), "3-hierarchical labeling");
+        assert_eq!(p.checkability_radius(), 1);
+        assert_eq!(p.k(), 3);
+    }
+}

@@ -1,0 +1,672 @@
+//! The node-averaged complexity landscape: exponent formulas, parameter
+//! synthesis, and the Fig. 2 region map.
+//!
+//! The paper's density theorems hinge on two families of closed-form
+//! exponents (Lemmas 33 and 36):
+//!
+//! - polynomial regime: `Π^{2.5}_{Δ,d,k}` has node-averaged complexity
+//!   `Θ(n^{α₁})` with `α₁(x) = 1 / Σ_{j=0}^{k-1} (2-x)^j`,
+//! - `log*` regime: `Π^{3.5}_{Δ,d,k}` is between `Ω((log* n)^{α₁(x)})` and
+//!   `O((log* n)^{α₁(x')})` with
+//!   `α₁(x) = 1 / (1 + (1-x) Σ_{j=0}^{k-2} (2-x)^j)`,
+//!
+//! where `x = log(Δ-d-1)/log(Δ-1)` and `x' = log(Δ-d+1)/log(Δ-1)` are the
+//! weight-efficiency factors. This module computes the formulas, inverts
+//! them, and synthesizes `(Δ, d, k)` hitting a target exponent window — the
+//! constructive content of Theorems 1 and 6.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the synthesis procedures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LandscapeError {
+    /// The requested window is outside the regime covered by the theorem.
+    TargetOutOfRange {
+        /// Requested lower end.
+        r1: f64,
+        /// Requested upper end.
+        r2: f64,
+        /// Which theorem's range was violated.
+        context: &'static str,
+    },
+    /// No `(Δ, d, k)` within the search budget lands in the window.
+    NoParametersFound {
+        /// Requested lower end.
+        r1: f64,
+        /// Requested upper end.
+        r2: f64,
+    },
+}
+
+impl fmt::Display for LandscapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LandscapeError::TargetOutOfRange { r1, r2, context } => {
+                write!(f, "target window ({r1}, {r2}) outside range of {context}")
+            }
+            LandscapeError::NoParametersFound { r1, r2 } => {
+                write!(
+                    f,
+                    "no (Δ, d, k) parameters found for window ({r1}, {r2}); widen the window"
+                )
+            }
+        }
+    }
+}
+
+impl Error for LandscapeError {}
+
+/// The lower-bound efficiency factor `x = log(Δ-d-1)/log(Δ-1)` (Lemma 23).
+///
+/// # Panics
+///
+/// Panics unless `Δ ≥ d + 3` (so that `Δ - d - 1 ≥ 2`).
+pub fn efficiency_x(delta: usize, d: usize) -> f64 {
+    assert!(delta >= d + 3, "need Δ ≥ d + 3");
+    ((delta - d - 1) as f64).ln() / ((delta - 1) as f64).ln()
+}
+
+/// The upper-bound efficiency factor `x' = log(Δ-d+1)/log(Δ-1)`
+/// (Section 8, adapted fast decomposition).
+///
+/// # Panics
+///
+/// Panics unless `Δ ≥ d + 3`.
+pub fn efficiency_x_prime(delta: usize, d: usize) -> f64 {
+    assert!(delta >= d + 3, "need Δ ≥ d + 3");
+    ((delta - d + 1) as f64).ln() / ((delta - 1) as f64).ln()
+}
+
+/// `α₁(x) = 1 / Σ_{j=0}^{k-1} (2-x)^j` — the polynomial-regime exponent of
+/// Theorems 2 and 3.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `x ∉ [0, 1]`.
+pub fn alpha1_poly(x: f64, k: usize) -> f64 {
+    assert!(k >= 1, "k must be at least 1");
+    assert!((0.0..=1.0).contains(&x), "x must be in [0, 1]");
+    let sum: f64 = (0..k).map(|j| (2.0 - x).powi(j as i32)).sum();
+    1.0 / sum
+}
+
+/// All optimal `α_i` for the polynomial regime, `i = 1..k-1`
+/// (`α_i = (2-x) α_{i-1}`, Lemma 33). Empty for `k = 1`.
+pub fn alphas_poly(x: f64, k: usize) -> Vec<f64> {
+    let a1 = alpha1_poly(x, k);
+    (0..k.saturating_sub(1))
+        .map(|i| a1 * (2.0 - x).powi(i as i32))
+        .collect()
+}
+
+/// `α₁(x) = 1 / (1 + (1-x) Σ_{j=0}^{k-2} (2-x)^j)` — the `log*`-regime
+/// exponent of Theorems 4 and 5.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `x ∉ [0, 1]`.
+pub fn alpha1_log_star(x: f64, k: usize) -> f64 {
+    assert!(k >= 1, "k must be at least 1");
+    assert!((0.0..=1.0).contains(&x), "x must be in [0, 1]");
+    let sum: f64 = (0..k.saturating_sub(1))
+        .map(|j| (2.0 - x).powi(j as i32))
+        .sum();
+    1.0 / (1.0 + (1.0 - x) * sum)
+}
+
+/// All optimal `α_i` for the `log*` regime, `i = 1..k-1` (Lemma 36).
+pub fn alphas_log_star(x: f64, k: usize) -> Vec<f64> {
+    let a1 = alpha1_log_star(x, k);
+    (0..k.saturating_sub(1))
+        .map(|i| a1 * (2.0 - x).powi(i as i32))
+        .collect()
+}
+
+/// The `B_i` terms of the polynomial optimisation problem (Corollary 31);
+/// at the optimum all of them equal `α₁` (Lemma 33). Exposed for tests and
+/// the benchmark harness.
+pub fn poly_objective_terms(x: f64, k: usize) -> Vec<f64> {
+    let alphas = alphas_poly(x, k);
+    objective_terms(&alphas, x, k, 2.0)
+}
+
+/// The `B_i` terms of the `log*` optimisation problem (Corollary 35).
+pub fn log_star_objective_terms(x: f64, k: usize) -> Vec<f64> {
+    let alphas = alphas_log_star(x, k);
+    objective_terms(&alphas, x, k, 1.0)
+}
+
+/// Shared `B_i` computation: `B_i = (x-1) Σ_{j<i} α_j + α_i` for `i < k`,
+/// and `B_k = 1 + (x - last_coeff) Σ_{j<k} α_j` where `last_coeff` is 2 in
+/// the polynomial regime and 1 in the `log*` regime.
+fn objective_terms(alphas: &[f64], x: f64, k: usize, last_coeff: f64) -> Vec<f64> {
+    let mut terms = Vec::with_capacity(k);
+    let mut prefix = 0.0;
+    for &a in alphas.iter().take(k - 1) {
+        terms.push((x - 1.0) * prefix + a);
+        prefix += a;
+    }
+    terms.push(1.0 + (x - last_coeff) * prefix);
+    terms
+}
+
+/// Inverts a continuous strictly-increasing function on `[0, 1]` by
+/// bisection. Returns `None` if `target` is outside `[f(0), f(1)]`.
+fn invert_increasing(f: impl Fn(f64) -> f64, target: f64) -> Option<f64> {
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    if target < f(lo) || target > f(hi) {
+        return None;
+    }
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// `x` such that [`alpha1_poly`]`(x, k) == target`, if it exists.
+pub fn invert_alpha1_poly(target: f64, k: usize) -> Option<f64> {
+    invert_increasing(|x| alpha1_poly(x, k), target)
+}
+
+/// `x` such that [`alpha1_log_star`]`(x, k) == target`, if it exists.
+pub fn invert_alpha1_log_star(target: f64, k: usize) -> Option<f64> {
+    invert_increasing(|x| alpha1_log_star(x, k), target)
+}
+
+/// A synthesized LCL for the polynomial regime (Theorem 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolySpec {
+    /// `k`-hierarchical weight-augmented 2½-coloring (Section 10,
+    /// Lemma 69): node-averaged complexity `Θ(n^{1/k})`.
+    WeightAugmented {
+        /// Hierarchy depth.
+        k: usize,
+        /// The achieved exponent, `1/k`.
+        exponent: f64,
+    },
+    /// `Π^{2.5}_{Δ,d,k}` (Lemma 58): node-averaged complexity `Θ(n^{α₁})`.
+    Weighted {
+        /// Weight-tree degree bound.
+        delta: usize,
+        /// Decline budget.
+        d: usize,
+        /// Hierarchy depth.
+        k: usize,
+        /// The achieved exponent `α₁(x(Δ,d))`.
+        exponent: f64,
+    },
+}
+
+impl PolySpec {
+    /// The node-averaged complexity exponent this spec realizes.
+    pub fn exponent(&self) -> f64 {
+        match *self {
+            PolySpec::WeightAugmented { exponent, .. } => exponent,
+            PolySpec::Weighted { exponent, .. } => exponent,
+        }
+    }
+}
+
+const DELTA_SEARCH_MAX: usize = 400;
+
+/// Constructive Theorem 1: finds an LCL with node-averaged complexity
+/// `Θ(n^c)` for some `c ∈ (r1, r2)`.
+///
+/// # Errors
+///
+/// [`LandscapeError::TargetOutOfRange`] unless `0 < r1 < r2 ≤ 1/2`;
+/// [`LandscapeError::NoParametersFound`] if the `(Δ, d)` search budget is
+/// exhausted (only possible for extremely narrow windows).
+pub fn synthesize_poly(r1: f64, r2: f64) -> Result<PolySpec, LandscapeError> {
+    if !(r1 > 0.0 && r1 < r2 && r2 <= 0.5) {
+        return Err(LandscapeError::TargetOutOfRange {
+            r1,
+            r2,
+            context: "Theorem 1 (0 < r1 < r2 <= 1/2)",
+        });
+    }
+    // Case 1: some 1/k lies strictly inside — use the weight-augmented
+    // problem of Section 10 (Lemma 69).
+    for k in 2..=64 {
+        let inv = 1.0 / k as f64;
+        if r1 < inv && inv < r2 {
+            return Ok(PolySpec::WeightAugmented { k, exponent: inv });
+        }
+    }
+    // Case 2: tune Π^{2.5}_{Δ,d,k}. For each k the reachable exponents are
+    // [α₁(0), α₁(1)) = [1/(2^k - 1), 1/k); search (Δ, d) within overlap.
+    for k in 2..=20 {
+        let lo = alpha1_poly(0.0, k);
+        let hi = alpha1_poly(1.0, k);
+        let win_lo = r1.max(lo);
+        let win_hi = r2.min(hi);
+        if win_lo >= win_hi {
+            continue;
+        }
+        if let Some(spec) = search_delta_d(win_lo, win_hi, |x| alpha1_poly(x, k)).map(
+            |(delta, d, exponent)| PolySpec::Weighted {
+                delta,
+                d,
+                k,
+                exponent,
+            },
+        ) {
+            return Ok(spec);
+        }
+    }
+    Err(LandscapeError::NoParametersFound { r1, r2 })
+}
+
+/// A synthesized LCL for the `log*` regime (Theorem 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogStarSpec {
+    /// Weight-tree degree bound.
+    pub delta: usize,
+    /// Decline budget.
+    pub d: usize,
+    /// Hierarchy depth.
+    pub k: usize,
+    /// Lower-bound exponent `α₁(x)`: complexity is `Ω((log* n)^c)`.
+    pub lower_exponent: f64,
+    /// Upper-bound exponent `α₁(x')`: complexity is `O((log* n)^{c'})`.
+    pub upper_exponent: f64,
+}
+
+impl LogStarSpec {
+    /// Width of the lower/upper exponent gap.
+    pub fn gap(&self) -> f64 {
+        self.upper_exponent - self.lower_exponent
+    }
+}
+
+/// Constructive Theorem 6: finds `Π^{3.5}_{Δ,d,k}` with node-averaged
+/// complexity between `Ω((log* n)^c)` and `O((log* n)^{c+ε})` for some
+/// `c ∈ [r1, r2]`.
+///
+/// # Errors
+///
+/// [`LandscapeError::TargetOutOfRange`] unless `0 < r1 < r2 < 1` and
+/// `ε > 0`; [`LandscapeError::NoParametersFound`] if no `(Δ, d, k)` in the
+/// search budget achieves the gap (requests for very small `ε` need very
+/// large `Δ`; the search caps Δ at 2¹⁶).
+pub fn synthesize_log_star(r1: f64, r2: f64, eps: f64) -> Result<LogStarSpec, LandscapeError> {
+    if !(r1 > 0.0 && r1 < r2 && r2 < 1.0 && eps > 0.0) {
+        return Err(LandscapeError::TargetOutOfRange {
+            r1,
+            r2,
+            context: "Theorem 6 (0 < r1 < r2 < 1, eps > 0)",
+        });
+    }
+    for k in 2..=20 {
+        let lo = alpha1_log_star(0.0, k);
+        let hi = alpha1_log_star(1.0, k);
+        let win_lo = r1.max(lo);
+        let win_hi = r2.min(hi - 1e-9);
+        if win_lo >= win_hi {
+            continue;
+        }
+        // Increasing Δ shrinks the x'-x gap (Lemma 62); search upward.
+        let mut best: Option<LogStarSpec> = None;
+        let mut delta = 8usize;
+        while delta <= 1 << 16 {
+            if let Some((dd, d, lower)) =
+                search_delta_d_at(delta, win_lo, win_hi, |x| alpha1_log_star(x, k))
+            {
+                let upper = alpha1_log_star(
+                    efficiency_x_prime(dd, d).min(1.0),
+                    k,
+                );
+                let spec = LogStarSpec {
+                    delta: dd,
+                    d,
+                    k,
+                    lower_exponent: lower,
+                    upper_exponent: upper,
+                };
+                if spec.gap() < eps && spec.upper_exponent <= r2 + eps {
+                    return Ok(spec);
+                }
+                match &best {
+                    Some(b) if b.gap() <= spec.gap() => {}
+                    _ => best = Some(spec),
+                }
+            }
+            delta *= 2;
+        }
+        if let Some(spec) = best {
+            if spec.gap() < eps {
+                return Ok(spec);
+            }
+        }
+    }
+    Err(LandscapeError::NoParametersFound { r1, r2 })
+}
+
+/// Searches `(Δ, d)` with `Δ ≤ DELTA_SEARCH_MAX` such that
+/// `f(x(Δ,d)) ∈ [win_lo, win_hi]`; returns `(Δ, d, f(x))`.
+fn search_delta_d(
+    win_lo: f64,
+    win_hi: f64,
+    f: impl Fn(f64) -> f64 + Copy,
+) -> Option<(usize, usize, f64)> {
+    for delta in 4..=DELTA_SEARCH_MAX {
+        if let Some(hit) = search_delta_d_at(delta, win_lo, win_hi, f) {
+            return Some(hit);
+        }
+    }
+    None
+}
+
+/// Searches `d` for a fixed `Δ`.
+fn search_delta_d_at(
+    delta: usize,
+    win_lo: f64,
+    win_hi: f64,
+    f: impl Fn(f64) -> f64,
+) -> Option<(usize, usize, f64)> {
+    for d in 1..=delta.saturating_sub(3) {
+        let x = efficiency_x(delta, d);
+        let value = f(x);
+        // Strictly interior: the theorems ask for r1 < c < r2.
+        if value > win_lo && value < win_hi {
+            return Some((delta, d, value));
+        }
+    }
+    None
+}
+
+/// A region of the Fig. 2 landscape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LandscapeRegion {
+    /// Human-readable range, e.g. `"Θ((log* n)^c), c ∈ (0, 1)"`.
+    pub range: &'static str,
+    /// Whether the region is populated or provably empty.
+    pub kind: RegionKind,
+    /// Which result of the paper establishes it.
+    pub provenance: &'static str,
+}
+
+/// Population status of a landscape region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    /// Contains LCLs (single complexity point).
+    Point,
+    /// Infinitely dense set of achievable complexities.
+    Dense,
+    /// Provably empty gap.
+    Gap,
+}
+
+/// The complete node-averaged complexity landscape on bounded-degree trees
+/// (Fig. 2 of the paper), from `O(1)` to `Θ(n)`.
+pub fn figure2_regions() -> Vec<LandscapeRegion> {
+    vec![
+        LandscapeRegion {
+            range: "O(1)",
+            kind: RegionKind::Point,
+            provenance: "trivial LCLs; decidable membership (Theorem 7)",
+        },
+        LandscapeRegion {
+            range: "omega(1) - (log* n)^{o(1)}",
+            kind: RegionKind::Gap,
+            provenance: "Theorem 7",
+        },
+        LandscapeRegion {
+            range: "Theta((log* n)^c), c in (0, 1)",
+            kind: RegionKind::Dense,
+            provenance: "Theorems 4-6 (and Theorem 11 for c = 1/2^{k-1})",
+        },
+        LandscapeRegion {
+            range: "Theta(log* n)",
+            kind: RegionKind::Point,
+            provenance: "3-coloring on paths (Feuilloley; Corollary 17)",
+        },
+        LandscapeRegion {
+            range: "omega(log* n) - n^{o(1)}",
+            kind: RegionKind::Gap,
+            provenance: "[BBK+23] Theorem; re-proved context in Section 11",
+        },
+        LandscapeRegion {
+            range: "Theta(n^c), c in (0, 1/2]",
+            kind: RegionKind::Dense,
+            provenance: "Theorems 1-3 and Lemma 69",
+        },
+        LandscapeRegion {
+            range: "omega(sqrt(n)) - o(n)",
+            kind: RegionKind::Gap,
+            provenance: "Corollary 60",
+        },
+        LandscapeRegion {
+            range: "Theta(n)",
+            kind: RegionKind::Point,
+            provenance: "2-coloring on paths (Lemma 16)",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_factors_ordering() {
+        for delta in [5usize, 8, 17, 33] {
+            for d in 1..=delta - 3 {
+                let x = efficiency_x(delta, d);
+                let xp = efficiency_x_prime(delta, d);
+                assert!(x > 0.0 && x < 1.0, "x = {x}");
+                assert!(xp > x, "x' = {xp} must exceed x = {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn efficiency_x_special_values() {
+        // Δ - d - 1 = Δ - 1 would give x = 1; with d = 0... d >= 0 allowed
+        // mathematically: x(Δ, 0) = ln(Δ-1)/ln(Δ-1) = 1.
+        assert!((efficiency_x(5, 0) - 1.0).abs() < 1e-12);
+        // Δ = 2^q + 1, d = 2^q - 2^p gives x = p/q (Lemma 58).
+        let (q, p) = (4u32, 3u32);
+        let delta = (1usize << q) + 1;
+        let d = (1usize << q) - (1usize << p);
+        assert!((efficiency_x(delta, d) - p as f64 / q as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha1_poly_endpoints() {
+        // α₁(0) = 1/(2^k - 1), α₁(1) = 1/k (Lemma 57 discussion).
+        for k in 1..=6 {
+            let lo = alpha1_poly(0.0, k);
+            let hi = alpha1_poly(1.0, k);
+            assert!((lo - 1.0 / ((1u64 << k) - 1) as f64).abs() < 1e-12, "k={k}");
+            assert!((hi - 1.0 / k as f64).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn alpha1_log_star_endpoints() {
+        // α₁(0) = 1/2^{k-1}, α₁(1) = 1 (Lemma 61 discussion).
+        for k in 1..=6 {
+            let lo = alpha1_log_star(0.0, k);
+            let hi = alpha1_log_star(1.0, k);
+            assert!(
+                (lo - 1.0 / (1u64 << (k - 1)) as f64).abs() < 1e-12,
+                "k={k}: {lo}"
+            );
+            assert!((hi - 1.0).abs() < 1e-12, "k={k}: {hi}");
+        }
+    }
+
+    #[test]
+    fn alpha1_monotonicity() {
+        // Lemmas 57 and 61: strictly increasing on [0, 1].
+        for k in 2..=5 {
+            let mut prev_p = 0.0;
+            let mut prev_l = 0.0;
+            for i in 0..=100 {
+                let x = i as f64 / 100.0;
+                let p = alpha1_poly(x, k);
+                let l = alpha1_log_star(x, k);
+                assert!(p > prev_p, "poly k={k} x={x}");
+                assert!(l > prev_l, "log* k={k} x={x}");
+                prev_p = p;
+                prev_l = l;
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_33_all_terms_equal() {
+        // At the optimal α the B_i all equal α₁ (polynomial regime).
+        for k in 2..=6 {
+            for x in [0.1, 0.3, 0.5, 0.8, 0.99] {
+                let a1 = alpha1_poly(x, k);
+                for (i, b) in poly_objective_terms(x, k).iter().enumerate() {
+                    assert!(
+                        (b - a1).abs() < 1e-10,
+                        "poly k={k} x={x}: B_{} = {b} != {a1}",
+                        i + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_36_all_terms_equal() {
+        for k in 2..=6 {
+            for x in [0.1, 0.3, 0.5, 0.8, 0.99] {
+                let a1 = alpha1_log_star(x, k);
+                for (i, b) in log_star_objective_terms(x, k).iter().enumerate() {
+                    assert!(
+                        (b - a1).abs() < 1e-10,
+                        "log* k={k} x={x}: B_{} = {b} != {a1}",
+                        i + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alphas_recurrence() {
+        let x = 0.4;
+        let k = 4;
+        let a = alphas_poly(x, k);
+        assert_eq!(a.len(), 3);
+        for w in a.windows(2) {
+            assert!((w[1] - (2.0 - x) * w[0]).abs() < 1e-12);
+        }
+        let al = alphas_log_star(x, k);
+        for w in al.windows(2) {
+            assert!((w[1] - (2.0 - x) * w[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inversion_round_trips() {
+        for k in 2..=5 {
+            for target in [0.2, 0.3, 0.45] {
+                if target > alpha1_poly(0.0, k) && target < alpha1_poly(1.0, k) {
+                    let x = invert_alpha1_poly(target, k).unwrap();
+                    assert!((alpha1_poly(x, k) - target).abs() < 1e-9);
+                }
+                if target > alpha1_log_star(0.0, k) && target < alpha1_log_star(1.0, k) {
+                    let x = invert_alpha1_log_star(target, k).unwrap();
+                    assert!((alpha1_log_star(x, k) - target).abs() < 1e-9);
+                }
+            }
+        }
+        assert!(invert_alpha1_poly(0.9, 2).is_none());
+    }
+
+    #[test]
+    fn synthesize_poly_hits_windows() {
+        for (r1, r2) in [(0.2, 0.3), (0.3, 0.4), (0.12, 0.17), (0.4, 0.5), (0.05, 0.07)] {
+            let spec = synthesize_poly(r1, r2)
+                .unwrap_or_else(|e| panic!("window ({r1}, {r2}): {e}"));
+            let c = spec.exponent();
+            assert!(c > r1 && c < r2, "window ({r1}, {r2}) got {c} via {spec:?}");
+        }
+    }
+
+    #[test]
+    fn synthesize_poly_prefers_weight_augmented_on_reciprocals() {
+        let spec = synthesize_poly(0.3, 0.4).unwrap();
+        assert!(
+            matches!(spec, PolySpec::WeightAugmented { k: 3, .. }),
+            "1/3 in (0.3, 0.4) should yield weight-augmented k = 3, got {spec:?}"
+        );
+    }
+
+    #[test]
+    fn synthesize_poly_rejects_bad_windows() {
+        assert!(matches!(
+            synthesize_poly(0.4, 0.3),
+            Err(LandscapeError::TargetOutOfRange { .. })
+        ));
+        assert!(synthesize_poly(0.2, 0.6).is_err());
+        assert!(synthesize_poly(0.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn synthesize_log_star_achieves_gap() {
+        let spec = synthesize_log_star(0.4, 0.6, 0.05).unwrap();
+        assert!(spec.lower_exponent >= 0.4 - 1e-9);
+        assert!(spec.lower_exponent <= 0.6 + 1e-9);
+        assert!(spec.gap() < 0.05, "gap {} too wide: {spec:?}", spec.gap());
+        assert!(spec.delta >= spec.d + 3);
+    }
+
+    #[test]
+    fn synthesize_log_star_tighter_eps_needs_bigger_delta() {
+        let loose = synthesize_log_star(0.3, 0.5, 0.1).unwrap();
+        let tight = synthesize_log_star(0.3, 0.5, 0.01).unwrap();
+        assert!(tight.delta >= loose.delta, "{loose:?} vs {tight:?}");
+        assert!(tight.gap() < 0.01);
+    }
+
+    #[test]
+    fn synthesize_log_star_rejects_bad_windows() {
+        assert!(synthesize_log_star(0.5, 0.4, 0.1).is_err());
+        assert!(synthesize_log_star(0.2, 1.2, 0.1).is_err());
+        assert!(synthesize_log_star(0.2, 0.4, 0.0).is_err());
+    }
+
+    #[test]
+    fn figure2_covers_both_gaps_and_densities() {
+        let regions = figure2_regions();
+        assert_eq!(regions.len(), 8);
+        let gaps = regions.iter().filter(|r| r.kind == RegionKind::Gap).count();
+        let dense = regions
+            .iter()
+            .filter(|r| r.kind == RegionKind::Dense)
+            .count();
+        assert_eq!(gaps, 3);
+        assert_eq!(dense, 2);
+        assert!(regions
+            .iter()
+            .any(|r| r.provenance.contains("Theorem 7")));
+        assert!(regions
+            .iter()
+            .any(|r| r.provenance.contains("Corollary 60")));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = LandscapeError::NoParametersFound { r1: 0.1, r2: 0.2 };
+        assert!(e.to_string().contains("widen"));
+        let e = LandscapeError::TargetOutOfRange {
+            r1: 0.0,
+            r2: 0.6,
+            context: "Theorem 1 (0 < r1 < r2 <= 1/2)",
+        };
+        assert!(e.to_string().contains("Theorem 1"));
+    }
+}

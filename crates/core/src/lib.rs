@@ -1,0 +1,47 @@
+//! The node-averaged complexity landscape of LCLs on bounded-degree trees.
+//!
+//! This crate is the core of the workspace reproducing *"Completing the
+//! Node-Averaged Complexity Landscape of LCLs on Trees"* (PODC 2024). It
+//! defines every LCL problem family the paper introduces, with full
+//! constraint verifiers, plus the closed-form complexity landscape:
+//!
+//! - [`problem`] — the [`LclProblem`](problem::LclProblem) abstraction,
+//! - [`coloring`] — `k`-hierarchical 2½- and 3½-coloring (Definitions 8, 9),
+//! - [`dfree`] — the `d`-free weight problem (Section 7),
+//! - [`weighted`] — the weighted problems `Π^{2.5}/Π^{3.5}_{Δ,d,k}`
+//!   (Definition 22),
+//! - [`labeling`] — the `k`-hierarchical labeling problem (Definition 63),
+//! - [`weight_augmented`] — weight-augmented 2½-coloring (Definition 67),
+//! - [`landscape`] — exponent formulas `α₁(x)` (Lemmas 33/36), parameter
+//!   synthesis for the density theorems (Theorems 1 and 6), and the Fig. 2
+//!   region map,
+//! - [`params`] — concrete instance parameters (`ℓ_i`, `γ_i`).
+//!
+//! # Examples
+//!
+//! Synthesize an LCL whose node-averaged complexity lands in a target
+//! exponent window (constructive Theorem 1):
+//!
+//! ```
+//! use lcl_core::landscape::synthesize_poly;
+//!
+//! let spec = synthesize_poly(0.21, 0.24)?;
+//! let c = spec.exponent();
+//! assert!(c > 0.21 && c < 0.24);
+//! # Ok::<(), lcl_core::landscape::LandscapeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coloring;
+pub mod dfree;
+pub mod labeling;
+pub mod landscape;
+pub mod params;
+pub mod problem;
+pub mod weight_augmented;
+pub mod weighted;
+
+pub use coloring::{ColorLabel, HierarchicalColoring, Variant};
+pub use problem::{LclProblem, Violation};

@@ -1,0 +1,178 @@
+//! Instance parameters: turning the paper's asymptotic path lengths into
+//! concrete construction sizes.
+//!
+//! The lower-bound constructions and the generic algorithms are driven by
+//! per-level path lengths `ℓ_i` / phase parameters `γ_i`:
+//!
+//! - Theorem 11 instances use `ℓ_i = t^{2^{i-1}}` with
+//!   `t = (log* n)^{1/2^{k-1}}`,
+//! - the polynomial regime (Section 6.1) uses `ℓ_i = n^{α_i}`,
+//! - the `log*` regime (Section 6.2) uses `ℓ_i = (log* n)^{α_i}`,
+//!
+//! and in all cases `ℓ_k` absorbs the remaining budget so that
+//! `∏ ℓ_i ≈ n`.
+
+use crate::landscape::{alphas_log_star, alphas_poly};
+use lcl_local::math::{log_star, powf_round};
+
+/// Path lengths `ℓ_1, ..., ℓ_k` for a polynomial-regime instance of target
+/// core size `n` and efficiency factor `x` (Section 6.1).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `n == 0`.
+pub fn poly_lengths(n: usize, x: f64, k: usize) -> Vec<usize> {
+    assert!(k >= 1 && n >= 1);
+    let alphas = alphas_poly(x, k);
+    close_with_budget(n, &alphas)
+}
+
+/// Path lengths for a `log*`-regime instance (Section 6.2): the first
+/// `k - 1` levels are polynomial in `log* n`, the top level absorbs `n`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `n == 0`.
+pub fn log_star_lengths(n: usize, x: f64, k: usize) -> Vec<usize> {
+    assert!(k >= 1 && n >= 1);
+    let alphas = alphas_log_star(x, k);
+    let base = log_star(n as u64) as f64;
+    let mut lengths: Vec<usize> = alphas.iter().map(|&a| powf_round(base, a)).collect();
+    let used: usize = lengths.iter().product();
+    lengths.push((n / used.max(1)).max(1));
+    lengths
+}
+
+/// Path lengths for a Theorem 11 instance: `ℓ_i = t^{2^{i-1}}` with
+/// `t = (log* n)^{1/2^{k-1}}` and `ℓ_k = n / ∏_{i<k} ℓ_i`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `n == 0`.
+pub fn theorem11_lengths(n: usize, k: usize) -> Vec<usize> {
+    assert!(k >= 1 && n >= 1);
+    let t = (log_star(n as u64) as f64).powf(1.0 / (1u64 << (k - 1)) as f64);
+    let mut lengths: Vec<usize> = (1..k)
+        .map(|i| powf_round(t, (1u64 << (i - 1)) as f64))
+        .collect();
+    let used: usize = lengths.iter().product();
+    lengths.push((n / used.max(1)).max(1));
+    lengths
+}
+
+/// Phase parameters `γ_1, ..., γ_{k-1}` for the generic algorithm in the
+/// polynomial regime: `γ_i = n^{α_i}` (Section 7.1).
+pub fn poly_gammas(n: usize, x: f64, k: usize) -> Vec<usize> {
+    alphas_poly(x, k)
+        .iter()
+        .map(|&a| powf_round(n as f64, a))
+        .collect()
+}
+
+/// Phase parameters for the `log*` regime: `γ_i = (log* n)^{α_i}`
+/// (Section 8.2, using the `x'`-based alphas).
+pub fn log_star_gammas(n: usize, x: f64, k: usize) -> Vec<usize> {
+    let base = log_star(n as u64) as f64;
+    alphas_log_star(x, k)
+        .iter()
+        .map(|&a| powf_round(base, a))
+        .collect()
+}
+
+/// Phase parameters for Theorem 11's upper bound: `γ_i = t^{2^{i-1}}` with
+/// `t = (log* n)^{1/2^{k-1}}` (Lemma 14).
+pub fn theorem11_gammas(n: usize, k: usize) -> Vec<usize> {
+    let t = (log_star(n as u64) as f64).powf(1.0 / (1u64 << (k - 1)) as f64);
+    (1..k)
+        .map(|i| powf_round(t, (1u64 << (i - 1)) as f64))
+        .collect()
+}
+
+/// Fills lengths from fractional exponents of `n` and reserves the top
+/// level for the leftover budget.
+fn close_with_budget(n: usize, alphas: &[f64]) -> Vec<usize> {
+    let nf = n as f64;
+    let mut lengths: Vec<usize> = alphas.iter().map(|&a| powf_round(nf, a)).collect();
+    let used: usize = lengths.iter().product();
+    lengths.push((n / used.max(1)).max(1));
+    lengths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::hierarchical::LowerBoundGraph;
+
+    #[test]
+    fn poly_lengths_product_tracks_n() {
+        for k in 2..=4 {
+            for n in [10_000usize, 100_000] {
+                let lengths = poly_lengths(n, 0.5, k);
+                assert_eq!(lengths.len(), k);
+                let product: usize = lengths.iter().product();
+                // Rounding keeps the product within a constant factor.
+                assert!(product >= n / 4 && product <= 4 * n, "{lengths:?} vs {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn poly_lengths_are_increasing_per_level() {
+        // α_i = (2-x) α_{i-1} > α_{i-1}: lengths grow with the level.
+        let lengths = poly_lengths(1_000_000, 0.3, 3);
+        assert!(lengths[0] <= lengths[1]);
+    }
+
+    #[test]
+    fn log_star_lengths_have_constant_lower_levels() {
+        let lengths = log_star_lengths(1_000_000, 0.5, 3);
+        assert_eq!(lengths.len(), 3);
+        // log*(10^6) = 5: lower-level paths are tiny constants.
+        assert!(lengths[0] <= 5);
+        assert!(lengths[1] <= 25);
+        // The top level holds nearly everything.
+        assert!(lengths[2] >= 1_000_000 / (lengths[0] * lengths[1] * 2));
+    }
+
+    #[test]
+    fn theorem11_lengths_square_between_levels() {
+        let lengths = theorem11_lengths(1 << 20, 3);
+        assert_eq!(lengths.len(), 3);
+        // ℓ_2 = ℓ_1², up to rounding.
+        let l1 = lengths[0] as f64;
+        let l2 = lengths[1] as f64;
+        assert!((l2 - l1 * l1).abs() <= l1.max(2.0), "{lengths:?}");
+    }
+
+    #[test]
+    fn lengths_build_valid_constructions() {
+        let lengths = poly_lengths(5_000, 0.5, 2);
+        let g = LowerBoundGraph::new(&lengths).unwrap();
+        assert!(g.tree().node_count() >= 5_000 / 4);
+        let lengths = theorem11_lengths(2_000, 2);
+        let g = LowerBoundGraph::new(&lengths).unwrap();
+        assert!(g.tree().node_count() >= 500);
+    }
+
+    #[test]
+    fn gammas_match_length_prefixes() {
+        let n = 100_000;
+        let (x, k) = (0.4, 3);
+        let gammas = poly_gammas(n, x, k);
+        let lengths = poly_lengths(n, x, k);
+        assert_eq!(gammas.len(), k - 1);
+        assert_eq!(&lengths[..k - 1], &gammas[..]);
+        let g2 = theorem11_gammas(n, 2);
+        assert_eq!(g2.len(), 1);
+        let gl = log_star_gammas(n, 0.5, 3);
+        assert_eq!(gl.len(), 2);
+        assert!(gl[0] >= 1);
+    }
+
+    #[test]
+    fn k_one_has_single_length() {
+        let lengths = poly_lengths(1000, 0.5, 1);
+        assert_eq!(lengths, vec![1000]);
+        assert!(poly_gammas(1000, 0.5, 1).is_empty());
+    }
+}

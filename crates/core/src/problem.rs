@@ -1,0 +1,107 @@
+//! The LCL problem abstraction and verification errors.
+
+use lcl_graph::{NodeId, Tree};
+use std::error::Error;
+use std::fmt;
+
+/// A violated local constraint, reported by a verifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The node whose radius-`r` neighborhood violates the constraint.
+    pub node: NodeId,
+    /// Human-readable description of the violated rule.
+    pub rule: String,
+}
+
+impl Violation {
+    /// Creates a violation report for `node`.
+    pub fn new(node: NodeId, rule: impl Into<String>) -> Self {
+        Violation {
+            node,
+            rule: rule.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "constraint violated at node {}: {}", self.node, self.rule)
+    }
+}
+
+impl Error for Violation {}
+
+/// A locally checkable labeling problem: finite input/output alphabets and
+/// a constant-radius constraint, verified against a concrete labeled tree.
+///
+/// The trait captures what the paper's Section 2 calls
+/// `Π = (Σ_in, Σ_out, C, r)`; each implementor fixes the two alphabets as
+/// associated types and `C` as the logic of [`LclProblem::verify`].
+pub trait LclProblem {
+    /// Per-node input labels (`Σ_in`); use `()` for input-free problems.
+    type Input: Clone;
+    /// Per-node output labels (`Σ_out`).
+    type Output: Clone + fmt::Debug;
+
+    /// A short human-readable problem name, e.g. `"Π^{2.5}_{5,2,3}"`.
+    fn name(&self) -> String;
+
+    /// The checkability radius `r`.
+    fn checkability_radius(&self) -> usize;
+
+    /// Checks the constraint at every node.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Violation`] found, if any.
+    fn verify(
+        &self,
+        tree: &Tree,
+        input: &[Self::Input],
+        output: &[Self::Output],
+    ) -> Result<(), Violation>;
+}
+
+/// Asserts that `input` and `output` cover every node of `tree`.
+///
+/// # Panics
+///
+/// Panics on length mismatch — that is a harness bug, not a constraint
+/// violation.
+pub fn check_labeling_shape<I, O>(tree: &Tree, input: &[I], output: &[O]) {
+    assert_eq!(
+        input.len(),
+        tree.node_count(),
+        "input labeling must cover all nodes"
+    );
+    assert_eq!(
+        output.len(),
+        tree.node_count(),
+        "output labeling must cover all nodes"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::new(3, "level-1 node labeled E");
+        assert!(v.to_string().contains("node 3"));
+        assert!(v.to_string().contains("level-1"));
+    }
+
+    #[test]
+    fn violation_is_error() {
+        let v: Box<dyn Error> = Box::new(Violation::new(0, "x"));
+        assert!(v.source().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all nodes")]
+    fn shape_check_panics_on_mismatch() {
+        let tree = lcl_graph::generators::path(3);
+        check_labeling_shape(&tree, &[(); 3], &[0u8; 2]);
+    }
+}

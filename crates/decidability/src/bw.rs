@@ -1,0 +1,288 @@
+//! The black-white formalism for LCLs on trees (Definition 70).
+//!
+//! A problem is a tuple `(Σ_in, Σ_out, C_W, C_B)`: edges carry input and
+//! output labels, nodes are properly 2-colored white/black (every tree is
+//! bipartite), and each node's multiset of incident `(input, output)`
+//! pairs must belong to its color's constraint set. \[BBK+23a\] shows every
+//! LCL on trees converts to this form with the same asymptotic
+//! node-averaged complexity; the paper's Section 11 machinery (label-sets,
+//! the testing procedure, the compress problem) operates directly on it.
+
+use lcl_graph::{NodeId, Tree};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Node side in the 2-coloring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum Side {
+    /// White node (`C_W` applies).
+    White,
+    /// Black node (`C_B` applies).
+    Black,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn flip(self) -> Side {
+        match self {
+            Side::White => Side::Black,
+            Side::Black => Side::White,
+        }
+    }
+}
+
+/// A constraint multiset: sorted `(input, output)` pairs.
+pub type PairMultiset = Vec<(u8, u8)>;
+
+/// An LCL in the black-white formalism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BwProblem {
+    in_labels: u8,
+    out_labels: u8,
+    white: Vec<PairMultiset>,
+    black: Vec<PairMultiset>,
+}
+
+impl BwProblem {
+    /// Builds a problem; multisets are canonicalized (sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if labels exceed the declared alphabet sizes or
+    /// `out_labels > 32` (label-sets are `u32` bitmasks).
+    pub fn new(
+        in_labels: u8,
+        out_labels: u8,
+        white: Vec<PairMultiset>,
+        black: Vec<PairMultiset>,
+    ) -> Self {
+        assert!(out_labels >= 1 && out_labels <= 32, "1..=32 output labels");
+        assert!(in_labels >= 1, "at least one input label");
+        let canon = |mut sets: Vec<PairMultiset>| -> Vec<PairMultiset> {
+            for m in &mut sets {
+                for &(i, o) in m.iter() {
+                    assert!(i < in_labels, "input label {i} out of range");
+                    assert!(o < out_labels, "output label {o} out of range");
+                }
+                m.sort_unstable();
+            }
+            sets.sort();
+            sets.dedup();
+            sets
+        };
+        BwProblem {
+            in_labels,
+            out_labels,
+            white: canon(white),
+            black: canon(black),
+        }
+    }
+
+    /// Number of input labels.
+    pub fn in_labels(&self) -> u8 {
+        self.in_labels
+    }
+
+    /// Number of output labels.
+    pub fn out_labels(&self) -> u8 {
+        self.out_labels
+    }
+
+    /// The constraint set of a side.
+    pub fn constraints(&self, side: Side) -> &[PairMultiset] {
+        match side {
+            Side::White => &self.white,
+            Side::Black => &self.black,
+        }
+    }
+
+    /// True if `multiset` (any order) satisfies `side`'s constraint.
+    pub fn accepts(&self, side: Side, multiset: &[(u8, u8)]) -> bool {
+        let mut m = multiset.to_vec();
+        m.sort_unstable();
+        self.constraints(side).iter().any(|c| *c == m)
+    }
+
+    /// The canonical 2-coloring of a tree (BFS parity from node 0).
+    pub fn bipartition(tree: &Tree) -> Vec<Side> {
+        tree.bfs_distances(0)
+            .iter()
+            .map(|&d| if d % 2 == 0 { Side::White } else { Side::Black })
+            .collect()
+    }
+
+    /// Verifies an edge labeling against the constraints.
+    ///
+    /// `edge_in` and `edge_out` map canonical edges `(u, v)` with `u < v`
+    /// to labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending node and a description.
+    pub fn verify(
+        &self,
+        tree: &Tree,
+        sides: &[Side],
+        edge_in: &BTreeMap<(NodeId, NodeId), u8>,
+        edge_out: &BTreeMap<(NodeId, NodeId), u8>,
+    ) -> Result<(), (NodeId, String)> {
+        for v in tree.nodes() {
+            let mut pairs: Vec<(u8, u8)> = Vec::with_capacity(tree.degree(v));
+            for &w in tree.neighbors(v) {
+                let w = w as usize;
+                let key = (v.min(w), v.max(w));
+                let i = *edge_in
+                    .get(&key)
+                    .ok_or_else(|| (v, format!("edge {key:?} missing input label")))?;
+                let o = *edge_out
+                    .get(&key)
+                    .ok_or_else(|| (v, format!("edge {key:?} missing output label")))?;
+                pairs.push((i, o));
+            }
+            if !self.accepts(sides[v], &pairs) {
+                return Err((
+                    v,
+                    format!("multiset {pairs:?} not in {:?} constraint", sides[v]),
+                ));
+            }
+            // Adjacent nodes must have opposite sides.
+            for &w in tree.neighbors(v) {
+                if sides[v] == sides[w as usize] {
+                    return Err((v, "2-coloring is not proper".into()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Input-free *edge grammar* on paths: the pairs `(a, b)` a degree-2
+    /// node of the given side accepts (with input label 0 everywhere).
+    pub fn path_pairs(&self, side: Side) -> Vec<Vec<bool>> {
+        let n = self.out_labels as usize;
+        let mut allowed = vec![vec![false; n]; n];
+        for a in 0..n {
+            for b in 0..n {
+                allowed[a][b] = self.accepts(side, &[(0, a as u8), (0, b as u8)]);
+            }
+        }
+        allowed
+    }
+
+    /// Output labels a degree-1 node of the given side accepts.
+    pub fn path_ends(&self, side: Side) -> Vec<bool> {
+        let n = self.out_labels as usize;
+        (0..n)
+            .map(|a| self.accepts(side, &[(0, a as u8)]))
+            .collect()
+    }
+}
+
+/// Convenient constructors for the test battery.
+impl BwProblem {
+    /// Proper `c`-coloring of *edges* around every node (no two incident
+    /// edges share an output label), for degrees up to `max_deg`.
+    pub fn edge_coloring(c: u8, max_deg: usize) -> Self {
+        let mut sets = Vec::new();
+        // All strictly-increasing tuples of distinct colors, sizes 1..=max_deg.
+        fn rec(c: u8, start: u8, cur: &mut Vec<(u8, u8)>, out: &mut Vec<PairMultiset>, left: usize) {
+            if !cur.is_empty() {
+                out.push(cur.clone());
+            }
+            if left == 0 {
+                return;
+            }
+            for col in start..c {
+                cur.push((0, col));
+                rec(c, col + 1, cur, out, left - 1);
+                cur.pop();
+            }
+        }
+        rec(c, 0, &mut Vec::new(), &mut sets, max_deg);
+        BwProblem::new(1, c, sets.clone(), sets)
+    }
+
+    /// The "all edges share one label" trivial problem.
+    pub fn all_equal(labels: u8, max_deg: usize) -> Self {
+        let mut sets = Vec::new();
+        for l in 0..labels {
+            for deg in 1..=max_deg {
+                sets.push(vec![(0, l); deg]);
+            }
+        }
+        BwProblem::new(1, labels, sets.clone(), sets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::generators::path;
+
+    #[test]
+    fn canonicalization_and_accepts() {
+        let p = BwProblem::new(
+            1,
+            2,
+            vec![vec![(0, 1), (0, 0)]],
+            vec![vec![(0, 0)], vec![(0, 1)]],
+        );
+        assert!(p.accepts(Side::White, &[(0, 0), (0, 1)]));
+        assert!(p.accepts(Side::White, &[(0, 1), (0, 0)]));
+        assert!(!p.accepts(Side::White, &[(0, 0), (0, 0)]));
+        assert!(p.accepts(Side::Black, &[(0, 1)]));
+        assert_eq!(p.in_labels(), 1);
+        assert_eq!(p.out_labels(), 2);
+    }
+
+    #[test]
+    fn bipartition_alternates() {
+        let t = path(5);
+        let sides = BwProblem::bipartition(&t);
+        assert_eq!(sides[0], Side::White);
+        assert_eq!(sides[1], Side::Black);
+        assert_eq!(sides[2], Side::White);
+        assert_eq!(Side::White.flip(), Side::Black);
+    }
+
+    #[test]
+    fn verify_path_labeling() {
+        // Edge 2-coloring on a path: incident edges alternate 0, 1.
+        let p = BwProblem::edge_coloring(2, 2);
+        let t = path(4);
+        let sides = BwProblem::bipartition(&t);
+        let mut edge_in = BTreeMap::new();
+        let mut edge_out = BTreeMap::new();
+        for (idx, (u, v)) in [(0usize, 1usize), (1, 2), (2, 3)].into_iter().enumerate() {
+            edge_in.insert((u, v), 0u8);
+            edge_out.insert((u, v), (idx % 2) as u8);
+        }
+        assert!(p.verify(&t, &sides, &edge_in, &edge_out).is_ok());
+        // Two incident edges with the same color fail.
+        edge_out.insert((1, 2), 0);
+        let err = p.verify(&t, &sides, &edge_in, &edge_out).unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+
+    #[test]
+    fn path_pairs_for_edge_coloring() {
+        let p = BwProblem::edge_coloring(3, 2);
+        let pairs = p.path_pairs(Side::White);
+        assert!(!pairs[0][0]);
+        assert!(pairs[0][1] && pairs[1][0] && pairs[1][2]);
+        let ends = p.path_ends(Side::Black);
+        assert!(ends.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn all_equal_accepts_uniform_only() {
+        let p = BwProblem::all_equal(2, 3);
+        assert!(p.accepts(Side::White, &[(0, 1), (0, 1), (0, 1)]));
+        assert!(!p.accepts(Side::White, &[(0, 1), (0, 0)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_range_checked() {
+        let _ = BwProblem::new(1, 2, vec![vec![(0, 5)]], vec![]);
+    }
+}

@@ -1,0 +1,441 @@
+//! Label-sets and classes (Definitions 73 and 74).
+//!
+//! A *label-set* is the set of output labels that can appear on an edge
+//! such that everything below the edge is completable — a `u32` bitmask
+//! over `Σ_out`. This module computes:
+//!
+//! - `g(v)` for a single node with incoming label-sets and one outgoing
+//!   edge (Definition 74, "single nodes"),
+//! - feasibility for a node with *no* outgoing edge (the root case of the
+//!   testing procedure),
+//! - the *maximal class* of a short compress path as the relation of
+//!   feasible `(o₁, o₂)` pairs on its two outgoing edges (Definition 74,
+//!   "short paths"),
+//! - *independent classes* as rectangles `S₁ × S₂` inside that relation,
+//!   with a small canonical family of rectangle choosers standing in for
+//!   the finite function space `f_{Π,k}` of \[CP19, Cha20\].
+
+use crate::bw::{BwProblem, Side};
+
+/// A set of output labels, as a bitmask.
+pub type LabelSet = u32;
+
+/// An edge endpoint descriptor during bottom-up processing: which side the
+/// *child* (lower) node has, the edge's input label, and the label-set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Half {
+    /// Side of the lower endpoint of the edge.
+    pub child_side: Side,
+    /// Input label of the edge.
+    pub in_label: u8,
+    /// The label-set computed for the edge.
+    pub set: LabelSet,
+}
+
+/// Iterates the labels of a set.
+pub fn labels_of(set: LabelSet) -> impl Iterator<Item = u8> {
+    (0..32u8).filter(move |&l| set >> l & 1 == 1)
+}
+
+/// True if the constraint multiset `c` can be matched: one designated pair
+/// `(out_in, out_choice)` for the outgoing edge (if any) and one pair per
+/// incoming edge drawn from its label-set.
+fn matchable(
+    c: &[(u8, u8)],
+    outgoing: Option<(u8, u8)>,
+    incoming: &[(u8, LabelSet)],
+) -> bool {
+    // Backtracking assignment of constraint elements to slots.
+    fn rec(
+        c: &[(u8, u8)],
+        used: &mut [bool],
+        slots: &[(u8, LabelSet)],
+        slot: usize,
+    ) -> bool {
+        if slot == slots.len() {
+            return true;
+        }
+        let (want_in, set) = slots[slot];
+        for (idx, &(ci, co)) in c.iter().enumerate() {
+            if !used[idx] && ci == want_in && set >> co & 1 == 1 {
+                used[idx] = true;
+                if rec(c, used, slots, slot + 1) {
+                    return true;
+                }
+                used[idx] = false;
+            }
+        }
+        false
+    }
+    let needed = incoming.len() + usize::from(outgoing.is_some());
+    if c.len() != needed {
+        return false;
+    }
+    let mut used = vec![false; c.len()];
+    if let Some((oi, oo)) = outgoing {
+        // Reserve one matching element for the outgoing pair.
+        let mut found = false;
+        for (idx, &(ci, co)) in c.iter().enumerate() {
+            if ci == oi && co == oo {
+                used[idx] = true;
+                if rec(c, &mut used, incoming, 0) {
+                    found = true;
+                }
+                used[idx] = false;
+                if found {
+                    return true;
+                }
+            }
+        }
+        false
+    } else {
+        rec(c, &mut used, incoming, 0)
+    }
+}
+
+/// `g(v)` of Definition 74 (single-node case): the set of labels for the
+/// outgoing edge such that some choice from each incoming label-set
+/// satisfies `side`'s constraint.
+pub fn g_single(
+    problem: &BwProblem,
+    side: Side,
+    out_in_label: u8,
+    incoming: &[(u8, LabelSet)],
+) -> LabelSet {
+    let mut set: LabelSet = 0;
+    for o in 0..problem.out_labels() {
+        let feasible = problem
+            .constraints(side)
+            .iter()
+            .any(|c| matchable(c, Some((out_in_label, o)), incoming));
+        if feasible {
+            set |= 1 << o;
+        }
+    }
+    set
+}
+
+/// Feasibility for a node with no outgoing edge (testing-procedure step
+/// 2a): some constraint multiset matches all incoming label-sets.
+pub fn feasible_root(problem: &BwProblem, side: Side, incoming: &[(u8, LabelSet)]) -> bool {
+    problem
+        .constraints(side)
+        .iter()
+        .any(|c| matchable(c, None, incoming))
+}
+
+/// The maximal class of a short path, reduced to the relation of feasible
+/// `(o₁, o₂)` outgoing-label pairs (Definition 73's feasible labelings,
+/// projected to the two outgoing edges).
+///
+/// `nodes[j]` describes path node `v_{j+1}`: its side and hair label-sets;
+/// `edge_inputs[j]` is the input label of the internal edge between
+/// `nodes[j]` and `nodes[j + 1]`; `out1_in`/`out2_in` are the input labels
+/// of the two outgoing endpoint edges.
+#[derive(Debug, Clone)]
+pub struct PathNodeSpec {
+    /// The node's side.
+    pub side: Side,
+    /// Hair edges: (input label, label-set) pairs.
+    pub hairs: Vec<(u8, LabelSet)>,
+}
+
+/// Relation on `(o₁, o₂)`: `rel[o1][o2]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    /// Number of output labels.
+    pub labels: u8,
+    /// Feasible pairs.
+    pub rel: Vec<Vec<bool>>,
+}
+
+impl Relation {
+    /// True if no pair is feasible.
+    pub fn is_empty(&self) -> bool {
+        self.rel.iter().all(|row| row.iter().all(|&b| !b))
+    }
+
+    /// Projection to the first coordinate as a label-set.
+    pub fn left_set(&self) -> LabelSet {
+        let mut s = 0;
+        for (o1, row) in self.rel.iter().enumerate() {
+            if row.iter().any(|&b| b) {
+                s |= 1 << o1;
+            }
+        }
+        s
+    }
+
+    /// Projection to the second coordinate.
+    pub fn right_set(&self) -> LabelSet {
+        let mut s = 0;
+        for row in &self.rel {
+            for (o2, &b) in row.iter().enumerate() {
+                if b {
+                    s |= 1 << o2;
+                }
+            }
+        }
+        s
+    }
+
+    /// True if `s1 × s2 ⊆ rel` — the independence condition of
+    /// Definition 73 (any recombination of endpoint choices completes).
+    pub fn contains_rectangle(&self, s1: LabelSet, s2: LabelSet) -> bool {
+        labels_of(s1).all(|a| labels_of(s2).all(|b| self.rel[a as usize][b as usize]))
+    }
+}
+
+/// Computes the maximal-class relation of a path (Definition 74, short
+/// paths) by forward dynamic programming over the internal edge labels.
+///
+/// # Panics
+///
+/// Panics if fewer than two nodes are given or arities disagree.
+pub fn path_relation(
+    problem: &BwProblem,
+    nodes: &[PathNodeSpec],
+    edge_inputs: &[u8],
+    out1_in: u8,
+    out2_in: u8,
+) -> Relation {
+    let m = nodes.len();
+    assert!(m >= 2, "a compress path has at least two nodes");
+    assert_eq!(edge_inputs.len(), m - 1, "one input per internal edge");
+    let labels = problem.out_labels();
+    let mut rel = vec![vec![false; labels as usize]; labels as usize];
+    for o1 in 0..labels {
+        // Feasible labels on the internal edge after v1.
+        let mut frontier: Vec<bool> = (0..labels)
+            .map(|x| {
+                let mut incoming = nodes[0].hairs.clone();
+                incoming.push((out1_in, 1 << o1));
+                // v1 must accept with outgoing (edge_inputs[0], x).
+                problem
+                    .constraints(nodes[0].side)
+                    .iter()
+                    .any(|c| matchable(c, Some((edge_inputs[0], x)), &incoming))
+            })
+            .collect();
+        for j in 1..m - 1 {
+            let mut next = vec![false; labels as usize];
+            for (x, &ok) in frontier.iter().enumerate() {
+                if !ok {
+                    continue;
+                }
+                for y in 0..labels {
+                    if next[y as usize] {
+                        continue;
+                    }
+                    let mut incoming = nodes[j].hairs.clone();
+                    incoming.push((edge_inputs[j - 1], 1 << x));
+                    if problem
+                        .constraints(nodes[j].side)
+                        .iter()
+                        .any(|c| matchable(c, Some((edge_inputs[j], y)), &incoming))
+                    {
+                        next[y as usize] = true;
+                    }
+                }
+            }
+            frontier = next;
+        }
+        for o2 in 0..labels {
+            let feasible = frontier.iter().enumerate().any(|(x, &ok)| {
+                if !ok {
+                    return false;
+                }
+                let mut incoming = nodes[m - 1].hairs.clone();
+                incoming.push((edge_inputs[m - 2], 1 << (x as u8)));
+                problem
+                    .constraints(nodes[m - 1].side)
+                    .iter()
+                    .any(|c| matchable(c, Some((out2_in, o2)), &incoming))
+            });
+            rel[o1 as usize][o2 as usize] = feasible;
+        }
+    }
+    Relation { labels, rel }
+}
+
+/// A canonical chooser of independent classes: maps a relation to a
+/// rectangle `S₁ × S₂ ⊆ rel`. The finite family of choosers stands in for
+/// the finite space of candidate functions `f_{Π,k}`.
+pub trait RectangleChooser {
+    /// A short identifier for reports.
+    fn name(&self) -> String;
+    /// Chooses a rectangle; both sides empty means "give up" (the tested
+    /// function fails).
+    fn choose(&self, relation: &Relation) -> (LabelSet, LabelSet);
+}
+
+/// Greedy chooser seeded at the `seed`-th densest row: `S₂` is that row,
+/// `S₁` all rows containing `S₂`.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyRowChooser {
+    /// Which densest row (0 = densest) seeds the rectangle.
+    pub seed: usize,
+}
+
+impl RectangleChooser for GreedyRowChooser {
+    fn name(&self) -> String {
+        format!("greedy-row-{}", self.seed)
+    }
+
+    fn choose(&self, relation: &Relation) -> (LabelSet, LabelSet) {
+        let mut rows: Vec<(usize, LabelSet)> = relation
+            .rel
+            .iter()
+            .enumerate()
+            .map(|(a, row)| {
+                let mut s: LabelSet = 0;
+                for (b, &ok) in row.iter().enumerate() {
+                    if ok {
+                        s |= 1 << b;
+                    }
+                }
+                (a, s)
+            })
+            .filter(|&(_, s)| s != 0)
+            .collect();
+        rows.sort_by_key(|&(a, s)| (std::cmp::Reverse(s.count_ones()), a));
+        let Some(&(_, s2)) = rows.get(self.seed.min(rows.len().saturating_sub(1))) else {
+            return (0, 0);
+        };
+        if rows.is_empty() {
+            return (0, 0);
+        }
+        let mut s1: LabelSet = 0;
+        for &(a, s) in &rows {
+            if s & s2 == s2 {
+                s1 |= 1 << a;
+            }
+        }
+        (s1, s2)
+    }
+}
+
+/// The canonical finite family of candidate choosers.
+pub fn chooser_family(out_labels: u8) -> Vec<GreedyRowChooser> {
+    (0..out_labels as usize)
+        .map(|seed| GreedyRowChooser { seed })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge2() -> BwProblem {
+        BwProblem::edge_coloring(2, 3)
+    }
+
+    #[test]
+    fn g_single_leaf() {
+        // A leaf has no incoming edges; edge-coloring accepts any single
+        // color on its one edge.
+        let p = edge2();
+        let g = g_single(&p, Side::White, 0, &[]);
+        assert_eq!(g, 0b11);
+    }
+
+    #[test]
+    fn g_single_with_incoming() {
+        // One incoming edge that can only be color 0: the outgoing edge
+        // must be color 1 (incident edges differ).
+        let p = edge2();
+        let g = g_single(&p, Side::Black, 0, &[(0, 0b01)]);
+        assert_eq!(g, 0b10);
+        // Incoming can be either color: outgoing can be either too.
+        let g = g_single(&p, Side::Black, 0, &[(0, 0b11)]);
+        assert_eq!(g, 0b11);
+        // Two incoming edges exhaust both colors: nothing remains.
+        let g = g_single(&p, Side::White, 0, &[(0, 0b01), (0, 0b10)]);
+        assert_eq!(g, 0);
+    }
+
+    #[test]
+    fn feasible_root_cases() {
+        let p = edge2();
+        assert!(feasible_root(&p, Side::White, &[(0, 0b11)]));
+        assert!(feasible_root(&p, Side::White, &[(0, 0b01), (0, 0b10)]));
+        // Both incoming edges forced to the same color: infeasible.
+        assert!(!feasible_root(&p, Side::White, &[(0, 0b01), (0, 0b01)]));
+    }
+
+    #[test]
+    fn path_relation_alternation() {
+        // Edge 2-coloring along a hairless path of 3 nodes: labels of the
+        // two outgoing edges are linked through two internal edges.
+        // Pattern: o1 | x | y | o2 with o1 != x, x != y, y != o2.
+        let p = edge2();
+        let nodes = vec![
+            PathNodeSpec { side: Side::White, hairs: vec![] },
+            PathNodeSpec { side: Side::Black, hairs: vec![] },
+            PathNodeSpec { side: Side::White, hairs: vec![] },
+        ];
+        let rel = path_relation(&p, &nodes, &[0, 0], 0, 0);
+        // o1 = 0: x = 1, y = 0, o2 = 1. Also o1=0: x=1,y=0 -> o2 must be 1.
+        assert!(rel.rel[0][1]);
+        assert!(rel.rel[1][0]);
+        // Same-label endpoints are impossible with 2 colors over 2 internal
+        // edges (parity).
+        assert!(!rel.rel[0][0]);
+        assert!(!rel.rel[1][1]);
+        assert!(!rel.is_empty());
+        assert_eq!(rel.left_set(), 0b11);
+        assert_eq!(rel.right_set(), 0b11);
+    }
+
+    #[test]
+    fn rectangles_inside_relations() {
+        let rel = Relation {
+            labels: 2,
+            rel: vec![vec![false, true], vec![true, false]],
+        };
+        // The anti-diagonal contains no (non-trivial) rectangle beyond
+        // singletons.
+        assert!(rel.contains_rectangle(0b01, 0b10));
+        assert!(!rel.contains_rectangle(0b11, 0b11));
+        assert!(!rel.contains_rectangle(0b11, 0b10));
+    }
+
+    #[test]
+    fn greedy_chooser_picks_valid_rectangles() {
+        // 3-label relation where label 2 pairs with everything.
+        let rel = Relation {
+            labels: 3,
+            rel: vec![
+                vec![false, true, true],
+                vec![true, false, true],
+                vec![true, true, true],
+            ],
+        };
+        for chooser in chooser_family(3) {
+            let (s1, s2) = chooser.choose(&rel);
+            assert!(s1 != 0 && s2 != 0, "{}", chooser.name());
+            assert!(
+                rel.contains_rectangle(s1, s2),
+                "{}: ({s1:b}, {s2:b})",
+                chooser.name()
+            );
+        }
+    }
+
+    #[test]
+    fn chooser_on_empty_relation_gives_up() {
+        let rel = Relation {
+            labels: 2,
+            rel: vec![vec![false, false], vec![false, false]],
+        };
+        let (s1, s2) = GreedyRowChooser { seed: 0 }.choose(&rel);
+        assert_eq!((s1, s2), (0, 0));
+    }
+
+    #[test]
+    fn labels_of_roundtrip() {
+        let set: LabelSet = 0b1011;
+        let labels: Vec<u8> = labels_of(set).collect();
+        assert_eq!(labels, vec![0, 1, 3]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Decidability machinery for LCLs on trees (Section 11 of the paper).
+//!
+//! - [`path_lcl`] — complete classification of edge-symmetric input-free
+//!   LCLs on paths (`O(1)` / `Θ(log* n)` / `Θ(n)` / unsolvable), the
+//!   substrate of Lemmas 16 and 81,
+//! - [`bw`] — the black-white formalism of Definition 70,
+//! - [`labelsets`] — label-sets, classes, `g(v)`, short-path maximal
+//!   classes and independent rectangles (Definitions 73/74),
+//! - [`testing`] — the testing procedure (Algorithm 1), the good-function
+//!   search, and the constant-good check of Definition 80, yielding the
+//!   decidable `O(1)` membership of Theorem 7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bw;
+pub mod labelsets;
+pub mod path_lcl;
+pub mod testing;
+
+pub use bw::{BwProblem, Side};
+pub use path_lcl::{PathClass, PathLcl};
+pub use testing::{find_good_function, GoodFunctionReport, ImpliedComplexity, TestingConfig};

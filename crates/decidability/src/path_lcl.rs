@@ -1,0 +1,324 @@
+//! Classification of (edge-symmetric, input-free) LCLs on paths.
+//!
+//! On paths, the worst-case complexity of an LCL is decidable and falls
+//! into one of four classes — `O(1)`, `Θ(log* n)`, `Θ(n)`, or unsolvable
+//! (\[BBC+19\], used by the paper as Lemma 81 and, through Feuilloley's
+//! Lemma 16, to pin the node-averaged classes). This module implements the
+//! automaton-theoretic criteria for problems given as a symmetric
+//! compatibility relation between adjacent output labels plus endpoint
+//! constraints:
+//!
+//! - **unsolvable** beyond some length if no endpoint-to-endpoint walk of
+//!   that length exists,
+//! - **`O(1)`** iff some *self-loop* label (one that may repeat) is usable:
+//!   reachable from both endpoint sides within a constant prefix — nodes
+//!   then tile the loop label and only `O(1)`-radius views are needed,
+//! - **`Θ(log* n)`** iff no such loop exists but some usable label is
+//!   *flexible* (the gcd of the cycle lengths through it is 1): a ruling
+//!   set computed in `Θ(log* n)` splits the path into segments that can be
+//!   filled independently; Linial's lower bound shows this is tight,
+//! - **`Θ(n)`** otherwise (rigid problems like proper 2-coloring, where a
+//!   single decision propagates globally).
+//!
+//! By Lemma 16 of the paper, on paths the deterministic node-averaged
+//! class coincides with the worst-case class for `Θ(log* n)` and `Θ(n)`,
+//! and `O(1)` is trivially preserved.
+
+use serde::Serialize;
+
+/// Worst-case (and, by Lemma 16, node-averaged) complexity class of a path
+/// LCL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PathClass {
+    /// No valid labeling exists for all sufficiently large path lengths.
+    Unsolvable,
+    /// Solvable in `O(1)` rounds.
+    Constant,
+    /// Complexity `Θ(log* n)`.
+    LogStar,
+    /// Complexity `Θ(n)`.
+    Linear,
+}
+
+/// An input-free LCL on paths with symmetric edge constraints.
+///
+/// # Examples
+///
+/// ```
+/// use lcl_decidability::path_lcl::{PathLcl, PathClass};
+///
+/// // Proper 3-coloring: all unequal pairs allowed.
+/// let p = PathLcl::proper_coloring(3);
+/// assert_eq!(p.classify(), PathClass::LogStar);
+/// // Proper 2-coloring is rigid.
+/// assert_eq!(PathLcl::proper_coloring(2).classify(), PathClass::Linear);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathLcl {
+    labels: usize,
+    /// `allowed[a][b]`: labels `a` and `b` may be adjacent (symmetric).
+    allowed: Vec<Vec<bool>>,
+    /// Labels permitted on degree-1 endpoints.
+    end_allowed: Vec<bool>,
+}
+
+impl PathLcl {
+    /// Builds a problem from a symmetric adjacency relation and endpoint
+    /// permissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square/symmetric or sizes disagree.
+    pub fn new(allowed: Vec<Vec<bool>>, end_allowed: Vec<bool>) -> Self {
+        let labels = allowed.len();
+        assert!(labels > 0, "need at least one label");
+        assert!(
+            allowed.iter().all(|row| row.len() == labels),
+            "adjacency matrix must be square"
+        );
+        for a in 0..labels {
+            for b in 0..labels {
+                assert_eq!(allowed[a][b], allowed[b][a], "matrix must be symmetric");
+            }
+        }
+        assert_eq!(end_allowed.len(), labels, "endpoint permissions per label");
+        PathLcl {
+            labels,
+            allowed,
+            end_allowed,
+        }
+    }
+
+    /// Proper coloring with `c` colors (all labels allowed at endpoints).
+    pub fn proper_coloring(c: usize) -> Self {
+        let allowed = (0..c)
+            .map(|a| (0..c).map(|b| a != b).collect())
+            .collect();
+        PathLcl::new(allowed, vec![true; c])
+    }
+
+    /// The trivial problem: one label compatible with itself.
+    pub fn trivial() -> Self {
+        PathLcl::new(vec![vec![true]], vec![true])
+    }
+
+    /// Number of output labels.
+    pub fn label_count(&self) -> usize {
+        self.labels
+    }
+
+    /// Whether a valid labeling of a path with `len` nodes exists.
+    pub fn solvable(&self, len: usize) -> bool {
+        if len == 0 {
+            return false;
+        }
+        if len == 1 {
+            return self.end_allowed.iter().any(|&e| e);
+        }
+        // BFS over (label, position) is wasteful; DP over reachable sets.
+        let mut reach: Vec<bool> = self.end_allowed.clone();
+        for _ in 1..len {
+            let mut next = vec![false; self.labels];
+            for a in 0..self.labels {
+                if reach[a] {
+                    for b in 0..self.labels {
+                        if self.allowed[a][b] {
+                            next[b] = true;
+                        }
+                    }
+                }
+            }
+            reach = next;
+        }
+        (0..self.labels).any(|a| reach[a] && self.end_allowed[a])
+    }
+
+    /// Labels usable in arbitrarily long solutions: reachable from an
+    /// allowed endpoint with unbounded-length prefixes *and* co-reachable
+    /// symmetrically. A label qualifies if it is reachable from some
+    /// recurrent label that is itself endpoint-reachable; by symmetry of
+    /// the relation, reachability and co-reachability coincide.
+    fn usable(&self) -> Vec<bool> {
+        let n = self.labels;
+        // Plain reachability from endpoints.
+        let mut reach = self.end_allowed.clone();
+        loop {
+            let mut changed = false;
+            for a in 0..n {
+                if reach[a] {
+                    for b in 0..n {
+                        if self.allowed[a][b] && !reach[b] {
+                            reach[b] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Recurrent labels: on a cycle in the compatibility graph (in the
+        // undirected sense, a label a is recurrent iff it has a neighbor,
+        // since a-b-a-b-... repeats; the walk may revisit labels).
+        let mut usable = vec![false; n];
+        for a in 0..n {
+            usable[a] = reach[a] && (0..n).any(|b| self.allowed[a][b] && reach[b]);
+        }
+        usable
+    }
+
+    /// Classifies the problem's deterministic complexity on paths.
+    pub fn classify(&self) -> PathClass {
+        let usable = self.usable();
+        // Large-length solvability: some usable label must exist and
+        // endpoints must connect through them; sample a window of lengths
+        // to rule out parity-style insolvability.
+        let horizon = 2 * self.labels + 4;
+        let all_solvable = (horizon..horizon + self.labels.max(2))
+            .all(|len| self.solvable(len));
+        if !all_solvable || !usable.iter().any(|&u| u) {
+            return PathClass::Unsolvable;
+        }
+        // O(1): a usable self-loop label.
+        if (0..self.labels).any(|a| usable[a] && self.allowed[a][a]) {
+            return PathClass::Constant;
+        }
+        // Θ(log* n): a usable flexible label (odd cycle through it).
+        if (0..self.labels).any(|a| usable[a] && self.has_odd_cycle_through(a, &usable)) {
+            return PathClass::LogStar;
+        }
+        PathClass::Linear
+    }
+
+    /// Whether some odd-length closed walk through `a` exists using only
+    /// usable labels. Together with the trivial even walk `a-b-a`, an odd
+    /// cycle makes the gcd of cycle lengths 1 (flexibility).
+    fn has_odd_cycle_through(&self, a: usize, usable: &[bool]) -> bool {
+        // Bipartite-ness test of the component of `a` restricted to usable
+        // labels: an odd closed walk exists iff the component is not
+        // bipartite.
+        let n = self.labels;
+        let mut color = vec![None; n];
+        let mut queue = std::collections::VecDeque::new();
+        color[a] = Some(0u8);
+        queue.push_back(a);
+        while let Some(u) = queue.pop_front() {
+            for v in 0..n {
+                if self.allowed[u][v] && usable[v] {
+                    match color[v] {
+                        None => {
+                            color[v] = Some(1 - color[u].unwrap());
+                            queue.push_back(v);
+                        }
+                        Some(c) => {
+                            if c == color[u].unwrap() {
+                                return true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// The node-averaged complexity class (Lemma 16 / Corollary 17 of the
+    /// paper): identical to the worst-case class on paths.
+    pub fn node_averaged_class(&self) -> PathClass {
+        self.classify()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_is_constant() {
+        assert_eq!(PathLcl::trivial().classify(), PathClass::Constant);
+    }
+
+    #[test]
+    fn proper_colorings() {
+        assert_eq!(PathLcl::proper_coloring(2).classify(), PathClass::Linear);
+        assert_eq!(PathLcl::proper_coloring(3).classify(), PathClass::LogStar);
+        assert_eq!(PathLcl::proper_coloring(4).classify(), PathClass::LogStar);
+    }
+
+    #[test]
+    fn coloring_with_wildcard_is_constant() {
+        // Labels {0, 1, *}: 0/1 must alternate but * goes with everything
+        // including itself.
+        let allowed = vec![
+            vec![false, true, true],
+            vec![true, false, true],
+            vec![true, true, true],
+        ];
+        let p = PathLcl::new(allowed, vec![true; 3]);
+        assert_eq!(p.classify(), PathClass::Constant);
+    }
+
+    #[test]
+    fn isolated_labels_are_unusable() {
+        // Label 2 is compatible with nothing: solvability must come from
+        // the 2-coloring part.
+        let allowed = vec![
+            vec![false, true, false],
+            vec![true, false, false],
+            vec![false, false, false],
+        ];
+        let p = PathLcl::new(allowed, vec![true, true, false]);
+        assert_eq!(p.classify(), PathClass::Linear);
+    }
+
+    #[test]
+    fn endpoint_restrictions_can_kill_solvability() {
+        // Only label 0 allowed at endpoints, but 0 is compatible with
+        // nothing at all: unsolvable beyond length 1.
+        let allowed = vec![vec![false, false], vec![false, true]];
+        let p = PathLcl::new(allowed, vec![true, false]);
+        assert_eq!(p.classify(), PathClass::Unsolvable);
+    }
+
+    #[test]
+    fn solvability_dp_matches_brute_force() {
+        let p = PathLcl::proper_coloring(2);
+        for len in 1..8 {
+            assert!(p.solvable(len), "2-coloring solvable at {len}");
+        }
+        assert!(!p.solvable(0));
+    }
+
+    #[test]
+    fn odd_cycle_detection() {
+        // Triangle relation (3-coloring): odd cycle exists.
+        let p = PathLcl::proper_coloring(3);
+        let usable = vec![true; 3];
+        assert!(p.has_odd_cycle_through(0, &usable));
+        // 2-coloring: bipartite, no odd cycle.
+        let q = PathLcl::proper_coloring(2);
+        let usable = vec![true; 2];
+        assert!(!q.has_odd_cycle_through(0, &usable));
+    }
+
+    #[test]
+    fn node_averaged_matches_worst_case() {
+        for p in [
+            PathLcl::trivial(),
+            PathLcl::proper_coloring(2),
+            PathLcl::proper_coloring(3),
+        ] {
+            assert_eq!(p.classify(), p.node_averaged_class());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_rejected() {
+        let _ = PathLcl::new(
+            vec![vec![false, true], vec![false, false]],
+            vec![true, true],
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for tree construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or validating a [`Tree`](crate::Tree).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The edge list references a node index `>= n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes the tree was declared with.
+        n: usize,
+    },
+    /// The edge set contains a duplicate or a self-loop.
+    InvalidEdge {
+        /// One endpoint of the offending edge.
+        u: usize,
+        /// The other endpoint of the offending edge.
+        v: usize,
+    },
+    /// The graph is not connected or contains a cycle
+    /// (a tree on `n` nodes must have exactly `n - 1` edges and be connected).
+    NotATree {
+        /// Number of nodes.
+        nodes: usize,
+        /// Number of edges provided.
+        edges: usize,
+    },
+    /// A construction was requested with parameters that make it empty
+    /// or otherwise degenerate.
+    DegenerateParameters(String),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for tree with {n} nodes")
+            }
+            TreeError::InvalidEdge { u, v } => {
+                write!(f, "invalid edge ({u}, {v}): duplicate or self-loop")
+            }
+            TreeError::NotATree { nodes, edges } => {
+                write!(
+                    f,
+                    "graph with {nodes} nodes and {edges} edges is not a connected tree"
+                )
+            }
+            TreeError::DegenerateParameters(msg) => {
+                write!(f, "degenerate construction parameters: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TreeError::NodeOutOfRange { node: 7, n: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        let e = TreeError::InvalidEdge { u: 1, v: 1 };
+        assert!(e.to_string().contains("self-loop"));
+        let e = TreeError::NotATree { nodes: 5, edges: 2 };
+        assert!(e.to_string().contains("not a connected tree"));
+        let e = TreeError::DegenerateParameters("k must be positive".into());
+        assert!(e.to_string().contains("k must be positive"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(TreeError::InvalidEdge { u: 0, v: 1 });
+        assert!(e.source().is_none());
+    }
+}

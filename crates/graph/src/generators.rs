@@ -1,0 +1,290 @@
+//! Tree generators: elementary shapes, random bounded-degree trees, and the
+//! balanced (Δ-1)-ary trees used as weight gadgets by the paper.
+
+use crate::error::TreeError;
+use crate::tree::{NodeId, Tree, TreeBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A path on `n >= 1` nodes: `0 - 1 - ... - n-1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use lcl_graph::generators::path;
+/// let p = path(4);
+/// assert_eq!(p.degree(0), 1);
+/// assert_eq!(p.degree(1), 2);
+/// ```
+pub fn path(n: usize) -> Tree {
+    let mut b = TreeBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v - 1, v);
+    }
+    b.build().expect("a path is a tree")
+}
+
+/// A star on `n >= 1` nodes with center `0`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Tree {
+    let mut b = TreeBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v);
+    }
+    b.build().expect("a star is a tree")
+}
+
+/// A complete rooted tree in which the root has `arity` children and every
+/// internal node has `arity` children, of the given `height` (a single root
+/// for `height == 0`).
+///
+/// # Panics
+///
+/// Panics if `arity == 0` and `height > 0`.
+pub fn complete_ary_tree(arity: usize, height: usize) -> Tree {
+    assert!(arity > 0 || height == 0, "arity must be positive");
+    let mut nodes = 1usize;
+    let mut level = 1usize;
+    for _ in 0..height {
+        level *= arity;
+        nodes += level;
+    }
+    let mut b = TreeBuilder::new(nodes);
+    // Children of node v are arity*v + 1 ..= arity*v + arity (heap layout).
+    for v in 0..nodes {
+        for c in 1..=arity {
+            let child = arity * v + c;
+            if child < nodes {
+                b.add_edge(v, child);
+            }
+        }
+    }
+    b.build().expect("complete ary tree is a tree")
+}
+
+/// A *balanced Δ-regular weight tree* with exactly `w >= 1` nodes, as used in
+/// the paper's weighted constructions (Definition 25): the tree is filled
+/// level by level with fan-out `Δ - 1`, so internal nodes have degree ≤ Δ
+/// once the root is attached to an external (active) node by one more edge.
+///
+/// Returns the tree; node `0` is the root `r` that must be attached to the
+/// active node.
+///
+/// # Panics
+///
+/// Panics if `delta < 3` (the paper requires `Δ ≥ d + 3 ≥ 3`) or `w == 0`.
+pub fn balanced_weight_tree(w: usize, delta: usize) -> Tree {
+    assert!(delta >= 3, "weight trees need Δ >= 3, got {delta}");
+    assert!(w >= 1, "weight trees must be non-empty");
+    let fan_out = delta - 1;
+    let mut b = TreeBuilder::new(w);
+    // Fill greedily in BFS order: parent of node v (v >= 1) is (v-1)/fan_out.
+    for v in 1..w {
+        b.add_edge((v - 1) / fan_out, v);
+    }
+    b.build().expect("balanced weight tree is a tree")
+}
+
+/// A caterpillar: a spine path on `spine` nodes, each spine node carrying
+/// `legs` pendant leaves.
+///
+/// # Panics
+///
+/// Panics if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Tree {
+    assert!(spine > 0, "caterpillar needs a non-empty spine");
+    let n = spine * (1 + legs);
+    let mut b = TreeBuilder::new(n);
+    for v in 1..spine {
+        b.add_edge(v - 1, v);
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            b.add_edge(s, spine + s * legs + l);
+        }
+    }
+    b.build().expect("caterpillar is a tree")
+}
+
+/// A spider: `legs` paths of `leg_len` nodes each, all attached to a hub.
+///
+/// # Panics
+///
+/// Panics if `leg_len == 0` and `legs > 0` is fine; panics never otherwise.
+pub fn spider(legs: usize, leg_len: usize) -> Tree {
+    let n = 1 + legs * leg_len;
+    let mut b = TreeBuilder::new(n);
+    for l in 0..legs {
+        let base = 1 + l * leg_len;
+        b.add_edge(0, base);
+        for i in 1..leg_len {
+            b.add_edge(base + i - 1, base + i);
+        }
+    }
+    b.build().expect("spider is a tree")
+}
+
+/// A uniformly random recursive tree on `n` nodes with maximum degree
+/// `max_degree`, generated deterministically from `seed`.
+///
+/// Node `v >= 1` attaches to a uniformly random earlier node that still has
+/// spare degree. For `max_degree >= 2` this always succeeds.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `max_degree < 2` (for `n > 1`).
+pub fn random_bounded_degree_tree(n: usize, max_degree: usize, seed: u64) -> Tree {
+    assert!(n > 0, "tree must be non-empty");
+    assert!(
+        n == 1 || max_degree >= 2,
+        "max_degree must be at least 2 to fit {n} nodes"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = TreeBuilder::new(n);
+    // `open` holds nodes that can still accept a neighbor.
+    let mut open: Vec<NodeId> = Vec::with_capacity(n);
+    let mut degree = vec![0usize; n];
+    if n > 1 {
+        open.push(0);
+    }
+    for v in 1..n {
+        let idx = rng.gen_range(0..open.len());
+        let parent = open[idx];
+        b.add_edge(parent, v);
+        degree[parent] += 1;
+        degree[v] += 1;
+        if degree[parent] >= max_degree {
+            open.swap_remove(idx);
+        }
+        if degree[v] < max_degree {
+            open.push(v);
+        }
+    }
+    b.build().expect("random construction is a tree")
+}
+
+/// A random path-like "broom" used in tests: a path of `spine` nodes with a
+/// star of `bristles` leaves on one end.
+pub fn broom(spine: usize, bristles: usize) -> Result<Tree, TreeError> {
+    if spine == 0 {
+        return Err(TreeError::DegenerateParameters(
+            "broom needs a non-empty spine".into(),
+        ));
+    }
+    let n = spine + bristles;
+    let mut b = TreeBuilder::new(n);
+    for v in 1..spine {
+        b.add_edge(v - 1, v);
+    }
+    for l in 0..bristles {
+        b.add_edge(spine - 1, spine + l);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let p = path(5);
+        assert_eq!(p.node_count(), 5);
+        assert_eq!(p.diameter(), 4);
+        assert_eq!(p.max_degree(), 2);
+        let p1 = path(1);
+        assert_eq!(p1.node_count(), 1);
+    }
+
+    #[test]
+    fn star_shape() {
+        let s = star(6);
+        assert_eq!(s.degree(0), 5);
+        assert_eq!(s.max_degree(), 5);
+        assert_eq!(s.diameter(), 2);
+    }
+
+    #[test]
+    fn complete_ary_counts() {
+        let t = complete_ary_tree(2, 3);
+        assert_eq!(t.node_count(), 1 + 2 + 4 + 8);
+        assert_eq!(t.degree(0), 2);
+        assert_eq!(t.max_degree(), 3);
+        let single = complete_ary_tree(5, 0);
+        assert_eq!(single.node_count(), 1);
+    }
+
+    #[test]
+    fn balanced_weight_tree_degree_bound() {
+        for w in [1, 2, 5, 17, 100] {
+            for delta in [3, 4, 6] {
+                let t = balanced_weight_tree(w, delta);
+                assert_eq!(t.node_count(), w);
+                // The root will gain one more edge when attached, so inside
+                // the gadget its degree must be ≤ Δ - 1.
+                assert!(t.degree(0) <= delta - 1, "w={w}, delta={delta}");
+                assert!(t.max_degree() <= delta, "w={w}, delta={delta}");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_weight_tree_is_balanced() {
+        // With fan-out f and w = 1 + f + f^2 nodes the height is exactly 2.
+        let f = 3;
+        let w = 1 + f + f * f;
+        let t = balanced_weight_tree(w, f + 1);
+        let dist = t.bfs_distances(0);
+        assert_eq!(*dist.iter().max().unwrap(), 2);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = caterpillar(4, 2);
+        assert_eq!(t.node_count(), 12);
+        assert_eq!(t.degree(0), 3); // one spine neighbor + 2 legs
+        assert_eq!(t.degree(1), 4); // two spine neighbors + 2 legs
+    }
+
+    #[test]
+    fn spider_shape() {
+        let t = spider(3, 4);
+        assert_eq!(t.node_count(), 13);
+        assert_eq!(t.degree(0), 3);
+        assert_eq!(t.diameter(), 8);
+        let hubless = spider(0, 7);
+        assert_eq!(hubless.node_count(), 1);
+    }
+
+    #[test]
+    fn random_tree_is_deterministic_and_bounded() {
+        let a = random_bounded_degree_tree(500, 4, 42);
+        let b = random_bounded_degree_tree(500, 4, 42);
+        assert_eq!(a, b);
+        assert!(a.max_degree() <= 4);
+        let c = random_bounded_degree_tree(500, 4, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_tree_degree_two_is_path() {
+        let t = random_bounded_degree_tree(50, 2, 7);
+        assert_eq!(t.max_degree(), 2);
+        assert_eq!(t.diameter(), 49);
+    }
+
+    #[test]
+    fn broom_shape() {
+        let t = broom(3, 4).unwrap();
+        assert_eq!(t.node_count(), 7);
+        assert_eq!(t.degree(2), 5);
+        assert!(broom(0, 4).is_err());
+    }
+}

@@ -1,0 +1,293 @@
+//! The `k`-hierarchical lower-bound graph of Definition 18.
+//!
+//! For parameters `ℓ_1, ..., ℓ_k` the construction starts from a path of
+//! `ℓ_k` nodes (the *level-k path*) and, for `i = k-1, ..., 1`, attaches to
+//! every node `v` of every level-`(i+1)` path a fresh path of `ℓ_i` nodes by
+//! one endpoint. Level `i` then contains exactly `∏_{i ≤ j ≤ k} ℓ_j` nodes
+//! (Corollary 19 of the paper).
+
+use crate::error::TreeError;
+use crate::levels::Levels;
+use crate::tree::{NodeId, Tree, TreeBuilder};
+
+/// A fully-built lower-bound instance, with its constructed level structure.
+///
+/// # Examples
+///
+/// ```
+/// use lcl_graph::hierarchical::LowerBoundGraph;
+///
+/// // k = 2: level-2 path of 4 nodes, each carrying a level-1 path of 3.
+/// let g = LowerBoundGraph::new(&[3, 4])?;
+/// assert_eq!(g.tree().node_count(), 4 + 4 * 3);
+/// assert_eq!(g.level_count(2), 4);
+/// assert_eq!(g.level_count(1), 12);
+/// # Ok::<(), lcl_graph::TreeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LowerBoundGraph {
+    tree: Tree,
+    k: usize,
+    level_of: Vec<u8>,
+    /// `paths[i - 1]` lists the level-`i` paths, each in end-to-end order.
+    paths: Vec<Vec<Vec<NodeId>>>,
+}
+
+impl LowerBoundGraph {
+    /// Builds the construction for `lengths = [ℓ_1, ..., ℓ_k]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::DegenerateParameters`] if `lengths` is empty,
+    /// contains a zero, or the total size overflows `u32` node indexing.
+    pub fn new(lengths: &[usize]) -> Result<Self, TreeError> {
+        let k = lengths.len();
+        if k == 0 {
+            return Err(TreeError::DegenerateParameters(
+                "need at least one level length".into(),
+            ));
+        }
+        if lengths.iter().any(|&l| l == 0) {
+            return Err(TreeError::DegenerateParameters(
+                "level lengths must be positive".into(),
+            ));
+        }
+        let total = Self::total_nodes(lengths);
+        if total > u32::MAX as usize / 2 {
+            return Err(TreeError::DegenerateParameters(format!(
+                "construction of {total} nodes exceeds u32 indexing"
+            )));
+        }
+
+        let mut b = TreeBuilder::new(0);
+        let mut level_of: Vec<u8> = Vec::with_capacity(total);
+        let mut paths: Vec<Vec<Vec<NodeId>>> = vec![Vec::new(); k];
+
+        // Level-k path.
+        let lk = lengths[k - 1];
+        let first = b.grow(lk);
+        for v in first + 1..first + lk {
+            b.add_edge(v - 1, v);
+        }
+        let top: Vec<NodeId> = (first..first + lk).collect();
+        level_of.resize(b.node_count(), k as u8);
+        paths[k - 1].push(top);
+
+        // Attach lower levels, top-down.
+        for i in (1..k).rev() {
+            let li = lengths[i - 1];
+            // Freeze the list of parents (all nodes in level i+1 paths).
+            let parents: Vec<NodeId> = paths[i].iter().flatten().copied().collect();
+            for &v in &parents {
+                let base = b.grow(li);
+                level_of.resize(b.node_count(), i as u8);
+                b.add_edge(base, v);
+                for u in base + 1..base + li {
+                    b.add_edge(u - 1, u);
+                }
+                paths[i - 1].push((base..base + li).collect());
+            }
+        }
+
+        let tree = b.build()?;
+        debug_assert_eq!(tree.node_count(), total);
+        Ok(LowerBoundGraph {
+            tree,
+            k,
+            level_of,
+            paths,
+        })
+    }
+
+    /// Total number of nodes the construction will have, `Σ_i ∏_{j ≥ i} ℓ_j`.
+    pub fn total_nodes(lengths: &[usize]) -> usize {
+        let k = lengths.len();
+        let mut total = 0usize;
+        let mut product = 1usize;
+        for i in (0..k).rev() {
+            product = product.saturating_mul(lengths[i]);
+            total = total.saturating_add(product);
+        }
+        total
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Number of levels `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The constructed level of node `v` (in `1..=k`).
+    pub fn level(&self, v: NodeId) -> usize {
+        self.level_of[v] as usize
+    }
+
+    /// Number of nodes at level `i`.
+    pub fn level_count(&self, i: usize) -> usize {
+        self.level_of.iter().filter(|&&l| l as usize == i).count()
+    }
+
+    /// The level-`i` paths, each ordered end to end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not in `1..=k`.
+    pub fn paths_at(&self, i: usize) -> &[Vec<NodeId>] {
+        assert!((1..=self.k).contains(&i), "level {i} out of range");
+        &self.paths[i - 1]
+    }
+
+    /// All nodes of level `i`.
+    pub fn nodes_at(&self, i: usize) -> Vec<NodeId> {
+        self.level_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l as usize == i)
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// Constructed levels as a slice, one entry per node.
+    pub fn levels_slice(&self) -> &[u8] {
+        &self.level_of
+    }
+
+    /// The levels obtained by actually running the peeling process of
+    /// Definition 8 with parameter `k` on this tree.
+    ///
+    /// These agree with the *constructed* levels except at `O(k)` boundary
+    /// nodes per path: the far endpoint of every path has degree 2 and is
+    /// peeled one round early, eroding each path by one node per round from
+    /// its free end. This is exactly the "+1 for the left- and rightmost
+    /// paths" / "length ... − 2" boundary effect in Fig. 3 of the paper and
+    /// is asymptotically negligible since every `ℓ_i ≫ k`.
+    pub fn peeled_levels(&self) -> Levels {
+        Levels::compute(&self.tree, self.k)
+    }
+
+    /// Number of nodes whose peeled level differs from the constructed one.
+    ///
+    /// Bounded by `O(k)` per constructed path; used by tests and the
+    /// benchmark harness to confirm the boundary effect stays negligible.
+    pub fn peeling_discrepancy(&self) -> usize {
+        let peeled = self.peeled_levels();
+        self.tree
+            .nodes()
+            .filter(|&v| peeled.level(v) != self.level(v))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_corollary_19() {
+        let g = LowerBoundGraph::new(&[2, 3, 4]).unwrap();
+        // |L3| = 4, |L2| = 3*4 = 12, |L1| = 2*3*4 = 24.
+        assert_eq!(g.level_count(3), 4);
+        assert_eq!(g.level_count(2), 12);
+        assert_eq!(g.level_count(1), 24);
+        assert_eq!(g.tree().node_count(), 4 + 12 + 24);
+        assert_eq!(LowerBoundGraph::total_nodes(&[2, 3, 4]), 40);
+    }
+
+    #[test]
+    fn k_equals_one_is_a_path() {
+        let g = LowerBoundGraph::new(&[9]).unwrap();
+        assert_eq!(g.tree().node_count(), 9);
+        assert_eq!(g.tree().max_degree(), 2);
+        assert_eq!(g.tree().diameter(), 8);
+        assert_eq!(g.peeling_discrepancy(), 0);
+    }
+
+    #[test]
+    fn paths_have_declared_lengths() {
+        let g = LowerBoundGraph::new(&[5, 3]).unwrap();
+        assert_eq!(g.paths_at(2).len(), 1);
+        assert_eq!(g.paths_at(2)[0].len(), 3);
+        assert_eq!(g.paths_at(1).len(), 3);
+        for p in g.paths_at(1) {
+            assert_eq!(p.len(), 5);
+        }
+    }
+
+    #[test]
+    fn paths_are_contiguous_in_tree() {
+        let g = LowerBoundGraph::new(&[4, 3, 2]).unwrap();
+        let t = g.tree();
+        for i in 1..=3 {
+            for p in g.paths_at(i) {
+                for w in p.windows(2) {
+                    assert!(
+                        t.neighbors(w[0]).contains(&(w[1] as u32)),
+                        "consecutive path nodes must be adjacent"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peeling_matches_figure_3_boundary_effect() {
+        // k = 2, lengths [4, 5]: both endpoints of the level-2 path have
+        // degree 2 (one path neighbor + one attached level-1 path) and are
+        // peeled in round 1, so the peeled level-2 path has length ℓ₂ − 2 —
+        // the "length n/√(log* n) − 2" annotation of Fig. 3.
+        let g = LowerBoundGraph::new(&[4, 5]).unwrap();
+        let peeled = g.peeled_levels();
+        assert_eq!(peeled.count_at(2), 5 - 2);
+        assert_eq!(peeled.count_at(1), g.tree().node_count() - 3);
+        // The eroded endpoints extend their attached level-1 paths by one
+        // node: two paths of length ℓ₁ + 1 = 5, three of length ℓ₁ = 4.
+        let mut lens: Vec<usize> = peeled
+            .paths_at(g.tree(), 1)
+            .iter()
+            .map(|p| p.len())
+            .collect();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![4, 4, 4, 5, 5]);
+    }
+
+    #[test]
+    fn peeling_discrepancy_is_boundary_only() {
+        // Discrepancy grows with the number of paths, not with path length.
+        let small = LowerBoundGraph::new(&[10, 10]).unwrap();
+        let large = LowerBoundGraph::new(&[40, 10]).unwrap();
+        assert_eq!(small.peeling_discrepancy(), large.peeling_discrepancy());
+        // No node survives to level k + 1 when lengths ≫ k.
+        assert_eq!(large.peeled_levels().count_at(3), 0);
+    }
+
+    #[test]
+    fn max_degree_is_bounded() {
+        let g = LowerBoundGraph::new(&[5, 5, 5]).unwrap();
+        // Internal node of a middle level: 2 (own path) + 1 (attached lower
+        // path) + 1 (edge to parent, endpoints only). Never above 4.
+        assert!(g.tree().max_degree() <= 4);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LowerBoundGraph::new(&[]).is_err());
+        assert!(LowerBoundGraph::new(&[3, 0]).is_err());
+        assert!(LowerBoundGraph::new(&[1 << 20, 1 << 20]).is_err());
+    }
+
+    #[test]
+    fn length_one_levels() {
+        let g = LowerBoundGraph::new(&[1, 1, 2]).unwrap();
+        // L3 = 2, L2 = 2, L1 = 2 -> 6 nodes.
+        assert_eq!(g.tree().node_count(), 6);
+        // With unit-length paths the construction is tiny; the peeling
+        // still assigns every node a level in 1..=k+1.
+        let peeled = g.peeled_levels();
+        let total: usize = (1..=4).map(|i| peeled.count_at(i)).sum();
+        assert_eq!(total, 6);
+    }
+}

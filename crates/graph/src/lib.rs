@@ -1,0 +1,48 @@
+//! Tree substrate for the node-averaged LCL complexity landscape workspace.
+//!
+//! This crate provides everything graph-shaped that the paper
+//! *"Completing the Node-Averaged Complexity Landscape of LCLs on Trees"*
+//! (PODC 2024) needs:
+//!
+//! - a compact CSR [`Tree`] type with the traversal primitives used by the
+//!   LOCAL-model algorithms ([`tree`]),
+//! - [`NodeMask`]-based induced-subgraph utilities, including extraction of
+//!   path-shaped components ([`mask`]),
+//! - elementary and random tree [`generators`], including the balanced
+//!   Δ-regular weight gadgets of the paper's weighted constructions,
+//! - the level-peeling process of Definition 8 ([`levels`]),
+//! - the `k`-hierarchical lower-bound graph of Definition 18
+//!   ([`hierarchical`]),
+//! - the weighted construction of Definition 25 ([`weighted`]),
+//! - rake-and-compress `(γ, ℓ, L)`-decompositions, strict (Definition 71)
+//!   and relaxed (Definition 43), with full property validation
+//!   ([`decompose`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use lcl_graph::hierarchical::LowerBoundGraph;
+//! use lcl_graph::levels::Levels;
+//!
+//! // The k = 2 lower-bound instance from Fig. 3 of the paper, in miniature.
+//! let g = LowerBoundGraph::new(&[4, 6])?;
+//! let levels = Levels::compute(g.tree(), 2);
+//! assert_eq!(levels.count_at(2), 6 - 2); // Fig. 3 boundary erosion
+//! # Ok::<(), lcl_graph::TreeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decompose;
+mod error;
+pub mod generators;
+pub mod hierarchical;
+pub mod levels;
+pub mod mask;
+pub mod tree;
+pub mod weighted;
+
+pub use error::TreeError;
+pub use mask::{induced_components, induced_paths, InducedPath, NodeMask};
+pub use tree::{NodeId, Tree, TreeBuilder};

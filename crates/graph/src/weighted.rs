@@ -1,0 +1,334 @@
+//! The weighted lower-bound construction of Definition 25 (Fig. 4).
+//!
+//! Starting from a `k`-hierarchical lower-bound graph `G'` (the *active*
+//! nodes), for each level `i ∈ {2, ..., k}` a budget of weight nodes is
+//! distributed as evenly as possible among the level-`i` nodes, each share
+//! attached as a balanced Δ-regular tree ([`balanced_weight_tree`]). The
+//! result is an input-labeled instance of the weighted problems
+//! `Π^{2.5}_{Δ,d,k}` / `Π^{3.5}_{Δ,d,k}`.
+
+use crate::error::TreeError;
+use crate::generators::balanced_weight_tree;
+use crate::hierarchical::LowerBoundGraph;
+use crate::levels::Levels;
+use crate::tree::{NodeId, Tree, TreeBuilder};
+
+/// Whether a node of a weighted instance is an active or a weight node
+/// (the input labels `Active` / `Weight` of Definition 22).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Input label `Active`: the node participates in the underlying
+    /// `k`-hierarchical coloring problem.
+    Active,
+    /// Input label `Weight`: the node participates in the weight gadget.
+    Weight,
+}
+
+/// Parameters of the weighted construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedParams {
+    /// Path lengths `ℓ'_1, ..., ℓ'_k` of the active core `G'`.
+    pub lengths: Vec<usize>,
+    /// Maximum degree Δ of the weight trees (`Δ ≥ d + 3 ≥ 3`).
+    pub delta: usize,
+    /// Number of weight nodes to distribute per level in `{2, ..., k}`
+    /// (the paper uses `n / k` per level).
+    pub weight_per_level: usize,
+}
+
+/// A gadget descriptor: one balanced weight tree and its anchor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightGadget {
+    /// Active node the gadget hangs from.
+    pub anchor: NodeId,
+    /// Root node of the gadget (adjacent to `anchor`).
+    pub root: NodeId,
+    /// Number of weight nodes in the gadget.
+    pub size: usize,
+    /// Constructed level of the anchor.
+    pub anchor_level: usize,
+}
+
+/// A fully-built weighted instance.
+///
+/// Node ids `0..active_count` coincide with the ids of the underlying
+/// [`LowerBoundGraph`]; weight nodes use ids `active_count..n`.
+///
+/// # Examples
+///
+/// ```
+/// use lcl_graph::weighted::{WeightedConstruction, WeightedParams};
+///
+/// let params = WeightedParams {
+///     lengths: vec![4, 3],
+///     delta: 4,
+///     weight_per_level: 9,
+/// };
+/// let w = WeightedConstruction::new(&params)?;
+/// assert_eq!(w.active_count(), 3 + 3 * 4);
+/// assert_eq!(w.tree().node_count(), w.active_count() + 9);
+/// # Ok::<(), lcl_graph::TreeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedConstruction {
+    tree: Tree,
+    kind: Vec<NodeKind>,
+    core: LowerBoundGraph,
+    gadgets: Vec<WeightGadget>,
+    /// For every weight node: (anchor active node, depth inside its gadget).
+    weight_info: Vec<(NodeId, u32)>,
+    active_count: usize,
+    delta: usize,
+}
+
+impl WeightedConstruction {
+    /// Builds the construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::DegenerateParameters`] if the core parameters
+    /// are invalid (see [`LowerBoundGraph::new`]) or `delta < 3`.
+    pub fn new(params: &WeightedParams) -> Result<Self, TreeError> {
+        if params.delta < 3 {
+            return Err(TreeError::DegenerateParameters(format!(
+                "delta must be >= 3, got {}",
+                params.delta
+            )));
+        }
+        let core = LowerBoundGraph::new(&params.lengths)?;
+        let k = core.k();
+        let active_count = core.tree().node_count();
+
+        let mut b = TreeBuilder::new(active_count);
+        for (u, v) in core.tree().edges() {
+            b.add_edge(u, v);
+        }
+        let mut kind = vec![NodeKind::Active; active_count];
+        let mut gadgets = Vec::new();
+        // weight_info is indexed by (id - active_count).
+        let mut weight_info: Vec<(NodeId, u32)> = Vec::new();
+
+        for level in 2..=k {
+            let anchors = core.nodes_at(level);
+            if anchors.is_empty() || params.weight_per_level == 0 {
+                continue;
+            }
+            let base = params.weight_per_level / anchors.len();
+            let remainder = params.weight_per_level % anchors.len();
+            for (idx, &anchor) in anchors.iter().enumerate() {
+                let share = base + usize::from(idx < remainder);
+                if share == 0 {
+                    continue;
+                }
+                let gadget = balanced_weight_tree(share, params.delta);
+                let offset = b.grow(share);
+                for (u, v) in gadget.edges() {
+                    b.add_edge(offset + u, offset + v);
+                }
+                b.add_edge(anchor, offset);
+                let depths = gadget.bfs_distances(0);
+                for local in 0..share {
+                    weight_info.push((anchor, depths[local] + 1));
+                }
+                kind.resize(b.node_count(), NodeKind::Weight);
+                gadgets.push(WeightGadget {
+                    anchor,
+                    root: offset,
+                    size: share,
+                    anchor_level: level,
+                });
+            }
+        }
+
+        let tree = b.build()?;
+        Ok(WeightedConstruction {
+            tree,
+            kind,
+            core,
+            gadgets,
+            weight_info,
+            active_count,
+            delta: params.delta,
+        })
+    }
+
+    /// The combined tree (active core plus weight gadgets).
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The active core `G'`.
+    pub fn core(&self) -> &LowerBoundGraph {
+        &self.core
+    }
+
+    /// Number of active nodes (ids `0..active_count`).
+    pub fn active_count(&self) -> usize {
+        self.active_count
+    }
+
+    /// Number of weight nodes.
+    pub fn weight_count(&self) -> usize {
+        self.tree.node_count() - self.active_count
+    }
+
+    /// The Δ the gadgets were built with.
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// The input label (`Active` / `Weight`) of node `v`.
+    pub fn kind(&self, v: NodeId) -> NodeKind {
+        self.kind[v]
+    }
+
+    /// Input labels of all nodes, indexed by node id.
+    pub fn kinds(&self) -> &[NodeKind] {
+        &self.kind
+    }
+
+    /// True if `v` is an active node.
+    pub fn is_active(&self, v: NodeId) -> bool {
+        self.kind[v] == NodeKind::Active
+    }
+
+    /// All weight gadgets (one per anchored tree).
+    pub fn gadgets(&self) -> &[WeightGadget] {
+        &self.gadgets
+    }
+
+    /// For a weight node, its anchor active node and its distance from that
+    /// anchor. Returns `None` for active nodes.
+    pub fn weight_anchor(&self, v: NodeId) -> Option<(NodeId, u32)> {
+        v.checked_sub(self.active_count)
+            .map(|local| self.weight_info[local])
+    }
+
+    /// The peeled levels (Definition 8) of the *active subgraph*, which by
+    /// construction coincide with the peeled levels of the core graph.
+    ///
+    /// Definition 22 evaluates the `k`-hierarchical constraints on the
+    /// components induced by active nodes, so algorithms and verifiers must
+    /// use these levels, not levels of the full tree.
+    pub fn active_levels(&self) -> Levels {
+        Levels::compute(self.core.tree(), self.core.k())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(lengths: Vec<usize>, delta: usize, w: usize) -> WeightedParams {
+        WeightedParams {
+            lengths,
+            delta,
+            weight_per_level: w,
+        }
+    }
+
+    #[test]
+    fn counts_add_up() {
+        let p = params(vec![3, 4, 2], 5, 20);
+        let w = WeightedConstruction::new(&p).unwrap();
+        let core_n = LowerBoundGraph::total_nodes(&[3, 4, 2]);
+        assert_eq!(w.active_count(), core_n);
+        // Two augmented levels (2 and 3), 20 weight nodes each.
+        assert_eq!(w.weight_count(), 40);
+        assert_eq!(w.tree().node_count(), core_n + 40);
+    }
+
+    #[test]
+    fn kinds_partition_nodes() {
+        let p = params(vec![4, 3], 4, 10);
+        let w = WeightedConstruction::new(&p).unwrap();
+        let actives = w
+            .tree()
+            .nodes()
+            .filter(|&v| w.is_active(v))
+            .count();
+        assert_eq!(actives, w.active_count());
+        assert_eq!(w.kinds().len(), w.tree().node_count());
+        for v in 0..w.active_count() {
+            assert_eq!(w.kind(v), NodeKind::Active);
+            assert!(w.weight_anchor(v).is_none());
+        }
+        for v in w.active_count()..w.tree().node_count() {
+            assert_eq!(w.kind(v), NodeKind::Weight);
+        }
+    }
+
+    #[test]
+    fn distribution_is_even() {
+        // 10 weight nodes over 3 level-2 anchors: shares 4, 3, 3.
+        let p = params(vec![4, 3], 4, 10);
+        let w = WeightedConstruction::new(&p).unwrap();
+        let mut sizes: Vec<usize> = w.gadgets().iter().map(|g| g.size).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3, 4]);
+        assert!(w.gadgets().iter().all(|g| g.anchor_level == 2));
+    }
+
+    #[test]
+    fn anchors_are_adjacent_to_roots() {
+        let p = params(vec![3, 3], 5, 7);
+        let w = WeightedConstruction::new(&p).unwrap();
+        for g in w.gadgets() {
+            assert!(w
+                .tree()
+                .neighbors(g.anchor)
+                .contains(&(g.root as u32)));
+            assert!(w.is_active(g.anchor));
+            assert_eq!(w.kind(g.root), NodeKind::Weight);
+        }
+    }
+
+    #[test]
+    fn weight_anchor_depths_are_distances() {
+        let p = params(vec![3, 3], 4, 12);
+        let w = WeightedConstruction::new(&p).unwrap();
+        for v in w.active_count()..w.tree().node_count() {
+            let (anchor, depth) = w.weight_anchor(v).unwrap();
+            let d = w.tree().bfs_distances(anchor)[v];
+            assert_eq!(d, depth, "node {v}");
+        }
+    }
+
+    #[test]
+    fn degree_bound_respected() {
+        let p = params(vec![4, 4, 4], 4, 100);
+        let w = WeightedConstruction::new(&p).unwrap();
+        // Active nodes: ≤ 4 core edges + 1 gadget; weight nodes: ≤ Δ.
+        assert!(w.tree().max_degree() <= 5.max(w.delta()));
+    }
+
+    #[test]
+    fn zero_weight_is_just_the_core() {
+        let p = params(vec![3, 3], 4, 0);
+        let w = WeightedConstruction::new(&p).unwrap();
+        assert_eq!(w.weight_count(), 0);
+        assert!(w.gadgets().is_empty());
+    }
+
+    #[test]
+    fn k_one_has_no_gadgets() {
+        // With k = 1 there are no levels ≥ 2 to augment.
+        let p = params(vec![5], 4, 50);
+        let w = WeightedConstruction::new(&p).unwrap();
+        assert_eq!(w.weight_count(), 0);
+    }
+
+    #[test]
+    fn rejects_small_delta() {
+        let p = params(vec![3, 3], 2, 5);
+        assert!(WeightedConstruction::new(&p).is_err());
+    }
+
+    #[test]
+    fn active_levels_match_core_peeling() {
+        let p = params(vec![6, 5], 4, 30);
+        let w = WeightedConstruction::new(&p).unwrap();
+        let levels = w.active_levels();
+        assert_eq!(levels.count_at(2), 5 - 2); // Fig. 3 boundary erosion
+    }
+}

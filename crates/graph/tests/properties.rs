@@ -1,0 +1,102 @@
+//! Property-based tests for the tree substrate.
+
+use lcl_graph::decompose::{Decomposition, RakeCompressParams};
+use lcl_graph::generators::random_bounded_degree_tree;
+use lcl_graph::hierarchical::LowerBoundGraph;
+use lcl_graph::levels::Levels;
+use lcl_graph::{induced_paths, NodeMask, Tree};
+use proptest::prelude::*;
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    (2usize..200, 2usize..6, any::<u64>())
+        .prop_map(|(n, d, seed)| random_bounded_degree_tree(n, d, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_invariants(tree in arb_tree()) {
+        let n = tree.node_count();
+        prop_assert_eq!(tree.edge_count(), n - 1);
+        // Sum of degrees = 2 * edges.
+        let degsum: usize = tree.nodes().map(|v| tree.degree(v)).sum();
+        prop_assert_eq!(degsum, 2 * (n - 1));
+        // BFS from node 0 reaches everything.
+        let dist = tree.bfs_distances(0);
+        prop_assert!(dist.iter().all(|&d| d != u32::MAX));
+    }
+
+    #[test]
+    fn path_between_is_a_tree_path(tree in arb_tree(), a in any::<prop::sample::Index>(), b in any::<prop::sample::Index>()) {
+        let n = tree.node_count();
+        let (u, v) = (a.index(n), b.index(n));
+        let p = tree.path_between(u, v);
+        prop_assert_eq!(p[0], u);
+        prop_assert_eq!(*p.last().unwrap(), v);
+        for w in p.windows(2) {
+            prop_assert!(tree.neighbors(w[0]).contains(&(w[1] as u32)));
+        }
+        // Path length equals BFS distance.
+        prop_assert_eq!(p.len() as u32 - 1, tree.bfs_distances(u)[v]);
+    }
+
+    #[test]
+    fn levels_partition_and_peel(tree in arb_tree(), k in 1usize..5) {
+        let levels = Levels::compute(&tree, k);
+        let total: usize = (1..=k + 1).map(|i| levels.count_at(i)).sum();
+        prop_assert_eq!(total, tree.node_count());
+        prop_assert!(levels.is_valid_peeling(&tree));
+        // Each level <= k induces only paths (degree <= 2 inside the level).
+        for i in 1..=k {
+            let mask = levels.mask_at(tree.node_count(), i);
+            for v in mask.iter() {
+                prop_assert!(mask.induced_degree(&tree, v) <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn level_one_is_never_empty(tree in arb_tree(), k in 1usize..4) {
+        // Every finite tree has a node of degree <= 2 (e.g. a leaf).
+        let levels = Levels::compute(&tree, k);
+        prop_assert!(levels.count_at(1) > 0);
+    }
+
+    #[test]
+    fn decomposition_assigns_and_validates(tree in arb_tree(), gamma in 1usize..4, ell in 2usize..5, strict in any::<bool>()) {
+        let d = Decomposition::compute(&tree, RakeCompressParams { gamma, ell, strict });
+        prop_assert!(d.validate(&tree).is_ok(), "{:?}", d.validate(&tree));
+        // Processing order covers all nodes exactly once.
+        let order = d.processing_order();
+        prop_assert_eq!(order.len(), tree.node_count());
+        let mask = NodeMask::from_nodes(tree.node_count(), order.iter().copied());
+        prop_assert_eq!(mask.count(), tree.node_count());
+    }
+
+    #[test]
+    fn induced_paths_cover_mask(tree in arb_tree()) {
+        // Mask of all degree-<=2 nodes induces paths; check coverage.
+        let n = tree.node_count();
+        let mask = NodeMask::from_nodes(n, tree.nodes().filter(|&v| tree.degree(v) <= 2));
+        // Only check when the mask actually induces paths.
+        let ok = mask.iter().all(|v| mask.induced_degree(&tree, v) <= 2);
+        if ok {
+            let total: usize = induced_paths(&tree, &mask).iter().map(|p| p.len()).sum();
+            prop_assert_eq!(total, mask.count());
+        }
+    }
+
+    #[test]
+    fn lower_bound_graph_sizes(l1 in 1usize..8, l2 in 1usize..8, l3 in 1usize..6) {
+        let lengths = [l1, l2, l3];
+        let g = LowerBoundGraph::new(&lengths).unwrap();
+        prop_assert_eq!(g.level_count(3), l3);
+        prop_assert_eq!(g.level_count(2), l2 * l3);
+        prop_assert_eq!(g.level_count(1), l1 * l2 * l3);
+        prop_assert_eq!(
+            g.tree().node_count(),
+            LowerBoundGraph::total_nodes(&lengths)
+        );
+    }
+}

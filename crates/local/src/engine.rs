@@ -1,0 +1,453 @@
+//! Faithful synchronous message-passing engine for the LOCAL model.
+//!
+//! Time proceeds in rounds. In round `r` every non-terminated node consumes
+//! the messages sent to it in round `r - 1`, updates its state, and either
+//! sends messages for round `r + 1` or terminates with an output. A node
+//! that terminates in round `r` has termination time `T_v = r` and may post
+//! one final batch of messages (delivered in round `r + 1`) so that
+//! neighbors can observe its output — the standard LOCAL convention.
+//!
+//! Message size is unbounded, matching the model; the engine tracks message
+//! counts only for diagnostics.
+
+use crate::identifiers::Ids;
+use crate::metrics::RoundStats;
+use lcl_graph::{NodeId, Tree};
+use std::error::Error;
+use std::fmt;
+
+/// Static per-node information visible to a protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeContext {
+    /// The node's index (for harness bookkeeping; protocols should treat it
+    /// as opaque and use `id` for symmetry breaking).
+    pub node: NodeId,
+    /// The node's unique identifier.
+    pub id: u64,
+    /// The node's degree (number of ports).
+    pub degree: usize,
+    /// The number of nodes in the graph; LOCAL algorithms know `n`.
+    pub n: usize,
+}
+
+/// What a node does at the end of a round.
+#[derive(Debug, Clone)]
+pub enum Action<M, O> {
+    /// Keep running and send the given `(port, message)` pairs.
+    Send(Vec<(usize, M)>),
+    /// Terminate now with `output`; `final_messages` are delivered next
+    /// round so neighbors can read the decision.
+    Output {
+        /// The node's final output label.
+        output: O,
+        /// Messages posted together with termination.
+        final_messages: Vec<(usize, M)>,
+    },
+}
+
+/// A per-node state machine. One instance is created per node by the
+/// factory passed to [`run_sync`].
+pub trait Protocol {
+    /// Message type exchanged with neighbors.
+    type Message: Clone;
+    /// Output label type.
+    type Output: Clone;
+
+    /// Executes one round. `round` starts at 0 (where the inbox is empty);
+    /// `inbox` holds `(port, message)` pairs from the previous round.
+    fn step(
+        &mut self,
+        ctx: &NodeContext,
+        round: u64,
+        inbox: &[(usize, Self::Message)],
+    ) -> Action<Self::Message, Self::Output>;
+}
+
+/// Errors from [`run_sync`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// Some nodes failed to terminate within the round budget.
+    RoundLimitExceeded {
+        /// The budget that was exhausted.
+        limit: u64,
+        /// How many nodes were still running.
+        unfinished: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::RoundLimitExceeded { limit, unfinished } => write!(
+                f,
+                "{unfinished} nodes still running after {limit} rounds"
+            ),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+/// Result of a completed synchronous execution.
+#[derive(Debug, Clone)]
+pub struct SyncOutcome<O> {
+    /// Output of every node.
+    pub outputs: Vec<O>,
+    /// Per-node termination rounds.
+    pub stats: RoundStats,
+    /// Total number of messages delivered.
+    pub messages: u64,
+}
+
+/// Runs a protocol on every node of `tree` until all nodes terminate.
+///
+/// `factory` is called once per node to create its state machine.
+///
+/// # Errors
+///
+/// Returns [`RunError::RoundLimitExceeded`] if any node is still running
+/// after `max_rounds` rounds.
+///
+/// # Examples
+///
+/// ```
+/// use lcl_graph::generators::path;
+/// use lcl_local::engine::{run_sync, Action, NodeContext, Protocol};
+/// use lcl_local::identifiers::Ids;
+///
+/// // Every node immediately outputs its own degree.
+/// struct DegreeEcho;
+/// impl Protocol for DegreeEcho {
+///     type Message = ();
+///     type Output = usize;
+///     fn step(&mut self, ctx: &NodeContext, _round: u64, _inbox: &[(usize, ())])
+///         -> Action<(), usize>
+///     {
+///         Action::Output { output: ctx.degree, final_messages: vec![] }
+///     }
+/// }
+///
+/// let tree = path(3);
+/// let ids = Ids::sequential(3);
+/// let out = run_sync(&tree, &ids, |_| DegreeEcho, 10)?;
+/// assert_eq!(out.outputs, vec![1, 2, 1]);
+/// assert_eq!(out.stats.worst_case(), 0);
+/// # Ok::<(), lcl_local::engine::RunError>(())
+/// ```
+pub fn run_sync<P, F>(
+    tree: &Tree,
+    ids: &Ids,
+    mut factory: F,
+    max_rounds: u64,
+) -> Result<SyncOutcome<P::Output>, RunError>
+where
+    P: Protocol,
+    F: FnMut(&NodeContext) -> P,
+{
+    let n = tree.node_count();
+    assert_eq!(ids.len(), n, "ID assignment must cover all nodes");
+
+    let contexts: Vec<NodeContext> = tree
+        .nodes()
+        .map(|v| NodeContext {
+            node: v,
+            id: ids.id(v),
+            degree: tree.degree(v),
+            n,
+        })
+        .collect();
+    let mut machines: Vec<Option<P>> = contexts.iter().map(|c| Some(factory(c))).collect();
+    let mut outputs: Vec<Option<P::Output>> = vec![None; n];
+    let mut rounds: Vec<u64> = vec![0; n];
+    let mut inboxes: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
+    let mut next_inboxes: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
+    let mut running = n;
+    let mut messages: u64 = 0;
+
+    // Port of `v` as seen from neighbor `w`: index of v in w's list.
+    let reverse_port = |v: NodeId, w: NodeId| -> usize {
+        tree.neighbors(w)
+            .iter()
+            .position(|&x| x as usize == v)
+            .expect("neighbor lists are symmetric")
+    };
+
+    let mut round = 0u64;
+    while running > 0 {
+        if round > max_rounds {
+            return Err(RunError::RoundLimitExceeded {
+                limit: max_rounds,
+                unfinished: running,
+            });
+        }
+        for v in 0..n {
+            let Some(machine) = machines[v].as_mut() else {
+                continue;
+            };
+            let action = machine.step(&contexts[v], round, &inboxes[v]);
+            let outbound = match action {
+                Action::Send(msgs) => msgs,
+                Action::Output {
+                    output,
+                    final_messages,
+                } => {
+                    outputs[v] = Some(output);
+                    rounds[v] = round;
+                    machines[v] = None;
+                    running -= 1;
+                    final_messages
+                }
+            };
+            for (port, msg) in outbound {
+                let w = tree.neighbors(v)[port] as usize;
+                // Messages to already-terminated nodes are dropped.
+                if machines[w].is_some() {
+                    next_inboxes[w].push((reverse_port(v, w), msg));
+                    messages += 1;
+                }
+            }
+        }
+        for v in 0..n {
+            inboxes[v].clear();
+            std::mem::swap(&mut inboxes[v], &mut next_inboxes[v]);
+        }
+        round += 1;
+    }
+
+    let outputs = outputs
+        .into_iter()
+        .map(|o| o.expect("all nodes terminated"))
+        .collect();
+    Ok(SyncOutcome {
+        outputs,
+        stats: RoundStats::new(rounds),
+        messages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::generators::{path, star};
+
+    /// Floods the minimum ID for exactly `budget` rounds, then outputs it.
+    struct MinFlood {
+        best: u64,
+        budget: u64,
+    }
+
+    impl Protocol for MinFlood {
+        type Message = u64;
+        type Output = u64;
+        fn step(
+            &mut self,
+            ctx: &NodeContext,
+            round: u64,
+            inbox: &[(usize, u64)],
+        ) -> Action<u64, u64> {
+            for &(_, m) in inbox {
+                self.best = self.best.min(m);
+            }
+            if round == self.budget {
+                return Action::Output {
+                    output: self.best,
+                    final_messages: vec![],
+                };
+            }
+            let msgs = (0..ctx.degree).map(|p| (p, self.best)).collect();
+            Action::Send(msgs)
+        }
+    }
+
+    #[test]
+    fn min_flood_on_path_needs_diameter_rounds() {
+        let n = 12;
+        let tree = path(n);
+        // Sequential IDs put the minimum at endpoint node 0, so the far
+        // endpoint genuinely needs `diameter` rounds to hear about it.
+        let ids = Ids::sequential(n);
+        let diam = tree.diameter() as u64;
+        let out = run_sync(
+            &tree,
+            &ids,
+            |c| MinFlood {
+                best: c.id,
+                budget: diam,
+            },
+            100,
+        )
+        .unwrap();
+        assert!(out.outputs.iter().all(|&m| m == 0));
+        assert_eq!(out.stats.worst_case(), diam);
+        // One budget short misses the minimum for some node.
+        let short = run_sync(
+            &tree,
+            &ids,
+            |c| MinFlood {
+                best: c.id,
+                budget: diam - 1,
+            },
+            100,
+        )
+        .unwrap();
+        assert!(short.outputs.iter().any(|&m| m != 0));
+    }
+
+    #[test]
+    fn min_flood_on_star_is_fast() {
+        let tree = star(9);
+        let ids = Ids::random(9, 1);
+        let out = run_sync(
+            &tree,
+            &ids,
+            |c| MinFlood {
+                best: c.id,
+                budget: 2,
+            },
+            100,
+        )
+        .unwrap();
+        assert!(out.outputs.iter().all(|&m| m == 0));
+    }
+
+    /// Endpoint flood on a path: endpoints start a token carrying a hop
+    /// count; nodes output (distance to first endpoint seen per side) once
+    /// both sides arrived. Endpoints treat themselves as one side.
+    struct EndpointFlood {
+        seen: Vec<Option<u64>>, // per port: hop distance to that side's end
+        self_is_end: bool,
+    }
+
+    impl Protocol for EndpointFlood {
+        type Message = u64;
+        type Output = u64; // eccentricity within the path
+
+        fn step(
+            &mut self,
+            ctx: &NodeContext,
+            round: u64,
+            inbox: &[(usize, u64)],
+        ) -> Action<u64, u64> {
+            if round == 0 {
+                self.seen = vec![None; ctx.degree];
+                self.self_is_end = ctx.degree == 1;
+                if ctx.n == 1 {
+                    return Action::Output {
+                        output: 0,
+                        final_messages: vec![],
+                    };
+                }
+                if self.self_is_end {
+                    return Action::Send(vec![(0, 1)]);
+                }
+                return Action::Send(vec![]);
+            }
+            let mut to_send = Vec::new();
+            for &(port, hops) in inbox {
+                if self.seen[port].is_none() {
+                    self.seen[port] = Some(hops);
+                    // Forward to the opposite port if any.
+                    if ctx.degree == 2 {
+                        to_send.push((1 - port, hops + 1));
+                    }
+                }
+            }
+            let done = if self.self_is_end {
+                self.seen[0].is_some()
+            } else {
+                self.seen.iter().all(Option::is_some)
+            };
+            if done {
+                let far = self.seen.iter().flatten().copied().max().unwrap_or(0);
+                return Action::Output {
+                    output: far,
+                    final_messages: to_send,
+                };
+            }
+            Action::Send(to_send)
+        }
+    }
+
+    #[test]
+    fn endpoint_flood_measures_eccentricity() {
+        let n = 9;
+        let tree = path(n);
+        let ids = Ids::sequential(n);
+        let out = run_sync(
+            &tree,
+            &ids,
+            |_| EndpointFlood {
+                seen: vec![],
+                self_is_end: false,
+            },
+            100,
+        )
+        .unwrap();
+        // Node v on a path of n nodes has eccentricity max(v, n-1-v).
+        for v in 0..n {
+            assert_eq!(out.outputs[v], (v.max(n - 1 - v)) as u64, "node {v}");
+            assert_eq!(out.stats.round(v), out.outputs[v], "node {v}");
+        }
+        // Node-averaged ~ 3n/4, worst-case = n-1.
+        assert_eq!(out.stats.worst_case(), (n - 1) as u64);
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        struct Forever;
+        impl Protocol for Forever {
+            type Message = ();
+            type Output = ();
+            fn step(&mut self, _: &NodeContext, _: u64, _: &[(usize, ())]) -> Action<(), ()> {
+                Action::Send(vec![])
+            }
+        }
+        let tree = path(3);
+        let ids = Ids::sequential(3);
+        let err = run_sync(&tree, &ids, |_| Forever, 5).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::RoundLimitExceeded {
+                limit: 5,
+                unfinished: 3
+            }
+        );
+        assert!(err.to_string().contains("3 nodes"));
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let tree = path(1);
+        let ids = Ids::sequential(1);
+        let out = run_sync(
+            &tree,
+            &ids,
+            |_| EndpointFlood {
+                seen: vec![],
+                self_is_end: false,
+            },
+            10,
+        )
+        .unwrap();
+        assert_eq!(out.outputs, vec![0]);
+        assert_eq!(out.stats.worst_case(), 0);
+    }
+
+    #[test]
+    fn message_count_is_tracked() {
+        let tree = path(4);
+        let ids = Ids::sequential(4);
+        let out = run_sync(
+            &tree,
+            &ids,
+            |c| MinFlood {
+                best: c.id,
+                budget: 3,
+            },
+            100,
+        )
+        .unwrap();
+        // 6 directed edges * 3 sending rounds = 18 (rounds 0,1,2 send).
+        assert_eq!(out.messages, 18);
+    }
+}

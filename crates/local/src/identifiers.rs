@@ -1,0 +1,171 @@
+//! Unique identifier assignments for LOCAL-model executions.
+//!
+//! In the LOCAL model every node carries a unique identifier from a
+//! polynomial ID space `{1, ..., n^c}`. Lower bounds quantify over ID
+//! assignments, so the harness supports sequential, seeded-random, and
+//! explicit assignments.
+
+use lcl_graph::NodeId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A unique-ID assignment for `n` nodes.
+///
+/// # Examples
+///
+/// ```
+/// use lcl_local::identifiers::Ids;
+/// let ids = Ids::sequential(4);
+/// assert_eq!(ids.id(2), 2);
+/// let r = Ids::random(4, 99);
+/// assert_ne!(r.as_slice(), ids.as_slice());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ids {
+    values: Vec<u64>,
+}
+
+impl Ids {
+    /// IDs `0, 1, ..., n - 1` in node order.
+    pub fn sequential(n: usize) -> Self {
+        Ids {
+            values: (0..n as u64).collect(),
+        }
+    }
+
+    /// A random permutation of `{0, ..., n - 1}`, seeded deterministically.
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut values: Vec<u64> = (0..n as u64).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        values.shuffle(&mut rng);
+        Ids { values }
+    }
+
+    /// `n` distinct random IDs drawn from `{0, ..., space - 1}`, emulating a
+    /// polynomial ID space (`space ≈ n^c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space < n as u64`.
+    pub fn random_from_space(n: usize, space: u64, seed: u64) -> Self {
+        assert!(space >= n as u64, "ID space must have at least n values");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut chosen = std::collections::HashSet::with_capacity(n);
+        let mut values = Vec::with_capacity(n);
+        while values.len() < n {
+            let candidate = rng.gen_range(0..space);
+            if chosen.insert(candidate) {
+                values.push(candidate);
+            }
+        }
+        Ids { values }
+    }
+
+    /// Wraps an explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the values are not pairwise distinct.
+    pub fn from_vec(values: Vec<u64>) -> Self {
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        assert!(
+            sorted.windows(2).all(|w| w[0] != w[1]),
+            "IDs must be unique"
+        );
+        Ids { values }
+    }
+
+    /// The ID of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn id(&self, v: NodeId) -> u64 {
+        self.values[v]
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True for the empty assignment.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All IDs, indexed by node.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Number of bits needed to write the largest ID (at least 1).
+    pub fn bit_length(&self) -> u32 {
+        self.values
+            .iter()
+            .copied()
+            .max()
+            .map_or(1, |m| (64 - m.leading_zeros()).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_identity() {
+        let ids = Ids::sequential(5);
+        for v in 0..5 {
+            assert_eq!(ids.id(v), v as u64);
+        }
+        assert_eq!(ids.len(), 5);
+        assert!(!ids.is_empty());
+    }
+
+    #[test]
+    fn random_is_permutation_and_deterministic() {
+        let a = Ids::random(100, 7);
+        let b = Ids::random(100, 7);
+        assert_eq!(a, b);
+        let mut sorted = a.as_slice().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u64>>());
+        let c = Ids::random(100, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_from_space_is_distinct() {
+        let ids = Ids::random_from_space(50, 1_000_000, 3);
+        let mut sorted = ids.as_slice().to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50);
+        assert!(ids.as_slice().iter().all(|&x| x < 1_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least n")]
+    fn random_from_space_checks_capacity() {
+        let _ = Ids::random_from_space(10, 5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn from_vec_rejects_duplicates() {
+        let _ = Ids::from_vec(vec![3, 3]);
+    }
+
+    #[test]
+    fn bit_length_is_sane() {
+        assert_eq!(Ids::from_vec(vec![0]).bit_length(), 1);
+        assert_eq!(Ids::from_vec(vec![1]).bit_length(), 1);
+        assert_eq!(Ids::from_vec(vec![2]).bit_length(), 2);
+        assert_eq!(Ids::from_vec(vec![255]).bit_length(), 8);
+        assert_eq!(Ids::from_vec(vec![256]).bit_length(), 9);
+    }
+}

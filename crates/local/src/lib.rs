@@ -1,0 +1,56 @@
+//! Synchronous LOCAL-model simulator with node-averaged complexity metrics.
+//!
+//! The LOCAL model is the setting of the paper *"Completing the
+//! Node-Averaged Complexity Landscape of LCLs on Trees"* (PODC 2024): an
+//! anonymous synchronous network where per-round messages are unbounded and
+//! the complexity measure is the number of rounds until each node commits to
+//! an output. This crate provides:
+//!
+//! - a faithful message-passing engine ([`engine`]) that records the exact
+//!   round in which every node terminates,
+//! - a ball-view engine ([`view`]) implementing the equivalent
+//!   "collect radius-*r* view, then decide" formulation, used as reference
+//!   semantics for cross-validating fast structural implementations,
+//! - unique-identifier assignments over polynomial ID spaces
+//!   ([`identifiers`]),
+//! - round statistics and the node-averaged complexity measure of Section 2
+//!   of the paper ([`metrics`]),
+//! - numeric helpers, notably `log*` and power-law fitting ([`math`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use lcl_graph::generators::path;
+//! use lcl_local::engine::{run_sync, Action, NodeContext, Protocol};
+//! use lcl_local::identifiers::Ids;
+//!
+//! struct IdEcho;
+//! impl Protocol for IdEcho {
+//!     type Message = ();
+//!     type Output = u64;
+//!     fn step(&mut self, ctx: &NodeContext, _r: u64, _in: &[(usize, ())])
+//!         -> Action<(), u64>
+//!     {
+//!         Action::Output { output: ctx.id, final_messages: vec![] }
+//!     }
+//! }
+//!
+//! let tree = path(4);
+//! let ids = Ids::sequential(4);
+//! let out = run_sync(&tree, &ids, |_| IdEcho, 1)?;
+//! assert_eq!(out.stats.node_averaged(), 0.0);
+//! # Ok::<(), lcl_local::engine::RunError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod identifiers;
+pub mod math;
+pub mod metrics;
+pub mod view;
+
+pub use engine::{run_sync, Action, NodeContext, Protocol, RunError, SyncOutcome};
+pub use identifiers::Ids;
+pub use metrics::RoundStats;

@@ -1,0 +1,196 @@
+//! Small numeric helpers shared by the simulator and the analysis code.
+
+/// The iterated logarithm `log* n` (base 2): the number of times `log₂`
+/// must be applied to `n` before the value drops to at most 1.
+///
+/// `log_star(1) == 0`, `log_star(2) == 1`, `log_star(16) == 3`,
+/// `log_star(65536) == 4`; every `n` representable in a `u64` has
+/// `log_star(n) <= 5`.
+///
+/// # Examples
+///
+/// ```
+/// use lcl_local::math::log_star;
+/// assert_eq!(log_star(65536), 4);
+/// assert_eq!(log_star(1_000_000), 5);
+/// ```
+pub fn log_star(n: u64) -> u32 {
+    let mut x = n as f64;
+    let mut count = 0;
+    while x > 1.0 {
+        x = x.log2();
+        count += 1;
+    }
+    count
+}
+
+/// `⌈log_b(n)⌉` for integer `b ≥ 2`, with `ceil_log(_, 0) == 0` and
+/// `ceil_log(_, 1) == 0`.
+///
+/// # Panics
+///
+/// Panics if `b < 2`.
+pub fn ceil_log(b: u64, n: u64) -> u32 {
+    assert!(b >= 2, "logarithm base must be at least 2");
+    if n <= 1 {
+        return 0;
+    }
+    let mut power = 1u64;
+    let mut count = 0;
+    while power < n {
+        power = power.saturating_mul(b);
+        count += 1;
+    }
+    count
+}
+
+/// `x^y` rounded to the nearest integer, never below 1. Used to turn the
+/// paper's real-valued path lengths (`ℓ_i = n^{α_i}`) into usable sizes.
+pub fn powf_round(x: f64, y: f64) -> usize {
+    (x.powf(y)).round().max(1.0) as usize
+}
+
+/// Ordinary least-squares fit of `ln y = a + c · ln x`, returning the
+/// exponent `c`, the coefficient `e^a`, and the coefficient of
+/// determination `R²`.
+///
+/// This is the estimator the benchmark harness uses to recover the
+/// polynomial-regime exponents of Theorems 1–3 from measured node-averaged
+/// round counts.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or any coordinate is
+/// non-positive.
+pub fn fit_power_law(points: &[(f64, f64)]) -> PowerLawFit {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    assert!(
+        points.iter().all(|&(x, y)| x > 0.0 && y > 0.0),
+        "power-law fit requires positive coordinates"
+    );
+    let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    let exponent = if denom.abs() < f64::EPSILON {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    };
+    let intercept = (sy - exponent * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = logs.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = logs
+        .iter()
+        .map(|p| (p.1 - (intercept + exponent * p.0)).powi(2))
+        .sum();
+    let r_squared = if ss_tot < f64::EPSILON {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    PowerLawFit {
+        exponent,
+        coefficient: intercept.exp(),
+        r_squared,
+    }
+}
+
+/// Result of [`fit_power_law`]: `y ≈ coefficient · x^exponent`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// The fitted exponent `c`.
+    pub exponent: f64,
+    /// The fitted multiplicative constant.
+    pub coefficient: f64,
+    /// Goodness of fit in log–log space (1 = perfect).
+    pub r_squared: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_star_table() {
+        assert_eq!(log_star(0), 0);
+        assert_eq!(log_star(1), 0);
+        assert_eq!(log_star(2), 1);
+        assert_eq!(log_star(3), 2);
+        assert_eq!(log_star(4), 2);
+        assert_eq!(log_star(5), 3);
+        assert_eq!(log_star(16), 3);
+        assert_eq!(log_star(17), 4);
+        assert_eq!(log_star(65536), 4);
+        assert_eq!(log_star(65537), 5);
+        assert_eq!(log_star(u64::MAX), 5);
+    }
+
+    #[test]
+    fn ceil_log_table() {
+        assert_eq!(ceil_log(2, 1), 0);
+        assert_eq!(ceil_log(2, 2), 1);
+        assert_eq!(ceil_log(2, 3), 2);
+        assert_eq!(ceil_log(2, 1024), 10);
+        assert_eq!(ceil_log(2, 1025), 11);
+        assert_eq!(ceil_log(3, 27), 3);
+        assert_eq!(ceil_log(3, 28), 4);
+        assert_eq!(ceil_log(10, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "base")]
+    fn ceil_log_rejects_base_one() {
+        ceil_log(1, 10);
+    }
+
+    #[test]
+    fn powf_round_floors_at_one() {
+        assert_eq!(powf_round(100.0, 0.5), 10);
+        assert_eq!(powf_round(2.0, -3.0), 1);
+        assert_eq!(powf_round(1000.0, 1.0 / 3.0), 10);
+    }
+
+    #[test]
+    fn fit_exact_power_law() {
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| {
+                let x = 10f64.powi(i);
+                (x, 3.0 * x.powf(0.5))
+            })
+            .collect();
+        let fit = fit_power_law(&pts);
+        assert!((fit.exponent - 0.5).abs() < 1e-9, "{fit:?}");
+        assert!((fit.coefficient - 3.0).abs() < 1e-6, "{fit:?}");
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn fit_noisy_power_law() {
+        // Multiplicative noise should barely move the exponent.
+        let noise = [1.1, 0.9, 1.05, 0.95, 1.02, 0.98];
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| {
+                let x = 4f64.powi(i);
+                (x, x.powf(0.33) * noise[(i - 1) as usize])
+            })
+            .collect();
+        let fit = fit_power_law(&pts);
+        assert!((fit.exponent - 0.33).abs() < 0.05, "{fit:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn fit_needs_points() {
+        fit_power_law(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn fit_rejects_nonpositive() {
+        fit_power_law(&[(1.0, 1.0), (0.0, 2.0)]);
+    }
+}

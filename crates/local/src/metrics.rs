@@ -1,0 +1,150 @@
+//! Complexity metrics for LOCAL executions.
+//!
+//! The central quantity of the paper is the *node-averaged complexity*
+//! (Section 2): the average, over all nodes, of the round in which each node
+//! terminates, maximized over instances. An execution yields one termination
+//! round per node; [`RoundStats`] summarizes them.
+
+use serde::Serialize;
+
+/// Per-node termination rounds of one execution, with summary accessors.
+///
+/// # Examples
+///
+/// ```
+/// use lcl_local::metrics::RoundStats;
+/// let s = RoundStats::new(vec![0, 2, 4]);
+/// assert_eq!(s.worst_case(), 4);
+/// assert_eq!(s.node_averaged(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RoundStats {
+    rounds: Vec<u64>,
+}
+
+impl RoundStats {
+    /// Wraps a vector of per-node termination rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is empty (the average would be undefined).
+    pub fn new(rounds: Vec<u64>) -> Self {
+        assert!(!rounds.is_empty(), "round statistics need at least one node");
+        RoundStats { rounds }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Always false; kept for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Termination round of node `v`.
+    pub fn round(&self, v: usize) -> u64 {
+        self.rounds[v]
+    }
+
+    /// The raw per-node rounds.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.rounds
+    }
+
+    /// Total rounds summed over nodes, `Σ_v T_v`.
+    pub fn total(&self) -> u128 {
+        self.rounds.iter().map(|&r| r as u128).sum()
+    }
+
+    /// Node-averaged complexity `(Σ_v T_v) / n` of this execution.
+    pub fn node_averaged(&self) -> f64 {
+        self.total() as f64 / self.rounds.len() as f64
+    }
+
+    /// Worst-case complexity `max_v T_v` of this execution.
+    pub fn worst_case(&self) -> u64 {
+        *self.rounds.iter().max().expect("non-empty")
+    }
+
+    /// Fraction of nodes with termination round at most `r`.
+    pub fn fraction_done_by(&self, r: u64) -> f64 {
+        let done = self.rounds.iter().filter(|&&t| t <= r).count();
+        done as f64 / self.rounds.len() as f64
+    }
+
+    /// Histogram of termination rounds as `(round, count)` pairs sorted by
+    /// round. Useful for inspecting the phase structure of the generic
+    /// algorithms.
+    pub fn histogram(&self) -> Vec<(u64, usize)> {
+        let mut map = std::collections::BTreeMap::new();
+        for &r in &self.rounds {
+            *map.entry(r).or_insert(0usize) += 1;
+        }
+        map.into_iter().collect()
+    }
+
+    /// Merges two executions over disjoint node sets (concatenation).
+    pub fn merged_with(&self, other: &RoundStats) -> RoundStats {
+        let mut rounds = self.rounds.clone();
+        rounds.extend_from_slice(&other.rounds);
+        RoundStats { rounds }
+    }
+}
+
+impl FromIterator<u64> for RoundStats {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        RoundStats::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let s = RoundStats::new(vec![1, 1, 4, 10]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.total(), 16);
+        assert_eq!(s.node_averaged(), 4.0);
+        assert_eq!(s.worst_case(), 10);
+        assert_eq!(s.round(2), 4);
+    }
+
+    #[test]
+    fn fraction_done() {
+        let s = RoundStats::new(vec![0, 1, 2, 3]);
+        assert_eq!(s.fraction_done_by(0), 0.25);
+        assert_eq!(s.fraction_done_by(1), 0.5);
+        assert_eq!(s.fraction_done_by(5), 1.0);
+    }
+
+    #[test]
+    fn histogram_orders_rounds() {
+        let s = RoundStats::new(vec![3, 1, 3, 3, 1]);
+        assert_eq!(s.histogram(), vec![(1, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn merging_concatenates() {
+        let a = RoundStats::new(vec![1, 2]);
+        let b = RoundStats::new(vec![3]);
+        let m = a.merged_with(&b);
+        assert_eq!(m.as_slice(), &[1, 2, 3]);
+        assert_eq!(m.node_averaged(), 2.0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: RoundStats = (0..5u64).collect();
+        assert_eq!(s.worst_case(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_rejected() {
+        let _ = RoundStats::new(vec![]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: build a paper instance, run an algorithm, verify the
+//! output, and read off the node-averaged complexity.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lcl_landscape::core::params;
+use lcl_landscape::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A k = 2 lower-bound instance (Definition 18 / Fig. 3): a level-2
+    //    path whose nodes each carry a level-1 path.
+    let n_target = 100_000;
+    let lengths = params::theorem11_lengths(n_target, 2);
+    let g = LowerBoundGraph::new(&lengths)?;
+    let n = g.tree().node_count();
+    println!("instance: {} nodes, level lengths {:?}", n, lengths);
+
+    // 2. Unique IDs from a seeded permutation (the LOCAL model's only
+    //    symmetry breaker).
+    let ids = Ids::random(n, 42);
+
+    // 3. Run the generic 3½-coloring algorithm (Section 4.1) with the
+    //    Theorem 11 phase parameters.
+    let gammas = params::theorem11_gammas(n, 2);
+    let run = generic_coloring(g.tree(), Variant::ThreeHalf, &gammas, &ids);
+
+    // 4. Verify against the LCL constraints of Definition 9.
+    let problem = HierarchicalColoring::new(2, Variant::ThreeHalf);
+    problem.verify(g.tree(), &vec![(); n], &run.outputs)?;
+    println!("output verified against {}", problem.name());
+
+    // 5. The headline quantities.
+    let stats = run.stats();
+    println!("worst-case rounds:    {}", stats.worst_case());
+    println!("node-averaged rounds: {:.2}", stats.node_averaged());
+    println!(
+        "fraction of nodes done within 5 rounds: {:.1}%",
+        100.0 * stats.fraction_done_by(5)
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! # lcl-landscape
+//!
+//! A complete, executable reproduction of *"Completing the Node-Averaged
+//! Complexity Landscape of LCLs on Trees"* (Balliu, Brandt, Kuhn, Olivetti,
+//! Schmid — PODC 2024): LOCAL-model simulator, every problem family and
+//! algorithm from the paper, the decidability machinery of Section 11, and
+//! a benchmark harness regenerating each figure and theorem.
+//!
+//! This facade crate re-exports the five member crates:
+//!
+//! - [`graph`] — trees, lower-bound constructions, rake-and-compress
+//!   decompositions,
+//! - [`local`] — the synchronous LOCAL engine, IDs, round metrics,
+//! - [`core`] — LCL problem definitions, verifiers, and the complexity
+//!   landscape (`α₁` formulas, parameter synthesis),
+//! - [`algorithms`] — every algorithm in the paper, each reporting exact
+//!   per-node termination rounds,
+//! - [`decidability`] — the black-white formalism, path classification,
+//!   label-sets, and the testing procedure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lcl_landscape::prelude::*;
+//!
+//! // Build a Theorem 11 lower-bound instance and measure the
+//! // node-averaged complexity of the generic 3½-coloring algorithm.
+//! let lengths = lcl_landscape::core::params::theorem11_lengths(50_000, 2);
+//! let g = LowerBoundGraph::new(&lengths)?;
+//! let n = g.tree().node_count();
+//! let ids = Ids::random(n, 7);
+//! let gammas = lcl_landscape::core::params::theorem11_gammas(n, 2);
+//! let run = generic_coloring(g.tree(), Variant::ThreeHalf, &gammas, &ids);
+//!
+//! // Outputs always pass the paper's constraints...
+//! let problem = HierarchicalColoring::new(2, Variant::ThreeHalf);
+//! problem.verify(g.tree(), &vec![(); n], &run.outputs)?;
+//! // ...and node-averaged complexity is far below worst case.
+//! let stats = run.stats();
+//! assert!(stats.node_averaged() * 1.5 < stats.worst_case() as f64);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lcl_algorithms as algorithms;
+pub use lcl_core as core;
+pub use lcl_decidability as decidability;
+pub use lcl_graph as graph;
+pub use lcl_local as local;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use lcl_algorithms::generic_coloring::generic_coloring;
+    pub use lcl_algorithms::AlgorithmRun;
+    pub use lcl_core::coloring::{ColorLabel, HierarchicalColoring, Variant};
+    pub use lcl_core::problem::{LclProblem, Violation};
+    pub use lcl_graph::hierarchical::LowerBoundGraph;
+    pub use lcl_graph::{NodeMask, Tree, TreeBuilder};
+    pub use lcl_local::identifiers::Ids;
+    pub use lcl_local::metrics::RoundStats;
+}

@@ -1,0 +1,67 @@
+//! Cross-validation: the structural algorithm implementations against the
+//! faithful message-passing / ball-view engines on small instances.
+
+use lcl_landscape::algorithms::two_coloring::two_color_path;
+use lcl_landscape::graph::generators::path;
+use lcl_landscape::local::view::{run_views, BallView, ViewAlgorithm};
+use lcl_landscape::prelude::*;
+
+/// View-based 2-coloring: decide once both endpoints are visible, color by
+/// parity from the smaller-ID endpoint — the reference semantics for
+/// `two_color_path`.
+struct TwoColorView;
+
+impl ViewAlgorithm for TwoColorView {
+    type Output = ColorLabel;
+    fn decide(&mut self, view: &BallView<'_>) -> Option<ColorLabel> {
+        if !view.sees_whole_graph() {
+            return None;
+        }
+        // Endpoints of the path: degree-1 nodes (degrees are visible even
+        // at the frontier under the half-edge convention).
+        let mut endpoints: Vec<usize> = view
+            .nodes()
+            .iter()
+            .copied()
+            .filter(|&v| view.degree(v) == 1)
+            .collect();
+        endpoints.sort_by_key(|&v| view.id(v));
+        let anchor = *endpoints.first()?;
+        let dist = view.dist(anchor)?;
+        // Parity relative to the anchor; the anchor itself is White.
+        Some(if dist % 2 == 0 {
+            ColorLabel::White
+        } else {
+            ColorLabel::Black
+        })
+    }
+}
+
+#[test]
+fn two_coloring_matches_view_engine() {
+    for n in [2usize, 3, 9, 24] {
+        let tree = path(n);
+        let ids = Ids::random(n, n as u64);
+        let structural = two_color_path(&tree, &ids);
+        let view = run_views(&tree, &ids, |_| TwoColorView, n as u32 + 2);
+        assert_eq!(view.outputs, structural.outputs, "n = {n}");
+        // Termination rounds agree up to the +1 the ball-view engine needs
+        // to confirm completeness at an endpoint boundary.
+        for v in 0..n {
+            let d = view.stats.round(v) as i64 - structural.rounds[v] as i64;
+            assert!((0..=1).contains(&d), "n = {n}, node {v}: {d}");
+        }
+    }
+}
+
+#[test]
+fn view_engine_rounds_equal_eccentricity_based_rounds() {
+    let n = 15;
+    let tree = path(n);
+    let ids = Ids::sequential(n);
+    let structural = two_color_path(&tree, &ids);
+    for v in 0..n {
+        let ecc = v.max(n - 1 - v) as u64;
+        assert_eq!(structural.rounds[v], ecc);
+    }
+}

@@ -1,0 +1,137 @@
+//! Integration tests spanning all crates: constructions → algorithms →
+//! verifiers → complexity shapes.
+
+use lcl_landscape::algorithms::a35::a35_on_construction;
+use lcl_landscape::algorithms::apoly::apoly_on_construction;
+use lcl_landscape::algorithms::two_coloring::two_color_path;
+use lcl_landscape::algorithms::weight_augmented_solver::solve_weight_augmented;
+use lcl_landscape::core::params;
+use lcl_landscape::core::weight_augmented::WeightAugmented;
+use lcl_landscape::core::weighted::WeightedColoring;
+use lcl_landscape::graph::generators::path;
+use lcl_landscape::graph::weighted::{WeightedConstruction, WeightedParams};
+use lcl_landscape::prelude::*;
+
+fn weighted(n: usize, delta: usize, d: usize, k: usize, poly: bool) -> WeightedConstruction {
+    let x = lcl_landscape::core::landscape::efficiency_x(delta, d);
+    let lengths = if poly {
+        params::poly_lengths((n / k).max(4), x, k)
+    } else {
+        params::log_star_lengths((n / k).max(4), x, k)
+    };
+    WeightedConstruction::new(&WeightedParams {
+        lengths,
+        delta,
+        weight_per_level: n / k,
+    })
+    .unwrap()
+}
+
+#[test]
+fn apoly_verifies_across_parameter_grid() {
+    for (delta, d, k) in [(5usize, 2usize, 2usize), (6, 3, 2), (6, 2, 3)] {
+        let c = weighted(20_000, delta, d, k, true);
+        let n = c.tree().node_count();
+        let ids = Ids::random(n, (delta + d + k) as u64);
+        let run = apoly_on_construction(&c, k, d, &ids);
+        let problem = WeightedColoring::new(Variant::TwoHalf, delta, d, k).unwrap();
+        problem
+            .verify(c.tree(), c.kinds(), &run.outputs)
+            .unwrap_or_else(|e| panic!("(Δ,d,k)=({delta},{d},{k}): {e}"));
+    }
+}
+
+#[test]
+fn a35_verifies_across_parameter_grid() {
+    for (delta, d, k) in [(6usize, 3usize, 2usize), (8, 3, 2), (6, 3, 3)] {
+        let c = weighted(20_000, delta, d, k, false);
+        let n = c.tree().node_count();
+        let ids = Ids::random(n, (delta * d * k) as u64);
+        let run = a35_on_construction(&c, k, d, &ids);
+        let problem = WeightedColoring::new(Variant::ThreeHalf, delta, d, k).unwrap();
+        problem
+            .verify(c.tree(), c.kinds(), &run.outputs)
+            .unwrap_or_else(|e| panic!("(Δ,d,k)=({delta},{d},{k}): {e}"));
+    }
+}
+
+#[test]
+fn weight_augmented_verifies_and_scales_as_sqrt_n() {
+    let mut avgs = Vec::new();
+    for n in [20_000usize, 80_000] {
+        let lengths = params::poly_lengths(n / 2, 1.0, 2);
+        let c = WeightedConstruction::new(&WeightedParams {
+            lengths,
+            delta: 5,
+            weight_per_level: n / 2,
+        })
+        .unwrap();
+        let total = c.tree().node_count();
+        let ids = Ids::random(total, n as u64);
+        let run = solve_weight_augmented(c.tree(), c.kinds(), 2, &ids);
+        WeightAugmented::new(2)
+            .verify(c.tree(), c.kinds(), &run.outputs)
+            .unwrap();
+        avgs.push((total, run.stats().node_averaged()));
+    }
+    // Quadrupling n should roughly double the node-averaged cost (Θ(√n)).
+    let ratio = avgs[1].1 / avgs[0].1;
+    assert!(
+        (1.5..3.0).contains(&ratio),
+        "√n scaling violated: {avgs:?} ratio {ratio}"
+    );
+}
+
+#[test]
+fn node_averaged_beats_worst_case_on_thm11_instances() {
+    // The punchline of the node-averaged measure: on Theorem 11 instances
+    // the generic algorithm's average is much smaller than its worst case.
+    for k in [2usize, 3] {
+        let lengths = params::theorem11_lengths(200_000, k);
+        let g = LowerBoundGraph::new(&lengths).unwrap();
+        let n = g.tree().node_count();
+        let ids = Ids::random(n, k as u64);
+        let gammas = params::theorem11_gammas(n, k);
+        let run = generic_coloring(g.tree(), Variant::ThreeHalf, &gammas, &ids);
+        HierarchicalColoring::new(k, Variant::ThreeHalf)
+            .verify(g.tree(), &vec![(); n], &run.outputs)
+            .unwrap();
+        let stats = run.stats();
+        assert!(
+            stats.node_averaged() * 2.0 < stats.worst_case() as f64,
+            "k={k}: avg {} vs worst {}",
+            stats.node_averaged(),
+            stats.worst_case()
+        );
+    }
+}
+
+#[test]
+fn two_coloring_is_linear_and_three_coloring_is_not() {
+    let n = 60_000;
+    let tree = path(n);
+    let ids = Ids::random(n, 3);
+    let two = two_color_path(&tree, &ids).stats().node_averaged();
+    let three = lcl_landscape::algorithms::linial::three_color_path(&tree, &ids)
+        .stats()
+        .node_averaged();
+    // 2-coloring pays ~3n/4 on average; 3-coloring a small constant.
+    assert!(two > n as f64 / 2.0);
+    assert!(three < 100.0);
+}
+
+#[test]
+fn synthesized_problems_are_buildable() {
+    // Theorem 1's synthesis output can always be instantiated and run.
+    let spec = lcl_landscape::core::landscape::synthesize_poly(0.41, 0.45).unwrap();
+    if let lcl_landscape::core::landscape::PolySpec::Weighted { delta, d, k, .. } = spec {
+        let c = weighted(10_000, delta, d, k, true);
+        let n = c.tree().node_count();
+        let ids = Ids::random(n, 9);
+        let run = apoly_on_construction(&c, k, d, &ids);
+        WeightedColoring::new(Variant::TwoHalf, delta, d, k)
+            .unwrap()
+            .verify(c.tree(), c.kinds(), &run.outputs)
+            .unwrap();
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests for the landscape formulas and the synthesis procedures.
+
+use lcl_landscape::core::landscape::{
+    alpha1_log_star, alpha1_poly, efficiency_x, efficiency_x_prime, synthesize_log_star,
+    synthesize_poly,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn alpha1_poly_in_range(x in 0.0f64..=1.0, k in 1usize..8) {
+        let a = alpha1_poly(x, k);
+        prop_assert!(a > 0.0 && a <= 1.0);
+        // Between the endpoint values.
+        prop_assert!(a >= alpha1_poly(0.0, k) - 1e-12);
+        prop_assert!(a <= alpha1_poly(1.0, k) + 1e-12);
+    }
+
+    #[test]
+    fn alpha1_log_star_in_range(x in 0.0f64..=1.0, k in 1usize..8) {
+        let a = alpha1_log_star(x, k);
+        prop_assert!(a > 0.0 && a <= 1.0);
+    }
+
+    #[test]
+    fn efficiency_factors_ordered(delta in 4usize..60, d_off in 0usize..40) {
+        let d = 1 + d_off % delta.saturating_sub(4).max(1);
+        prop_assume!(delta >= d + 3);
+        let x = efficiency_x(delta, d);
+        let xp = efficiency_x_prime(delta, d);
+        prop_assert!(x > 0.0 && x < 1.0);
+        prop_assert!(xp > x);
+    }
+
+    #[test]
+    fn poly_synthesis_hits_window(lo in 0.06f64..0.44, width in 0.03f64..0.06) {
+        let hi = (lo + width).min(0.5);
+        prop_assume!(hi > lo + 0.02);
+        let spec = synthesize_poly(lo, hi);
+        prop_assert!(spec.is_ok(), "window ({lo}, {hi}): {spec:?}");
+        let c = spec.unwrap().exponent();
+        prop_assert!(c > lo && c < hi, "c = {c} outside ({lo}, {hi})");
+    }
+
+    #[test]
+    fn log_star_synthesis_gap_below_eps(lo in 0.3f64..0.7, eps in 0.03f64..0.15) {
+        let hi = (lo + 0.15).min(0.95);
+        if let Ok(spec) = synthesize_log_star(lo, hi, eps) {
+            prop_assert!(spec.gap() < eps);
+            prop_assert!(spec.lower_exponent >= lo - 1e-9);
+            prop_assert!(spec.delta >= spec.d + 3);
+        }
+    }
+}
