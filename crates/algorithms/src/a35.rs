@@ -142,10 +142,8 @@ pub fn a35_on_construction(
     d: usize,
     ids: &Ids,
 ) -> AlgorithmRun<WeightedOutput> {
-    let x_prime =
-        lcl_core::landscape::efficiency_x_prime(construction.delta(), d).min(1.0);
-    let gammas =
-        lcl_core::params::log_star_gammas(construction.tree().node_count(), x_prime, k);
+    let x_prime = lcl_core::landscape::efficiency_x_prime(construction.delta(), d).min(1.0);
+    let gammas = lcl_core::params::log_star_gammas(construction.tree().node_count(), x_prime, k);
     a35(
         construction.tree(),
         construction.kinds(),

@@ -190,8 +190,7 @@ mod tests {
         d: usize,
         run: &AlgorithmRun<WeightedOutput>,
     ) {
-        let problem =
-            WeightedColoring::new(Variant::TwoHalf, construction.delta(), d, k).unwrap();
+        let problem = WeightedColoring::new(Variant::TwoHalf, construction.delta(), d, k).unwrap();
         problem
             .verify(construction.tree(), construction.kinds(), &run.outputs)
             .unwrap_or_else(|e| panic!("invalid Π^2.5 output: {e}"));

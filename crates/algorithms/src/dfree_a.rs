@@ -161,8 +161,7 @@ fn witness_phi(
     for &(u, du) in ball {
         for &w in tree.neighbors(u) {
             let w = w as usize;
-            if mask.contains(w) && in_ball.get(&w) == Some(&(du + 1)) && !parent.contains_key(&w)
-            {
+            if mask.contains(w) && in_ball.get(&w) == Some(&(du + 1)) && !parent.contains_key(&w) {
                 parent.insert(w, u);
                 children.entry(u).or_default().push(w);
             }
@@ -247,10 +246,7 @@ mod tests {
     fn no_a_nodes_means_all_decline() {
         let tree = random_bounded_degree_tree(100, 4, 1);
         let run = run_and_verify(&tree, &[], 2);
-        assert!(run
-            .outputs
-            .iter()
-            .all(|&o| o == Some(DfreeOutput::Decline)));
+        assert!(run.outputs.iter().all(|&o| o == Some(DfreeOutput::Decline)));
         assert!(run.copy_components.is_empty());
     }
 
@@ -259,10 +255,7 @@ mod tests {
         // Two A-nodes at the ends of a short path: the whole path connects.
         let tree = path(6);
         let run = run_and_verify(&tree, &[0, 5], 1);
-        assert!(run
-            .outputs
-            .iter()
-            .all(|&o| o == Some(DfreeOutput::Connect)));
+        assert!(run.outputs.iter().all(|&o| o == Some(DfreeOutput::Connect)));
         assert!(run.copy_components.is_empty());
     }
 

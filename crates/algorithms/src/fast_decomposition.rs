@@ -86,12 +86,7 @@ fn base_round(iteration: u32) -> u64 {
 ///
 /// Panics if `d == 0` or if an internal invariant (every node eventually
 /// decides) is violated.
-pub fn fast_dfree(
-    tree: &Tree,
-    mask: &NodeMask,
-    input: &[DfreeInput],
-    d: usize,
-) -> FastWeightRun {
+pub fn fast_dfree(tree: &Tree, mask: &NodeMask, input: &[DfreeInput], d: usize) -> FastWeightRun {
     assert!(d >= 1, "the weighted problems require d >= 1");
     let n = tree.node_count();
     let mut outputs: Vec<Option<DfreeOutput>> = vec![None; n];
@@ -209,10 +204,7 @@ pub fn fast_dfree(
         }
 
         // ---- Compress pass (relaxed, chains of length >= ELL). ----
-        let chain_mask = NodeMask::from_nodes(
-            n,
-            remaining.iter().filter(|&v| degree[v] == 2),
-        );
+        let chain_mask = NodeMask::from_nodes(n, remaining.iter().filter(|&v| degree[v] == 2));
         if !chain_mask.is_empty() {
             for p in induced_paths(tree, &chain_mask) {
                 if p.nodes.len() < ELL {
@@ -294,11 +286,7 @@ fn process_assigned(
     for &k in kids.iter().take(prune) {
         cascade_decline(tree, k, base, oriented, outputs, rounds, pending, claimed);
     }
-    let kept: u64 = kids
-        .iter()
-        .skip(prune)
-        .map(|&k| pending_size[k])
-        .sum();
+    let kept: u64 = kids.iter().skip(prune).map(|&k| pending_size[k]).sum();
 
     if input[v] == DfreeInput::Adjacent {
         // Adapted rule 1: the border declines; v and everything claimed on
@@ -584,7 +572,16 @@ fn cascade_decline_children(
     claimed: &NodeMask,
 ) {
     for &w in oriented[start].clone().iter() {
-        cascade_decline(tree, w as usize, base + 1, oriented, outputs, rounds, pending, claimed);
+        cascade_decline(
+            tree,
+            w as usize,
+            base + 1,
+            oriented,
+            outputs,
+            rounds,
+            pending,
+            claimed,
+        );
     }
 }
 
@@ -689,8 +686,7 @@ mod tests {
             let n = 2000;
             let tree = random_bounded_degree_tree(n, 4, seed);
             let run = run_standalone(&tree, &[], 3);
-            let avg: f64 =
-                run.rounds.iter().map(|&r| r as f64).sum::<f64>() / n as f64;
+            let avg: f64 = run.rounds.iter().map(|&r| r as f64).sum::<f64>() / n as f64;
             // Node-averaged rounds stay near the pre-step constant;
             // doubling n must not move it much (checked across seeds here
             // and across sizes in the integration tests).
@@ -769,10 +765,7 @@ mod tests {
     fn close_a_nodes_connect() {
         let tree = path(4);
         let run = run_standalone(&tree, &[0, 3], 3);
-        assert!(run
-            .outputs
-            .iter()
-            .all(|&o| o == Some(DfreeOutput::Connect)));
+        assert!(run.outputs.iter().all(|&o| o == Some(DfreeOutput::Connect)));
         assert!(run.components.is_empty());
     }
 
@@ -808,16 +801,12 @@ mod tests {
             let n = 1 << exp;
             let tree = balanced_weight_tree(n, 5);
             let run = run_standalone(&tree, &[], 3);
-            let avg: f64 =
-                run.rounds.iter().map(|&r| r as f64).sum::<f64>() / n as f64;
+            let avg: f64 = run.rounds.iter().map(|&r| r as f64).sum::<f64>() / n as f64;
             avgs.push(avg);
         }
         // Quadrupling n twice should leave the average nearly flat
         // (geometric pending decay, Corollary 47).
-        assert!(
-            avgs[2] <= avgs[0] * 1.5 + 3.0,
-            "averages grew: {avgs:?}"
-        );
+        assert!(avgs[2] <= avgs[0] * 1.5 + 3.0, "averages grew: {avgs:?}");
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub fn generic_coloring_masked(
 ) -> MaskedRun {
     let k = levels.k();
     assert_eq!(gammas.len(), k - 1, "need k - 1 phase parameters");
-    assert!(gammas.iter().all(|&g| g >= 1), "phase parameters must be positive");
+    assert!(
+        gammas.iter().all(|&g| g >= 1),
+        "phase parameters must be positive"
+    );
     let n = tree.node_count();
     let mut outputs: Vec<Option<ColorLabel>> = vec![None; n];
     let mut rounds: Vec<u64> = vec![0; n];
@@ -166,10 +169,8 @@ fn fix_level_paths(
     undecided: &mut NodeMask,
 ) {
     let n = tree.node_count();
-    let level_mask = NodeMask::from_nodes(
-        n,
-        undecided.iter().filter(|&v| levels.level(v) == level),
-    );
+    let level_mask =
+        NodeMask::from_nodes(n, undecided.iter().filter(|&v| levels.level(v) == level));
     if level_mask.is_empty() {
         return;
     }

@@ -84,7 +84,10 @@ pub fn solve_hierarchical_labeling_rooted(
                 gamma,
             };
         }
-        assert!(gamma <= 4 * n, "γ diverged; decomposition cannot fit in k layers");
+        assert!(
+            gamma <= 4 * n,
+            "γ diverged; decomposition cannot fit in k layers"
+        );
         gamma *= 2;
     }
 }

@@ -33,7 +33,7 @@ fn is_prime(n: u64) -> bool {
     }
     let mut d = 2;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 1;
@@ -111,9 +111,9 @@ fn linial_round(
         let mut chosen = None;
         for a in 0..p.q {
             let own = poly_eval(colors[v], p.q, p.digits, a);
-            let clash = neighbor_colors.iter().any(|&cw| {
-                cw != colors[v] && poly_eval(cw, p.q, p.digits, a) == own
-            });
+            let clash = neighbor_colors
+                .iter()
+                .any(|&cw| cw != colors[v] && poly_eval(cw, p.q, p.digits, a) == own);
             if !clash {
                 chosen = Some(a * p.q + own);
                 break;
@@ -330,11 +330,7 @@ mod tests {
             let mask = NodeMask::full(n);
             let res = linial_coloring(&tree, &ids, &mask, 2);
             let space = ids.as_slice().iter().max().unwrap() + 1;
-            assert_eq!(
-                res.rounds,
-                linial_round_count(space.max(3), 2),
-                "n = {n}"
-            );
+            assert_eq!(res.rounds, linial_round_count(space.max(3), 2), "n = {n}");
         }
     }
 
@@ -367,9 +363,9 @@ mod tests {
                     let mut chosen = None;
                     for a in 0..p.q {
                         let own = poly_eval(self.color, p.q, p.digits, a);
-                        let clash = neighbor_colors.iter().any(|&cw| {
-                            cw != self.color && poly_eval(cw, p.q, p.digits, a) == own
-                        });
+                        let clash = neighbor_colors
+                            .iter()
+                            .any(|&cw| cw != self.color && poly_eval(cw, p.q, p.digits, a) == own);
                         if !clash {
                             chosen = Some(a * p.q + own);
                             break;

@@ -75,7 +75,10 @@ pub fn randomized_three_color_path(tree: &Tree, seed: u64) -> AlgorithmRun<Color
         undecided = still;
     }
 
-    let outputs = output.into_iter().map(|c| c.expect("all finalized")).collect();
+    let outputs = output
+        .into_iter()
+        .map(|c| c.expect("all finalized"))
+        .collect();
     AlgorithmRun::new(outputs, rounds)
 }
 

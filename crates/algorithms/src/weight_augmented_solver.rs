@@ -126,7 +126,10 @@ pub fn solve_weight_augmented(
         let mut secondary: Vec<Option<SecondaryOutput>> = vec![None; comp.len()];
         let mut ready: Vec<u64> = vec![0; comp.len()];
         let local_of = |global: NodeId| -> usize {
-            mapping.iter().position(|&g| g == global).expect("in component")
+            mapping
+                .iter()
+                .position(|&g| g == global)
+                .expect("in component")
         };
         // In-pointers within the component.
         let mut in_pointers: Vec<Vec<usize>> = vec![Vec::new(); comp.len()];
@@ -221,7 +224,11 @@ mod tests {
         .unwrap()
     }
 
-    fn solve_and_verify(c: &WeightedConstruction, k: usize, seed: u64) -> AlgorithmRun<AugmentedOutput> {
+    fn solve_and_verify(
+        c: &WeightedConstruction,
+        k: usize,
+        seed: u64,
+    ) -> AlgorithmRun<AugmentedOutput> {
         let n = c.tree().node_count();
         let ids = Ids::random(n, seed);
         let run = solve_weight_augmented(c.tree(), c.kinds(), k, &ids);

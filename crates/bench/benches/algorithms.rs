@@ -44,7 +44,8 @@ fn bench_generic(c: &mut Criterion) {
 fn bench_apoly(c: &mut Criterion) {
     let mut group = c.benchmark_group("apoly_end_to_end");
     group.sample_size(10);
-    for n in [20_000usize] {
+    {
+        let n = 20_000usize;
         let x = lcl_core::landscape::efficiency_x(5, 2);
         let lengths = params::poly_lengths(n / 2, x, 2);
         let construction = WeightedConstruction::new(&WeightedParams {

@@ -73,7 +73,10 @@ fn main() {
     table.print();
     let two_fit = fit_points(&two_points);
     let sqrt_fit = fit_points(&sqrt_points);
-    println!("\n2-coloring fitted exponent:      {}", f3(two_fit.exponent));
+    println!(
+        "\n2-coloring fitted exponent:      {}",
+        f3(two_fit.exponent)
+    );
     println!("√n-family fitted exponent:       {}", f3(sqrt_fit.exponent));
     println!(
         "gap visible (≈1 vs ≈0.5, nothing between): {}",

@@ -25,8 +25,16 @@ fn main() {
             RegionKind::Dense => "dense",
             RegionKind::Gap => "GAP",
         };
-        regions_table.row(&[r.range.to_string(), kind.to_string(), r.provenance.to_string()]);
-        regions_rec.push((r.range.to_string(), kind.to_string(), r.provenance.to_string()));
+        regions_table.row(&[
+            r.range.to_string(),
+            kind.to_string(),
+            r.provenance.to_string(),
+        ]);
+        regions_rec.push((
+            r.range.to_string(),
+            kind.to_string(),
+            r.provenance.to_string(),
+        ));
     }
     regions_table.print();
 
@@ -67,8 +75,7 @@ fn main() {
     );
     for n in [10_000usize, 100_000, 1_000_000] {
         let tree = lcl_graph::generators::path(n);
-        let run =
-            lcl_algorithms::randomized::randomized_three_color_path(&tree, n as u64);
+        let run = lcl_algorithms::randomized::randomized_three_color_path(&tree, n as u64);
         let stats = run.stats();
         rtable.row(&[
             n.to_string(),

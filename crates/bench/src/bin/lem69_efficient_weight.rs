@@ -72,9 +72,7 @@ fn main() {
         });
     }
     table.print();
-    let ok = rows
-        .iter()
-        .all(|r| (r.fitted - r.predicted).abs() < 0.12);
+    let ok = rows.iter().all(|r| (r.fitted - r.predicted).abs() < 0.12);
     println!(
         "\nshape check (fitted within 0.12 of 1/k): {}",
         if ok { "PASS" } else { "FAIL" }

@@ -25,7 +25,13 @@ struct Row {
 fn main() {
     let mut table = Table::new(
         "Theorem 11 — k-hierarchical 3½-coloring on Def. 18 instances",
-        &["k", "n", "node-avg rounds", "worst-case", "t = (log* n)^(1/2^(k-1))"],
+        &[
+            "k",
+            "n",
+            "node-avg rounds",
+            "worst-case",
+            "t = (log* n)^(1/2^(k-1))",
+        ],
     );
     let mut rows = Vec::new();
     for k in 1..=3usize {
@@ -54,9 +60,9 @@ fn main() {
     // in k (deeper hierarchies amortize better), while worst case is not.
     let largest: Vec<&Row> = rows.iter().filter(|r| r.n > 500_000).collect();
     if largest.len() >= 2 {
-        let ok = largest.windows(2).all(|w| {
-            w[1].node_averaged <= w[0].node_averaged * 1.25
-        });
+        let ok = largest
+            .windows(2)
+            .all(|w| w[1].node_averaged <= w[0].node_averaged * 1.25);
         println!(
             "\nshape check (node-avg non-increasing in k at fixed n): {}",
             if ok { "PASS" } else { "FAIL" }

@@ -29,7 +29,12 @@ fn main() {
     let sizes = [200_000usize, 400_000, 800_000, 1_600_000];
     let mut table = Table::new(
         "Theorem 1 — density of Θ(n^c) in (0, 1/2]",
-        &["window", "synthesized LCL", "c (exact)", "measured exponent"],
+        &[
+            "window",
+            "synthesized LCL",
+            "c (exact)",
+            "measured exponent",
+        ],
     );
     let mut rows = Vec::new();
     for (r1, r2) in windows {

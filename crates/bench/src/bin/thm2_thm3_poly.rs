@@ -37,7 +37,16 @@ fn main() {
     ];
     let mut table = Table::new(
         "Theorems 2 & 3 — Π^2.5_{Δ,d,k} measured vs predicted exponents",
-        &["Δ", "d", "k", "x", "α₁ (paper)", "raw fit", "waiting-mass fit", "R²"],
+        &[
+            "Δ",
+            "d",
+            "k",
+            "x",
+            "α₁ (paper)",
+            "raw fit",
+            "waiting-mass fit",
+            "R²",
+        ],
     );
     let mut rows = Vec::new();
     for (delta, d, k) in grid {
@@ -74,8 +83,14 @@ fn main() {
 
     // Shape verdicts the paper's landscape depends on.
     let monotone_in_d = {
-        let a = rows.iter().find(|r| (r.delta, r.d, r.k) == (8, 2, 2)).unwrap();
-        let b = rows.iter().find(|r| (r.delta, r.d, r.k) == (8, 4, 2)).unwrap();
+        let a = rows
+            .iter()
+            .find(|r| (r.delta, r.d, r.k) == (8, 2, 2))
+            .unwrap();
+        let b = rows
+            .iter()
+            .find(|r| (r.delta, r.d, r.k) == (8, 4, 2))
+            .unwrap();
         a.fitted > b.fitted
     };
     println!(

@@ -27,8 +27,14 @@ fn main() {
     let mut table = Table::new(
         "Theorems 4 & 5 — Π^3.5_{Δ,d,k}: node-avg vs (log* n)^α bounds",
         &[
-            "Δ", "d", "k", "n", "node-avg", "worst",
-            "(log*)^α₁(x)", "(log*)^α₁(x')",
+            "Δ",
+            "d",
+            "k",
+            "n",
+            "node-avg",
+            "worst",
+            "(log*)^α₁(x)",
+            "(log*)^α₁(x')",
         ],
     );
     let mut rows = Vec::new();

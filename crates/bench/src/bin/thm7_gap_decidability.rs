@@ -61,10 +61,18 @@ fn main() {
     // --- Testing procedure + constant-good check (Theorem 7 pipeline). ---
     let mut table = Table::new(
         "Good / constant-good function search (Algorithm 1 + Def. 80)",
-        &["BW problem", "good f found", "constant-good", "implied node-avg"],
+        &[
+            "BW problem",
+            "good f found",
+            "constant-good",
+            "implied node-avg",
+        ],
     );
     let bw_battery: Vec<(String, BwProblem)> = vec![
-        ("all-edges-equal (2 labels)".into(), BwProblem::all_equal(2, 2)),
+        (
+            "all-edges-equal (2 labels)".into(),
+            BwProblem::all_equal(2, 2),
+        ),
         ("edge 2-coloring".into(), BwProblem::edge_coloring(2, 2)),
         ("edge 3-coloring".into(), BwProblem::edge_coloring(3, 2)),
         ("edge 4-coloring".into(), BwProblem::edge_coloring(4, 2)),
@@ -81,9 +89,7 @@ fn main() {
         table.row(&[
             name.clone(),
             report.good_function.clone().unwrap_or_else(|| "-".into()),
-            report
-                .constant_good
-                .map_or("-".into(), |b| b.to_string()),
+            report.constant_good.map_or("-".into(), |b| b.to_string()),
             implied.to_string(),
         ]);
         bw_rows.push(BwRow {
@@ -98,8 +104,5 @@ fn main() {
         "\nTheorem 7's gap: every problem lands in O(1) or ≥ (log* n)^c — \
          nothing strictly between ω(1) and (log* n)^o(1)."
     );
-    save_json(
-        "thm7_gap_decidability",
-        &(path_rows, bw_rows),
-    );
+    save_json("thm7_gap_decidability", &(path_rows, bw_rows));
 }

@@ -159,7 +159,7 @@ mod tests {
     fn weighted_instance_has_requested_scale() {
         let c = weighted_instance(4_000, 5, 2, 2, true);
         let total = c.tree().node_count();
-        assert!(total >= 2_000 && total <= 16_000, "total = {total}");
+        assert!((2_000..=16_000).contains(&total), "total = {total}");
         assert!(c.weight_count() >= 1_000);
     }
 
@@ -186,9 +186,24 @@ mod tests {
     #[test]
     fn fit_recovers_shape() {
         let pts = vec![
-            Point { n: 1_000, node_averaged: 31.6, worst_case: 100, waiting_averaged: 31.6 },
-            Point { n: 10_000, node_averaged: 100.0, worst_case: 400, waiting_averaged: 100.0 },
-            Point { n: 100_000, node_averaged: 316.0, worst_case: 1_600, waiting_averaged: 316.0 },
+            Point {
+                n: 1_000,
+                node_averaged: 31.6,
+                worst_case: 100,
+                waiting_averaged: 31.6,
+            },
+            Point {
+                n: 10_000,
+                node_averaged: 100.0,
+                worst_case: 400,
+                waiting_averaged: 100.0,
+            },
+            Point {
+                n: 100_000,
+                node_averaged: 316.0,
+                worst_case: 1_600,
+                waiting_averaged: 316.0,
+            },
         ];
         let fit = fit_points(&pts);
         assert!((fit.exponent - 0.5).abs() < 0.01, "{fit:?}");

@@ -51,7 +51,10 @@ impl fmt::Display for ColorLabel {
 impl ColorLabel {
     /// True for the three 3½-coloring colors `R`, `G`, `Y`.
     pub fn is_rgy(self) -> bool {
-        matches!(self, ColorLabel::Red | ColorLabel::Green | ColorLabel::Yellow)
+        matches!(
+            self,
+            ColorLabel::Red | ColorLabel::Green | ColorLabel::Yellow
+        )
     }
 
     /// True for the two path colors `W`, `B`.
@@ -363,7 +366,7 @@ mod tests {
     fn caterpillar_exemption_rules() {
         let p = HierarchicalColoring::new(2, Variant::TwoHalf);
         let t = caterpillar(3, 3); // spine 0,1,2; leaves 3..12
-        // Leaves decline; spine must then 2-color (no exemptions).
+                                   // Leaves decline; spine must then 2-color (no exemptions).
         let mut out = vec![Decline; 12];
         out[0] = White;
         out[1] = Black;

@@ -96,9 +96,7 @@ impl LclProblem for DFreeWeight {
                     if connects < need {
                         return Err(Violation::new(
                             v,
-                            format!(
-                                "Connect node has {connects} Connect neighbors, needs {need}"
-                            ),
+                            format!("Connect node has {connects} Connect neighbors, needs {need}"),
                         ));
                     }
                 }

@@ -324,8 +324,8 @@ mod tests {
         let t = star(5);
         let p = HierarchicalLabeling::new(2);
         let mut out = vec![LabelingOutput::new(Rake(2), None); 5];
-        for leaf in 1..5 {
-            out[leaf] = LabelingOutput::new(Rake(1), Some(port_of(&t, leaf, 0)));
+        for (leaf, slot) in out.iter_mut().enumerate().skip(1) {
+            *slot = LabelingOutput::new(Rake(1), Some(port_of(&t, leaf, 0)));
         }
         let input = vec![(); 5];
         assert!(p.verify(&t, &input, &out).is_ok());
@@ -341,7 +341,7 @@ mod tests {
             LabelingOutput::new(Rake(1), None),
             LabelingOutput::new(Rake(1), Some(0)),
         ];
-        let err = p.verify(&t, &vec![(); 3], &out).unwrap_err();
+        let err = p.verify(&t, &[(); 3], &out).unwrap_err();
         assert!(err.rule.contains("unoriented"), "{err}");
     }
 
@@ -354,7 +354,7 @@ mod tests {
             LabelingOutput::new(Rake(2), Some(0)),
             LabelingOutput::new(Rake(1), None),
         ];
-        let err = p.verify(&t, &vec![(); 2], &out).unwrap_err();
+        let err = p.verify(&t, &[(); 2], &out).unwrap_err();
         assert!(err.rule.contains("smaller label"), "{err}");
     }
 
@@ -363,16 +363,17 @@ mod tests {
     fn compress_path_accepted() {
         let t = path(6);
         let p = HierarchicalLabeling::new(2);
-        let mut out = Vec::new();
-        // Node 0: R2 endpoint; receives orientation from node 1.
-        out.push(LabelingOutput::new(Rake(2), None));
-        // Node 1..4: C1; endpoints of the compress run point outward.
-        out.push(LabelingOutput::new(Compress(1), Some(port_of(&t, 1, 0))));
-        out.push(LabelingOutput::new(Compress(1), None));
-        out.push(LabelingOutput::new(Compress(1), None));
-        out.push(LabelingOutput::new(Compress(1), Some(port_of(&t, 4, 5))));
-        out.push(LabelingOutput::new(Rake(2), None));
-        assert!(p.verify(&t, &vec![(); 6], &out).is_ok());
+        let out = vec![
+            // Node 0: R2 endpoint; receives orientation from node 1.
+            LabelingOutput::new(Rake(2), None),
+            // Node 1..4: C1; endpoints of the compress run point outward.
+            LabelingOutput::new(Compress(1), Some(port_of(&t, 1, 0))),
+            LabelingOutput::new(Compress(1), None),
+            LabelingOutput::new(Compress(1), None),
+            LabelingOutput::new(Compress(1), Some(port_of(&t, 4, 5))),
+            LabelingOutput::new(Rake(2), None),
+        ];
+        assert!(p.verify(&t, &[(); 6], &out).is_ok());
     }
 
     #[test]
@@ -388,7 +389,7 @@ mod tests {
         ];
         out[1] = LabelingOutput::new(Compress(1), Some(port_of(&t, 1, 0)));
         out[3] = LabelingOutput::new(Compress(1), Some(port_of(&t, 3, 4)));
-        let err = p.verify(&t, &vec![(); 5], &out).unwrap_err();
+        let err = p.verify(&t, &[(); 5], &out).unwrap_err();
         assert!(err.rule.contains("interior compress"), "{err}");
     }
 
@@ -402,7 +403,7 @@ mod tests {
             LabelingOutput::new(Compress(2), Some(1)),
             LabelingOutput::new(Rake(3), None),
         ];
-        let err = p.verify(&t, &vec![(); 4], &out).unwrap_err();
+        let err = p.verify(&t, &[(); 4], &out).unwrap_err();
         assert!(err.rule.contains("distinct compress"), "{err}");
     }
 
@@ -412,7 +413,7 @@ mod tests {
         let p = HierarchicalLabeling::new(2);
         // Everything C1: center has 3 same-compress neighbors.
         let out = vec![LabelingOutput::new(Compress(1), None); 4];
-        let err = p.verify(&t, &vec![(); 4], &out).unwrap_err();
+        let err = p.verify(&t, &[(); 4], &out).unwrap_err();
         assert!(err.rule.contains("degree 3 > 2"), "{err}");
     }
 
@@ -426,7 +427,7 @@ mod tests {
             LabelingOutput::new(Rake(2), None),
             LabelingOutput::new(Compress(1), Some(0)),
         ];
-        let err = p.verify(&t, &vec![(); 3], &out).unwrap_err();
+        let err = p.verify(&t, &[(); 3], &out).unwrap_err();
         assert!(err.rule.contains("compress neighbors point"), "{err}");
     }
 
@@ -441,7 +442,7 @@ mod tests {
             LabelingOutput::new(Compress(1), Some(0)),
             LabelingOutput::new(Rake(2), Some(0)),
         ];
-        let err = p.verify(&t, &vec![(); 3], &out).unwrap_err();
+        let err = p.verify(&t, &[(); 3], &out).unwrap_err();
         assert!(err.rule.contains("strictly below"), "{err}");
     }
 
@@ -452,7 +453,7 @@ mod tests {
         let t = path(3);
         let p = HierarchicalLabeling::new(2);
         let mask = NodeMask::from_nodes(3, [1, 2]);
-        let out = vec![
+        let out = [
             LabelingOutput::new(Rake(1), None), // ignored (outside mask)
             LabelingOutput::new(Rake(1), Some(port_of(&t, 1, 0))),
             LabelingOutput::new(Rake(2), None),
@@ -464,7 +465,7 @@ mod tests {
         assert!(err.rule.contains("unoriented"), "{err}");
         // Fix: node 2 has no out-edge; let node 1 point at 2 instead and
         // node 2 be the sink.
-        let out = vec![
+        let out = [
             LabelingOutput::new(Rake(1), None),
             LabelingOutput::new(Rake(1), Some(port_of(&t, 1, 2))),
             LabelingOutput::new(Rake(2), None),

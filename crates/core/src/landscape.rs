@@ -249,14 +249,16 @@ pub fn synthesize_poly(r1: f64, r2: f64) -> Result<PolySpec, LandscapeError> {
         if win_lo >= win_hi {
             continue;
         }
-        if let Some(spec) = search_delta_d(win_lo, win_hi, |x| alpha1_poly(x, k)).map(
-            |(delta, d, exponent)| PolySpec::Weighted {
-                delta,
-                d,
-                k,
-                exponent,
-            },
-        ) {
+        if let Some(spec) =
+            search_delta_d(win_lo, win_hi, |x| alpha1_poly(x, k)).map(|(delta, d, exponent)| {
+                PolySpec::Weighted {
+                    delta,
+                    d,
+                    k,
+                    exponent,
+                }
+            })
+        {
             return Ok(spec);
         }
     }
@@ -318,10 +320,7 @@ pub fn synthesize_log_star(r1: f64, r2: f64, eps: f64) -> Result<LogStarSpec, La
             if let Some((dd, d, lower)) =
                 search_delta_d_at(delta, win_lo, win_hi, |x| alpha1_log_star(x, k))
             {
-                let upper = alpha1_log_star(
-                    efficiency_x_prime(dd, d).min(1.0),
-                    k,
-                );
+                let upper = alpha1_log_star(efficiency_x_prime(dd, d).min(1.0), k);
                 let spec = LogStarSpec {
                     delta: dd,
                     d,
@@ -588,9 +587,15 @@ mod tests {
 
     #[test]
     fn synthesize_poly_hits_windows() {
-        for (r1, r2) in [(0.2, 0.3), (0.3, 0.4), (0.12, 0.17), (0.4, 0.5), (0.05, 0.07)] {
-            let spec = synthesize_poly(r1, r2)
-                .unwrap_or_else(|e| panic!("window ({r1}, {r2}): {e}"));
+        for (r1, r2) in [
+            (0.2, 0.3),
+            (0.3, 0.4),
+            (0.12, 0.17),
+            (0.4, 0.5),
+            (0.05, 0.07),
+        ] {
+            let spec =
+                synthesize_poly(r1, r2).unwrap_or_else(|e| panic!("window ({r1}, {r2}): {e}"));
             let c = spec.exponent();
             assert!(c > r1 && c < r2, "window ({r1}, {r2}) got {c} via {spec:?}");
         }
@@ -650,9 +655,7 @@ mod tests {
             .count();
         assert_eq!(gaps, 3);
         assert_eq!(dense, 2);
-        assert!(regions
-            .iter()
-            .any(|r| r.provenance.contains("Theorem 7")));
+        assert!(regions.iter().any(|r| r.provenance.contains("Theorem 7")));
         assert!(regions
             .iter()
             .any(|r| r.provenance.contains("Corollary 60")));

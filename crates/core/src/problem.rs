@@ -25,7 +25,11 @@ impl Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "constraint violated at node {}: {}", self.node, self.rule)
+        write!(
+            f,
+            "constraint violated at node {}: {}",
+            self.node, self.rule
+        )
     }
 }
 

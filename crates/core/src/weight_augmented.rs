@@ -114,7 +114,10 @@ impl LclProblem for WeightAugmented {
             _ => unreachable!("checked by alphabet discipline"),
         };
         let weight_out = |v: NodeId| match output[v] {
-            AugmentedOutput::Weight { labeling, secondary } => (labeling, secondary),
+            AugmentedOutput::Weight {
+                labeling,
+                secondary,
+            } => (labeling, secondary),
             _ => unreachable!("checked by alphabet discipline"),
         };
 
@@ -139,8 +142,7 @@ impl LclProblem for WeightAugmented {
                 .map(|&w| w as usize)
                 .filter(|&w| input[w] == NodeKind::Active)
                 .collect();
-            let out_neighbor: Option<NodeId> =
-                lab.out_port.map(|p| tree.neighbors(v)[p] as usize);
+            let out_neighbor: Option<NodeId> = lab.out_port.map(|p| tree.neighbors(v)[p] as usize);
 
             if !active_neighbors.is_empty() {
                 // Rule 3: orient toward exactly one active neighbor and copy
@@ -234,7 +236,11 @@ mod tests {
             .unwrap()
     }
 
-    fn w(label: crate::labeling::HierLabel, port: Option<usize>, s: SecondaryOutput) -> AugmentedOutput {
+    fn w(
+        label: crate::labeling::HierLabel,
+        port: Option<usize>,
+        s: SecondaryOutput,
+    ) -> AugmentedOutput {
         AugmentedOutput::Weight {
             labeling: LabelingOutput::new(label, port),
             secondary: s,
@@ -284,7 +290,11 @@ mod tests {
                 Some(port_of(&t, 2, 3)),
                 SecondaryOutput::Color(Black),
             ),
-            w(Rake(1), Some(port_of(&t, 3, 2)), SecondaryOutput::Color(Black)),
+            w(
+                Rake(1),
+                Some(port_of(&t, 3, 2)),
+                SecondaryOutput::Color(Black),
+            ),
         ];
         let err = p.verify(&t, &input, &out).unwrap_err();
         assert!(err.rule.contains("orient toward one"), "{err}");
@@ -302,7 +312,11 @@ mod tests {
                 Some(port_of(&t, 2, 1)),
                 SecondaryOutput::Color(White), // should be Black
             ),
-            w(Rake(1), Some(port_of(&t, 3, 2)), SecondaryOutput::Color(White)),
+            w(
+                Rake(1),
+                Some(port_of(&t, 3, 2)),
+                SecondaryOutput::Color(White),
+            ),
         ];
         let err = p.verify(&t, &input, &out).unwrap_err();
         assert!(err.rule.contains("differs from oriented"), "{err}");
@@ -315,7 +329,11 @@ mod tests {
         let out = vec![
             AugmentedOutput::Active(White),
             AugmentedOutput::Active(Black),
-            w(Rake(1), Some(port_of(&t, 2, 1)), SecondaryOutput::Color(Black)),
+            w(
+                Rake(1),
+                Some(port_of(&t, 2, 1)),
+                SecondaryOutput::Color(Black),
+            ),
             w(
                 Rake(1),
                 Some(port_of(&t, 3, 2)),
@@ -333,7 +351,11 @@ mod tests {
         let out = vec![
             AugmentedOutput::Active(White),
             AugmentedOutput::Active(Black),
-            w(Rake(1), Some(port_of(&t, 2, 1)), SecondaryOutput::Color(Black)),
+            w(
+                Rake(1),
+                Some(port_of(&t, 2, 1)),
+                SecondaryOutput::Color(Black),
+            ),
             w(Rake(1), Some(port_of(&t, 3, 2)), SecondaryOutput::Decline),
         ];
         let err = p.verify(&t, &input, &out).unwrap_err();
@@ -353,19 +375,35 @@ mod tests {
         let out = vec![
             AugmentedOutput::Active(White),
             // Node 1: rake R2 adjacent to active; orients to 0; copies W.
-            w(Rake(2), Some(port_of(&t, 1, 0)), SecondaryOutput::Color(White)),
+            w(
+                Rake(2),
+                Some(port_of(&t, 1, 0)),
+                SecondaryOutput::Color(White),
+            ),
             // Nodes 2..=5: compress C1 path; endpoints orient outward to
             // rake neighbors; all decline (no active neighbors).
-            w(Compress(1), Some(port_of(&t, 2, 1)), SecondaryOutput::Decline),
+            w(
+                Compress(1),
+                Some(port_of(&t, 2, 1)),
+                SecondaryOutput::Decline,
+            ),
             w(Compress(1), None, SecondaryOutput::Decline),
             w(Compress(1), None, SecondaryOutput::Decline),
-            w(Compress(1), Some(port_of(&t, 5, 6)), SecondaryOutput::Decline),
+            w(
+                Compress(1),
+                Some(port_of(&t, 5, 6)),
+                SecondaryOutput::Decline,
+            ),
             // Node 6: rake R2 sink... but rule 5 forces a Color secondary;
             // with no active neighbor any color works? Rule 4: node 5
             // (Decline) points at it — exempted.
             w(Rake(2), None, SecondaryOutput::Color(White)),
         ];
-        assert!(p.verify(&t, &input, &out).is_ok(), "{:?}", p.verify(&t, &input, &out));
+        assert!(
+            p.verify(&t, &input, &out).is_ok(),
+            "{:?}",
+            p.verify(&t, &input, &out)
+        );
     }
 
     #[test]
@@ -383,7 +421,11 @@ mod tests {
                 Some(port_of(&t, 2, 1)),
                 SecondaryOutput::Decline,
             ),
-            w(Rake(1), Some(port_of(&t, 3, 2)), SecondaryOutput::Color(Black)),
+            w(
+                Rake(1),
+                Some(port_of(&t, 3, 2)),
+                SecondaryOutput::Color(Black),
+            ),
         ];
         let err = p.verify(&t, &input, &out).unwrap_err();
         assert!(err.rule.contains("differs from oriented"), "{err}");
@@ -396,8 +438,16 @@ mod tests {
         let out = vec![
             AugmentedOutput::Active(White),
             AugmentedOutput::Active(White), // improper
-            w(Rake(1), Some(port_of(&t, 2, 1)), SecondaryOutput::Color(White)),
-            w(Rake(1), Some(port_of(&t, 3, 2)), SecondaryOutput::Color(White)),
+            w(
+                Rake(1),
+                Some(port_of(&t, 2, 1)),
+                SecondaryOutput::Color(White),
+            ),
+            w(
+                Rake(1),
+                Some(port_of(&t, 3, 2)),
+                SecondaryOutput::Color(White),
+            ),
         ];
         let err = p.verify(&t, &input, &out).unwrap_err();
         assert!(err.rule.contains("both W"), "{err}");

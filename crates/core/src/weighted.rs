@@ -212,8 +212,7 @@ impl LclProblem for WeightedColoring {
                         .iter()
                         .filter(|&&w| {
                             let w = w as usize;
-                            input[w] == NodeKind::Active
-                                || output[w] == WeightedOutput::Connect
+                            input[w] == NodeKind::Active || output[w] == WeightedOutput::Connect
                         })
                         .count();
                     if supporters < 2 {
@@ -253,9 +252,7 @@ impl LclProblem for WeightedColoring {
                         if !matched {
                             return Err(Violation::new(
                                 v,
-                                format!(
-                                    "Copy secondary {secondary} matches no active neighbor"
-                                ),
+                                format!("Copy secondary {secondary} matches no active neighbor"),
                             ));
                         }
                     }
@@ -334,12 +331,7 @@ mod tests {
     fn weight_next_to_active_cannot_decline() {
         let p = problem();
         let (t, input) = small_instance();
-        let out = vec![
-            O::Active(White),
-            O::Active(Black),
-            O::Decline,
-            O::Decline,
-        ];
+        let out = vec![O::Active(White), O::Active(Black), O::Decline, O::Decline];
         let err = p.verify(&t, &input, &out).unwrap_err();
         assert_eq!(err.node, 2);
         assert!(err.rule.contains("Decline"), "{err}");
@@ -418,20 +410,10 @@ mod tests {
         let t = path(4);
         let input = vec![Active, Weight, Weight, Active];
         let p = problem();
-        let out = vec![
-            O::Active(White),
-            O::Connect,
-            O::Connect,
-            O::Active(White),
-        ];
+        let out = vec![O::Active(White), O::Connect, O::Connect, O::Active(White)];
         assert!(p.verify(&t, &input, &out).is_ok());
         // A dangling Connect fails property 3.
-        let out = vec![
-            O::Active(White),
-            O::Connect,
-            O::Decline,
-            O::Active(White),
-        ];
+        let out = vec![O::Active(White), O::Connect, O::Decline, O::Active(White)];
         let err = p.verify(&t, &input, &out).unwrap_err();
         assert!(err.rule.contains("needs 2"), "{err}");
     }
@@ -455,12 +437,7 @@ mod tests {
     fn alphabet_discipline() {
         let p = problem();
         let (t, input) = small_instance();
-        let out = vec![
-            O::Decline,
-            O::Active(Black),
-            O::Copy(Black),
-            O::Copy(Black),
-        ];
+        let out = vec![O::Decline, O::Active(Black), O::Copy(Black), O::Copy(Black)];
         let err = p.verify(&t, &input, &out).unwrap_err();
         assert!(err.rule.contains("weight label"), "{err}");
         let out = vec![

@@ -56,7 +56,7 @@ impl BwProblem {
         white: Vec<PairMultiset>,
         black: Vec<PairMultiset>,
     ) -> Self {
-        assert!(out_labels >= 1 && out_labels <= 32, "1..=32 output labels");
+        assert!((1..=32).contains(&out_labels), "1..=32 output labels");
         assert!(in_labels >= 1, "at least one input label");
         let canon = |mut sets: Vec<PairMultiset>| -> Vec<PairMultiset> {
             for m in &mut sets {
@@ -100,7 +100,7 @@ impl BwProblem {
     pub fn accepts(&self, side: Side, multiset: &[(u8, u8)]) -> bool {
         let mut m = multiset.to_vec();
         m.sort_unstable();
-        self.constraints(side).iter().any(|c| *c == m)
+        self.constraints(side).contains(&m)
     }
 
     /// The canonical 2-coloring of a tree (BFS parity from node 0).
@@ -160,9 +160,9 @@ impl BwProblem {
     pub fn path_pairs(&self, side: Side) -> Vec<Vec<bool>> {
         let n = self.out_labels as usize;
         let mut allowed = vec![vec![false; n]; n];
-        for a in 0..n {
-            for b in 0..n {
-                allowed[a][b] = self.accepts(side, &[(0, a as u8), (0, b as u8)]);
+        for (a, row) in allowed.iter_mut().enumerate() {
+            for (b, cell) in row.iter_mut().enumerate() {
+                *cell = self.accepts(side, &[(0, a as u8), (0, b as u8)]);
             }
         }
         allowed
@@ -184,7 +184,13 @@ impl BwProblem {
     pub fn edge_coloring(c: u8, max_deg: usize) -> Self {
         let mut sets = Vec::new();
         // All strictly-increasing tuples of distinct colors, sizes 1..=max_deg.
-        fn rec(c: u8, start: u8, cur: &mut Vec<(u8, u8)>, out: &mut Vec<PairMultiset>, left: usize) {
+        fn rec(
+            c: u8,
+            start: u8,
+            cur: &mut Vec<(u8, u8)>,
+            out: &mut Vec<PairMultiset>,
+            left: usize,
+        ) {
             if !cur.is_empty() {
                 out.push(cur.clone());
             }

@@ -40,18 +40,9 @@ pub fn labels_of(set: LabelSet) -> impl Iterator<Item = u8> {
 /// True if the constraint multiset `c` can be matched: one designated pair
 /// `(out_in, out_choice)` for the outgoing edge (if any) and one pair per
 /// incoming edge drawn from its label-set.
-fn matchable(
-    c: &[(u8, u8)],
-    outgoing: Option<(u8, u8)>,
-    incoming: &[(u8, LabelSet)],
-) -> bool {
+fn matchable(c: &[(u8, u8)], outgoing: Option<(u8, u8)>, incoming: &[(u8, LabelSet)]) -> bool {
     // Backtracking assignment of constraint elements to slots.
-    fn rec(
-        c: &[(u8, u8)],
-        used: &mut [bool],
-        slots: &[(u8, LabelSet)],
-        slot: usize,
-    ) -> bool {
+    fn rec(c: &[(u8, u8)], used: &mut [bool], slots: &[(u8, LabelSet)], slot: usize) -> bool {
         if slot == slots.len() {
             return true;
         }
@@ -370,9 +361,18 @@ mod tests {
         // Pattern: o1 | x | y | o2 with o1 != x, x != y, y != o2.
         let p = edge2();
         let nodes = vec![
-            PathNodeSpec { side: Side::White, hairs: vec![] },
-            PathNodeSpec { side: Side::Black, hairs: vec![] },
-            PathNodeSpec { side: Side::White, hairs: vec![] },
+            PathNodeSpec {
+                side: Side::White,
+                hairs: vec![],
+            },
+            PathNodeSpec {
+                side: Side::Black,
+                hairs: vec![],
+            },
+            PathNodeSpec {
+                side: Side::White,
+                hairs: vec![],
+            },
         ];
         let rel = path_relation(&p, &nodes, &[0, 0], 0, 0);
         // o1 = 0: x = 1, y = 0, o2 = 1. Also o1=0: x=1,y=0 -> o2 must be 1.

@@ -76,9 +76,9 @@ impl PathLcl {
             allowed.iter().all(|row| row.len() == labels),
             "adjacency matrix must be square"
         );
-        for a in 0..labels {
-            for b in 0..labels {
-                assert_eq!(allowed[a][b], allowed[b][a], "matrix must be symmetric");
+        for (a, row) in allowed.iter().enumerate() {
+            for (b, &cell) in row.iter().enumerate() {
+                assert_eq!(cell, allowed[b][a], "matrix must be symmetric");
             }
         }
         assert_eq!(end_allowed.len(), labels, "endpoint permissions per label");
@@ -91,9 +91,7 @@ impl PathLcl {
 
     /// Proper coloring with `c` colors (all labels allowed at endpoints).
     pub fn proper_coloring(c: usize) -> Self {
-        let allowed = (0..c)
-            .map(|a| (0..c).map(|b| a != b).collect())
-            .collect();
+        let allowed = (0..c).map(|a| (0..c).map(|b| a != b).collect()).collect();
         PathLcl::new(allowed, vec![true; c])
     }
 
@@ -119,11 +117,11 @@ impl PathLcl {
         let mut reach: Vec<bool> = self.end_allowed.clone();
         for _ in 1..len {
             let mut next = vec![false; self.labels];
-            for a in 0..self.labels {
-                if reach[a] {
-                    for b in 0..self.labels {
-                        if self.allowed[a][b] {
-                            next[b] = true;
+            for (a, &reachable) in reach.iter().enumerate() {
+                if reachable {
+                    for (slot, &edge) in next.iter_mut().zip(&self.allowed[a]) {
+                        if edge {
+                            *slot = true;
                         }
                     }
                 }
@@ -146,8 +144,8 @@ impl PathLcl {
             let mut changed = false;
             for a in 0..n {
                 if reach[a] {
-                    for b in 0..n {
-                        if self.allowed[a][b] && !reach[b] {
+                    for (b, &edge) in self.allowed[a].iter().enumerate() {
+                        if edge && !reach[b] {
                             reach[b] = true;
                             changed = true;
                         }
@@ -175,8 +173,7 @@ impl PathLcl {
         // endpoints must connect through them; sample a window of lengths
         // to rule out parity-style insolvability.
         let horizon = 2 * self.labels + 4;
-        let all_solvable = (horizon..horizon + self.labels.max(2))
-            .all(|len| self.solvable(len));
+        let all_solvable = (horizon..horizon + self.labels.max(2)).all(|len| self.solvable(len));
         if !all_solvable || !usable.iter().any(|&u| u) {
             return PathClass::Unsolvable;
         }

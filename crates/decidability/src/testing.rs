@@ -127,9 +127,7 @@ pub fn test_function(
                         if set == 0 {
                             return TestOutcome::Failed {
                                 at_layer: layer,
-                                reason: format!(
-                                    "rake: empty g for {side:?} node over {combo:?}"
-                                ),
+                                reason: format!("rake: empty g for {side:?} node over {combo:?}"),
                             };
                         }
                         if reachable.insert(Half {
@@ -177,8 +175,7 @@ pub fn test_function(
                     for in1 in 0..problem.in_labels() {
                         for in2 in 0..problem.in_labels() {
                             let edge_inputs = vec![0u8; len - 1];
-                            let relation =
-                                path_relation(problem, &spec, &edge_inputs, in1, in2);
+                            let relation = path_relation(problem, &spec, &edge_inputs, in1, in2);
                             if relation.is_empty() {
                                 return TestOutcome::Failed {
                                     at_layer: layer,
@@ -266,12 +263,21 @@ fn path_specs(
     hair_budget: usize,
 ) -> Vec<Vec<PathNodeSpec>> {
     let sides: Vec<Side> = (0..len)
-        .map(|j| if j % 2 == 0 { start_side } else { start_side.flip() })
+        .map(|j| {
+            if j % 2 == 0 {
+                start_side
+            } else {
+                start_side.flip()
+            }
+        })
         .collect();
     if hair_budget == 0 {
         return vec![sides
             .iter()
-            .map(|&side| PathNodeSpec { side, hairs: vec![] })
+            .map(|&side| PathNodeSpec {
+                side,
+                hairs: vec![],
+            })
             .collect()];
     }
     // Per-node hair options, then the cartesian product (capped by the
@@ -347,9 +353,9 @@ pub fn find_good_function(problem: &BwProblem, cfg: &TestingConfig) -> GoodFunct
         }
         outcomes.push((name, outcome));
     }
-    let constant_good = good.as_ref().map(|_| {
-        alternating_path_class(problem) == PathClass::Constant
-    });
+    let constant_good = good
+        .as_ref()
+        .map(|_| alternating_path_class(problem) == PathClass::Constant);
     let implied = match (&good, constant_good) {
         (Some(_), Some(true)) => ImpliedComplexity::Constant,
         (Some(_), _) => ImpliedComplexity::LogStar,
@@ -388,10 +394,8 @@ pub fn alternating_path_class(problem: &BwProblem) -> PathClass {
                 if !usable[x][s] {
                     continue;
                 }
-                let has_next =
-                    (0..n).any(|y| accepts(s, x, y) && usable[y][1 - s]);
-                let has_prev =
-                    (0..n).any(|y| accepts(1 - s, y, x) && usable[y][1 - s]);
+                let has_next = (0..n).any(|y| accepts(s, x, y) && usable[y][1 - s]);
+                let has_prev = (0..n).any(|y| accepts(1 - s, y, x) && usable[y][1 - s]);
                 if !has_next || !has_prev {
                     usable[x][s] = false;
                     changed = true;
@@ -453,8 +457,8 @@ fn closed_walk_gcd(
     let mut reach = step.clone();
     let mut g: u64 = 0;
     for len in 1..=(4 * m as u64 + 4) {
-        for i in 0..m {
-            if reach[i][i] {
+        for (i, row) in reach.iter().enumerate() {
+            if row[i] {
                 g = gcd(g, len);
             }
         }
@@ -571,7 +575,12 @@ mod tests {
         // 2 labels: pattern x,x,y,y,x,x,... period 4 -> no period-2 tiling,
         // closed walks have gcd 4... wait: walks alternate W,B: cycle
         // 0,0,1,1 has length 4; gcd of closed walks = 4 -> Linear.
-        let white = vec![vec![(0, 0), (0, 0)], vec![(0, 1), (0, 1)], vec![(0, 0)], vec![(0, 1)]];
+        let white = vec![
+            vec![(0, 0), (0, 0)],
+            vec![(0, 1), (0, 1)],
+            vec![(0, 0)],
+            vec![(0, 1)],
+        ];
         let black = vec![vec![(0, 0), (0, 1)], vec![(0, 0)], vec![(0, 1)]];
         let p = BwProblem::new(1, 2, white, black);
         assert_eq!(alternating_path_class(&p), PathClass::Linear);

@@ -112,11 +112,7 @@ impl Decomposition {
     ///
     /// Panics if `params.gamma == 0`, `params.ell == 0`, or `pinned` is out
     /// of range.
-    pub fn compute_pinned(
-        tree: &Tree,
-        params: RakeCompressParams,
-        pinned: Option<NodeId>,
-    ) -> Self {
+    pub fn compute_pinned(tree: &Tree, params: RakeCompressParams, pinned: Option<NodeId>) -> Self {
         assert!(params.gamma >= 1, "gamma must be positive");
         assert!(params.ell >= 1, "ell must be positive");
         if let Some(p) = pinned {
@@ -217,10 +213,7 @@ impl Decomposition {
                                         sublayer: 0,
                                     };
                                 }
-                                compress_paths.push(CompressPath {
-                                    layer,
-                                    nodes,
-                                });
+                                compress_paths.push(CompressPath { layer, nodes });
                             }
                             ChainPart::Splitter(v) => {
                                 remaining.remove(v);
@@ -338,9 +331,7 @@ impl Decomposition {
                     }
                 }
                 if higher > 1 {
-                    return Err(format!(
-                        "rake node {v} has {higher} higher-layer neighbors"
-                    ));
+                    return Err(format!("rake node {v} has {higher} higher-layer neighbors"));
                 }
             }
         }
@@ -351,8 +342,7 @@ impl Decomposition {
             let mask = NodeMask::from_nodes(
                 n,
                 (0..n).filter(|&v| {
-                    self.assignment[v].kind == LayerKind::Compress
-                        && self.assignment[v].layer == i
+                    self.assignment[v].kind == LayerKind::Compress && self.assignment[v].layer == i
                 }),
             );
             if mask.is_empty() {
@@ -522,7 +512,9 @@ fn recompute_boundary_degrees(tree: &Tree, remaining: &NodeMask, degree: &mut [u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generators::{caterpillar, complete_ary_tree, path, random_bounded_degree_tree, star};
+    use crate::generators::{
+        caterpillar, complete_ary_tree, path, random_bounded_degree_tree, star,
+    };
 
     fn params(gamma: usize, ell: usize, strict: bool) -> RakeCompressParams {
         RakeCompressParams { gamma, ell, strict }
@@ -530,10 +522,26 @@ mod tests {
 
     #[test]
     fn layer_order_matches_definition_75() {
-        let r11 = Layer { kind: LayerKind::Rake, layer: 1, sublayer: 1 };
-        let r12 = Layer { kind: LayerKind::Rake, layer: 1, sublayer: 2 };
-        let c1 = Layer { kind: LayerKind::Compress, layer: 1, sublayer: 0 };
-        let r21 = Layer { kind: LayerKind::Rake, layer: 2, sublayer: 1 };
+        let r11 = Layer {
+            kind: LayerKind::Rake,
+            layer: 1,
+            sublayer: 1,
+        };
+        let r12 = Layer {
+            kind: LayerKind::Rake,
+            layer: 1,
+            sublayer: 2,
+        };
+        let c1 = Layer {
+            kind: LayerKind::Compress,
+            layer: 1,
+            sublayer: 0,
+        };
+        let r21 = Layer {
+            kind: LayerKind::Rake,
+            layer: 2,
+            sublayer: 1,
+        };
         assert!(r11 < r12);
         assert!(r12 < c1);
         assert!(c1 < r21);

@@ -229,7 +229,7 @@ mod tests {
                 assert_eq!(t.node_count(), w);
                 // The root will gain one more edge when attached, so inside
                 // the gadget its degree must be ≤ Δ - 1.
-                assert!(t.degree(0) <= delta - 1, "w={w}, delta={delta}");
+                assert!(t.degree(0) < delta, "w={w}, delta={delta}");
                 assert!(t.max_degree() <= delta, "w={w}, delta={delta}");
             }
         }

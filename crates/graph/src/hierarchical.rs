@@ -47,7 +47,7 @@ impl LowerBoundGraph {
                 "need at least one level length".into(),
             ));
         }
-        if lengths.iter().any(|&l| l == 0) {
+        if lengths.contains(&0) {
             return Err(TreeError::DegenerateParameters(
                 "level lengths must be positive".into(),
             ));

@@ -265,7 +265,11 @@ fn order_component_as_path(tree: &Tree, mask: &NodeMask, comp: Vec<NodeId>) -> I
             None => break,
         }
     }
-    assert_eq!(nodes.len(), comp.len(), "path walk must cover the component");
+    assert_eq!(
+        nodes.len(),
+        comp.len(),
+        "path walk must cover the component"
+    );
     InducedPath { nodes }
 }
 

@@ -127,8 +127,8 @@ impl WeightedConstruction {
                 }
                 b.add_edge(anchor, offset);
                 let depths = gadget.bfs_distances(0);
-                for local in 0..share {
-                    weight_info.push((anchor, depths[local] + 1));
+                for &depth in depths.iter().take(share) {
+                    weight_info.push((anchor, depth + 1));
                 }
                 kind.resize(b.node_count(), NodeKind::Weight);
                 gadgets.push(WeightGadget {
@@ -242,11 +242,7 @@ mod tests {
     fn kinds_partition_nodes() {
         let p = params(vec![4, 3], 4, 10);
         let w = WeightedConstruction::new(&p).unwrap();
-        let actives = w
-            .tree()
-            .nodes()
-            .filter(|&v| w.is_active(v))
-            .count();
+        let actives = w.tree().nodes().filter(|&v| w.is_active(v)).count();
         assert_eq!(actives, w.active_count());
         assert_eq!(w.kinds().len(), w.tree().node_count());
         for v in 0..w.active_count() {
@@ -274,10 +270,7 @@ mod tests {
         let p = params(vec![3, 3], 5, 7);
         let w = WeightedConstruction::new(&p).unwrap();
         for g in w.gadgets() {
-            assert!(w
-                .tree()
-                .neighbors(g.anchor)
-                .contains(&(g.root as u32)));
+            assert!(w.tree().neighbors(g.anchor).contains(&(g.root as u32)));
             assert!(w.is_active(g.anchor));
             assert_eq!(w.kind(g.root), NodeKind::Weight);
         }

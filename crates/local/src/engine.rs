@@ -78,10 +78,9 @@ pub enum RunError {
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::RoundLimitExceeded { limit, unfinished } => write!(
-                f,
-                "{unfinished} nodes still running after {limit} rounds"
-            ),
+            RunError::RoundLimitExceeded { limit, unfinished } => {
+                write!(f, "{unfinished} nodes still running after {limit} rounds")
+            }
         }
     }
 }

@@ -29,7 +29,10 @@ impl RoundStats {
     ///
     /// Panics if `rounds` is empty (the average would be undefined).
     pub fn new(rounds: Vec<u64>) -> Self {
-        assert!(!rounds.is_empty(), "round statistics need at least one node");
+        assert!(
+            !rounds.is_empty(),
+            "round statistics need at least one node"
+        );
         RoundStats { rounds }
     }
 

@@ -45,8 +45,8 @@ impl<'a> BallView<'a> {
             }
             for &w in tree.neighbors(u) {
                 let w = w as usize;
-                if !dist.contains_key(&w) {
-                    dist.insert(w, du + 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                    e.insert(du + 1);
                     members.push(w);
                     queue.push_back(w);
                 }
@@ -139,8 +139,7 @@ impl<'a> BallView<'a> {
     /// tree each of its non-parent edges would leave the ball.
     pub fn sees_whole_graph(&self) -> bool {
         self.members.iter().all(|&v| {
-            self.dist[&v] < self.radius
-                || self.tree.degree(v) == usize::from(self.dist[&v] > 0)
+            self.dist[&v] < self.radius || self.tree.degree(v) == usize::from(self.dist[&v] > 0)
         })
     }
 }
@@ -173,7 +172,12 @@ pub struct ViewOutcome<O> {
 /// # Panics
 ///
 /// Panics if some node does not decide by radius `max_radius`.
-pub fn run_views<A, F>(tree: &Tree, ids: &Ids, mut factory: F, max_radius: u32) -> ViewOutcome<A::Output>
+pub fn run_views<A, F>(
+    tree: &Tree,
+    ids: &Ids,
+    mut factory: F,
+    max_radius: u32,
+) -> ViewOutcome<A::Output>
 where
     A: ViewAlgorithm,
     F: FnMut(NodeId) -> A,
@@ -192,9 +196,8 @@ where
                 break;
             }
         }
-        let (out, r) = decided.unwrap_or_else(|| {
-            panic!("node {v} did not decide within radius {max_radius}")
-        });
+        let (out, r) =
+            decided.unwrap_or_else(|| panic!("node {v} did not decide within radius {max_radius}"));
         outputs.push(out);
         rounds.push(r as u64);
     }

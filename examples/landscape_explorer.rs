@@ -21,7 +21,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Polynomial regime (Theorem 1).
     let spec = synthesize_poly(r1, r2)?;
     println!("\npolynomial regime: Θ(n^c) via {spec:?}");
-    if let PolySpec::Weighted { delta, d, k, exponent } = spec {
+    if let PolySpec::Weighted {
+        delta,
+        d,
+        k,
+        exponent,
+    } = spec
+    {
         // Build a Definition 25 instance and measure A_poly on it.
         let x = lcl_landscape::core::landscape::efficiency_x(delta, d);
         let n = 400_000usize;

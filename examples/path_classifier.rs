@@ -32,7 +32,10 @@ fn main() {
         let report = find_good_function(p, &cfg);
         println!(
             "{name:<16} good f: {:<14} constant-good: {:<6} implied: {:?}",
-            report.good_function.clone().unwrap_or_else(|| "none".into()),
+            report
+                .good_function
+                .clone()
+                .unwrap_or_else(|| "none".into()),
             report
                 .constant_good
                 .map_or("-".to_string(), |b| b.to_string()),

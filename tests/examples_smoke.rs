@@ -1,0 +1,35 @@
+//! Smoke test: every example must build and run to completion.
+//!
+//! Keeps the `examples/` directory from bit-rotting: each example is
+//! executed via `cargo run --example` (sequentially, to avoid contending
+//! for the build lock) and must exit successfully.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "path_classifier",
+    "landscape_explorer",
+    "decompose_and_solve",
+];
+
+#[test]
+fn all_examples_run_successfully() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .current_dir(manifest_dir)
+            .args(["run", "--offline", "--example", example])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {example} failed with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Vendored minimal `#[derive(Serialize)]` implementation.
+//!
+//! Parses the item token stream by hand (no `syn`/`quote` available in this
+//! offline environment) and supports exactly the shapes the workspace uses:
+//! structs with named fields and enums whose variants are all fieldless.
+//! Generates an `impl serde::Serialize` producing `serde::Value`.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct or a fieldless enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize) stub: generic types are not supported");
+        }
+    }
+
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            panic!("derive(Serialize) stub: only brace-bodied structs/enums are supported")
+        });
+
+    let generated = match kind.as_str() {
+        "struct" => derive_struct(&name, body),
+        "enum" => derive_enum(&name, body),
+        other => panic!("derive(Serialize): unsupported item kind `{other}`"),
+    };
+    generated.parse().expect("generated impl must parse")
+}
+
+/// Collects the field names of a named-field struct body.
+fn struct_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive(Serialize) stub: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("derive(Serialize) stub: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type: consume until a top-level comma. Angle brackets are
+        // bare puncts in the token stream, so track their nesting depth.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn derive_struct(name: &str, body: TokenStream) -> String {
+    let fields = struct_fields(body);
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Collects the variant names of a fieldless enum body.
+fn enum_variants(name: &str, body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                // Discriminant (`= expr`) or payload would appear here.
+                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                    panic!(
+                        "derive(Serialize) stub: enum {name} has a data-carrying \
+                         variant, which is not supported"
+                    );
+                }
+            }
+            other => panic!("derive(Serialize) stub: unexpected token {other:?} in enum {name}"),
+        }
+    }
+    variants
+}
+
+fn derive_enum(name: &str, body: TokenStream) -> String {
+    let variants = enum_variants(name, body);
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
