@@ -133,27 +133,6 @@ pub fn a35(
     AlgorithmRun::new(outputs, rounds)
 }
 
-/// Convenience wrapper: runs the `Π^{3.5}` algorithm on a
-/// [`WeightedConstruction`](lcl_graph::weighted::WeightedConstruction) with
-/// the paper's phase parameters (`x'`-based `α_i`).
-pub fn a35_on_construction(
-    construction: &lcl_graph::weighted::WeightedConstruction,
-    k: usize,
-    d: usize,
-    ids: &Ids,
-) -> AlgorithmRun<WeightedOutput> {
-    let x_prime = lcl_core::landscape::efficiency_x_prime(construction.delta(), d).min(1.0);
-    let gammas = lcl_core::params::log_star_gammas(construction.tree().node_count(), x_prime, k);
-    a35(
-        construction.tree(),
-        construction.kinds(),
-        k,
-        d,
-        &gammas,
-        ids,
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,11 +181,13 @@ mod tests {
     }
 
     #[test]
-    fn wrapper_with_paper_parameters_verifies() {
+    fn paper_parameters_verify() {
         let c = build(vec![4, 200], 6, 800);
         let n = c.tree().node_count();
         let ids = Ids::random(n, 5);
-        let run = a35_on_construction(&c, 2, 3, &ids);
+        let x_prime = lcl_core::landscape::efficiency_x_prime(c.delta(), 3).min(1.0);
+        let gammas = lcl_core::params::log_star_gammas(n, x_prime, 2);
+        let run = a35(c.tree(), c.kinds(), 2, 3, &gammas, &ids);
         verify_run(&c, 2, 3, &run);
     }
 

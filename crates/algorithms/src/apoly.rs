@@ -147,27 +147,6 @@ pub(crate) fn run_weighted(
     AlgorithmRun::new(outputs, rounds)
 }
 
-/// Convenience wrapper: runs `A_poly` on a
-/// [`WeightedConstruction`](lcl_graph::weighted::WeightedConstruction) with
-/// the optimal phase parameters for its size.
-pub fn apoly_on_construction(
-    construction: &lcl_graph::weighted::WeightedConstruction,
-    k: usize,
-    d: usize,
-    ids: &Ids,
-) -> AlgorithmRun<WeightedOutput> {
-    let x = lcl_core::landscape::efficiency_x(construction.delta(), d);
-    let gammas = lcl_core::params::poly_gammas(construction.tree().node_count(), x, k);
-    apoly(
-        construction.tree(),
-        construction.kinds(),
-        k,
-        d,
-        &gammas,
-        ids,
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,11 +194,13 @@ mod tests {
     }
 
     #[test]
-    fn optimal_gammas_wrapper_verifies() {
+    fn optimal_gammas_verify() {
         let c = build(vec![8, 6], 5, 100);
         let n = c.tree().node_count();
         let ids = Ids::random(n, 5);
-        let run = apoly_on_construction(&c, 2, 2, &ids);
+        let x = lcl_core::landscape::efficiency_x(c.delta(), 2);
+        let gammas = lcl_core::params::poly_gammas(n, x, 2);
+        let run = apoly(c.tree(), c.kinds(), 2, 2, &gammas, &ids);
         verify_run(&c, 2, 2, &run);
     }
 

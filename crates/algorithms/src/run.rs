@@ -26,17 +26,21 @@ impl<O> AlgorithmRun<O> {
         AlgorithmRun { outputs, rounds }
     }
 
-    /// Round statistics of the execution.
-    pub fn stats(&self) -> RoundStats {
-        RoundStats::new(self.rounds.clone())
+    /// Round statistics of the execution, borrowing the round vector
+    /// (no copy is made).
+    #[must_use]
+    pub fn stats(&self) -> RoundStats<'_> {
+        RoundStats::from_slice(&self.rounds)
     }
 
     /// Number of nodes.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.outputs.len()
     }
 
     /// True when no nodes are covered.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.outputs.is_empty()
     }

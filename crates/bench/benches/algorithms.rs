@@ -2,7 +2,6 @@
 //! generic phase algorithm, and A_poly end to end).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lcl_algorithms::apoly::apoly_on_construction;
 use lcl_algorithms::generic_coloring::generic_coloring;
 use lcl_algorithms::linial::three_color_path;
 use lcl_core::coloring::Variant;
@@ -10,6 +9,7 @@ use lcl_core::params;
 use lcl_graph::generators::path;
 use lcl_graph::hierarchical::LowerBoundGraph;
 use lcl_graph::weighted::{WeightedConstruction, WeightedParams};
+use lcl_harness::{run_on_construction, WeightedRegime};
 use lcl_local::identifiers::Ids;
 
 fn bench_linial(c: &mut Criterion) {
@@ -57,7 +57,7 @@ fn bench_apoly(c: &mut Criterion) {
         let total = construction.tree().node_count();
         let ids = Ids::random(total, 4);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| apoly_on_construction(&construction, 2, 2, &ids))
+            b.iter(|| run_on_construction(&construction, 2, 2, &ids, WeightedRegime::Poly))
         });
     }
     group.finish();

@@ -2,7 +2,6 @@
 //! cheap enough to run after every test and bench execution).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lcl_algorithms::apoly::apoly_on_construction;
 use lcl_algorithms::generic_coloring::generic_coloring;
 use lcl_core::coloring::{HierarchicalColoring, Variant};
 use lcl_core::params;
@@ -10,6 +9,7 @@ use lcl_core::problem::LclProblem;
 use lcl_core::weighted::WeightedColoring;
 use lcl_graph::hierarchical::LowerBoundGraph;
 use lcl_graph::weighted::{WeightedConstruction, WeightedParams};
+use lcl_harness::{run_on_construction, WeightedRegime};
 use lcl_local::identifiers::Ids;
 
 fn bench_coloring_verifier(c: &mut Criterion) {
@@ -45,7 +45,7 @@ fn bench_weighted_verifier(c: &mut Criterion) {
     .unwrap();
     let total = construction.tree().node_count();
     let ids = Ids::random(total, 6);
-    let run = apoly_on_construction(&construction, 2, 2, &ids);
+    let run = run_on_construction(&construction, 2, 2, &ids, WeightedRegime::Poly);
     let problem = WeightedColoring::new(Variant::TwoHalf, 5, 2, 2).unwrap();
     group.bench_with_input(BenchmarkId::from_parameter(total), &total, |b, _| {
         b.iter(|| {

@@ -1,71 +1,11 @@
-//! `ablation_gamma` — ablation of the phase-parameter choice: Corollary 31
-//! says the node-averaged complexity of `Π^{2.5}_{Δ,d,k}` is minimized when
-//! the phase parameters equalize all `B_i` terms, i.e. `γ_1 = n^{α₁}`.
-//! This binary sweeps multiples of the optimal `γ_1` on a fixed instance
-//! and shows the bowl: too-small `γ` makes declining cheap but pushes work
-//! (and waiting weight) to the top level; too-large `γ` makes every
-//! level-1 node pay more than necessary.
+//! `ablation_gamma` — Corollary 31 ablation: the bowl around the optimal phase parameter `γ₁`.
+//!
+//! All sweep declarations live in [`lcl_bench::figures`]; execution goes
+//! through the `lcl_harness` registry and `Session` runner. The `lcl` CLI
+//! (`lcl sweep ablation_gamma`) is the equivalent single entry point.
 
-use lcl_algorithms::apoly::apoly;
-use lcl_bench::measure::weighted_instance;
-use lcl_bench::report::{f1, save_json, Table};
-use lcl_core::landscape::{alpha1_poly, efficiency_x};
-use lcl_local::identifiers::Ids;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    multiplier: f64,
-    gamma: usize,
-    node_averaged: f64,
-    worst_case: u64,
-}
+use lcl_bench::figures::{run_figure, FigureOpts};
 
 fn main() {
-    let (delta, d, k) = (5usize, 2usize, 2usize);
-    let n_target = 1_600_000;
-    let c = weighted_instance(n_target, delta, d, k, true);
-    let n = c.tree().node_count();
-    let ids = Ids::random(n, 99);
-    let x = efficiency_x(delta, d);
-    let alpha1 = alpha1_poly(x, k);
-    let gamma_opt = (n as f64).powf(alpha1).round() as usize;
-
-    let mut table = Table::new(
-        format!(
-            "Ablation — γ₁ sweep around the optimum n^α₁ = {gamma_opt} \
-             (Π^2.5_(5,2,2), n = {n})"
-        ),
-        &["γ₁ / γ_opt", "γ₁", "node-avg rounds", "worst-case"],
-    );
-    let mut rows = Vec::new();
-    for mult in [0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
-        let gamma = ((gamma_opt as f64) * mult).round().max(2.0) as usize;
-        let run = apoly(c.tree(), c.kinds(), k, d, &[gamma], &ids);
-        let stats = run.stats();
-        table.row(&[
-            format!("{mult}"),
-            gamma.to_string(),
-            f1(stats.node_averaged()),
-            stats.worst_case().to_string(),
-        ]);
-        rows.push(Row {
-            multiplier: mult,
-            gamma,
-            node_averaged: stats.node_averaged(),
-            worst_case: stats.worst_case(),
-        });
-    }
-    table.print();
-
-    let best = rows
-        .iter()
-        .min_by(|a, b| a.node_averaged.total_cmp(&b.node_averaged))
-        .unwrap();
-    println!(
-        "\nbest multiplier: {} (node-avg {:.1}) — the paper's choice sits at \
-         the bowl's bottom up to instance quantization",
-        best.multiplier, best.node_averaged
-    );
-    save_json("ablation_gamma", &rows);
+    run_figure("ablation_gamma", &FigureOpts::default()).expect("figure runs to completion");
 }

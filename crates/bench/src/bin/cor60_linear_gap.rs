@@ -1,98 +1,11 @@
-//! `cor60_linear_gap` — Corollary 60: the node-averaged landscape has a
-//! gap between `ω(√n)` and `o(n)`. The witnesses: 2-coloring of paths
-//! sits at `Θ(n)` (Lemma 16), while the densest achievable sub-linear
-//! family tops out at `Θ(√n)` (Lemma 69 with `k = 2`).
+//! `cor60_linear_gap` — Corollary 60: the `ω(√n)–o(n)` gap — `Θ(n)` above, `Θ(√n)` below.
+//!
+//! All sweep declarations live in [`lcl_bench::figures`]; execution goes
+//! through the `lcl_harness` registry and `Session` runner. The `lcl` CLI
+//! (`lcl sweep cor60_linear_gap`) is the equivalent single entry point.
 
-use lcl_algorithms::two_coloring::two_color_path;
-use lcl_algorithms::weight_augmented_solver::solve_weight_augmented;
-use lcl_bench::measure::{fit_points, Point};
-use lcl_bench::report::{f3, save_json, Table};
-use lcl_core::params::poly_lengths;
-use lcl_graph::generators::path;
-use lcl_graph::weighted::{WeightedConstruction, WeightedParams};
-use lcl_local::identifiers::Ids;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Record {
-    two_coloring_exponent: f64,
-    sqrt_family_exponent: f64,
-    two_coloring: Vec<Point>,
-    sqrt_family: Vec<Point>,
-}
+use lcl_bench::figures::{run_figure, FigureOpts};
 
 fn main() {
-    let sizes = [4_000usize, 8_000, 16_000, 32_000, 64_000];
-    let mut table = Table::new(
-        "Corollary 60 — the ω(√n)–o(n) gap: Θ(n) above, Θ(√n) below",
-        &["problem", "n", "node-avg rounds"],
-    );
-    let mut two_points = Vec::new();
-    for &n in &sizes {
-        let t = path(n);
-        let ids = Ids::random(n, n as u64);
-        let run = two_color_path(&t, &ids);
-        let stats = run.stats();
-        table.row(&[
-            "2-coloring (paths)".into(),
-            n.to_string(),
-            format!("{:.1}", stats.node_averaged()),
-        ]);
-        two_points.push(Point {
-            n,
-            node_averaged: stats.node_averaged(),
-            worst_case: stats.worst_case(),
-            waiting_averaged: stats.node_averaged(),
-        });
-    }
-    let mut sqrt_points = Vec::new();
-    for &n in &sizes {
-        let lengths = poly_lengths((n / 2).max(4), 1.0, 2);
-        let c = WeightedConstruction::new(&WeightedParams {
-            lengths,
-            delta: 5,
-            weight_per_level: n / 2,
-        })
-        .unwrap();
-        let total = c.tree().node_count();
-        let ids = Ids::random(total, n as u64);
-        let run = solve_weight_augmented(c.tree(), c.kinds(), 2, &ids);
-        let stats = run.stats();
-        table.row(&[
-            "weight-augmented k=2 (Θ(√n))".into(),
-            total.to_string(),
-            format!("{:.1}", stats.node_averaged()),
-        ]);
-        sqrt_points.push(Point {
-            n: total,
-            node_averaged: stats.node_averaged(),
-            worst_case: stats.worst_case(),
-            waiting_averaged: stats.node_averaged(),
-        });
-    }
-    table.print();
-    let two_fit = fit_points(&two_points);
-    let sqrt_fit = fit_points(&sqrt_points);
-    println!(
-        "\n2-coloring fitted exponent:      {}",
-        f3(two_fit.exponent)
-    );
-    println!("√n-family fitted exponent:       {}", f3(sqrt_fit.exponent));
-    println!(
-        "gap visible (≈1 vs ≈0.5, nothing between): {}",
-        if two_fit.exponent > 0.9 && sqrt_fit.exponent < 0.65 {
-            "PASS"
-        } else {
-            "FAIL"
-        }
-    );
-    save_json(
-        "cor60_linear_gap",
-        &Record {
-            two_coloring_exponent: two_fit.exponent,
-            sqrt_family_exponent: sqrt_fit.exponent,
-            two_coloring: two_points,
-            sqrt_family: sqrt_points,
-        },
-    );
+    run_figure("cor60_linear_gap", &FigureOpts::default()).expect("figure runs to completion");
 }

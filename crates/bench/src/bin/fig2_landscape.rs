@@ -1,95 +1,11 @@
-//! `fig2_landscape` — regenerates Fig. 1/2: the node-averaged complexity
-//! landscape of LCLs on bounded-degree trees, with a measured exponent for
-//! every representative problem family.
+//! `fig2_landscape` — Figs. 1–2: the complete node-averaged landscape, with measured exponents for the dense polynomial region and the randomized side.
+//!
+//! All sweep declarations live in [`lcl_bench::figures`]; execution goes
+//! through the `lcl_harness` registry and `Session` runner. The `lcl` CLI
+//! (`lcl sweep fig2_landscape`) is the equivalent single entry point.
 
-use lcl_bench::measure::{fit_points, measure_apoly, Point};
-use lcl_bench::report::{f3, save_json, Table};
-use lcl_core::landscape::{self, figure2_regions, RegionKind};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct LandscapeRecord {
-    regions: Vec<(String, String, String)>,
-    measured: Vec<(String, f64, f64)>,
-}
+use lcl_bench::figures::{run_figure, FigureOpts};
 
 fn main() {
-    let mut regions_table = Table::new(
-        "Fig. 2 — the complete node-averaged landscape",
-        &["range", "kind", "established by"],
-    );
-    let mut regions_rec = Vec::new();
-    for r in figure2_regions() {
-        let kind = match r.kind {
-            RegionKind::Point => "point",
-            RegionKind::Dense => "dense",
-            RegionKind::Gap => "GAP",
-        };
-        regions_table.row(&[
-            r.range.to_string(),
-            kind.to_string(),
-            r.provenance.to_string(),
-        ]);
-        regions_rec.push((
-            r.range.to_string(),
-            kind.to_string(),
-            r.provenance.to_string(),
-        ));
-    }
-    regions_table.print();
-
-    // Measured witnesses of the dense polynomial region: Π^{2.5}_{Δ,d,k}
-    // at a few parameter choices, with fitted exponents vs α₁(x).
-    let mut table = Table::new(
-        "Dense region witnesses (polynomial regime, measured)",
-        &["problem", "predicted α₁", "fitted exponent", "R²"],
-    );
-    let sizes = [200_000usize, 800_000, 3_200_000];
-    let mut measured = Vec::new();
-    for (delta, d, k) in [(5usize, 2usize, 2usize), (8, 2, 2), (5, 2, 3)] {
-        let x = landscape::efficiency_x(delta, d);
-        let alpha1 = landscape::alpha1_poly(x, k);
-        let points: Vec<Point> = sizes
-            .iter()
-            .map(|&n| measure_apoly(n, delta, d, k, n as u64))
-            .collect();
-        let fit = fit_points(&points);
-        let name = format!("Pi^2.5_({delta},{d},{k})");
-        table.row(&[
-            name.clone(),
-            f3(alpha1),
-            f3(fit.exponent),
-            f3(fit.r_squared),
-        ]);
-        measured.push((name, alpha1, fit.exponent));
-    }
-    table.print();
-
-    // The randomized side of Fig. 2: where the deterministic landscape has
-    // the dense (log* n)^c region, randomized node-averaged complexity is
-    // O(1) ([BBK+23b], drawn in Fig. 1/2). Witness: randomized 3-coloring
-    // of paths, constant average at every scale.
-    let mut rtable = Table::new(
-        "Randomized side: O(1) node-averaged 3-coloring on paths",
-        &["n", "node-avg rounds (randomized)", "worst-case"],
-    );
-    for n in [10_000usize, 100_000, 1_000_000] {
-        let tree = lcl_graph::generators::path(n);
-        let run = lcl_algorithms::randomized::randomized_three_color_path(&tree, n as u64);
-        let stats = run.stats();
-        rtable.row(&[
-            n.to_string(),
-            f3(stats.node_averaged()),
-            stats.worst_case().to_string(),
-        ]);
-    }
-    rtable.print();
-
-    save_json(
-        "fig2_landscape",
-        &LandscapeRecord {
-            regions: regions_rec,
-            measured,
-        },
-    );
+    run_figure("fig2_landscape", &FigureOpts::default()).expect("figure runs to completion");
 }

@@ -1,100 +1,12 @@
-//! `fig5_fig6_decomposition` — Figs. 5 & 6 and Definitions 43/71: audits
-//! the rake-and-compress machinery. Reports decomposition layer counts as
-//! `γ` varies (Lemma 72), validates every Definition 71 property, shows
-//! the geometric pending decay of the adapted fast decomposition
-//! (Corollary 47), and traces a label-set computation (Fig. 6).
+//! `fig5_fig6_decomposition` — Figs. 5 & 6: rake-and-compress layer counts, the Corollary 47 decay, and a label-set trace.
+//!
+//! All sweep declarations live in [`lcl_bench::figures`]; execution goes
+//! through the `lcl_harness` registry and `Session` runner. The `lcl` CLI
+//! (`lcl sweep fig5_fig6_decomposition`) is the equivalent single entry point.
 
-use lcl_algorithms::fast_decomposition::fast_dfree_standalone;
-use lcl_bench::report::{save_json, Table};
-use lcl_core::dfree::DfreeInput;
-use lcl_decidability::bw::Side;
-use lcl_decidability::labelsets::{g_single, labels_of};
-use lcl_decidability::BwProblem;
-use lcl_graph::decompose::{Decomposition, RakeCompressParams};
-use lcl_graph::generators::{balanced_weight_tree, random_bounded_degree_tree};
-use lcl_graph::NodeMask;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Record {
-    layers_by_gamma: Vec<(usize, usize)>,
-    decay: Vec<(u64, usize)>,
-}
+use lcl_bench::figures::{run_figure, FigureOpts};
 
 fn main() {
-    // --- Lemma 72: γ controls the number of layers. ---
-    let tree = random_bounded_degree_tree(100_000, 4, 7);
-    let mut table = Table::new(
-        "Definition 71 — layers used vs γ (n = 100000, validated)",
-        &["γ", "layers", "compress paths", "valid"],
-    );
-    let mut layers_by_gamma = Vec::new();
-    for gamma in [1usize, 4, 18, 100, 320] {
-        let d = Decomposition::compute(
-            &tree,
-            RakeCompressParams {
-                gamma,
-                ell: 4,
-                strict: true,
-            },
-        );
-        let valid = d.validate(&tree).is_ok();
-        table.row(&[
-            gamma.to_string(),
-            d.layers_used().to_string(),
-            d.compress_paths().len().to_string(),
-            valid.to_string(),
-        ]);
-        layers_by_gamma.push((gamma, d.layers_used()));
-    }
-    table.print();
-
-    // --- Corollary 47: geometric decay of undecided weight nodes. ---
-    let gadget = balanced_weight_tree(1 << 16, 5);
-    let n = gadget.node_count();
-    let mask = NodeMask::full(n);
-    let input = vec![DfreeInput::Weight; n];
-    let run = fast_dfree_standalone(&gadget, &mask, &input, 3);
-    let mut table = Table::new(
-        "Corollary 47 — nodes still undecided after round r (n = 65536)",
-        &["round r", "undecided", "fraction"],
-    );
-    let mut decay = Vec::new();
-    for r in [6u64, 10, 14, 18, 22, 26, 30] {
-        let undecided = run.rounds.iter().filter(|&&t| t > r).count();
-        table.row(&[
-            r.to_string(),
-            undecided.to_string(),
-            format!("{:.4}", undecided as f64 / n as f64),
-        ]);
-        decay.push((r, undecided));
-    }
-    table.print();
-
-    // --- Fig. 6: a label-set computation trace. ---
-    let p = BwProblem::edge_coloring(3, 3);
-    println!("\n== Fig. 6 — label-set propagation (edge 3-coloring, Δ = 3) ==");
-    let leaf = g_single(&p, Side::White, 0, &[]);
-    println!(
-        "leaf label-set g(v) = {:?}",
-        labels_of(leaf).collect::<Vec<_>>()
-    );
-    let one_up = g_single(&p, Side::Black, 0, &[(0, leaf)]);
-    println!(
-        "after one rake (1 child): {:?}",
-        labels_of(one_up).collect::<Vec<_>>()
-    );
-    let two_up = g_single(&p, Side::White, 0, &[(0, one_up), (0, one_up)]);
-    println!(
-        "after two children combine: {:?}",
-        labels_of(two_up).collect::<Vec<_>>()
-    );
-
-    save_json(
-        "fig5_fig6_decomposition",
-        &Record {
-            layers_by_gamma,
-            decay,
-        },
-    );
+    run_figure("fig5_fig6_decomposition", &FigureOpts::default())
+        .expect("figure runs to completion");
 }

@@ -1,0 +1,267 @@
+//! `lcl` — the single command-line entry point to the reproduction.
+//!
+//! ```text
+//! lcl list                          table of all registry algorithms
+//! lcl figures                       names of the figure sweeps
+//! lcl run <algo> [--n N] [--seed S] [--k K] [--d D] [--gamma-mult M]
+//!         [--no-verify] [--json]    one seeded run via the registry
+//! lcl sweep <figure>|all [--tiny] [--schema]
+//!                                   regenerate figures via Session
+//! lcl baseline [--n N]              emit bench-results/BENCH_sweep.json
+//! ```
+
+use lcl_bench::figures::{figure_names, run_figure, FigureOpts};
+use lcl_bench::report::{f1, f3, save_json, schema_lines, Table};
+use lcl_harness::{find, registry, run_timed, RunConfig, Session, SweepReport};
+use serde::Serialize;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("figures") => cmd_figures(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("baseline") => cmd_baseline(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: lcl <list|figures|run|sweep|baseline> [options]\n\
+     lcl list\n\
+     lcl figures\n\
+     lcl run <algo> [--n N] [--seed S] [--k K] [--d D] [--gamma-mult M] [--no-verify] [--json]\n\
+     lcl sweep <figure>|all [--tiny] [--schema]\n\
+     lcl baseline [--n N]";
+
+fn print_usage() {
+    println!("{USAGE}");
+}
+
+fn cmd_list() -> Result<(), String> {
+    let mut table = Table::new(
+        "Registry — the ten algorithms of the landscape",
+        &[
+            "name",
+            "landscape class",
+            "paper",
+            "instances",
+            "default spec (n = 10000)",
+        ],
+    );
+    let cfg = RunConfig::default();
+    for algo in registry() {
+        let kinds: Vec<String> = algo
+            .supported_kinds()
+            .iter()
+            .map(|k| format!("{k:?}"))
+            .collect();
+        table.row(&[
+            algo.name().to_string(),
+            algo.landscape_class().to_string(),
+            algo.paper_ref().to_string(),
+            kinds.join(","),
+            algo.default_spec(10_000, &cfg).describe(),
+        ]);
+    }
+    table.print();
+    Ok(())
+}
+
+fn cmd_figures() -> Result<(), String> {
+    for name in figure_names() {
+        println!("{name}");
+    }
+    Ok(())
+}
+
+/// Parses `--flag value` pairs and standalone `--switch` flags.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn value(&self, flag: &str) -> Result<Option<&'a str>, String> {
+        for (i, a) in self.args.iter().enumerate() {
+            if a == flag {
+                return match self.args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => Ok(Some(v)),
+                    _ => Err(format!("flag {flag} needs a value")),
+                };
+            }
+        }
+        Ok(None)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, String> {
+        match self.value(flag)? {
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("flag {flag}: cannot parse `{v}`")),
+            None => Ok(None),
+        }
+    }
+
+    fn switch(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    /// Rejects any argument that is not one of the declared value flags
+    /// (each consuming the next token) or switches — a mistyped flag must
+    /// fail loudly, not silently run with defaults.
+    fn ensure_known(&self, value_flags: &[&str], switches: &[&str]) -> Result<(), String> {
+        let mut i = 0;
+        while i < self.args.len() {
+            let arg = self.args[i].as_str();
+            if value_flags.contains(&arg) {
+                i += 2; // flag + its value (missing values error in value())
+            } else if switches.contains(&arg) {
+                i += 1;
+            } else {
+                return Err(format!("unknown argument `{arg}`\n\n{USAGE}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let name = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("`lcl run` needs an algorithm name (see `lcl list`)")?;
+    let algo = find(name).ok_or_else(|| format!("unknown algorithm `{name}` (see `lcl list`)"))?;
+    let flags = Flags { args: &args[1..] };
+    flags.ensure_known(
+        &["--n", "--seed", "--k", "--d", "--gamma-mult"],
+        &["--no-verify", "--json"],
+    )?;
+    let n: usize = flags.parsed("--n")?.unwrap_or(10_000);
+    let cfg = RunConfig {
+        seed: flags.parsed("--seed")?.unwrap_or(1),
+        k: flags.parsed("--k")?,
+        d: flags.parsed("--d")?,
+        gamma_multiplier: flags.parsed("--gamma-mult")?.unwrap_or(1.0),
+        verify: !flags.switch("--no-verify"),
+    };
+    let spec = algo.default_spec(n, &cfg);
+    let instance = spec.build().map_err(|e| e.to_string())?;
+    let record = run_timed(algo, &instance, &cfg).map_err(|e| e.to_string())?;
+
+    let mut table = Table::new(
+        format!("{} on {}", algo.name(), record.spec),
+        &[
+            "n",
+            "seed",
+            "node-avg",
+            "worst",
+            "waiting-avg",
+            "verified",
+            "ms",
+        ],
+    );
+    table.row(&[
+        record.n.to_string(),
+        record.seed.to_string(),
+        f3(record.node_averaged),
+        record.worst_case.to_string(),
+        f3(record.waiting_averaged),
+        record.verified.to_string(),
+        f1(record.elapsed_ms),
+    ]);
+    table.print();
+    if flags.switch("--json") {
+        save_json(&format!("run_{}", algo.name()), &record);
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let target = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("`lcl sweep` needs a figure name or `all` (see `lcl figures`)")?;
+    let flags = Flags { args: &args[1..] };
+    flags.ensure_known(&[], &["--tiny", "--schema"])?;
+    let opts = FigureOpts {
+        tiny: flags.switch("--tiny"),
+    };
+    let schema = flags.switch("--schema");
+    let names: Vec<&str> = if target == "all" {
+        figure_names().to_vec()
+    } else {
+        vec![target.as_str()]
+    };
+    for name in names {
+        let value = run_figure(name, &opts)?;
+        if schema {
+            // Prefixed so CI can grep the schema out of the mixed table
+            // output: `lcl sweep all --tiny --schema | grep '^SCHEMA '`.
+            for line in schema_lines(name, &value) {
+                println!("SCHEMA {line}");
+            }
+        }
+    }
+    Ok(())
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    /// The size ladder every algorithm was swept over.
+    sizes: Vec<usize>,
+    /// One sweep report (points + fits + wall-clock) per algorithm.
+    reports: Vec<SweepReport>,
+}
+
+/// Emits `bench-results/BENCH_sweep.json`: every registry algorithm swept
+/// over a shared size ladder with fixed seeds — the perf trajectory
+/// baseline future changes are compared against.
+fn cmd_baseline(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    flags.ensure_known(&["--n"], &[])?;
+    let base: usize = flags.parsed("--n")?.unwrap_or(40_000);
+    let sizes = vec![base / 4, base / 2, base];
+    let cfg = RunConfig::default();
+    let mut reports = Vec::new();
+    for algo in registry() {
+        let mut session = Session::new();
+        for &n in &sizes {
+            session
+                .push(
+                    algo.name(),
+                    algo.default_spec(n, &cfg),
+                    RunConfig::seeded(n as u64),
+                )
+                .map_err(|e| e.to_string())?;
+        }
+        let records = session.run().map_err(|e| e.to_string())?;
+        let report = SweepReport::from_records(algo.name(), &records);
+        let total_ms: f64 = report.points.iter().map(|p| p.elapsed_ms).sum();
+        println!(
+            "{:<20} {:>3} points, node-avg exponent {:>7}, {:>9.1} ms total",
+            report.algorithm,
+            report.points.len(),
+            report
+                .fit
+                .as_ref()
+                .map_or("-".to_string(), |f| f3(f.exponent)),
+            total_ms,
+        );
+        reports.push(report);
+    }
+    save_json("BENCH_sweep", &Baseline { sizes, reports });
+    Ok(())
+}

@@ -1,81 +1,12 @@
-//! `lem69_efficient_weight` — Lemma 69 / Section 10: the `k`-hierarchical
-//! weight-augmented 2½-coloring has node-averaged complexity `Θ(n^{1/k})`
-//! — weight efficiency `x = 1`, closing the gap at the top of the
-//! polynomial regime (including `Θ(√n)` for `k = 2`).
+//! `lem69_efficient_weight` — Lemma 69 / Section 10: `Θ(n^{1/k})` weight-augmented 2½-colorings.
+//!
+//! All sweep declarations live in [`lcl_bench::figures`]; execution goes
+//! through the `lcl_harness` registry and `Session` runner. The `lcl` CLI
+//! (`lcl sweep lem69_efficient_weight`) is the equivalent single entry point.
 
-use lcl_algorithms::weight_augmented_solver::solve_weight_augmented;
-use lcl_bench::measure::fit_points;
-use lcl_bench::measure::Point;
-use lcl_bench::report::{f3, save_json, Table};
-use lcl_core::params::poly_lengths;
-use lcl_graph::weighted::{WeightedConstruction, WeightedParams};
-use lcl_local::identifiers::Ids;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    k: usize,
-    predicted: f64,
-    fitted: f64,
-    r_squared: f64,
-    points: Vec<Point>,
-}
-
-fn instance(n: usize, k: usize) -> WeightedConstruction {
-    // x = 1 optimal lengths: every α_i = 1/k.
-    let lengths = poly_lengths((n / k).max(4), 1.0, k);
-    WeightedConstruction::new(&WeightedParams {
-        lengths,
-        delta: 5,
-        weight_per_level: n / k,
-    })
-    .expect("valid construction")
-}
+use lcl_bench::figures::{run_figure, FigureOpts};
 
 fn main() {
-    let sizes = [4_000usize, 8_000, 16_000, 32_000, 64_000];
-    let mut table = Table::new(
-        "Lemma 69 — weight-augmented 2½-coloring: Θ(n^{1/k})",
-        &["k", "1/k (paper)", "fitted exponent", "R²"],
-    );
-    let mut rows = Vec::new();
-    for k in [2usize, 3] {
-        let points: Vec<Point> = sizes
-            .iter()
-            .map(|&n| {
-                let c = instance(n, k);
-                let total = c.tree().node_count();
-                let ids = Ids::random(total, (n + k) as u64);
-                let run = solve_weight_augmented(c.tree(), c.kinds(), k, &ids);
-                let stats = run.stats();
-                Point {
-                    n: total,
-                    node_averaged: stats.node_averaged(),
-                    worst_case: stats.worst_case(),
-                    waiting_averaged: stats.node_averaged(),
-                }
-            })
-            .collect();
-        let fit = fit_points(&points);
-        table.row(&[
-            k.to_string(),
-            f3(1.0 / k as f64),
-            f3(fit.exponent),
-            f3(fit.r_squared),
-        ]);
-        rows.push(Row {
-            k,
-            predicted: 1.0 / k as f64,
-            fitted: fit.exponent,
-            r_squared: fit.r_squared,
-            points,
-        });
-    }
-    table.print();
-    let ok = rows.iter().all(|r| (r.fitted - r.predicted).abs() < 0.12);
-    println!(
-        "\nshape check (fitted within 0.12 of 1/k): {}",
-        if ok { "PASS" } else { "FAIL" }
-    );
-    save_json("lem69_efficient_weight", &rows);
+    run_figure("lem69_efficient_weight", &FigureOpts::default())
+        .expect("figure runs to completion");
 }

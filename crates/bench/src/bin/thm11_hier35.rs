@@ -1,72 +1,11 @@
-//! `thm11_hier35` — Theorem 11 / Fig. 3: the `k`-hierarchical 3½-coloring
-//! has node-averaged complexity `Θ((log* n)^{1/2^{k-1}})` while its
-//! worst-case complexity is `Θ(log* n)`.
+//! `thm11_hier35` — Theorem 11 / Fig. 3: `k`-hierarchical 3½-coloring, `Θ((log* n)^{1/2^{k-1}})`.
 //!
-//! `log* n ≤ 5` for every feasible `n`, so exponent fitting over `log*` is
-//! meaningless; the reproduction instead confirms (a) the node-averaged
-//! cost tracks the predicted `t = (log* n)^{1/2^{k-1}}` up to the
-//! documented constants, (b) it *decreases* with `k` at fixed `n`, and
-//! (c) the worst case is dominated by the Linial 3-coloring of the top
-//! path, as the proof structure dictates.
+//! All sweep declarations live in [`lcl_bench::figures`]; execution goes
+//! through the `lcl_harness` registry and `Session` runner. The `lcl` CLI
+//! (`lcl sweep thm11_hier35`) is the equivalent single entry point.
 
-use lcl_bench::measure::{log_star_power, measure_theorem11};
-use lcl_bench::report::{f1, f3, save_json, Table};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    k: usize,
-    n: usize,
-    node_averaged: f64,
-    worst_case: u64,
-    predicted_t: f64,
-}
+use lcl_bench::figures::{run_figure, FigureOpts};
 
 fn main() {
-    let mut table = Table::new(
-        "Theorem 11 — k-hierarchical 3½-coloring on Def. 18 instances",
-        &[
-            "k",
-            "n",
-            "node-avg rounds",
-            "worst-case",
-            "t = (log* n)^(1/2^(k-1))",
-        ],
-    );
-    let mut rows = Vec::new();
-    for k in 1..=3usize {
-        for n in [10_000usize, 100_000, 1_000_000] {
-            let p = measure_theorem11(n, k, (n + k) as u64);
-            let t = log_star_power(p.n, 1.0 / (1u64 << (k - 1)) as f64);
-            table.row(&[
-                k.to_string(),
-                p.n.to_string(),
-                f1(p.node_averaged),
-                p.worst_case.to_string(),
-                f3(t),
-            ]);
-            rows.push(Row {
-                k,
-                n: p.n,
-                node_averaged: p.node_averaged,
-                worst_case: p.worst_case,
-                predicted_t: t,
-            });
-        }
-    }
-    table.print();
-
-    // Shape check: at the largest n, node-averaged cost is non-increasing
-    // in k (deeper hierarchies amortize better), while worst case is not.
-    let largest: Vec<&Row> = rows.iter().filter(|r| r.n > 500_000).collect();
-    if largest.len() >= 2 {
-        let ok = largest
-            .windows(2)
-            .all(|w| w[1].node_averaged <= w[0].node_averaged * 1.25);
-        println!(
-            "\nshape check (node-avg non-increasing in k at fixed n): {}",
-            if ok { "PASS" } else { "FAIL" }
-        );
-    }
-    save_json("thm11_hier35", &rows);
+    run_figure("thm11_hier35", &FigureOpts::default()).expect("figure runs to completion");
 }

@@ -1,75 +1,11 @@
-//! `thm1_density` — Theorem 1: for any window `(r₁, r₂) ⊆ (0, 1/2]` there
-//! is an LCL with node-averaged complexity `Θ(n^c)`, `c ∈ (r₁, r₂)`.
-//! The binary synthesizes the parameters constructively (Lemma 58 /
-//! Lemma 69) for a grid of windows and, for the `Π^{2.5}` specs, confirms
-//! the measured exponent lands in the window.
+//! `thm1_density` — Theorem 1: density of `Θ(n^c)` classes in `(0, 1/2]` via synthesized LCLs.
+//!
+//! All sweep declarations live in [`lcl_bench::figures`]; execution goes
+//! through the `lcl_harness` registry and `Session` runner. The `lcl` CLI
+//! (`lcl sweep thm1_density`) is the equivalent single entry point.
 
-use lcl_bench::measure::{fit_points, measure_apoly, Point};
-use lcl_bench::report::{f3, save_json, Table};
-use lcl_core::landscape::{synthesize_poly, PolySpec};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    window: (f64, f64),
-    spec: String,
-    exponent: f64,
-    measured: Option<f64>,
-}
+use lcl_bench::figures::{run_figure, FigureOpts};
 
 fn main() {
-    let windows = [
-        (0.18, 0.22),
-        (0.24, 0.26),
-        (0.30, 0.34),
-        (0.36, 0.40),
-        (0.42, 0.46),
-        (0.46, 0.50),
-    ];
-    let sizes = [200_000usize, 400_000, 800_000, 1_600_000];
-    let mut table = Table::new(
-        "Theorem 1 — density of Θ(n^c) in (0, 1/2]",
-        &[
-            "window",
-            "synthesized LCL",
-            "c (exact)",
-            "measured exponent",
-        ],
-    );
-    let mut rows = Vec::new();
-    for (r1, r2) in windows {
-        let spec = synthesize_poly(r1, r2).expect("window inside Theorem 1 range");
-        let (name, measured) = match spec {
-            PolySpec::WeightAugmented { k, .. } => {
-                (format!("weight-augmented 2.5-coloring, k={k}"), None)
-            }
-            PolySpec::Weighted { delta, d, k, .. } => {
-                let points: Vec<Point> = sizes
-                    .iter()
-                    .map(|&n| measure_apoly(n, delta, d, k, (n + delta) as u64))
-                    .collect();
-                let fit = fit_points(&points);
-                (format!("Pi^2.5_({delta},{d},{k})"), Some(fit.exponent))
-            }
-        };
-        table.row(&[
-            format!("({r1}, {r2})"),
-            name.clone(),
-            f3(spec.exponent()),
-            measured.map_or("- (see lem69)".into(), f3),
-        ]);
-        rows.push(Row {
-            window: (r1, r2),
-            spec: name,
-            exponent: spec.exponent(),
-            measured,
-        });
-    }
-    table.print();
-    let hits = rows
-        .iter()
-        .filter(|r| r.exponent > r.window.0 && r.exponent < r.window.1)
-        .count();
-    println!("\nwindows hit exactly: {hits}/{}", rows.len());
-    save_json("thm1_density", &rows);
+    run_figure("thm1_density", &FigureOpts::default()).expect("figure runs to completion");
 }

@@ -1,101 +1,11 @@
-//! `thm2_thm3_poly` — Theorems 2 & 3: `Π^{2.5}_{Δ,d,k}` has node-averaged
-//! complexity `Θ(n^{α₁})` with `α₁ = 1/Σ_{j<k}(2-x)^j`,
-//! `x = log(Δ-d-1)/log(Δ-1)`. We sweep `n`, fit the measured exponent, and
-//! compare against the paper's closed form for a grid of `(Δ, d, k)`.
+//! `thm2_thm3_poly` — Theorems 2 & 3: `Π^{2.5}_{Δ,d,k}` tight `Θ(n^{α₁})` bounds over a parameter grid.
+//!
+//! All sweep declarations live in [`lcl_bench::figures`]; execution goes
+//! through the `lcl_harness` registry and `Session` runner. The `lcl` CLI
+//! (`lcl sweep thm2_thm3_poly`) is the equivalent single entry point.
 
-use lcl_bench::measure::{fit_points, fit_waiting, measure_apoly, Point};
-use lcl_bench::report::{f3, save_json, Table};
-use lcl_core::landscape::{alpha1_poly, efficiency_x};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    delta: usize,
-    d: usize,
-    k: usize,
-    x: f64,
-    alpha1: f64,
-    fitted: f64,
-    r_squared: f64,
-    points: Vec<Point>,
-}
+use lcl_bench::figures::{run_figure, FigureOpts};
 
 fn main() {
-    // Large sizes: the node average is c₁·n^{α₁} + c₂·log n (the additive
-    // log term is algorithm A's collection radius on the declining weight
-    // mass, which the paper's analysis absorbs asymptotically); n must be
-    // large enough for the power term to dominate.
-    let sizes = [200_000usize, 400_000, 800_000, 1_600_000, 3_200_000];
-    let grid = [
-        (5usize, 2usize, 2usize),
-        (6, 2, 2),
-        (8, 2, 2),
-        (8, 4, 2),
-        (16, 4, 2),
-        (5, 2, 3),
-        (6, 3, 3),
-    ];
-    let mut table = Table::new(
-        "Theorems 2 & 3 — Π^2.5_{Δ,d,k} measured vs predicted exponents",
-        &[
-            "Δ",
-            "d",
-            "k",
-            "x",
-            "α₁ (paper)",
-            "raw fit",
-            "waiting-mass fit",
-            "R²",
-        ],
-    );
-    let mut rows = Vec::new();
-    for (delta, d, k) in grid {
-        let x = efficiency_x(delta, d);
-        let alpha1 = alpha1_poly(x, k);
-        let points: Vec<Point> = sizes
-            .iter()
-            .map(|&n| measure_apoly(n, delta, d, k, (n * delta + d) as u64))
-            .collect();
-        let fit = fit_points(&points);
-        let wfit = fit_waiting(&points);
-        table.row(&[
-            delta.to_string(),
-            d.to_string(),
-            k.to_string(),
-            f3(x),
-            f3(alpha1),
-            f3(fit.exponent),
-            f3(wfit.exponent),
-            f3(wfit.r_squared),
-        ]);
-        rows.push(Row {
-            delta,
-            d,
-            k,
-            x,
-            alpha1,
-            fitted: wfit.exponent,
-            r_squared: wfit.r_squared,
-            points,
-        });
-    }
-    table.print();
-
-    // Shape verdicts the paper's landscape depends on.
-    let monotone_in_d = {
-        let a = rows
-            .iter()
-            .find(|r| (r.delta, r.d, r.k) == (8, 2, 2))
-            .unwrap();
-        let b = rows
-            .iter()
-            .find(|r| (r.delta, r.d, r.k) == (8, 4, 2))
-            .unwrap();
-        a.fitted > b.fitted
-    };
-    println!(
-        "\nshape check (larger d ⇒ smaller exponent at fixed Δ, k): {}",
-        if monotone_in_d { "PASS" } else { "FAIL" }
-    );
-    save_json("thm2_thm3_poly", &rows);
+    run_figure("thm2_thm3_poly", &FigureOpts::default()).expect("figure runs to completion");
 }

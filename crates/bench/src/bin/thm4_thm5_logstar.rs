@@ -1,83 +1,11 @@
-//! `thm4_thm5_logstar` — Theorems 4 & 5: `Π^{3.5}_{Δ,d,k}` has
-//! node-averaged complexity between `Ω((log* n)^{α₁(x)})` and
-//! `O((log* n)^{α₁(x')})`. Since `log* n ≤ 5` at laptop scale, the
-//! reproduction reports the measured node-averaged rounds against both
-//! bound values (with the algorithm's documented constants) and checks
-//! the structural predictions: almost all weight declines fast, and the
-//! waiting mass shrinks as `d` grows.
+//! `thm4_thm5_logstar` — Theorems 4 & 5: `Π^{3.5}_{Δ,d,k}` against the `(log* n)^{α₁}` bound values.
+//!
+//! All sweep declarations live in [`lcl_bench::figures`]; execution goes
+//! through the `lcl_harness` registry and `Session` runner. The `lcl` CLI
+//! (`lcl sweep thm4_thm5_logstar`) is the equivalent single entry point.
 
-use lcl_bench::measure::{log_star_power, measure_a35, Point};
-use lcl_bench::report::{f1, f3, save_json, Table};
-use lcl_core::landscape::{alpha1_log_star, efficiency_x, efficiency_x_prime};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    delta: usize,
-    d: usize,
-    k: usize,
-    lower_exp: f64,
-    upper_exp: f64,
-    points: Vec<Point>,
-}
+use lcl_bench::figures::{run_figure, FigureOpts};
 
 fn main() {
-    let sizes = [20_000usize, 100_000, 400_000];
-    let grid = [(6usize, 3usize, 2usize), (8, 3, 2), (8, 5, 2), (6, 3, 3)];
-    let mut table = Table::new(
-        "Theorems 4 & 5 — Π^3.5_{Δ,d,k}: node-avg vs (log* n)^α bounds",
-        &[
-            "Δ",
-            "d",
-            "k",
-            "n",
-            "node-avg",
-            "worst",
-            "(log*)^α₁(x)",
-            "(log*)^α₁(x')",
-        ],
-    );
-    let mut rows = Vec::new();
-    for (delta, d, k) in grid {
-        let x = efficiency_x(delta, d);
-        let xp = efficiency_x_prime(delta, d).min(1.0);
-        let lower_exp = alpha1_log_star(x, k);
-        let upper_exp = alpha1_log_star(xp, k);
-        let mut points = Vec::new();
-        for &n in &sizes {
-            let p = measure_a35(n, delta, d, k, (n + delta * d) as u64);
-            table.row(&[
-                delta.to_string(),
-                d.to_string(),
-                k.to_string(),
-                p.n.to_string(),
-                f1(p.node_averaged),
-                p.worst_case.to_string(),
-                f3(log_star_power(p.n, lower_exp)),
-                f3(log_star_power(p.n, upper_exp)),
-            ]);
-            points.push(p);
-        }
-        rows.push(Row {
-            delta,
-            d,
-            k,
-            lower_exp,
-            upper_exp,
-            points,
-        });
-    }
-    table.print();
-    // Shape check: node-averaged cost stays bounded (no polynomial drift)
-    // while n grows by 20x — the hallmark of the (log* n)^c regime.
-    let ok = rows.iter().all(|r| {
-        let first = r.points.first().unwrap().node_averaged;
-        let last = r.points.last().unwrap().node_averaged;
-        last <= first * 3.0 + 10.0
-    });
-    println!(
-        "\nshape check (node-avg essentially flat across 20x in n): {}",
-        if ok { "PASS" } else { "FAIL" }
-    );
-    save_json("thm4_thm5_logstar", &rows);
+    run_figure("thm4_thm5_logstar", &FigureOpts::default()).expect("figure runs to completion");
 }

@@ -1,76 +1,11 @@
-//! `thm6_logstar_density` — Theorem 6: for every window `(r₁, r₂)` and
-//! `ε > 0` there are parameters `(Δ, d, k)` with
-//! `Ω((log* n)^c) ≤ Π^{3.5}_{Δ,d,k} ≤ O((log* n)^{c+ε})`. This binary runs
-//! the constructive search (Lemma 62's rational approximation realized as
-//! a `(Δ, d)` sweep) over a grid of windows and tolerances.
+//! `thm6_logstar_density` — Theorem 6: density of `(log* n)^c` classes, constructive synthesis.
+//!
+//! All sweep declarations live in [`lcl_bench::figures`]; execution goes
+//! through the `lcl_harness` registry and `Session` runner. The `lcl` CLI
+//! (`lcl sweep thm6_logstar_density`) is the equivalent single entry point.
 
-use lcl_bench::report::{f3, save_json, Table};
-use lcl_core::landscape::synthesize_log_star;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    window: (f64, f64),
-    eps: f64,
-    delta: usize,
-    d: usize,
-    k: usize,
-    lower: f64,
-    upper: f64,
-    gap: f64,
-}
+use lcl_bench::figures::{run_figure, FigureOpts};
 
 fn main() {
-    let mut table = Table::new(
-        "Theorem 6 — density of (log* n)^c, constructive parameters",
-        &["window", "ε", "Δ", "d", "k", "α₁(x)", "α₁(x')", "gap"],
-    );
-    let mut rows = Vec::new();
-    for (r1, r2) in [(0.3, 0.4), (0.45, 0.55), (0.6, 0.7), (0.75, 0.85)] {
-        for eps in [0.1, 0.05, 0.02] {
-            match synthesize_log_star(r1, r2, eps) {
-                Ok(spec) => {
-                    table.row(&[
-                        format!("({r1}, {r2})"),
-                        format!("{eps}"),
-                        spec.delta.to_string(),
-                        spec.d.to_string(),
-                        spec.k.to_string(),
-                        f3(spec.lower_exponent),
-                        f3(spec.upper_exponent),
-                        f3(spec.gap()),
-                    ]);
-                    rows.push(Row {
-                        window: (r1, r2),
-                        eps,
-                        delta: spec.delta,
-                        d: spec.d,
-                        k: spec.k,
-                        lower: spec.lower_exponent,
-                        upper: spec.upper_exponent,
-                        gap: spec.gap(),
-                    });
-                }
-                Err(e) => {
-                    table.row(&[
-                        format!("({r1}, {r2})"),
-                        format!("{eps}"),
-                        "-".into(),
-                        "-".into(),
-                        "-".into(),
-                        "-".into(),
-                        "-".into(),
-                        format!("{e}"),
-                    ]);
-                }
-            }
-        }
-    }
-    table.print();
-    let all_gaps_ok = rows.iter().all(|r| r.gap < r.eps);
-    println!(
-        "\nall achieved gaps below ε: {}",
-        if all_gaps_ok { "PASS" } else { "FAIL" }
-    );
-    save_json("thm6_logstar_density", &rows);
+    run_figure("thm6_logstar_density", &FigureOpts::default()).expect("figure runs to completion");
 }

@@ -1,108 +1,11 @@
-//! `thm7_gap_decidability` — Theorem 7 / Section 11: there is no LCL with
-//! deterministic node-averaged complexity in `ω(1)–(log* n)^{o(1)}`, and
-//! `O(1)` membership is decidable. This binary runs the decision pipeline
-//! on a battery of problems: the path classifier (Lemmas 16/81 substrate)
-//! and the testing procedure + constant-good check for black-white
-//! problems.
+//! `thm7_gap_decidability` — Theorem 7 / Section 11: the `ω(1)–(log* n)^{o(1)}` gap and its decidability pipeline.
+//!
+//! All sweep declarations live in [`lcl_bench::figures`]; execution goes
+//! through the `lcl_harness` registry and `Session` runner. The `lcl` CLI
+//! (`lcl sweep thm7_gap_decidability`) is the equivalent single entry point.
 
-use lcl_bench::report::{save_json, Table};
-use lcl_decidability::path_lcl::{PathClass, PathLcl};
-use lcl_decidability::testing::{find_good_function, ImpliedComplexity, TestingConfig};
-use lcl_decidability::BwProblem;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct PathRow {
-    problem: String,
-    class: PathClass,
-}
-
-#[derive(Serialize)]
-struct BwRow {
-    problem: String,
-    good_function: Option<String>,
-    constant_good: Option<bool>,
-    implied: String,
-}
+use lcl_bench::figures::{run_figure, FigureOpts};
 
 fn main() {
-    // --- Path LCL classification (the landscape's bottom end). ---
-    let mut table = Table::new(
-        "Path LCL classification (worst case = node-averaged, Lemma 16)",
-        &["problem", "class"],
-    );
-    let battery: Vec<(String, PathLcl)> = vec![
-        ("trivial (one repeatable label)".into(), PathLcl::trivial()),
-        ("proper 2-coloring".into(), PathLcl::proper_coloring(2)),
-        ("proper 3-coloring".into(), PathLcl::proper_coloring(3)),
-        ("proper 4-coloring".into(), PathLcl::proper_coloring(4)),
-        ("2-coloring + wildcard".into(), {
-            PathLcl::new(
-                vec![
-                    vec![false, true, true],
-                    vec![true, false, true],
-                    vec![true, true, true],
-                ],
-                vec![true; 3],
-            )
-        }),
-    ];
-    let mut path_rows = Vec::new();
-    for (name, p) in &battery {
-        let class = p.classify();
-        table.row(&[name.clone(), format!("{class:?}")]);
-        path_rows.push(PathRow {
-            problem: name.clone(),
-            class,
-        });
-    }
-    table.print();
-
-    // --- Testing procedure + constant-good check (Theorem 7 pipeline). ---
-    let mut table = Table::new(
-        "Good / constant-good function search (Algorithm 1 + Def. 80)",
-        &[
-            "BW problem",
-            "good f found",
-            "constant-good",
-            "implied node-avg",
-        ],
-    );
-    let bw_battery: Vec<(String, BwProblem)> = vec![
-        (
-            "all-edges-equal (2 labels)".into(),
-            BwProblem::all_equal(2, 2),
-        ),
-        ("edge 2-coloring".into(), BwProblem::edge_coloring(2, 2)),
-        ("edge 3-coloring".into(), BwProblem::edge_coloring(3, 2)),
-        ("edge 4-coloring".into(), BwProblem::edge_coloring(4, 2)),
-    ];
-    let cfg = TestingConfig::paths();
-    let mut bw_rows = Vec::new();
-    for (name, p) in &bw_battery {
-        let report = find_good_function(p, &cfg);
-        let implied = match report.implied {
-            ImpliedComplexity::Constant => "O(1)  (Theorem 7)",
-            ImpliedComplexity::LogStar => "O(log* n)  [BBK+23a]",
-            ImpliedComplexity::Unresolved => "unresolved by this family",
-        };
-        table.row(&[
-            name.clone(),
-            report.good_function.clone().unwrap_or_else(|| "-".into()),
-            report.constant_good.map_or("-".into(), |b| b.to_string()),
-            implied.to_string(),
-        ]);
-        bw_rows.push(BwRow {
-            problem: name.clone(),
-            good_function: report.good_function,
-            constant_good: report.constant_good,
-            implied: implied.to_string(),
-        });
-    }
-    table.print();
-    println!(
-        "\nTheorem 7's gap: every problem lands in O(1) or ≥ (log* n)^c — \
-         nothing strictly between ω(1) and (log* n)^o(1)."
-    );
-    save_json("thm7_gap_decidability", &(path_rows, bw_rows));
+    run_figure("thm7_gap_decidability", &FigureOpts::default()).expect("figure runs to completion");
 }

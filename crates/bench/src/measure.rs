@@ -1,13 +1,7 @@
-//! Measurement runners shared by the experiment binaries.
+//! Measurement helpers shared by the experiment figures, built on the
+//! unified `lcl_harness` execution API.
 
-use lcl_algorithms::a35::a35_on_construction;
-use lcl_algorithms::apoly::apoly_on_construction;
-use lcl_algorithms::generic_coloring::generic_coloring;
-use lcl_core::coloring::Variant;
-use lcl_core::params;
-use lcl_graph::hierarchical::LowerBoundGraph;
-use lcl_graph::weighted::{WeightedConstruction, WeightedParams};
-use lcl_local::identifiers::Ids;
+use lcl_harness::{find, run_timed, InstanceSpec, RunConfig, RunRecord};
 use lcl_local::math::{fit_power_law, log_star, PowerLawFit};
 use serde::Serialize;
 
@@ -28,107 +22,35 @@ pub struct Point {
     pub waiting_averaged: f64,
 }
 
-/// Builds the weighted construction of Definition 25 for `Π^{2.5}/Π^{3.5}`
-/// with total size ≈ `n`: core lengths from the optimal `α_i`, `Δ`, and
-/// `n/k` weight per augmented level.
-pub fn weighted_instance(
-    n: usize,
-    delta: usize,
-    d: usize,
-    k: usize,
-    poly_regime: bool,
-) -> WeightedConstruction {
-    let x = lcl_core::landscape::efficiency_x(delta, d);
-    let core_budget = (n / k).max(4);
-    let lengths = if poly_regime {
-        params::poly_lengths(core_budget, x, k)
-    } else {
-        params::log_star_lengths(core_budget, x, k)
-    };
-    let weight_per_level = n / k;
-    WeightedConstruction::new(&WeightedParams {
-        lengths,
-        delta,
-        weight_per_level,
-    })
-    .expect("valid construction parameters")
-}
-
-/// Measures `A_poly` on a Definition 25 instance of size ≈ `n`.
-pub fn measure_apoly(n: usize, delta: usize, d: usize, k: usize, seed: u64) -> Point {
-    let c = weighted_instance(n, delta, d, k, true);
-    let total = c.tree().node_count();
-    let ids = Ids::random(total, seed);
-    let run = apoly_on_construction(&c, k, d, &ids);
-    let stats = run.stats();
-    let waiting: u128 = run
-        .outputs
-        .iter()
-        .zip(&run.rounds)
-        .filter(|(o, _)| {
-            !matches!(
-                o,
-                lcl_core::weighted::WeightedOutput::Decline
-                    | lcl_core::weighted::WeightedOutput::Connect
-            )
-        })
-        .map(|(_, &r)| r as u128)
-        .sum();
-    Point {
-        n: total,
-        node_averaged: stats.node_averaged(),
-        worst_case: stats.worst_case(),
-        waiting_averaged: waiting as f64 / total as f64,
+impl From<&RunRecord> for Point {
+    fn from(r: &RunRecord) -> Self {
+        Point {
+            n: r.n,
+            node_averaged: r.node_averaged,
+            worst_case: r.worst_case,
+            waiting_averaged: r.waiting_averaged,
+        }
     }
 }
 
-/// Measures the `Π^{3.5}` algorithm on a Definition 25 instance.
-pub fn measure_a35(n: usize, delta: usize, d: usize, k: usize, seed: u64) -> Point {
-    let c = weighted_instance(n, delta, d, k, false);
-    let total = c.tree().node_count();
-    let ids = Ids::random(total, seed);
-    let run = a35_on_construction(&c, k, d, &ids);
-    let stats = run.stats();
-    let waiting: u128 = run
-        .outputs
-        .iter()
-        .zip(&run.rounds)
-        .filter(|(o, _)| {
-            !matches!(
-                o,
-                lcl_core::weighted::WeightedOutput::Decline
-                    | lcl_core::weighted::WeightedOutput::Connect
-            )
-        })
-        .map(|(_, &r)| r as u128)
-        .sum();
-    Point {
-        n: total,
-        node_averaged: stats.node_averaged(),
-        worst_case: stats.worst_case(),
-        waiting_averaged: waiting as f64 / total as f64,
-    }
-}
-
-/// Measures the generic 3½ algorithm on a Theorem 11 lower-bound instance.
-pub fn measure_theorem11(n: usize, k: usize, seed: u64) -> Point {
-    let lengths = params::theorem11_lengths(n, k);
-    let g = LowerBoundGraph::new(&lengths).expect("valid lengths");
-    let total = g.tree().node_count();
-    let ids = Ids::random(total, seed);
-    let gammas = params::theorem11_gammas(total.max(n), k);
-    let run = generic_coloring(g.tree(), Variant::ThreeHalf, &gammas, &ids);
-    let stats = run.stats();
-    let avg = stats.node_averaged();
-    Point {
-        n: total,
-        node_averaged: avg,
-        worst_case: stats.worst_case(),
-        waiting_averaged: avg,
-    }
+/// Runs one registry algorithm on one spec and returns its record.
+///
+/// # Panics
+///
+/// Panics on unknown algorithms, unbuildable specs, and verification
+/// failures — all harness bugs from the bench crate's point of view.
+#[must_use]
+pub fn run_single(algorithm: &str, spec: InstanceSpec, config: RunConfig) -> RunRecord {
+    let algo = find(algorithm).unwrap_or_else(|| panic!("unknown algorithm `{algorithm}`"));
+    let instance = spec
+        .build()
+        .unwrap_or_else(|e| panic!("spec {} failed to build: {e}", spec.describe()));
+    run_timed(algo, &instance, &config)
+        .unwrap_or_else(|e| panic!("`{algorithm}` failed on {}: {e}", spec.describe()))
 }
 
 /// Fits `node_averaged ≈ c · n^e` over the points.
+#[must_use]
 pub fn fit_points(points: &[Point]) -> PowerLawFit {
     let data: Vec<(f64, f64)> = points
         .iter()
@@ -138,6 +60,7 @@ pub fn fit_points(points: &[Point]) -> PowerLawFit {
 }
 
 /// Fits the waiting-mass average (the Theorem 2 quantity) instead.
+#[must_use]
 pub fn fit_waiting(points: &[Point]) -> PowerLawFit {
     let data: Vec<(f64, f64)> = points
         .iter()
@@ -147,6 +70,7 @@ pub fn fit_waiting(points: &[Point]) -> PowerLawFit {
 }
 
 /// The paper's predicted value `(log* n)^e`.
+#[must_use]
 pub fn log_star_power(n: usize, e: f64) -> f64 {
     (log_star(n as u64) as f64).powf(e)
 }
@@ -156,31 +80,27 @@ mod tests {
     use super::*;
 
     #[test]
-    fn weighted_instance_has_requested_scale() {
-        let c = weighted_instance(4_000, 5, 2, 2, true);
-        let total = c.tree().node_count();
-        assert!((2_000..=16_000).contains(&total), "total = {total}");
-        assert!(c.weight_count() >= 1_000);
-    }
+    fn run_single_produces_sane_points() {
+        let apoly = run_single(
+            "apoly",
+            InstanceSpec::WeightedPoly {
+                n: 3_000,
+                delta: 5,
+                d: 2,
+                k: 2,
+            },
+            RunConfig::seeded(1),
+        );
+        assert!(apoly.node_averaged > 0.0);
+        assert!(apoly.worst_case as f64 >= apoly.node_averaged);
 
-    #[test]
-    fn measure_apoly_produces_sane_point() {
-        let p = measure_apoly(3_000, 5, 2, 2, 1);
-        assert!(p.node_averaged > 0.0);
-        assert!(p.worst_case as f64 >= p.node_averaged);
-    }
-
-    #[test]
-    fn measure_a35_produces_sane_point() {
-        let p = measure_a35(3_000, 6, 3, 2, 1);
-        assert!(p.node_averaged > 0.0);
-    }
-
-    #[test]
-    fn theorem11_point() {
-        let p = measure_theorem11(5_000, 2, 3);
-        assert!(p.node_averaged > 0.0);
-        assert!(p.n >= 2_000);
+        let thm11 = run_single(
+            "generic-coloring",
+            InstanceSpec::Theorem11 { n: 5_000, k: 2 },
+            RunConfig::seeded(3),
+        );
+        assert!(thm11.node_averaged > 0.0);
+        assert!(thm11.n >= 2_000);
     }
 
     #[test]

@@ -54,15 +54,17 @@ impl Table {
 }
 
 /// Writes a JSON record to `bench-results/<name>.json` (relative to the
-/// workspace root when run via `cargo run`).
-pub fn save_json<T: Serialize>(name: &str, value: &T) {
+/// workspace root when run via `cargo run`) and returns its value model
+/// for schema inspection.
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> serde::Value {
+    let model = value.to_value();
     let dir = PathBuf::from("bench-results");
     if std::fs::create_dir_all(&dir).is_err() {
         eprintln!("warning: could not create bench-results/");
-        return;
+        return model;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
+    match serde_json::to_string_pretty(&model) {
         Ok(json) => {
             if std::fs::write(&path, json).is_ok() {
                 println!("[saved {}]", path.display());
@@ -70,6 +72,48 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
         }
         Err(e) => eprintln!("warning: JSON serialization failed: {e}"),
     }
+    model
+}
+
+/// Flattens a JSON value into sorted `path: type` lines — the *schema* of
+/// an emitted record. Array elements collapse into one `[]` segment, so
+/// the lines are stable across sweep sizes; CI diffs them against a
+/// checked-in golden file.
+pub fn schema_lines(name: &str, value: &serde::Value) -> Vec<String> {
+    fn walk(v: &serde::Value, path: &str, out: &mut std::collections::BTreeSet<String>) {
+        match v {
+            serde::Value::Null => {
+                out.insert(format!("{path}: null"));
+            }
+            serde::Value::Bool(_) => {
+                out.insert(format!("{path}: bool"));
+            }
+            serde::Value::Int(_) | serde::Value::UInt(_) => {
+                out.insert(format!("{path}: int"));
+            }
+            serde::Value::Float(_) => {
+                out.insert(format!("{path}: number"));
+            }
+            serde::Value::Str(_) => {
+                out.insert(format!("{path}: string"));
+            }
+            serde::Value::Array(items) => {
+                out.insert(format!("{path}: array"));
+                for item in items {
+                    walk(item, &format!("{path}[]"), out);
+                }
+            }
+            serde::Value::Object(fields) => {
+                out.insert(format!("{path}: object"));
+                for (key, val) in fields {
+                    walk(val, &format!("{path}.{key}"), out);
+                }
+            }
+        }
+    }
+    let mut out = std::collections::BTreeSet::new();
+    walk(value, &format!("{name}$"), &mut out);
+    out.into_iter().collect()
 }
 
 /// Formats a float with 3 decimals.

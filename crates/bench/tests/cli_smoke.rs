@@ -1,0 +1,55 @@
+//! Smoke tests for the `lcl` CLI: the registry listing must cover all ten
+//! algorithms, and a tiny figure sweep must emit the golden JSON schema.
+
+use std::path::Path;
+use std::process::Command;
+
+fn lcl(args: &[&str]) -> std::process::Output {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    Command::new(cargo)
+        .current_dir(manifest_dir)
+        .args(["run", "--offline", "-q", "--bin", "lcl", "--"])
+        .args(args)
+        .output()
+        .expect("cargo run --bin lcl spawns")
+}
+
+#[test]
+fn list_names_every_registry_algorithm() {
+    let output = lcl(&["list"]);
+    assert!(output.status.success(), "lcl list failed: {output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for name in lcl_harness::registry().iter().map(|a| a.name()) {
+        assert!(stdout.contains(name), "lcl list is missing `{name}`");
+    }
+}
+
+#[test]
+fn tiny_sweep_matches_golden_schema() {
+    let output = lcl(&["sweep", "thm11_hier35", "--tiny", "--schema"]);
+    assert!(output.status.success(), "lcl sweep failed: {output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let emitted: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("SCHEMA "))
+        .collect();
+    assert!(!emitted.is_empty(), "sweep printed no schema lines");
+    let golden = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/sweep_schema.txt"),
+    )
+    .expect("golden schema file is checked in");
+    for line in emitted {
+        assert!(
+            golden.contains(line),
+            "schema line not in golden file (regenerate with \
+             `lcl sweep all --tiny --schema | grep '^SCHEMA '`): {line}"
+        );
+    }
+}
+
+#[test]
+fn unknown_subcommand_fails_cleanly() {
+    let output = lcl(&["frobnicate"]);
+    assert!(!output.status.success());
+}

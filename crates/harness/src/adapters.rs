@@ -1,0 +1,803 @@
+//! [`Algorithm`] implementations for all ten algorithms of the paper.
+//!
+//! Each adapter is a thin shim: it derives the paper's scheduling
+//! parameters from the instance spec, calls the free function in
+//! `lcl_algorithms`, verifies the output against the matching problem
+//! verifier, and packs the per-node rounds into a [`RunRecord`].
+
+use crate::algorithm::{Algorithm, RunConfig, RunRecord};
+use crate::instance::{HarnessError, Instance, InstanceKind, InstanceSpec};
+use lcl_algorithms::a35::a35;
+use lcl_algorithms::apoly::apoly;
+use lcl_algorithms::dfree_a::algorithm_a;
+use lcl_algorithms::fast_decomposition::fast_dfree_standalone;
+use lcl_algorithms::generic_coloring::generic_coloring_masked;
+use lcl_algorithms::labeling_solver::solve_hierarchical_labeling;
+use lcl_algorithms::linial::three_color_path;
+use lcl_algorithms::randomized::randomized_three_color_path;
+use lcl_algorithms::two_coloring::two_color_path;
+use lcl_algorithms::weight_augmented_solver::solve_weight_augmented;
+use lcl_algorithms::AlgorithmRun;
+use lcl_core::coloring::{HierarchicalColoring, Variant};
+use lcl_core::dfree::{DFreeWeight, DfreeInput};
+use lcl_core::labeling::HierarchicalLabeling;
+use lcl_core::problem::LclProblem;
+use lcl_core::weight_augmented::WeightAugmented;
+use lcl_core::weighted::{WeightedColoring, WeightedOutput};
+use lcl_graph::weighted::WeightedConstruction;
+use lcl_graph::{NodeMask, Tree};
+use lcl_local::identifiers::Ids;
+
+/// Which scheduling regime drives the phase parameters on a weighted
+/// construction: `γ_i = n^{α_i}` (polynomial, `A_poly`) or
+/// `γ_i = (log* n)^{α_i}` (`log*`, the `Π^{3.5}` algorithm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightedRegime {
+    /// `A_poly` on `Π^{2.5}` with `x = log(Δ-d-1)/log(Δ-1)`.
+    Poly,
+    /// The `Π^{3.5}` algorithm with `x' = log(Δ-d+1)/log(Δ-1)`.
+    LogStar,
+}
+
+/// Runs the weighted-construction algorithm of the given regime with the
+/// paper's optimal phase parameters — the single generic replacement for
+/// the former `apoly_on_construction` / `a35_on_construction` twins.
+#[must_use]
+pub fn run_on_construction(
+    construction: &WeightedConstruction,
+    k: usize,
+    d: usize,
+    ids: &Ids,
+    regime: WeightedRegime,
+) -> AlgorithmRun<WeightedOutput> {
+    run_on_construction_scaled(construction, k, d, ids, regime, 1.0)
+}
+
+/// Like [`run_on_construction`], scaling every `γ_i` by `multiplier`
+/// (Corollary 31 ablations; `1.0` is exact identity).
+#[must_use]
+pub fn run_on_construction_scaled(
+    construction: &WeightedConstruction,
+    k: usize,
+    d: usize,
+    ids: &Ids,
+    regime: WeightedRegime,
+    multiplier: f64,
+) -> AlgorithmRun<WeightedOutput> {
+    let n = construction.tree().node_count();
+    let delta = construction.delta();
+    let gammas = match regime {
+        WeightedRegime::Poly => {
+            let x = lcl_core::landscape::efficiency_x(delta, d);
+            lcl_core::params::poly_gammas(n, x, k)
+        }
+        WeightedRegime::LogStar => {
+            let x_prime = lcl_core::landscape::efficiency_x_prime(delta, d).min(1.0);
+            lcl_core::params::log_star_gammas(n, x_prime, k)
+        }
+    };
+    let gammas = crate::algorithm::scale_gammas(&gammas, multiplier);
+    match regime {
+        WeightedRegime::Poly => apoly(
+            construction.tree(),
+            construction.kinds(),
+            k,
+            d,
+            &gammas,
+            ids,
+        ),
+        WeightedRegime::LogStar => a35(
+            construction.tree(),
+            construction.kinds(),
+            k,
+            d,
+            &gammas,
+            ids,
+        ),
+    }
+}
+
+/// Node-averaged rounds over the waiting mass of a weighted run: nodes
+/// that do not output `Decline`/`Connect` (the Theorem 2 quantity).
+fn weighted_waiting(run: &AlgorithmRun<WeightedOutput>) -> f64 {
+    let waiting: u128 = run
+        .outputs
+        .iter()
+        .zip(&run.rounds)
+        .filter(|(o, _)| !matches!(o, WeightedOutput::Decline | WeightedOutput::Connect))
+        .map(|(_, &r)| r as u128)
+        .sum();
+    waiting as f64 / run.len() as f64
+}
+
+fn verification_error(algorithm: &str, violation: impl std::fmt::Display) -> HarnessError {
+    HarnessError::VerificationFailed {
+        algorithm: algorithm.to_string(),
+        violation: violation.to_string(),
+    }
+}
+
+fn ensure_supported(algo: &dyn Algorithm, instance: &Instance) -> Result<(), HarnessError> {
+    if algo.supports(instance.kind()) {
+        Ok(())
+    } else {
+        Err(HarnessError::UnsupportedInstance {
+            algorithm: algo.name().to_string(),
+            kind: instance.kind(),
+        })
+    }
+}
+
+/// Checks that adjacent nodes carry distinct colors.
+fn check_proper<T: PartialEq + std::fmt::Debug>(tree: &Tree, colors: &[T]) -> Result<(), String> {
+    for (u, v) in tree.edges() {
+        if colors[u] == colors[v] {
+            return Err(format!(
+                "edge ({u}, {v}) is monochromatic ({:?})",
+                colors[u]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The rigid `Θ(n)` baseline: deterministic 2-coloring of paths.
+pub struct TwoColoring;
+
+impl Algorithm for TwoColoring {
+    fn name(&self) -> &'static str {
+        "two-coloring"
+    }
+
+    fn landscape_class(&self) -> &'static str {
+        "Θ(n)"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Lemma 16 / Corollary 60"
+    }
+
+    fn supported_kinds(&self) -> &'static [InstanceKind] {
+        &[InstanceKind::Path]
+    }
+
+    fn default_spec(&self, n: usize, _cfg: &RunConfig) -> InstanceSpec {
+        InstanceSpec::Path { n }
+    }
+
+    fn smallest_spec(&self) -> InstanceSpec {
+        InstanceSpec::Path { n: 16 }
+    }
+
+    fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
+        ensure_supported(self, instance)?;
+        let ids = Ids::random(instance.node_count(), cfg.seed);
+        let run = two_color_path(instance.tree(), &ids);
+        if cfg.verify {
+            check_proper(instance.tree(), &run.outputs)
+                .map_err(|e| verification_error(self.name(), e))?;
+        }
+        Ok(RunRecord::from_rounds(
+            self.name(),
+            instance.spec(),
+            cfg.seed,
+            run.rounds,
+            None,
+            cfg.verify,
+        ))
+    }
+}
+
+/// Linial's `O(log* n)` 3-coloring of paths by iterated color reduction.
+pub struct LinialColoring;
+
+impl Algorithm for LinialColoring {
+    fn name(&self) -> &'static str {
+        "linial"
+    }
+
+    fn landscape_class(&self) -> &'static str {
+        "Θ(log* n)"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Section 2 (Linial's algorithm)"
+    }
+
+    fn supported_kinds(&self) -> &'static [InstanceKind] {
+        &[InstanceKind::Path]
+    }
+
+    fn default_spec(&self, n: usize, _cfg: &RunConfig) -> InstanceSpec {
+        InstanceSpec::Path { n }
+    }
+
+    fn smallest_spec(&self) -> InstanceSpec {
+        InstanceSpec::Path { n: 16 }
+    }
+
+    fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
+        ensure_supported(self, instance)?;
+        let ids = Ids::random(instance.node_count(), cfg.seed);
+        let run = three_color_path(instance.tree(), &ids);
+        if cfg.verify {
+            check_proper(instance.tree(), &run.outputs)
+                .map_err(|e| verification_error(self.name(), e))?;
+            if let Some(&c) = run.outputs.iter().find(|&&c| c > 2) {
+                return Err(verification_error(
+                    self.name(),
+                    format!("color {c} outside the 3-color palette"),
+                ));
+            }
+        }
+        Ok(RunRecord::from_rounds(
+            self.name(),
+            instance.spec(),
+            cfg.seed,
+            run.rounds,
+            None,
+            cfg.verify,
+        ))
+    }
+}
+
+/// Randomized 3-coloring of paths: `O(1)` expected node-averaged rounds —
+/// the randomized side of Fig. 2.
+pub struct RandomizedColoring;
+
+impl Algorithm for RandomizedColoring {
+    fn name(&self) -> &'static str {
+        "randomized"
+    }
+
+    fn landscape_class(&self) -> &'static str {
+        "O(1) node-avg (randomized)"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 1/2 ([BBK+23b])"
+    }
+
+    fn supported_kinds(&self) -> &'static [InstanceKind] {
+        &[InstanceKind::Path]
+    }
+
+    fn default_spec(&self, n: usize, _cfg: &RunConfig) -> InstanceSpec {
+        InstanceSpec::Path { n }
+    }
+
+    fn smallest_spec(&self) -> InstanceSpec {
+        InstanceSpec::Path { n: 16 }
+    }
+
+    fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
+        ensure_supported(self, instance)?;
+        let run = randomized_three_color_path(instance.tree(), cfg.seed);
+        if cfg.verify {
+            check_proper(instance.tree(), &run.outputs)
+                .map_err(|e| verification_error(self.name(), e))?;
+        }
+        Ok(RunRecord::from_rounds(
+            self.name(),
+            instance.spec(),
+            cfg.seed,
+            run.rounds,
+            None,
+            cfg.verify,
+        ))
+    }
+}
+
+/// The generic `k`-hierarchical 3½-coloring (Section 4.1) on Theorem 11
+/// lower-bound instances, with the Theorem 11 phase parameters.
+pub struct GenericColoring;
+
+impl Algorithm for GenericColoring {
+    fn name(&self) -> &'static str {
+        "generic-coloring"
+    }
+
+    fn landscape_class(&self) -> &'static str {
+        "Θ((log* n)^{1/2^{k-1}})"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Theorem 11 / Section 4.1"
+    }
+
+    fn supported_kinds(&self) -> &'static [InstanceKind] {
+        &[InstanceKind::LowerBound]
+    }
+
+    fn default_spec(&self, n: usize, cfg: &RunConfig) -> InstanceSpec {
+        InstanceSpec::Theorem11 {
+            n,
+            k: cfg.k.unwrap_or(2),
+        }
+    }
+
+    fn smallest_spec(&self) -> InstanceSpec {
+        InstanceSpec::Theorem11 { n: 400, k: 2 }
+    }
+
+    fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
+        ensure_supported(self, instance)?;
+        let k = instance
+            .spec()
+            .hierarchy_k()
+            .expect("lower-bound specs carry k");
+        let n = instance.node_count();
+        let ids = Ids::random(n, cfg.seed);
+        let gammas = lcl_core::params::theorem11_gammas(n.max(instance.requested_n()), k);
+        let gammas = cfg.scale_gammas(&gammas);
+        let mask = NodeMask::full(n);
+        let levels = instance.levels(k);
+        let masked = generic_coloring_masked(
+            instance.tree(),
+            &mask,
+            &levels,
+            Variant::ThreeHalf,
+            &gammas,
+            &ids,
+        );
+        let outputs: Vec<_> = masked
+            .outputs
+            .into_iter()
+            .map(|o| o.expect("full mask decides everywhere"))
+            .collect();
+        if cfg.verify {
+            HierarchicalColoring::new(k, Variant::ThreeHalf)
+                .verify(instance.tree(), &vec![(); n], &outputs)
+                .map_err(|e| verification_error(self.name(), e))?;
+        }
+        Ok(RunRecord::from_rounds(
+            self.name(),
+            instance.spec(),
+            cfg.seed,
+            masked.rounds,
+            None,
+            cfg.verify,
+        ))
+    }
+}
+
+/// Shared shim for the two weighted-construction algorithms.
+fn run_weighted(
+    algo: &dyn Algorithm,
+    variant: Variant,
+    regime: WeightedRegime,
+    instance: &Instance,
+    cfg: &RunConfig,
+) -> Result<RunRecord, HarnessError> {
+    ensure_supported(algo, instance)?;
+    let construction = instance
+        .construction()
+        .expect("weighted instances carry a construction");
+    let k = instance
+        .spec()
+        .hierarchy_k()
+        .expect("weighted specs carry k");
+    let d = instance.spec().decline_d().or(cfg.d).ok_or_else(|| {
+        HarnessError::BadSpec(format!(
+            "`{}` needs a decline budget d (spec or RunConfig)",
+            algo.name()
+        ))
+    })?;
+    let ids = Ids::random(instance.node_count(), cfg.seed);
+    let run = run_on_construction_scaled(construction, k, d, &ids, regime, cfg.gamma_multiplier);
+    if cfg.verify {
+        let problem = WeightedColoring::new(variant, construction.delta(), d, k)
+            .map_err(HarnessError::BadSpec)?;
+        problem
+            .verify(instance.tree(), construction.kinds(), &run.outputs)
+            .map_err(|e| verification_error(algo.name(), e))?;
+    }
+    let waiting = weighted_waiting(&run);
+    Ok(RunRecord::from_rounds(
+        algo.name(),
+        instance.spec(),
+        cfg.seed,
+        run.rounds,
+        Some(waiting),
+        cfg.verify,
+    ))
+}
+
+/// `A_poly` for `Π^{2.5}_{Δ,d,k}` (Section 7.1).
+pub struct Apoly;
+
+impl Algorithm for Apoly {
+    fn name(&self) -> &'static str {
+        "apoly"
+    }
+
+    fn landscape_class(&self) -> &'static str {
+        "Θ(n^{α₁(x)})"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Theorems 2–3 / Section 7.1"
+    }
+
+    fn supported_kinds(&self) -> &'static [InstanceKind] {
+        &[InstanceKind::Weighted]
+    }
+
+    fn default_spec(&self, n: usize, cfg: &RunConfig) -> InstanceSpec {
+        InstanceSpec::WeightedPoly {
+            n,
+            delta: 5,
+            d: cfg.d.unwrap_or(2),
+            k: cfg.k.unwrap_or(2),
+        }
+    }
+
+    fn smallest_spec(&self) -> InstanceSpec {
+        InstanceSpec::WeightedPoly {
+            n: 2_000,
+            delta: 5,
+            d: 2,
+            k: 2,
+        }
+    }
+
+    fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
+        run_weighted(self, Variant::TwoHalf, WeightedRegime::Poly, instance, cfg)
+    }
+}
+
+/// The `Π^{3.5}_{Δ,d,k}` algorithm (Section 8.2).
+pub struct A35;
+
+impl Algorithm for A35 {
+    fn name(&self) -> &'static str {
+        "a35"
+    }
+
+    fn landscape_class(&self) -> &'static str {
+        "O((log* n)^{α₁(x')})"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Theorems 4–5 / Section 8.2"
+    }
+
+    fn supported_kinds(&self) -> &'static [InstanceKind] {
+        &[InstanceKind::Weighted]
+    }
+
+    fn default_spec(&self, n: usize, cfg: &RunConfig) -> InstanceSpec {
+        InstanceSpec::WeightedLogStar {
+            n,
+            delta: 6,
+            d: cfg.d.unwrap_or(3),
+            k: cfg.k.unwrap_or(2),
+        }
+    }
+
+    fn smallest_spec(&self) -> InstanceSpec {
+        InstanceSpec::WeightedLogStar {
+            n: 2_000,
+            delta: 6,
+            d: 3,
+            k: 2,
+        }
+    }
+
+    fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
+        run_weighted(
+            self,
+            Variant::ThreeHalf,
+            WeightedRegime::LogStar,
+            instance,
+            cfg,
+        )
+    }
+}
+
+/// The `k`-hierarchical weight-augmented 2½-coloring (Lemma 69).
+pub struct WeightAugmentedSolver;
+
+impl Algorithm for WeightAugmentedSolver {
+    fn name(&self) -> &'static str {
+        "weight-augmented"
+    }
+
+    fn landscape_class(&self) -> &'static str {
+        "Θ(n^{1/k})"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Lemma 69 / Section 10"
+    }
+
+    fn supported_kinds(&self) -> &'static [InstanceKind] {
+        &[InstanceKind::Weighted]
+    }
+
+    fn default_spec(&self, n: usize, cfg: &RunConfig) -> InstanceSpec {
+        InstanceSpec::WeightedUnit {
+            n,
+            delta: 5,
+            k: cfg.k.unwrap_or(2),
+        }
+    }
+
+    fn smallest_spec(&self) -> InstanceSpec {
+        InstanceSpec::WeightedUnit {
+            n: 2_000,
+            delta: 5,
+            k: 2,
+        }
+    }
+
+    fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
+        ensure_supported(self, instance)?;
+        let construction = instance
+            .construction()
+            .expect("weighted instances carry a construction");
+        let k = instance
+            .spec()
+            .hierarchy_k()
+            .expect("weighted specs carry k");
+        let ids = Ids::random(instance.node_count(), cfg.seed);
+        let run = solve_weight_augmented(instance.tree(), construction.kinds(), k, &ids);
+        if cfg.verify {
+            WeightAugmented::new(k)
+                .verify(instance.tree(), construction.kinds(), &run.outputs)
+                .map_err(|e| verification_error(self.name(), e))?;
+        }
+        Ok(RunRecord::from_rounds(
+            self.name(),
+            instance.spec(),
+            cfg.seed,
+            run.rounds,
+            None,
+            cfg.verify,
+        ))
+    }
+}
+
+/// Input labels for the standalone `d`-free runs on plain trees: node 0
+/// plays the `A`-node when the algorithm needs one; everything else is
+/// weight mass.
+fn dfree_inputs(n: usize, with_anchor: bool) -> Vec<DfreeInput> {
+    let mut input = vec![DfreeInput::Weight; n];
+    if with_anchor && n > 0 {
+        input[0] = DfreeInput::Adjacent;
+    }
+    input
+}
+
+/// Algorithm `A` for the `d`-free weight problem (Section 7): uniform
+/// `O(log n)` termination with `O(1)` declining mass.
+pub struct DfreeA;
+
+impl Algorithm for DfreeA {
+    fn name(&self) -> &'static str {
+        "dfree-a"
+    }
+
+    fn landscape_class(&self) -> &'static str {
+        "O(log n) uniform"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Section 7 (algorithm A)"
+    }
+
+    fn supported_kinds(&self) -> &'static [InstanceKind] {
+        &[
+            InstanceKind::WeightTree,
+            InstanceKind::RandomTree,
+            InstanceKind::Path,
+        ]
+    }
+
+    fn default_spec(&self, n: usize, _cfg: &RunConfig) -> InstanceSpec {
+        InstanceSpec::BalancedWeight { w: n, delta: 5 }
+    }
+
+    fn smallest_spec(&self) -> InstanceSpec {
+        InstanceSpec::BalancedWeight { w: 256, delta: 5 }
+    }
+
+    fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
+        ensure_supported(self, instance)?;
+        let n = instance.node_count();
+        let d = cfg.d.unwrap_or(2).max(1);
+        let mask = NodeMask::full(n);
+        let input = dfree_inputs(n, true);
+        let run = algorithm_a(instance.tree(), &mask, &input, d, n);
+        let outputs: Vec<_> = run
+            .outputs
+            .into_iter()
+            .map(|o| o.expect("full-mask run decides everywhere"))
+            .collect();
+        if cfg.verify {
+            DFreeWeight::new(d)
+                .verify(instance.tree(), &input, &outputs)
+                .map_err(|e| verification_error(self.name(), e))?;
+        }
+        // Algorithm A is uniform: every node terminates at the collection
+        // radius.
+        let rounds = vec![run.radius; n];
+        Ok(RunRecord::from_rounds(
+            self.name(),
+            instance.spec(),
+            cfg.seed,
+            rounds,
+            None,
+            cfg.verify,
+        ))
+    }
+}
+
+/// The adapted fast decomposition (Section 8.1): geometric pending decay,
+/// `O(1)` node-averaged declines.
+pub struct FastDecomposition;
+
+impl Algorithm for FastDecomposition {
+    fn name(&self) -> &'static str {
+        "fast-decomposition"
+    }
+
+    fn landscape_class(&self) -> &'static str {
+        "O(log n) worst, O(1) node-avg declines"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Section 8.1 / Corollary 47"
+    }
+
+    fn supported_kinds(&self) -> &'static [InstanceKind] {
+        &[
+            InstanceKind::WeightTree,
+            InstanceKind::RandomTree,
+            InstanceKind::Path,
+        ]
+    }
+
+    fn default_spec(&self, n: usize, _cfg: &RunConfig) -> InstanceSpec {
+        InstanceSpec::BalancedWeight { w: n, delta: 5 }
+    }
+
+    fn smallest_spec(&self) -> InstanceSpec {
+        InstanceSpec::BalancedWeight { w: 256, delta: 5 }
+    }
+
+    fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
+        ensure_supported(self, instance)?;
+        let n = instance.node_count();
+        let d = cfg.d.unwrap_or(3).max(1);
+        let mask = NodeMask::full(n);
+        // Pure weight mass, as in the Corollary 47 decay experiment.
+        let input = dfree_inputs(n, false);
+        let run = fast_dfree_standalone(instance.tree(), &mask, &input, d);
+        let outputs: Vec<_> = run
+            .outputs
+            .into_iter()
+            .map(|o| o.expect("standalone run decides everywhere"))
+            .collect();
+        if cfg.verify {
+            DFreeWeight::new(d)
+                .verify(instance.tree(), &input, &outputs)
+                .map_err(|e| verification_error(self.name(), e))?;
+        }
+        Ok(RunRecord::from_rounds(
+            self.name(),
+            instance.spec(),
+            cfg.seed,
+            run.rounds,
+            None,
+            cfg.verify,
+        ))
+    }
+}
+
+/// The `k`-hierarchical labeling solver (Lemma 65), `O(k · n^{1/k})`.
+pub struct LabelingSolver;
+
+impl Algorithm for LabelingSolver {
+    fn name(&self) -> &'static str {
+        "labeling-solver"
+    }
+
+    fn landscape_class(&self) -> &'static str {
+        "O(k · n^{1/k})"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Lemma 65"
+    }
+
+    fn supported_kinds(&self) -> &'static [InstanceKind] {
+        &[
+            InstanceKind::RandomTree,
+            InstanceKind::WeightTree,
+            InstanceKind::Path,
+            InstanceKind::LowerBound,
+        ]
+    }
+
+    fn default_spec(&self, n: usize, _cfg: &RunConfig) -> InstanceSpec {
+        InstanceSpec::RandomTree {
+            n,
+            max_degree: 4,
+            seed: 7,
+        }
+    }
+
+    fn smallest_spec(&self) -> InstanceSpec {
+        InstanceSpec::RandomTree {
+            n: 256,
+            max_degree: 4,
+            seed: 7,
+        }
+    }
+
+    fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
+        ensure_supported(self, instance)?;
+        let k = cfg.k.or(instance.spec().hierarchy_k()).unwrap_or(2).max(1);
+        let n = instance.node_count();
+        let solution = solve_hierarchical_labeling(instance.tree(), k);
+        if cfg.verify {
+            HierarchicalLabeling::new(k)
+                .verify(instance.tree(), &vec![(); n], &solution.run.outputs)
+                .map_err(|e| verification_error(self.name(), e))?;
+        }
+        Ok(RunRecord::from_rounds(
+            self.name(),
+            instance.spec(),
+            cfg.seed,
+            solution.run.rounds,
+            None,
+            cfg.verify,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::registry;
+
+    #[test]
+    fn generic_helper_matches_both_regimes() {
+        let spec = InstanceSpec::WeightedPoly {
+            n: 3_000,
+            delta: 5,
+            d: 2,
+            k: 2,
+        };
+        let inst = spec.build().unwrap();
+        let c = inst.construction().unwrap();
+        let ids = Ids::random(inst.node_count(), 3);
+        let run = run_on_construction(c, 2, 2, &ids, WeightedRegime::Poly);
+        assert_eq!(run.len(), inst.node_count());
+        let problem = WeightedColoring::new(Variant::TwoHalf, 5, 2, 2).unwrap();
+        problem
+            .verify(inst.tree(), c.kinds(), &run.outputs)
+            .unwrap();
+    }
+
+    #[test]
+    fn unsupported_kind_is_rejected() {
+        let inst = InstanceSpec::Path { n: 10 }.build().unwrap();
+        let err = Apoly.run(&inst, &RunConfig::default()).unwrap_err();
+        assert!(matches!(err, HarnessError::UnsupportedInstance { .. }));
+    }
+
+    #[test]
+    fn names_are_unique_and_kebab() {
+        let mut names: Vec<_> = registry().iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+        for n in names {
+            assert!(n
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+}

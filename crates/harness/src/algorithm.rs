@@ -1,0 +1,229 @@
+//! The object-safe [`Algorithm`] trait and its run artifacts.
+
+use crate::instance::{HarnessError, Instance, InstanceKind, InstanceSpec};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Knobs shared by every algorithm run.
+///
+/// The instance spec is authoritative for parameters it carries (`Δ`,
+/// `d`, `k` of a weighted construction); the config supplies the seed,
+/// parameters for algorithms whose instances do not fix them, and the
+/// ablation/verification switches.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Seed for the ID assignment (and the randomized algorithm's coins).
+    pub seed: u64,
+    /// Hierarchy depth for algorithms running on plain trees
+    /// (`labeling-solver`); ignored when the spec carries `k`.
+    pub k: Option<usize>,
+    /// Decline budget for the `d`-free algorithms on plain weight trees;
+    /// ignored when the spec carries `d`.
+    pub d: Option<usize>,
+    /// Multiplier applied to every phase parameter `γ_i` (Corollary 31
+    /// ablations); `1.0` is the paper's optimum and exact identity.
+    pub gamma_multiplier: f64,
+    /// Verify the output against the problem constraints after the run.
+    pub verify: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 1,
+            k: None,
+            d: None,
+            gamma_multiplier: 1.0,
+            verify: true,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A default config with the given seed.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        RunConfig {
+            seed,
+            ..RunConfig::default()
+        }
+    }
+
+    /// Returns `self` with verification disabled (perf sweeps).
+    #[must_use]
+    pub fn without_verify(mut self) -> Self {
+        self.verify = false;
+        self
+    }
+
+    /// Returns `self` with the given `γ` multiplier.
+    #[must_use]
+    pub fn with_gamma_multiplier(mut self, m: f64) -> Self {
+        self.gamma_multiplier = m;
+        self
+    }
+
+    /// Scales the phase parameters by the configured multiplier (exact
+    /// identity at `1.0`).
+    #[must_use]
+    pub fn scale_gammas(&self, gammas: &[usize]) -> Vec<usize> {
+        scale_gammas(gammas, self.gamma_multiplier)
+    }
+}
+
+/// Scales every `γ_i` by `multiplier`, clamping at 1 (exact identity at
+/// `1.0`).
+#[must_use]
+pub fn scale_gammas(gammas: &[usize], multiplier: f64) -> Vec<usize> {
+    if multiplier == 1.0 {
+        return gammas.to_vec();
+    }
+    gammas
+        .iter()
+        .map(|&g| ((g as f64) * multiplier).round().max(1.0) as usize)
+        .collect()
+}
+
+/// One completed algorithm execution, with exact per-node rounds.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunRecord {
+    /// Registry name of the algorithm.
+    pub algorithm: String,
+    /// Rendered instance spec (see [`InstanceSpec::describe`]).
+    pub spec: String,
+    /// Actual node count of the instance.
+    pub n: usize,
+    /// Seed used for IDs/coins.
+    pub seed: u64,
+    /// Per-node termination rounds (length = `n`).
+    pub rounds: Vec<u64>,
+    /// Node-averaged complexity of the run.
+    pub node_averaged: f64,
+    /// Worst-case round of the run.
+    pub worst_case: u64,
+    /// Node-averaged rounds over the *waiting mass* only (nodes that do
+    /// not output `Decline`/`Connect`); equals `node_averaged` for
+    /// problems without a declining side.
+    pub waiting_averaged: f64,
+    /// Whether the output was verified against the problem constraints
+    /// (false = verification was skipped via [`RunConfig::verify`]).
+    pub verified: bool,
+    /// Wall-clock milliseconds of the algorithm proper (filled by
+    /// [`run_timed`]; `0.0` for direct [`Algorithm::run`] calls).
+    pub elapsed_ms: f64,
+}
+
+impl RunRecord {
+    /// Assembles a record from per-node rounds; summary statistics are
+    /// computed here, borrowing the rounds.
+    #[must_use]
+    pub fn from_rounds(
+        algorithm: &str,
+        spec: &InstanceSpec,
+        seed: u64,
+        rounds: Vec<u64>,
+        waiting_averaged: Option<f64>,
+        verified: bool,
+    ) -> Self {
+        let stats = lcl_local::metrics::RoundStats::from_slice(&rounds);
+        let node_averaged = stats.node_averaged();
+        let worst_case = stats.worst_case();
+        let n = rounds.len();
+        RunRecord {
+            algorithm: algorithm.to_string(),
+            spec: spec.describe(),
+            n,
+            seed,
+            rounds,
+            node_averaged,
+            worst_case,
+            waiting_averaged: waiting_averaged.unwrap_or(node_averaged),
+            verified,
+            elapsed_ms: 0.0,
+        }
+    }
+}
+
+/// An executable algorithm of the paper, as one registry entry.
+///
+/// The trait is object-safe: the registry hands out `&'static dyn
+/// Algorithm` and the [`Session`](crate::Session) runner drives any entry
+/// through the same three calls.
+pub trait Algorithm: Send + Sync {
+    /// Registry name (kebab-case, stable across releases).
+    fn name(&self) -> &'static str;
+
+    /// The landscape cell the algorithm realizes, e.g. `"Θ(n^{α₁})"`.
+    fn landscape_class(&self) -> &'static str;
+
+    /// Where in the paper the algorithm lives, e.g. `"Section 7.1"`.
+    fn paper_ref(&self) -> &'static str;
+
+    /// Instance families the algorithm accepts.
+    fn supported_kinds(&self) -> &'static [InstanceKind];
+
+    /// The canonical sweep instance of target size `n`.
+    fn default_spec(&self, n: usize, cfg: &RunConfig) -> InstanceSpec;
+
+    /// The smallest instance the algorithm meaningfully runs on (used by
+    /// the registry property tests and `lcl list`).
+    fn smallest_spec(&self) -> InstanceSpec;
+
+    /// Executes the algorithm on `instance`.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::UnsupportedInstance`] when the instance kind is not
+    /// supported, [`HarnessError::BadSpec`] for unusable parameters, and
+    /// [`HarnessError::VerificationFailed`] when the output violates the
+    /// problem constraints (only checked if `cfg.verify`).
+    fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError>;
+
+    /// True when the algorithm accepts this instance kind.
+    fn supports(&self, kind: InstanceKind) -> bool {
+        self.supported_kinds().contains(&kind)
+    }
+}
+
+/// Runs `algorithm` on `instance` and stamps the wall-clock time into the
+/// record. This is what [`Session`](crate::Session) workers call.
+///
+/// # Errors
+///
+/// Propagates the errors of [`Algorithm::run`].
+pub fn run_timed(
+    algorithm: &dyn Algorithm,
+    instance: &Instance,
+    cfg: &RunConfig,
+) -> Result<RunRecord, HarnessError> {
+    let start = Instant::now();
+    let mut record = algorithm.run(instance, cfg)?;
+    record.elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    Ok(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_statistics_computed() {
+        let spec = InstanceSpec::Path { n: 3 };
+        let r = RunRecord::from_rounds("two-coloring", &spec, 9, vec![1, 2, 3], None, true);
+        assert_eq!(r.n, 3);
+        assert_eq!(r.node_averaged, 2.0);
+        assert_eq!(r.worst_case, 3);
+        assert_eq!(r.waiting_averaged, 2.0);
+        assert_eq!(r.spec, "path(n=3)");
+    }
+
+    #[test]
+    fn gamma_scaling_identity_at_one() {
+        let cfg = RunConfig::default();
+        assert_eq!(cfg.scale_gammas(&[7, 19]), vec![7, 19]);
+        let half = RunConfig::default().with_gamma_multiplier(0.5);
+        assert_eq!(half.scale_gammas(&[7, 19]), vec![4, 10]);
+        let tiny = RunConfig::default().with_gamma_multiplier(0.001);
+        assert_eq!(tiny.scale_gammas(&[7]), vec![1]);
+    }
+}

@@ -1,0 +1,476 @@
+//! Declarative instance descriptions and built instances.
+//!
+//! An [`InstanceSpec`] names a paper construction and its parameters; an
+//! [`Instance`] is the built topology (tree, input labels, construction
+//! metadata) plus a cache of peeling decompositions so repeated runs on
+//! the same instance — the common case in seeded sweeps — do not recompute
+//! them.
+
+use lcl_core::params;
+use lcl_graph::hierarchical::LowerBoundGraph;
+use lcl_graph::levels::Levels;
+use lcl_graph::weighted::{NodeKind, WeightedConstruction, WeightedParams};
+use lcl_graph::{generators, Tree};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Errors surfaced by the harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HarnessError {
+    /// No registered algorithm under this name.
+    UnknownAlgorithm(String),
+    /// The algorithm does not run on this kind of instance.
+    UnsupportedInstance {
+        /// Name of the algorithm that rejected the instance.
+        algorithm: String,
+        /// Kind of the offending instance.
+        kind: InstanceKind,
+    },
+    /// The instance specification is invalid (bad lengths, `k = 0`, …).
+    BadSpec(String),
+    /// The run completed but its output violated the problem constraints.
+    VerificationFailed {
+        /// Name of the algorithm whose output failed.
+        algorithm: String,
+        /// The violation, rendered.
+        violation: String,
+    },
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::UnknownAlgorithm(name) => {
+                write!(f, "unknown algorithm `{name}` (see `registry()`)")
+            }
+            HarnessError::UnsupportedInstance { algorithm, kind } => {
+                write!(
+                    f,
+                    "algorithm `{algorithm}` does not support {kind:?} instances"
+                )
+            }
+            HarnessError::BadSpec(msg) => write!(f, "invalid instance spec: {msg}"),
+            HarnessError::VerificationFailed {
+                algorithm,
+                violation,
+            } => {
+                write!(
+                    f,
+                    "output of `{algorithm}` failed verification: {violation}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for HarnessError {}
+
+/// Coarse instance families an algorithm can declare support for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum InstanceKind {
+    /// A simple path (max degree 2).
+    Path,
+    /// A Definition 18 hierarchical lower-bound instance.
+    LowerBound,
+    /// A Definition 25 weighted (`Active`/`Weight`-labeled) construction.
+    Weighted,
+    /// A balanced pure-weight gadget tree.
+    WeightTree,
+    /// A seeded random bounded-degree tree.
+    RandomTree,
+}
+
+/// A declarative, comparable description of one paper instance.
+///
+/// Specs are cheap value objects: [`Session`](crate::Session) groups jobs
+/// by spec equality so each unique instance is built exactly once per
+/// batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceSpec {
+    /// A path on `n` nodes.
+    Path {
+        /// Node count.
+        n: usize,
+    },
+    /// The Theorem 11 lower-bound instance (Definition 18) of total size
+    /// ≈ `n` with `k` hierarchy levels.
+    Theorem11 {
+        /// Target node count.
+        n: usize,
+        /// Hierarchy depth.
+        k: usize,
+    },
+    /// The Definition 25 weighted construction in the polynomial regime:
+    /// core lengths from the optimal `α_i` at `x = log(Δ-d-1)/log(Δ-1)`.
+    WeightedPoly {
+        /// Target node count.
+        n: usize,
+        /// Degree bound of the active core.
+        delta: usize,
+        /// Decline budget.
+        d: usize,
+        /// Hierarchy depth.
+        k: usize,
+    },
+    /// The Definition 25 weighted construction in the `log*` regime.
+    WeightedLogStar {
+        /// Target node count.
+        n: usize,
+        /// Degree bound of the active core.
+        delta: usize,
+        /// Decline budget.
+        d: usize,
+        /// Hierarchy depth.
+        k: usize,
+    },
+    /// The Lemma 69 weight-augmented construction: weight efficiency
+    /// `x = 1`, every `α_i = 1/k`.
+    WeightedUnit {
+        /// Target node count.
+        n: usize,
+        /// Degree bound of the active core.
+        delta: usize,
+        /// Hierarchy depth.
+        k: usize,
+    },
+    /// A balanced pure-weight gadget tree of weight `w` and degree `delta`.
+    BalancedWeight {
+        /// Total weight (≈ node count).
+        w: usize,
+        /// Branching degree.
+        delta: usize,
+    },
+    /// A seeded random tree with bounded degree.
+    RandomTree {
+        /// Node count.
+        n: usize,
+        /// Maximum degree.
+        max_degree: usize,
+        /// Topology seed (distinct from the run's ID seed).
+        seed: u64,
+    },
+}
+
+impl InstanceSpec {
+    /// The coarse family this spec belongs to.
+    #[must_use]
+    pub fn kind(&self) -> InstanceKind {
+        match self {
+            InstanceSpec::Path { .. } => InstanceKind::Path,
+            InstanceSpec::Theorem11 { .. } => InstanceKind::LowerBound,
+            InstanceSpec::WeightedPoly { .. }
+            | InstanceSpec::WeightedLogStar { .. }
+            | InstanceSpec::WeightedUnit { .. } => InstanceKind::Weighted,
+            InstanceSpec::BalancedWeight { .. } => InstanceKind::WeightTree,
+            InstanceSpec::RandomTree { .. } => InstanceKind::RandomTree,
+        }
+    }
+
+    /// The requested size parameter (`n` or `w`). The built instance may
+    /// differ slightly; see [`Instance::node_count`].
+    #[must_use]
+    pub fn requested_n(&self) -> usize {
+        match *self {
+            InstanceSpec::Path { n }
+            | InstanceSpec::Theorem11 { n, .. }
+            | InstanceSpec::WeightedPoly { n, .. }
+            | InstanceSpec::WeightedLogStar { n, .. }
+            | InstanceSpec::WeightedUnit { n, .. }
+            | InstanceSpec::RandomTree { n, .. } => n,
+            InstanceSpec::BalancedWeight { w, .. } => w,
+        }
+    }
+
+    /// The hierarchy depth `k` carried by the spec, when it has one.
+    #[must_use]
+    pub fn hierarchy_k(&self) -> Option<usize> {
+        match *self {
+            InstanceSpec::Theorem11 { k, .. }
+            | InstanceSpec::WeightedPoly { k, .. }
+            | InstanceSpec::WeightedLogStar { k, .. }
+            | InstanceSpec::WeightedUnit { k, .. } => Some(k),
+            _ => None,
+        }
+    }
+
+    /// The decline budget `d` carried by the spec, when it has one.
+    #[must_use]
+    pub fn decline_d(&self) -> Option<usize> {
+        match *self {
+            InstanceSpec::WeightedPoly { d, .. } | InstanceSpec::WeightedLogStar { d, .. } => {
+                Some(d)
+            }
+            _ => None,
+        }
+    }
+
+    /// A compact human-readable rendering, used in tables and JSON.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match *self {
+            InstanceSpec::Path { n } => format!("path(n={n})"),
+            InstanceSpec::Theorem11 { n, k } => format!("theorem11(n={n},k={k})"),
+            InstanceSpec::WeightedPoly { n, delta, d, k } => {
+                format!("weighted-poly(n={n},delta={delta},d={d},k={k})")
+            }
+            InstanceSpec::WeightedLogStar { n, delta, d, k } => {
+                format!("weighted-logstar(n={n},delta={delta},d={d},k={k})")
+            }
+            InstanceSpec::WeightedUnit { n, delta, k } => {
+                format!("weighted-unit(n={n},delta={delta},k={k})")
+            }
+            InstanceSpec::BalancedWeight { w, delta } => {
+                format!("balanced-weight(w={w},delta={delta})")
+            }
+            InstanceSpec::RandomTree {
+                n,
+                max_degree,
+                seed,
+            } => {
+                format!("random-tree(n={n},max_degree={max_degree},seed={seed})")
+            }
+        }
+    }
+
+    /// Builds the instance this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::BadSpec`] when the parameters are not
+    /// realizable (zero sizes, `k = 0`, construction errors).
+    pub fn build(&self) -> Result<Instance, HarnessError> {
+        let data = match *self {
+            InstanceSpec::Path { n } => {
+                if n == 0 {
+                    return Err(HarnessError::BadSpec("path needs n >= 1".into()));
+                }
+                InstanceData::Plain(generators::path(n))
+            }
+            InstanceSpec::Theorem11 { n, k } => {
+                if k == 0 {
+                    return Err(HarnessError::BadSpec("theorem11 needs k >= 1".into()));
+                }
+                let lengths = params::theorem11_lengths(n, k);
+                let g = LowerBoundGraph::new(&lengths)
+                    .map_err(|e| HarnessError::BadSpec(format!("theorem11 lengths: {e}")))?;
+                InstanceData::LowerBound(g)
+            }
+            InstanceSpec::WeightedPoly { n, delta, d, k } => {
+                check_weighted_params(n, k)?;
+                let x = lcl_core::landscape::efficiency_x(delta, d);
+                weighted_data(n, delta, k, params::poly_lengths((n / k).max(4), x, k))?
+            }
+            InstanceSpec::WeightedLogStar { n, delta, d, k } => {
+                check_weighted_params(n, k)?;
+                let x = lcl_core::landscape::efficiency_x(delta, d);
+                weighted_data(n, delta, k, params::log_star_lengths((n / k).max(4), x, k))?
+            }
+            InstanceSpec::WeightedUnit { n, delta, k } => {
+                check_weighted_params(n, k)?;
+                weighted_data(n, delta, k, params::poly_lengths((n / k).max(4), 1.0, k))?
+            }
+            InstanceSpec::BalancedWeight { w, delta } => {
+                if w == 0 || delta < 2 {
+                    return Err(HarnessError::BadSpec(
+                        "balanced-weight needs w >= 1 and delta >= 2".into(),
+                    ));
+                }
+                InstanceData::Plain(generators::balanced_weight_tree(w, delta))
+            }
+            InstanceSpec::RandomTree {
+                n,
+                max_degree,
+                seed,
+            } => {
+                if n == 0 || max_degree < 2 {
+                    return Err(HarnessError::BadSpec(
+                        "random-tree needs n >= 1 and max_degree >= 2".into(),
+                    ));
+                }
+                InstanceData::Plain(generators::random_bounded_degree_tree(n, max_degree, seed))
+            }
+        };
+        Ok(Instance {
+            spec: self.clone(),
+            data,
+            levels: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+fn check_weighted_params(n: usize, k: usize) -> Result<(), HarnessError> {
+    if k == 0 || n == 0 {
+        return Err(HarnessError::BadSpec(
+            "weighted construction needs n >= 1 and k >= 1".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn weighted_data(
+    n: usize,
+    delta: usize,
+    k: usize,
+    lengths: Vec<usize>,
+) -> Result<InstanceData, HarnessError> {
+    let weight_per_level = n / k;
+    let c = WeightedConstruction::new(&WeightedParams {
+        lengths,
+        delta,
+        weight_per_level,
+    })
+    .map_err(|e| HarnessError::BadSpec(format!("weighted construction: {e}")))?;
+    Ok(InstanceData::Weighted(c))
+}
+
+enum InstanceData {
+    Plain(Tree),
+    LowerBound(LowerBoundGraph),
+    Weighted(WeightedConstruction),
+}
+
+/// A built instance: topology plus construction metadata and a cache of
+/// peeling decompositions keyed by hierarchy depth.
+pub struct Instance {
+    spec: InstanceSpec,
+    data: InstanceData,
+    levels: Mutex<HashMap<usize, Arc<Levels>>>,
+}
+
+impl Instance {
+    /// The spec this instance was built from.
+    #[must_use]
+    pub fn spec(&self) -> &InstanceSpec {
+        &self.spec
+    }
+
+    /// The coarse instance family.
+    #[must_use]
+    pub fn kind(&self) -> InstanceKind {
+        self.spec.kind()
+    }
+
+    /// The underlying tree.
+    #[must_use]
+    pub fn tree(&self) -> &Tree {
+        match &self.data {
+            InstanceData::Plain(t) => t,
+            InstanceData::LowerBound(g) => g.tree(),
+            InstanceData::Weighted(c) => c.tree(),
+        }
+    }
+
+    /// Actual node count of the built instance.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.tree().node_count()
+    }
+
+    /// The size parameter the spec asked for (algorithms schedule phase
+    /// parameters against `max(requested, actual)`, mirroring the paper's
+    /// "nodes know n" convention).
+    #[must_use]
+    pub fn requested_n(&self) -> usize {
+        self.spec.requested_n()
+    }
+
+    /// `Active`/`Weight` input labels, for weighted constructions.
+    #[must_use]
+    pub fn node_kinds(&self) -> Option<&[NodeKind]> {
+        match &self.data {
+            InstanceData::Weighted(c) => Some(c.kinds()),
+            _ => None,
+        }
+    }
+
+    /// The weighted construction, when this instance is one.
+    #[must_use]
+    pub fn construction(&self) -> Option<&WeightedConstruction> {
+        match &self.data {
+            InstanceData::Weighted(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The lower-bound construction, when this instance is one.
+    #[must_use]
+    pub fn lower_bound(&self) -> Option<&LowerBoundGraph> {
+        match &self.data {
+            InstanceData::LowerBound(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The depth-`k` peeling of the whole tree, computed once and cached.
+    ///
+    /// Sweeps run one instance under many seeds; the peeling only depends
+    /// on topology, so all runs share it.
+    #[must_use]
+    pub fn levels(&self, k: usize) -> Arc<Levels> {
+        let mut cache = self.levels.lock().expect("levels cache poisoned");
+        cache
+            .entry(k)
+            .or_insert_with(|| Arc::new(Levels::compute(self.tree(), k)))
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_spec_builds() {
+        let inst = InstanceSpec::Path { n: 9 }.build().unwrap();
+        assert_eq!(inst.node_count(), 9);
+        assert_eq!(inst.kind(), InstanceKind::Path);
+        assert!(inst.node_kinds().is_none());
+    }
+
+    #[test]
+    fn weighted_spec_builds_with_kinds() {
+        let spec = InstanceSpec::WeightedPoly {
+            n: 3_000,
+            delta: 5,
+            d: 2,
+            k: 2,
+        };
+        let inst = spec.build().unwrap();
+        assert!(inst.node_count() >= 1_000);
+        assert_eq!(inst.node_kinds().unwrap().len(), inst.node_count());
+        assert_eq!(inst.kind(), InstanceKind::Weighted);
+    }
+
+    #[test]
+    fn levels_are_cached() {
+        let inst = InstanceSpec::Theorem11 { n: 2_000, k: 2 }.build().unwrap();
+        let a = inst.levels(2);
+        let b = inst.levels(2);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn zero_sizes_rejected() {
+        assert!(InstanceSpec::Path { n: 0 }.build().is_err());
+        assert!(InstanceSpec::WeightedUnit {
+            n: 100,
+            delta: 5,
+            k: 0
+        }
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        let spec = InstanceSpec::WeightedUnit {
+            n: 10,
+            delta: 5,
+            k: 2,
+        };
+        assert_eq!(spec.describe(), "weighted-unit(n=10,delta=5,k=2)");
+    }
+}

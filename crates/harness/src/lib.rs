@@ -1,0 +1,48 @@
+//! Unified execution surface for the paper's algorithms.
+//!
+//! The paper's landscape (Fig. 2) is a *classification*: every
+//! problem/algorithm pair occupies a named cell. This crate gives the
+//! reproduction the same shape programmatically:
+//!
+//! - [`Algorithm`] — an object-safe trait implemented by every solver
+//!   (name, landscape class, supported instance kinds,
+//!   `run(&Instance, &RunConfig) -> RunRecord`),
+//! - [`InstanceSpec`] / [`Instance`] — declarative instance descriptions
+//!   wrapping the generators (paths, `LowerBoundGraph`,
+//!   `WeightedConstruction`) with cached peelings,
+//! - [`registry()`] — the static table of all ten algorithms,
+//! - [`Session`] — a builder executing seeded, size-swept batches on a
+//!   std-thread pool, emitting serializable [`RunRecord`]s and
+//!   [`SweepReport`]s.
+//!
+//! ```
+//! use lcl_harness::{registry, InstanceSpec, RunConfig, Session};
+//!
+//! // Every algorithm of the paper is one registry entry.
+//! assert_eq!(registry().len(), 10);
+//!
+//! // Run a seeded batch of the Θ(n) baseline over two path sizes.
+//! let mut session = Session::new();
+//! for n in [500usize, 1_000] {
+//!     session.push("two-coloring", InstanceSpec::Path { n }, RunConfig::seeded(7))?;
+//! }
+//! let records = session.run()?;
+//! assert_eq!(records.len(), 2);
+//! assert!(records[1].node_averaged > records[0].node_averaged);
+//! # Ok::<(), lcl_harness::HarnessError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod algorithm;
+pub mod instance;
+pub mod registry;
+pub mod session;
+
+pub use adapters::{run_on_construction, WeightedRegime};
+pub use algorithm::{run_timed, Algorithm, RunConfig, RunRecord};
+pub use instance::{HarnessError, Instance, InstanceKind, InstanceSpec};
+pub use registry::{find, registry};
+pub use session::{FitSummary, Session, SweepPoint, SweepReport};

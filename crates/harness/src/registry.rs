@@ -1,0 +1,69 @@
+//! The static registry of all ten algorithms.
+
+use crate::adapters::{
+    Apoly, DfreeA, FastDecomposition, GenericColoring, LabelingSolver, LinialColoring,
+    RandomizedColoring, TwoColoring, WeightAugmentedSolver, A35,
+};
+use crate::algorithm::Algorithm;
+
+static REGISTRY: [&dyn Algorithm; 10] = [
+    &TwoColoring,
+    &LinialColoring,
+    &RandomizedColoring,
+    &GenericColoring,
+    &Apoly,
+    &A35,
+    &WeightAugmentedSolver,
+    &DfreeA,
+    &FastDecomposition,
+    &LabelingSolver,
+];
+
+/// Every algorithm of the paper, one entry per landscape cell the
+/// reproduction realizes. Iteration order is stable: the `Θ(n)` baseline
+/// first, then the `log*` side, the hierarchical/weighted families, and
+/// the decomposition machinery.
+#[must_use]
+pub fn registry() -> &'static [&'static dyn Algorithm] {
+    &REGISTRY
+}
+
+/// Looks an algorithm up by its registry name.
+#[must_use]
+pub fn find(name: &str) -> Option<&'static dyn Algorithm> {
+    registry().iter().copied().find(|a| a.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_ten_entries() {
+        assert_eq!(registry().len(), 10);
+    }
+
+    #[test]
+    fn find_by_name() {
+        assert!(find("apoly").is_some());
+        assert!(find("a35").is_some());
+        assert!(find("no-such-algorithm").is_none());
+    }
+
+    #[test]
+    fn every_entry_declares_support() {
+        for algo in registry() {
+            assert!(
+                !algo.supported_kinds().is_empty(),
+                "{} supports nothing",
+                algo.name()
+            );
+            let smallest = algo.smallest_spec();
+            assert!(
+                algo.supports(smallest.kind()),
+                "{}'s smallest spec has unsupported kind",
+                algo.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Batched, seeded, parallel execution of registry algorithms.
+
+use crate::algorithm::{run_timed, Algorithm, RunConfig, RunRecord};
+use crate::instance::{HarnessError, Instance, InstanceSpec};
+use crate::registry::find;
+use lcl_local::math::fit_power_law;
+use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One queued execution: an algorithm, an instance spec, and a config.
+pub struct Job {
+    /// The resolved registry entry.
+    pub algorithm: &'static dyn Algorithm,
+    /// The instance to run on.
+    pub spec: InstanceSpec,
+    /// Seed and parameter knobs.
+    pub config: RunConfig,
+}
+
+/// A batch runner: queue jobs, then execute them on a std-thread pool.
+///
+/// Jobs with equal specs share one built instance (and therefore its
+/// cached peelings), so a size-swept, seed-replicated batch builds each
+/// topology exactly once. Results come back in submission order.
+///
+/// ```
+/// use lcl_harness::{InstanceSpec, RunConfig, Session};
+///
+/// let mut session = Session::new();
+/// for seed in 0..4u64 {
+///     session.push(
+///         "randomized",
+///         InstanceSpec::Path { n: 2_000 },
+///         RunConfig::seeded(seed),
+///     )?;
+/// }
+/// let records = session.run()?;
+/// assert_eq!(records.len(), 4);
+/// assert!(records.iter().all(|r| r.verified));
+/// # Ok::<(), lcl_harness::HarnessError>(())
+/// ```
+#[derive(Default)]
+pub struct Session {
+    jobs: Vec<Job>,
+    threads: Option<usize>,
+}
+
+impl Session {
+    /// An empty session.
+    #[must_use]
+    pub fn new() -> Self {
+        Session {
+            jobs: Vec::new(),
+            threads: None,
+        }
+    }
+
+    /// Caps the worker thread count (default: available parallelism).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Number of queued jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when no jobs are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Queues one run of the named algorithm.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::UnknownAlgorithm`] for names not in the registry,
+    /// [`HarnessError::UnsupportedInstance`] when the algorithm rejects
+    /// the spec's kind (caught at queue time, before any work runs).
+    pub fn push(
+        &mut self,
+        algorithm: &str,
+        spec: InstanceSpec,
+        config: RunConfig,
+    ) -> Result<&mut Self, HarnessError> {
+        let algo =
+            find(algorithm).ok_or_else(|| HarnessError::UnknownAlgorithm(algorithm.to_string()))?;
+        if !algo.supports(spec.kind()) {
+            return Err(HarnessError::UnsupportedInstance {
+                algorithm: algo.name().to_string(),
+                kind: spec.kind(),
+            });
+        }
+        self.jobs.push(Job {
+            algorithm: algo,
+            spec,
+            config,
+        });
+        Ok(self)
+    }
+
+    /// Executes all queued jobs and returns their records in submission
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// The first job error in submission order (instance build failures,
+    /// verification failures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (propagated by `std::thread::scope`).
+    pub fn run(self) -> Result<Vec<RunRecord>, HarnessError> {
+        let jobs = self.jobs;
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Group jobs by spec so each unique instance is built once; jobs
+        // themselves (including many seeds on one instance) all run in
+        // parallel against the shared, Sync instances.
+        let mut groups: Vec<InstanceSpec> = Vec::new();
+        let mut group_of = vec![0usize; jobs.len()];
+        for (i, job) in jobs.iter().enumerate() {
+            group_of[i] = match groups.iter().position(|s| *s == job.spec) {
+                Some(g) => g,
+                None => {
+                    groups.push(job.spec.clone());
+                    groups.len() - 1
+                }
+            };
+        }
+        let hardware = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let threads = self.threads.unwrap_or(hardware).max(1);
+
+        // Phase 1: build every unique instance, in parallel over specs.
+        let next_group = AtomicUsize::new(0);
+        let built: Vec<Mutex<Option<Result<Instance, HarnessError>>>> =
+            groups.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(groups.len()) {
+                scope.spawn(|| loop {
+                    let g = next_group.fetch_add(1, Ordering::Relaxed);
+                    if g >= groups.len() {
+                        break;
+                    }
+                    let outcome = groups[g].build();
+                    *built[g].lock().expect("build slot poisoned") = Some(outcome);
+                });
+            }
+        });
+        let instances: Vec<Result<Instance, HarnessError>> = built
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("build slot poisoned")
+                    .expect("every instance was built")
+            })
+            .collect();
+
+        // Phase 2: execute all jobs, in parallel over jobs.
+        let next_job = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Result<RunRecord, HarnessError>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(jobs.len()) {
+                scope.spawn(|| loop {
+                    let i = next_job.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let job = &jobs[i];
+                    let outcome = match &instances[group_of[i]] {
+                        Ok(instance) => run_timed(job.algorithm, instance, &job.config),
+                        Err(e) => Err(e.clone()),
+                    };
+                    *results[i].lock().expect("result slot poisoned") = Some(outcome);
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every job was executed")
+            })
+            .collect()
+    }
+}
+
+/// One sweep point: the summary of a [`RunRecord`] without the per-node
+/// round vector.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Rendered instance spec.
+    pub spec: String,
+    /// Actual node count.
+    pub n: usize,
+    /// Seed of the run.
+    pub seed: u64,
+    /// Node-averaged rounds.
+    pub node_averaged: f64,
+    /// Worst-case rounds.
+    pub worst_case: u64,
+    /// Node-averaged rounds over the waiting mass.
+    pub waiting_averaged: f64,
+    /// Wall-clock milliseconds of the run.
+    pub elapsed_ms: f64,
+}
+
+impl From<&RunRecord> for SweepPoint {
+    fn from(r: &RunRecord) -> Self {
+        SweepPoint {
+            spec: r.spec.clone(),
+            n: r.n,
+            seed: r.seed,
+            node_averaged: r.node_averaged,
+            worst_case: r.worst_case,
+            waiting_averaged: r.waiting_averaged,
+            elapsed_ms: r.elapsed_ms,
+        }
+    }
+}
+
+/// A fitted power law `y ≈ coefficient · n^exponent`.
+#[derive(Debug, Clone, Serialize)]
+pub struct FitSummary {
+    /// Fitted exponent.
+    pub exponent: f64,
+    /// Fitted multiplicative constant.
+    pub coefficient: f64,
+    /// Goodness of fit in log–log space.
+    pub r_squared: f64,
+}
+
+/// The serializable outcome of one sweep: per-point summaries plus power
+/// law fits of the node-averaged and waiting-mass curves over `n`.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepReport {
+    /// Registry name of the swept algorithm.
+    pub algorithm: String,
+    /// One summary per run, in submission order.
+    pub points: Vec<SweepPoint>,
+    /// `node_averaged ≈ c · n^e` fit (absent with fewer than two distinct
+    /// sizes).
+    pub fit: Option<FitSummary>,
+    /// Same fit over the waiting mass.
+    pub waiting_fit: Option<FitSummary>,
+}
+
+impl SweepReport {
+    /// Summarizes a slice of records (typically one algorithm's size
+    /// sweep out of a [`Session::run`] batch).
+    #[must_use]
+    pub fn from_records(algorithm: &str, records: &[RunRecord]) -> Self {
+        let points: Vec<SweepPoint> = records.iter().map(SweepPoint::from).collect();
+        let distinct_sizes = {
+            let mut sizes: Vec<usize> = points.iter().map(|p| p.n).collect();
+            sizes.sort_unstable();
+            sizes.dedup();
+            sizes.len()
+        };
+        let (fit, waiting_fit) = if distinct_sizes >= 2 {
+            let data: Vec<(f64, f64)> = points
+                .iter()
+                .map(|p| (p.n as f64, p.node_averaged.max(1e-9)))
+                .collect();
+            let wdata: Vec<(f64, f64)> = points
+                .iter()
+                .map(|p| (p.n as f64, p.waiting_averaged.max(1e-9)))
+                .collect();
+            (
+                Some(to_summary(fit_power_law(&data))),
+                Some(to_summary(fit_power_law(&wdata))),
+            )
+        } else {
+            (None, None)
+        };
+        SweepReport {
+            algorithm: algorithm.to_string(),
+            points,
+            fit,
+            waiting_fit,
+        }
+    }
+}
+
+fn to_summary(fit: lcl_local::math::PowerLawFit) -> FitSummary {
+    FitSummary {
+        exponent: fit.exponent,
+        coefficient: fit.coefficient,
+        r_squared: fit.r_squared,
+    }
+}
+
+/// Runs one size-swept batch of a single algorithm: for each `(spec,
+/// seed)` pair one job, summarized into a [`SweepReport`].
+///
+/// # Errors
+///
+/// As for [`Session::push`] and [`Session::run`].
+pub fn sweep(
+    algorithm: &str,
+    points: impl IntoIterator<Item = (InstanceSpec, u64)>,
+) -> Result<SweepReport, HarnessError> {
+    let mut session = Session::new();
+    for (spec, seed) in points {
+        session.push(algorithm, spec, RunConfig::seeded(seed))?;
+    }
+    let records = session.run()?;
+    Ok(SweepReport::from_records(algorithm, &records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_returns_in_submission_order() {
+        let mut s = Session::new();
+        for n in [64usize, 32, 128] {
+            s.push(
+                "two-coloring",
+                InstanceSpec::Path { n },
+                RunConfig::seeded(1),
+            )
+            .unwrap();
+        }
+        let records = s.run().unwrap();
+        assert_eq!(
+            records.iter().map(|r| r.n).collect::<Vec<_>>(),
+            vec![64, 32, 128]
+        );
+        assert!(records.iter().all(|r| r.elapsed_ms >= 0.0));
+    }
+
+    #[test]
+    fn seed_replicated_jobs_on_one_spec_keep_order() {
+        // Many seeds on one instance: one build, jobs fan out across
+        // threads, results still in submission order.
+        let mut s = Session::new().threads(4);
+        for seed in [9u64, 3, 7, 1] {
+            s.push(
+                "randomized",
+                InstanceSpec::Path { n: 512 },
+                RunConfig::seeded(seed),
+            )
+            .unwrap();
+        }
+        let records = s.run().unwrap();
+        assert_eq!(
+            records.iter().map(|r| r.seed).collect::<Vec<_>>(),
+            vec![9, 3, 7, 1]
+        );
+    }
+
+    #[test]
+    fn unknown_algorithm_rejected_at_queue_time() {
+        let mut s = Session::new();
+        let err = s
+            .push("nope", InstanceSpec::Path { n: 4 }, RunConfig::default())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, HarnessError::UnknownAlgorithm(_)));
+    }
+
+    #[test]
+    fn mismatched_spec_rejected_at_queue_time() {
+        let mut s = Session::new();
+        let err = s
+            .push(
+                "two-coloring",
+                InstanceSpec::RandomTree {
+                    n: 32,
+                    max_degree: 3,
+                    seed: 1,
+                },
+                RunConfig::default(),
+            )
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, HarnessError::UnsupportedInstance { .. }));
+    }
+
+    #[test]
+    fn sweep_fits_the_linear_baseline() {
+        let report = sweep(
+            "two-coloring",
+            [500usize, 1_000, 2_000]
+                .into_iter()
+                .map(|n| (InstanceSpec::Path { n }, n as u64)),
+        )
+        .unwrap();
+        assert_eq!(report.points.len(), 3);
+        let fit = report.fit.expect("three sizes fit");
+        assert!(fit.exponent > 0.9, "2-coloring is Θ(n), got {fit:?}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the registry (ISSUE 2): every registered algorithm
+//! runs on its smallest supported instance under arbitrary seeds, its
+//! `RunRecord` round vector covers exactly the node count, and the output
+//! passes the problem verifier.
+
+use lcl_harness::{registry, run_timed, RunConfig};
+use proptest::prelude::*;
+
+#[test]
+fn every_algorithm_runs_on_its_smallest_instance() {
+    for algo in registry() {
+        let spec = algo.smallest_spec();
+        let instance = spec
+            .build()
+            .unwrap_or_else(|e| panic!("{}: smallest spec failed to build: {e}", algo.name()));
+        let record = algo
+            .run(&instance, &RunConfig::seeded(42))
+            .unwrap_or_else(|e| panic!("{}: run failed: {e}", algo.name()));
+        assert_eq!(
+            record.rounds.len(),
+            instance.node_count(),
+            "{}: round vector must cover every node",
+            algo.name()
+        );
+        assert_eq!(record.n, instance.node_count(), "{}", algo.name());
+        assert!(record.verified, "{}: output must verify", algo.name());
+        assert!(
+            record.node_averaged <= record.worst_case as f64,
+            "{}: average cannot exceed worst case",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn default_specs_are_supported_and_buildable() {
+    for algo in registry() {
+        let cfg = RunConfig::default();
+        let spec = algo.default_spec(4_000, &cfg);
+        assert!(
+            algo.supports(spec.kind()),
+            "{}: default spec kind unsupported",
+            algo.name()
+        );
+        let instance = spec
+            .build()
+            .unwrap_or_else(|e| panic!("{}: default spec failed to build: {e}", algo.name()));
+        assert!(instance.node_count() > 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Seeds are the only symmetry breaker of the LOCAL model; the registry
+    // contract (runs, covers all nodes, verifies) must hold for all of
+    // them, not just a lucky constant.
+    #[test]
+    fn registry_contract_holds_for_arbitrary_seeds(seed in any::<u64>()) {
+        for algo in registry() {
+            let instance = algo.smallest_spec().build().expect("smallest spec builds");
+            let record = run_timed(*algo, &instance, &RunConfig::seeded(seed))
+                .unwrap_or_else(|e| panic!("{} (seed {seed}): {e}", algo.name()));
+            prop_assert_eq!(record.rounds.len(), instance.node_count());
+            prop_assert!(record.verified);
+            prop_assert!(record.elapsed_ms >= 0.0);
+        }
+    }
+}

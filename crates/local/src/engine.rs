@@ -93,7 +93,7 @@ pub struct SyncOutcome<O> {
     /// Output of every node.
     pub outputs: Vec<O>,
     /// Per-node termination rounds.
-    pub stats: RoundStats,
+    pub stats: RoundStats<'static>,
     /// Total number of messages delivered.
     pub messages: u64,
 }

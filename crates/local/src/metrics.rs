@@ -5,9 +5,14 @@
 //! terminates, maximized over instances. An execution yields one termination
 //! round per node; [`RoundStats`] summarizes them.
 
-use serde::Serialize;
+use std::borrow::Cow;
 
 /// Per-node termination rounds of one execution, with summary accessors.
+///
+/// Backed by a [`Cow`]: [`RoundStats::new`] takes ownership of a vector,
+/// while [`RoundStats::from_slice`] borrows an existing round slice
+/// without copying it — the cheap path for computing summaries of a run
+/// that already owns its rounds.
 ///
 /// # Examples
 ///
@@ -16,13 +21,16 @@ use serde::Serialize;
 /// let s = RoundStats::new(vec![0, 2, 4]);
 /// assert_eq!(s.worst_case(), 4);
 /// assert_eq!(s.node_averaged(), 2.0);
+/// let rounds = [1u64, 3];
+/// let borrowed = RoundStats::from_slice(&rounds);
+/// assert_eq!(borrowed.node_averaged(), 2.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
-pub struct RoundStats {
-    rounds: Vec<u64>,
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundStats<'a> {
+    rounds: Cow<'a, [u64]>,
 }
 
-impl RoundStats {
+impl RoundStats<'static> {
     /// Wraps a vector of per-node termination rounds.
     ///
     /// # Panics
@@ -33,45 +41,72 @@ impl RoundStats {
             !rounds.is_empty(),
             "round statistics need at least one node"
         );
-        RoundStats { rounds }
+        RoundStats {
+            rounds: Cow::Owned(rounds),
+        }
+    }
+}
+
+impl<'a> RoundStats<'a> {
+    /// Borrows a slice of per-node termination rounds without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is empty (the average would be undefined).
+    pub fn from_slice(rounds: &'a [u64]) -> Self {
+        assert!(
+            !rounds.is_empty(),
+            "round statistics need at least one node"
+        );
+        RoundStats {
+            rounds: Cow::Borrowed(rounds),
+        }
     }
 
     /// Number of nodes.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.rounds.len()
     }
 
     /// Always false; kept for API completeness.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.rounds.is_empty()
     }
 
     /// Termination round of node `v`.
+    #[must_use]
     pub fn round(&self, v: usize) -> u64 {
         self.rounds[v]
     }
 
     /// The raw per-node rounds.
+    #[must_use]
     pub fn as_slice(&self) -> &[u64] {
         &self.rounds
     }
 
     /// Total rounds summed over nodes, `Σ_v T_v`.
+    #[must_use]
     pub fn total(&self) -> u128 {
         self.rounds.iter().map(|&r| r as u128).sum()
     }
 
     /// Node-averaged complexity `(Σ_v T_v) / n` of this execution.
+    #[must_use]
     pub fn node_averaged(&self) -> f64 {
         self.total() as f64 / self.rounds.len() as f64
     }
 
     /// Worst-case complexity `max_v T_v` of this execution.
+    #[must_use]
     pub fn worst_case(&self) -> u64 {
         *self.rounds.iter().max().expect("non-empty")
     }
 
     /// Fraction of nodes with termination round at most `r`.
+    #[must_use]
     pub fn fraction_done_by(&self, r: u64) -> f64 {
         let done = self.rounds.iter().filter(|&&t| t <= r).count();
         done as f64 / self.rounds.len() as f64
@@ -80,25 +115,40 @@ impl RoundStats {
     /// Histogram of termination rounds as `(round, count)` pairs sorted by
     /// round. Useful for inspecting the phase structure of the generic
     /// algorithms.
+    #[must_use]
     pub fn histogram(&self) -> Vec<(u64, usize)> {
         let mut map = std::collections::BTreeMap::new();
-        for &r in &self.rounds {
+        for &r in self.rounds.iter() {
             *map.entry(r).or_insert(0usize) += 1;
         }
         map.into_iter().collect()
     }
 
     /// Merges two executions over disjoint node sets (concatenation).
-    pub fn merged_with(&self, other: &RoundStats) -> RoundStats {
-        let mut rounds = self.rounds.clone();
+    #[must_use]
+    pub fn merged_with(&self, other: &RoundStats<'_>) -> RoundStats<'static> {
+        let mut rounds = self.rounds.to_vec();
         rounds.extend_from_slice(&other.rounds);
-        RoundStats { rounds }
+        RoundStats {
+            rounds: Cow::Owned(rounds),
+        }
     }
 }
 
-impl FromIterator<u64> for RoundStats {
+impl FromIterator<u64> for RoundStats<'static> {
     fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
         RoundStats::new(iter.into_iter().collect())
+    }
+}
+
+impl serde::Serialize for RoundStats<'_> {
+    // Manual impl (the vendored derive does not handle lifetime
+    // parameters); mirrors the shape the derive would emit.
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![(
+            "rounds".to_string(),
+            serde::Serialize::to_value(&self.rounds[..]),
+        )])
     }
 }
 

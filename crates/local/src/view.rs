@@ -161,7 +161,7 @@ pub struct ViewOutcome<O> {
     /// Output of every node.
     pub outputs: Vec<O>,
     /// Per-node termination rounds (= deciding radius).
-    pub stats: RoundStats,
+    pub stats: RoundStats<'static>,
 }
 
 /// Runs a view algorithm on every node, growing each node's radius until it

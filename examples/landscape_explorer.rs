@@ -6,10 +6,7 @@
 //! cargo run --release --example landscape_explorer -- 0.30 0.34
 //! ```
 
-use lcl_landscape::algorithms::apoly::apoly_on_construction;
 use lcl_landscape::core::landscape::{synthesize_log_star, synthesize_poly, PolySpec};
-use lcl_landscape::core::params::poly_lengths;
-use lcl_landscape::graph::weighted::{WeightedConstruction, WeightedParams};
 use lcl_landscape::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,22 +25,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         exponent,
     } = spec
     {
-        // Build a Definition 25 instance and measure A_poly on it.
-        let x = lcl_landscape::core::landscape::efficiency_x(delta, d);
-        let n = 400_000usize;
-        let construction = WeightedConstruction::new(&WeightedParams {
-            lengths: poly_lengths(n / k, x, k),
+        // Measure A_poly on a Definition 25 instance via the registry.
+        let algo = find("apoly").expect("apoly is registered");
+        let instance = InstanceSpec::WeightedPoly {
+            n: 400_000,
             delta,
-            weight_per_level: n / k,
-        })?;
-        let total = construction.tree().node_count();
-        let ids = Ids::random(total, 1);
-        let run = apoly_on_construction(&construction, k, d, &ids);
-        let stats = run.stats();
+            d,
+            k,
+        }
+        .build()?;
+        let record = algo.run(&instance, &RunConfig::seeded(1))?;
         println!(
-            "measured on n = {total}: node-avg = {:.1} (predicted scale n^{exponent:.3} = {:.1})",
-            stats.node_averaged(),
-            (total as f64).powf(exponent),
+            "measured on n = {}: node-avg = {:.1} (predicted scale n^{exponent:.3} = {:.1})",
+            record.n,
+            record.node_averaged,
+            (record.n as f64).powf(exponent),
         );
     }
 

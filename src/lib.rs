@@ -4,9 +4,10 @@
 //! Complexity Landscape of LCLs on Trees"* (Balliu, Brandt, Kuhn, Olivetti,
 //! Schmid — PODC 2024): LOCAL-model simulator, every problem family and
 //! algorithm from the paper, the decidability machinery of Section 11, and
-//! a benchmark harness regenerating each figure and theorem.
+//! a registry-driven experiment harness regenerating each figure and
+//! theorem.
 //!
-//! This facade crate re-exports the five member crates:
+//! This facade crate re-exports the six member crates:
 //!
 //! - [`graph`] — trees, lower-bound constructions, rake-and-compress
 //!   decompositions,
@@ -15,6 +16,9 @@
 //!   landscape (`α₁` formulas, parameter synthesis),
 //! - [`algorithms`] — every algorithm in the paper, each reporting exact
 //!   per-node termination rounds,
+//! - [`harness`] — the unified `Algorithm`/`Instance`/`Session` execution
+//!   API: a `registry()` of all ten algorithms and a parallel batch
+//!   runner emitting serializable records,
 //! - [`decidability`] — the black-white formalism, path classification,
 //!   label-sets, and the testing procedure.
 //!
@@ -23,22 +27,33 @@
 //! ```
 //! use lcl_landscape::prelude::*;
 //!
-//! // Build a Theorem 11 lower-bound instance and measure the
-//! // node-averaged complexity of the generic 3½-coloring algorithm.
-//! let lengths = lcl_landscape::core::params::theorem11_lengths(50_000, 2);
-//! let g = LowerBoundGraph::new(&lengths)?;
-//! let n = g.tree().node_count();
-//! let ids = Ids::random(n, 7);
-//! let gammas = lcl_landscape::core::params::theorem11_gammas(n, 2);
-//! let run = generic_coloring(g.tree(), Variant::ThreeHalf, &gammas, &ids);
+//! // Every algorithm of the paper is a registry entry with a name, a
+//! // landscape class, and supported instance kinds.
+//! assert_eq!(registry().len(), 10);
+//! let algo = find("generic-coloring").expect("registered");
 //!
-//! // Outputs always pass the paper's constraints...
-//! let problem = HierarchicalColoring::new(2, Variant::ThreeHalf);
-//! problem.verify(g.tree(), &vec![(); n], &run.outputs)?;
-//! // ...and node-averaged complexity is far below worst case.
-//! let stats = run.stats();
-//! assert!(stats.node_averaged() * 1.5 < stats.worst_case() as f64);
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! // Run a seeded size sweep of the Theorem 11 lower-bound instance
+//! // through the Session batch runner (instances are built once and
+//! // shared across jobs; execution is parallel).
+//! let mut session = Session::new();
+//! for n in [5_000usize, 20_000] {
+//!     session.push(
+//!         algo.name(),
+//!         InstanceSpec::Theorem11 { n, k: 2 },
+//!         RunConfig::seeded(7),
+//!     )?;
+//! }
+//! let records = session.run()?;
+//!
+//! // Records carry exact per-node rounds; outputs were verified against
+//! // the paper's constraints during the run.
+//! for record in &records {
+//!     assert_eq!(record.rounds.len(), record.n);
+//!     assert!(record.verified);
+//!     // Node-averaged complexity is far below worst case (Theorem 11).
+//!     assert!(record.node_averaged * 1.5 < record.worst_case as f64);
+//! }
+//! # Ok::<(), lcl_landscape::harness::HarnessError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -48,6 +63,7 @@ pub use lcl_algorithms as algorithms;
 pub use lcl_core as core;
 pub use lcl_decidability as decidability;
 pub use lcl_graph as graph;
+pub use lcl_harness as harness;
 pub use lcl_local as local;
 
 /// The most common imports, bundled.
@@ -58,6 +74,10 @@ pub mod prelude {
     pub use lcl_core::problem::{LclProblem, Violation};
     pub use lcl_graph::hierarchical::LowerBoundGraph;
     pub use lcl_graph::{NodeMask, Tree, TreeBuilder};
+    pub use lcl_harness::{
+        find, registry, Algorithm, HarnessError, Instance, InstanceKind, InstanceSpec, RunConfig,
+        RunRecord, Session, SweepReport,
+    };
     pub use lcl_local::identifiers::Ids;
     pub use lcl_local::metrics::RoundStats;
 }

@@ -1,84 +1,74 @@
 //! Integration tests spanning all crates: constructions → algorithms →
-//! verifiers → complexity shapes.
+//! verifiers → complexity shapes, driven through the unified harness
+//! (`registry()` + `Session`).
 
-use lcl_landscape::algorithms::a35::a35_on_construction;
-use lcl_landscape::algorithms::apoly::apoly_on_construction;
 use lcl_landscape::algorithms::two_coloring::two_color_path;
-use lcl_landscape::algorithms::weight_augmented_solver::solve_weight_augmented;
 use lcl_landscape::core::params;
-use lcl_landscape::core::weight_augmented::WeightAugmented;
-use lcl_landscape::core::weighted::WeightedColoring;
 use lcl_landscape::graph::generators::path;
-use lcl_landscape::graph::weighted::{WeightedConstruction, WeightedParams};
 use lcl_landscape::prelude::*;
-
-fn weighted(n: usize, delta: usize, d: usize, k: usize, poly: bool) -> WeightedConstruction {
-    let x = lcl_landscape::core::landscape::efficiency_x(delta, d);
-    let lengths = if poly {
-        params::poly_lengths((n / k).max(4), x, k)
-    } else {
-        params::log_star_lengths((n / k).max(4), x, k)
-    };
-    WeightedConstruction::new(&WeightedParams {
-        lengths,
-        delta,
-        weight_per_level: n / k,
-    })
-    .unwrap()
-}
 
 #[test]
 fn apoly_verifies_across_parameter_grid() {
+    let mut session = Session::new();
     for (delta, d, k) in [(5usize, 2usize, 2usize), (6, 3, 2), (6, 2, 3)] {
-        let c = weighted(20_000, delta, d, k, true);
-        let n = c.tree().node_count();
-        let ids = Ids::random(n, (delta + d + k) as u64);
-        let run = apoly_on_construction(&c, k, d, &ids);
-        let problem = WeightedColoring::new(Variant::TwoHalf, delta, d, k).unwrap();
-        problem
-            .verify(c.tree(), c.kinds(), &run.outputs)
-            .unwrap_or_else(|e| panic!("(Δ,d,k)=({delta},{d},{k}): {e}"));
+        session
+            .push(
+                "apoly",
+                InstanceSpec::WeightedPoly {
+                    n: 20_000,
+                    delta,
+                    d,
+                    k,
+                },
+                RunConfig::seeded((delta + d + k) as u64),
+            )
+            .unwrap();
     }
+    // Verification runs inside the harness; a constraint violation would
+    // surface as a VerificationFailed error here.
+    let records = session.run().unwrap();
+    assert!(records.iter().all(|r| r.verified));
 }
 
 #[test]
 fn a35_verifies_across_parameter_grid() {
+    let mut session = Session::new();
     for (delta, d, k) in [(6usize, 3usize, 2usize), (8, 3, 2), (6, 3, 3)] {
-        let c = weighted(20_000, delta, d, k, false);
-        let n = c.tree().node_count();
-        let ids = Ids::random(n, (delta * d * k) as u64);
-        let run = a35_on_construction(&c, k, d, &ids);
-        let problem = WeightedColoring::new(Variant::ThreeHalf, delta, d, k).unwrap();
-        problem
-            .verify(c.tree(), c.kinds(), &run.outputs)
-            .unwrap_or_else(|e| panic!("(Δ,d,k)=({delta},{d},{k}): {e}"));
+        session
+            .push(
+                "a35",
+                InstanceSpec::WeightedLogStar {
+                    n: 20_000,
+                    delta,
+                    d,
+                    k,
+                },
+                RunConfig::seeded((delta * d * k) as u64),
+            )
+            .unwrap();
     }
+    let records = session.run().unwrap();
+    assert!(records.iter().all(|r| r.verified));
 }
 
 #[test]
 fn weight_augmented_verifies_and_scales_as_sqrt_n() {
-    let mut avgs = Vec::new();
+    let mut session = Session::new();
     for n in [20_000usize, 80_000] {
-        let lengths = params::poly_lengths(n / 2, 1.0, 2);
-        let c = WeightedConstruction::new(&WeightedParams {
-            lengths,
-            delta: 5,
-            weight_per_level: n / 2,
-        })
-        .unwrap();
-        let total = c.tree().node_count();
-        let ids = Ids::random(total, n as u64);
-        let run = solve_weight_augmented(c.tree(), c.kinds(), 2, &ids);
-        WeightAugmented::new(2)
-            .verify(c.tree(), c.kinds(), &run.outputs)
+        session
+            .push(
+                "weight-augmented",
+                InstanceSpec::WeightedUnit { n, delta: 5, k: 2 },
+                RunConfig::seeded(n as u64),
+            )
             .unwrap();
-        avgs.push((total, run.stats().node_averaged()));
     }
+    let records = session.run().unwrap();
     // Quadrupling n should roughly double the node-averaged cost (Θ(√n)).
-    let ratio = avgs[1].1 / avgs[0].1;
+    let ratio = records[1].node_averaged / records[0].node_averaged;
     assert!(
         (1.5..3.0).contains(&ratio),
-        "√n scaling violated: {avgs:?} ratio {ratio}"
+        "√n scaling violated: ratio {ratio}"
     );
 }
 
@@ -86,22 +76,16 @@ fn weight_augmented_verifies_and_scales_as_sqrt_n() {
 fn node_averaged_beats_worst_case_on_thm11_instances() {
     // The punchline of the node-averaged measure: on Theorem 11 instances
     // the generic algorithm's average is much smaller than its worst case.
+    let algo = find("generic-coloring").unwrap();
     for k in [2usize, 3] {
-        let lengths = params::theorem11_lengths(200_000, k);
-        let g = LowerBoundGraph::new(&lengths).unwrap();
-        let n = g.tree().node_count();
-        let ids = Ids::random(n, k as u64);
-        let gammas = params::theorem11_gammas(n, k);
-        let run = generic_coloring(g.tree(), Variant::ThreeHalf, &gammas, &ids);
-        HierarchicalColoring::new(k, Variant::ThreeHalf)
-            .verify(g.tree(), &vec![(); n], &run.outputs)
-            .unwrap();
-        let stats = run.stats();
+        let instance = InstanceSpec::Theorem11 { n: 200_000, k }.build().unwrap();
+        let record = algo.run(&instance, &RunConfig::seeded(k as u64)).unwrap();
+        assert!(record.verified);
         assert!(
-            stats.node_averaged() * 2.0 < stats.worst_case() as f64,
+            record.node_averaged * 2.0 < record.worst_case as f64,
             "k={k}: avg {} vs worst {}",
-            stats.node_averaged(),
-            stats.worst_case()
+            record.node_averaged,
+            record.worst_case
         );
     }
 }
@@ -122,16 +106,50 @@ fn two_coloring_is_linear_and_three_coloring_is_not() {
 
 #[test]
 fn synthesized_problems_are_buildable() {
-    // Theorem 1's synthesis output can always be instantiated and run.
+    // Theorem 1's synthesis output can always be instantiated and run
+    // through the registry.
     let spec = lcl_landscape::core::landscape::synthesize_poly(0.41, 0.45).unwrap();
     if let lcl_landscape::core::landscape::PolySpec::Weighted { delta, d, k, .. } = spec {
-        let c = weighted(10_000, delta, d, k, true);
-        let n = c.tree().node_count();
-        let ids = Ids::random(n, 9);
-        let run = apoly_on_construction(&c, k, d, &ids);
-        WeightedColoring::new(Variant::TwoHalf, delta, d, k)
+        let instance = InstanceSpec::WeightedPoly {
+            n: 10_000,
+            delta,
+            d,
+            k,
+        }
+        .build()
+        .unwrap();
+        let record = find("apoly")
             .unwrap()
-            .verify(c.tree(), c.kinds(), &run.outputs)
+            .run(&instance, &RunConfig::seeded(9))
+            .unwrap();
+        assert!(record.verified);
+    }
+}
+
+#[test]
+fn registry_and_prelude_expose_the_full_surface() {
+    // The facade prelude exposes the harness types; a batch summarizes
+    // into a sweep report with a power-law fit.
+    let mut session = Session::new().threads(2);
+    for n in [1_000usize, 2_000, 4_000] {
+        session
+            .push(
+                "two-coloring",
+                InstanceSpec::Path { n },
+                RunConfig::seeded(n as u64),
+            )
             .unwrap();
     }
+    let records = session.run().unwrap();
+    let report = SweepReport::from_records("two-coloring", &records);
+    assert_eq!(report.algorithm, "two-coloring");
+    assert!(report.fit.expect("three sizes").exponent > 0.9);
+}
+
+#[test]
+fn theorem11_lengths_still_drive_the_public_generators() {
+    // The low-level surface stays available alongside the harness.
+    let lengths = params::theorem11_lengths(50_000, 2);
+    let g = LowerBoundGraph::new(&lengths).unwrap();
+    assert!(g.tree().node_count() > 10_000);
 }
