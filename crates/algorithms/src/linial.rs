@@ -243,7 +243,7 @@ pub fn three_color_path(tree: &Tree, ids: &Ids) -> AlgorithmRun<u64> {
 mod tests {
     use super::*;
     use lcl_graph::generators::{path, random_bounded_degree_tree};
-    use lcl_local::engine::{run_sync, Action, NodeContext, Protocol};
+    use lcl_local::engine::{run_sync, Inbox, NodeContext, Outbox, Protocol};
     use lcl_local::math::log_star;
 
     fn assert_proper(tree: &Tree, mask: &NodeMask, colors: &[u64]) {
@@ -352,11 +352,12 @@ mod tests {
             &mut self,
             ctx: &NodeContext,
             _round: u64,
-            inbox: &[(usize, u64)],
-        ) -> Action<u64, u64> {
+            inbox: &Inbox<'_, u64>,
+            outbox: &mut Outbox<'_, u64>,
+        ) -> Option<u64> {
             // Apply previous round's exchange.
             if !inbox.is_empty() || ctx.degree == 0 {
-                let neighbor_colors: Vec<u64> = inbox.iter().map(|&(_, c)| c).collect();
+                let neighbor_colors: Vec<u64> = inbox.iter().map(|(_, &c)| c).collect();
                 let p = step_params(self.m, self.delta);
                 if p.q * p.q < self.m {
                     // Reduction round.
@@ -383,19 +384,14 @@ mod tests {
                             .unwrap();
                     }
                     if self.phase2_class == self.target {
-                        return Action::Output {
-                            output: self.color,
-                            final_messages: vec![],
-                        };
+                        return Some(self.color);
                     }
                 }
             } else if self.m <= self.target {
-                return Action::Output {
-                    output: self.color,
-                    final_messages: vec![],
-                };
+                return Some(self.color);
             }
-            Action::Send((0..ctx.degree).map(|pt| (pt, self.color)).collect())
+            outbox.broadcast(self.color);
+            None
         }
     }
 

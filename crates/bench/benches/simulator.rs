@@ -1,9 +1,12 @@
-//! Criterion bench: synchronous LOCAL engine throughput.
+//! Criterion bench: synchronous LOCAL engine throughput — the chunked
+//! arena engine (sequential and parallel) against the frozen reference
+//! engine on the same flooding workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lcl_graph::generators::path;
-use lcl_local::engine::{run_sync, Action, NodeContext, Protocol};
+use lcl_local::engine::{run_sync_with, EngineConfig, Inbox, NodeContext, Outbox, Protocol};
 use lcl_local::identifiers::Ids;
+use lcl_local::reference_engine::run_reference;
 
 struct MinFlood {
     best: u64,
@@ -13,17 +16,21 @@ struct MinFlood {
 impl Protocol for MinFlood {
     type Message = u64;
     type Output = u64;
-    fn step(&mut self, ctx: &NodeContext, round: u64, inbox: &[(usize, u64)]) -> Action<u64, u64> {
-        for &(_, m) in inbox {
+    fn step(
+        &mut self,
+        _ctx: &NodeContext,
+        round: u64,
+        inbox: &Inbox<'_, u64>,
+        outbox: &mut Outbox<'_, u64>,
+    ) -> Option<u64> {
+        for (_, &m) in inbox.iter() {
             self.best = self.best.min(m);
         }
         if round == self.budget {
-            return Action::Output {
-                output: self.best,
-                final_messages: vec![],
-            };
+            return Some(self.best);
         }
-        Action::Send((0..ctx.degree).map(|p| (p, self.best)).collect())
+        outbox.broadcast(self.best);
+        None
     }
 }
 
@@ -32,9 +39,42 @@ fn bench_sync_engine(c: &mut Criterion) {
     for n in [1_000usize, 10_000] {
         let tree = path(n);
         let ids = Ids::random(n, 1);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("chunked_seq", n), &n, |b, _| {
             b.iter(|| {
-                run_sync(
+                run_sync_with(
+                    &tree,
+                    &ids,
+                    |c| MinFlood {
+                        best: c.id,
+                        budget: 64,
+                    },
+                    1_000,
+                    &EngineConfig::sequential(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("chunked_par", n), &n, |b, _| {
+            b.iter(|| {
+                run_sync_with(
+                    &tree,
+                    &ids,
+                    |c| MinFlood {
+                        best: c.id,
+                        budget: 64,
+                    },
+                    1_000,
+                    &EngineConfig {
+                        chunk_size: 1_024,
+                        threads: 4,
+                    },
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+            b.iter(|| {
+                run_reference(
                     &tree,
                     &ids,
                     |c| MinFlood {

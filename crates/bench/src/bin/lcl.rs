@@ -4,15 +4,21 @@
 //! lcl list                          table of all registry algorithms
 //! lcl figures                       names of the figure sweeps
 //! lcl run <algo> [--n N] [--seed S] [--k K] [--d D] [--gamma-mult M]
+//!         [--engine direct|chunked] [--chunk-size C] [--engine-threads T]
 //!         [--no-verify] [--json]    one seeded run via the registry
 //! lcl sweep <figure>|all [--tiny] [--schema]
 //!                                   regenerate figures via Session
+//! lcl sweep --scale smoke|ci|full [--chunk-size C] [--threads T]
+//!                                   large-n suite on the chunked engine;
+//!                                   emits bench-results/BENCH_engine.json
 //! lcl baseline [--n N]              emit bench-results/BENCH_sweep.json
+//! lcl perfgate [--threshold X]      CI smoke gate vs BENCH_sweep.json
 //! ```
 
 use lcl_bench::figures::{figure_names, run_figure, FigureOpts};
 use lcl_bench::report::{f1, f3, save_json, schema_lines, Table};
-use lcl_harness::{find, registry, run_timed, RunConfig, Session, SweepReport};
+use lcl_harness::{find, registry, run_timed, ExecMode, RunConfig, Session, SweepReport};
+use lcl_local::engine::EngineConfig;
 use serde::Serialize;
 use std::process::ExitCode;
 
@@ -24,6 +30,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("baseline") => cmd_baseline(&args[1..]),
+        Some("perfgate") => cmd_perfgate(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
@@ -39,12 +46,15 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: lcl <list|figures|run|sweep|baseline> [options]\n\
+const USAGE: &str = "usage: lcl <list|figures|run|sweep|baseline|perfgate> [options]\n\
      lcl list\n\
      lcl figures\n\
-     lcl run <algo> [--n N] [--seed S] [--k K] [--d D] [--gamma-mult M] [--no-verify] [--json]\n\
+     lcl run <algo> [--n N] [--seed S] [--k K] [--d D] [--gamma-mult M]\n\
+             [--engine direct|chunked] [--chunk-size C] [--engine-threads T] [--no-verify] [--json]\n\
      lcl sweep <figure>|all [--tiny] [--schema]\n\
-     lcl baseline [--n N]";
+     lcl sweep --scale smoke|ci|full [--chunk-size C] [--threads T]\n\
+     lcl baseline [--n N]\n\
+     lcl perfgate [--threshold X]";
 
 fn print_usage() {
     println!("{USAGE}");
@@ -146,16 +156,43 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let algo = find(name).ok_or_else(|| format!("unknown algorithm `{name}` (see `lcl list`)"))?;
     let flags = Flags { args: &args[1..] };
     flags.ensure_known(
-        &["--n", "--seed", "--k", "--d", "--gamma-mult"],
+        &[
+            "--n",
+            "--seed",
+            "--k",
+            "--d",
+            "--gamma-mult",
+            "--engine",
+            "--chunk-size",
+            "--engine-threads",
+        ],
         &["--no-verify", "--json"],
     )?;
     let n: usize = flags.parsed("--n")?.unwrap_or(10_000);
+    let exec = match flags.value("--engine")? {
+        None | Some("direct") => {
+            // Engine tuning without the engine would silently run the
+            // structural path; refuse instead of misleading a benchmark.
+            for flag in ["--chunk-size", "--engine-threads"] {
+                if flags.value(flag)?.is_some() {
+                    return Err(format!("{flag} requires `--engine chunked`"));
+                }
+            }
+            ExecMode::Direct
+        }
+        Some("chunked") => ExecMode::Engine(EngineConfig {
+            chunk_size: flags.parsed("--chunk-size")?.unwrap_or(0),
+            threads: flags.parsed("--engine-threads")?.unwrap_or(0),
+        }),
+        Some(other) => return Err(format!("unknown engine `{other}` (direct|chunked)")),
+    };
     let cfg = RunConfig {
         seed: flags.parsed("--seed")?.unwrap_or(1),
         k: flags.parsed("--k")?,
         d: flags.parsed("--d")?,
         gamma_multiplier: flags.parsed("--gamma-mult")?.unwrap_or(1.0),
         verify: !flags.switch("--no-verify"),
+        exec,
     };
     let spec = algo.default_spec(n, &cfg);
     let instance = spec.build().map_err(|e| e.to_string())?;
@@ -190,10 +227,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    // `lcl sweep --scale <preset>` runs the large-n engine suite instead
+    // of a figure.
+    let scale_flags = Flags { args };
+    if let Some(preset) = scale_flags.value("--scale")? {
+        scale_flags.ensure_known(&["--scale", "--chunk-size", "--threads"], &[])?;
+        let chunk_size: usize = scale_flags.parsed("--chunk-size")?.unwrap_or(0);
+        let threads: usize = scale_flags.parsed("--threads")?.unwrap_or(0);
+        return lcl_bench::scale::run_scale(preset, chunk_size, threads);
+    }
     let target = args
         .first()
         .filter(|a| !a.starts_with("--"))
-        .ok_or("`lcl sweep` needs a figure name or `all` (see `lcl figures`)")?;
+        .ok_or("`lcl sweep` needs a figure name, `all`, or `--scale <preset>`")?;
     let flags = Flags { args: &args[1..] };
     flags.ensure_known(&[], &["--tiny", "--schema"])?;
     let opts = FigureOpts {
@@ -264,4 +310,13 @@ fn cmd_baseline(args: &[String]) -> Result<(), String> {
     }
     save_json("BENCH_sweep", &Baseline { sizes, reports });
     Ok(())
+}
+
+/// CI perf smoke gate: one mid-size instance per landscape class against
+/// the checked-in `BENCH_sweep.json`, generous regression threshold.
+fn cmd_perfgate(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    flags.ensure_known(&["--threshold"], &[])?;
+    let threshold: f64 = flags.parsed("--threshold")?.unwrap_or(3.0);
+    lcl_bench::scale::perf_gate(threshold)
 }

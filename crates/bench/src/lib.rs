@@ -5,7 +5,8 @@
 //! `DESIGN.md` for the index) by dispatching into [`figures`]; each
 //! figure prints a human-readable table and writes a machine-readable
 //! JSON record under `bench-results/`. The `lcl` CLI binary is the
-//! single entry point (`lcl list`, `lcl run`, `lcl sweep <figure>`).
+//! single entry point (`lcl list`, `lcl run`, `lcl sweep <figure>`,
+//! `lcl sweep --scale <preset>`, `lcl perfgate`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -13,3 +14,4 @@
 pub mod figures;
 pub mod measure;
 pub mod report;
+pub mod scale;

@@ -1,0 +1,473 @@
+//! Production-scale sweeps on the chunked LOCAL engine, and the CI perf
+//! smoke gate.
+//!
+//! `lcl sweep --scale <preset>` runs a fixed suite of scale-capable
+//! algorithms at large `n`. Algorithms whose worst-case round count is
+//! `O(log n)` or better are executed *end-to-end on the chunked engine*
+//! (their solved schedule replayed as a real message-passing run — see
+//! `lcl_harness::replay`); the `Θ(n)`-round algorithms run structurally,
+//! since no round-by-round simulation of `10^6` rounds is CI-feasible.
+//! Each engine algorithm is also timed structurally, so the emitted
+//! `bench-results/BENCH_engine.json` records the engine's overhead per
+//! point and the per-node speedup of the scaled pipeline against the
+//! checked-in `BENCH_sweep.json` baseline.
+//!
+//! [`perf_gate`] is the CI smoke gate: it re-runs one mid-size instance
+//! per landscape class (every registry algorithm at the baseline's
+//! smallest ladder size) and fails when wall-clock regresses by more than
+//! a generous factor against `BENCH_sweep.json`.
+
+use crate::report::{f1, f3, save_json, Table};
+use lcl_harness::{find, registry, run_timed, InstanceSpec, RunConfig, ScaleConfig, Session};
+use lcl_local::engine::EngineConfig;
+use serde::{Serialize, Value};
+
+/// How a scale-suite algorithm executes at large `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScaleExec {
+    /// Solved schedule replayed end-to-end on the chunked engine
+    /// (feasible: worst-case rounds are `O(log n)` or better).
+    Engine,
+    /// Structural run only (`Θ(n)`-round algorithms).
+    Direct,
+}
+
+/// One suite entry: algorithm plus its canonical scale instance.
+struct ScaleEntry {
+    algorithm: &'static str,
+    exec: ScaleExec,
+    spec: fn(usize) -> InstanceSpec,
+}
+
+/// The scale suite: every algorithm that runs on unbounded plain-tree
+/// families. Weighted-construction algorithms are excluded — their
+/// instances are parameter-bound gadgets, not size-swept topologies.
+fn suite() -> Vec<ScaleEntry> {
+    vec![
+        ScaleEntry {
+            algorithm: "two-coloring",
+            exec: ScaleExec::Direct,
+            spec: |n| InstanceSpec::Path { n },
+        },
+        ScaleEntry {
+            algorithm: "labeling-solver",
+            exec: ScaleExec::Direct,
+            spec: |n| InstanceSpec::RandomTree {
+                n,
+                max_degree: 4,
+                seed: 7,
+            },
+        },
+        ScaleEntry {
+            algorithm: "linial",
+            exec: ScaleExec::Engine,
+            spec: |n| InstanceSpec::Path { n },
+        },
+        ScaleEntry {
+            algorithm: "randomized",
+            exec: ScaleExec::Engine,
+            spec: |n| InstanceSpec::Path { n },
+        },
+        ScaleEntry {
+            algorithm: "dfree-a",
+            exec: ScaleExec::Engine,
+            spec: |n| InstanceSpec::RandomTree {
+                n,
+                max_degree: 4,
+                seed: 11,
+            },
+        },
+        ScaleEntry {
+            algorithm: "fast-decomposition",
+            exec: ScaleExec::Engine,
+            spec: |n| InstanceSpec::BalancedWeight { w: n, delta: 4 },
+        },
+    ]
+}
+
+/// Names of the available presets.
+#[must_use]
+pub fn preset_names() -> &'static [&'static str] {
+    &["smoke", "ci", "full"]
+}
+
+/// Sizes for a preset: `(ladder, million_for_log_class)`.
+fn preset_sizes(preset: &str) -> Option<(Vec<usize>, bool)> {
+    match preset {
+        // Fast end-to-end exercise of the whole suite.
+        "smoke" => Some((vec![50_000], false)),
+        // Mid-size ladder plus the acceptance bar: a 1,000,000-node
+        // random tree through a Θ(log n)-class algorithm on the engine.
+        "ci" => Some((vec![250_000], true)),
+        "full" => Some((vec![1_000_000], true)),
+        _ => None,
+    }
+}
+
+/// One measured point of the scale sweep.
+#[derive(Debug, Clone, Serialize)]
+struct ScalePoint {
+    /// Registry algorithm name.
+    algorithm: String,
+    /// Rendered instance spec.
+    spec: String,
+    /// Actual node count.
+    n: usize,
+    /// Node-averaged rounds.
+    node_averaged: f64,
+    /// Worst-case rounds.
+    worst_case: u64,
+    /// Wall-clock of the structural run (ms).
+    direct_ms: f64,
+    /// Wall-clock of the chunked-engine run (ms); absent for
+    /// structural-only algorithms.
+    engine_ms: Option<f64>,
+    /// `engine_ms / direct_ms` when both exist: the cost of a faithful
+    /// round-by-round execution on top of solving.
+    engine_overhead: Option<f64>,
+}
+
+/// Per-algorithm comparison against the `BENCH_sweep.json` baseline.
+#[derive(Debug, Clone, Serialize)]
+struct BaselineComparison {
+    /// Registry algorithm name.
+    algorithm: String,
+    /// Largest baseline instance size.
+    baseline_n: usize,
+    /// Baseline wall-clock at that size (ms).
+    baseline_ms: f64,
+    /// Largest scale-suite size (structural run, same execution kind).
+    scale_n: usize,
+    /// Scale-suite wall-clock at that size (ms).
+    scale_ms: f64,
+    /// Baseline milliseconds per 1000 nodes.
+    baseline_ms_per_knode: f64,
+    /// Scale-suite milliseconds per 1000 nodes.
+    scale_ms_per_knode: f64,
+    /// `baseline_ms_per_knode / scale_ms_per_knode`; > 1 means the scaled
+    /// pipeline is cheaper per node than the 40k-baseline pipeline.
+    per_node_speedup: f64,
+}
+
+/// The emitted `BENCH_engine.json` document.
+#[derive(Debug, Clone, Serialize)]
+struct EngineBench {
+    /// Preset name.
+    preset: String,
+    /// Chunk size used for engine runs (0 = engine default).
+    chunk_size: usize,
+    /// Engine worker threads (0 = auto).
+    threads: usize,
+    /// All measured points.
+    points: Vec<ScalePoint>,
+    /// Comparison against `BENCH_sweep.json`, when that file is present.
+    baseline_comparison: Vec<BaselineComparison>,
+}
+
+fn run_one(
+    algorithm: &str,
+    spec: InstanceSpec,
+    engine: Option<EngineConfig>,
+) -> Result<lcl_harness::RunRecord, String> {
+    let mut cfg = RunConfig::seeded(7);
+    if let Some(engine) = engine {
+        cfg = cfg.with_engine(engine);
+    }
+    let mut session = Session::new().scale(ScaleConfig {
+        // One instance resident at a time and one job at a time:
+        // timings stay honest and memory stays O(n).
+        threads: 1,
+        max_resident_instances: 1,
+        ..ScaleConfig::default()
+    });
+    session
+        .push(algorithm, spec, cfg)
+        .map_err(|e| e.to_string())?;
+    let mut records = session.run().map_err(|e| e.to_string())?;
+    Ok(records.remove(0))
+}
+
+/// Runs the scale suite for `preset` and writes
+/// `bench-results/BENCH_engine.json`.
+///
+/// # Errors
+///
+/// Unknown presets and any harness error.
+pub fn run_scale(preset: &str, chunk_size: usize, threads: usize) -> Result<(), String> {
+    let (sizes, million) = preset_sizes(preset)
+        .ok_or_else(|| format!("unknown scale preset `{preset}` (smoke|ci|full)"))?;
+    let engine_cfg = EngineConfig {
+        chunk_size,
+        threads,
+    };
+    let mut table = Table::new(
+        format!("Scale sweep — preset `{preset}`"),
+        &[
+            "algorithm",
+            "n",
+            "node-avg",
+            "worst",
+            "direct ms",
+            "engine ms",
+            "overhead",
+        ],
+    );
+    let mut points = Vec::new();
+    for entry in suite() {
+        let mut entry_sizes = sizes.clone();
+        // The acceptance instance: a million-node tree end-to-end on the
+        // chunked engine for every log-class algorithm.
+        if million && entry.exec == ScaleExec::Engine && !entry_sizes.contains(&1_000_000) {
+            entry_sizes.push(1_000_000);
+        }
+        for &n in &entry_sizes {
+            let spec = (entry.spec)(n);
+            let direct = run_one(entry.algorithm, spec.clone(), None)?;
+            let engine_record = match entry.exec {
+                ScaleExec::Engine => Some(run_one(
+                    entry.algorithm,
+                    spec.clone(),
+                    Some(engine_cfg.clone()),
+                )?),
+                ScaleExec::Direct => None,
+            };
+            let engine_ms = engine_record.as_ref().map(|r| r.elapsed_ms);
+            let overhead = engine_ms.map(|e| e / direct.elapsed_ms.max(1e-6));
+            table.row(&[
+                entry.algorithm.to_string(),
+                direct.n.to_string(),
+                f3(direct.node_averaged),
+                direct.worst_case.to_string(),
+                f1(direct.elapsed_ms),
+                engine_ms.map_or("-".into(), f1),
+                overhead.map_or("-".into(), f3),
+            ]);
+            points.push(ScalePoint {
+                algorithm: entry.algorithm.to_string(),
+                spec: direct.spec.clone(),
+                n: direct.n,
+                node_averaged: direct.node_averaged,
+                worst_case: direct.worst_case,
+                direct_ms: direct.elapsed_ms,
+                engine_ms,
+                engine_overhead: overhead,
+            });
+        }
+    }
+    table.print();
+    let baseline_comparison = compare_against_baseline(&points);
+    save_json(
+        "BENCH_engine",
+        &EngineBench {
+            preset: preset.to_string(),
+            chunk_size,
+            threads,
+            points,
+            baseline_comparison,
+        },
+    );
+    Ok(())
+}
+
+// --- minimal JSON-value navigation over the vendored serde model -----------
+
+fn field<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
+    match value {
+        Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_array(value: &Value) -> Option<&[Value]> {
+    match value {
+        Value::Array(items) => Some(items),
+        _ => None,
+    }
+}
+
+fn as_f64(value: &Value) -> Option<f64> {
+    match value {
+        Value::Float(x) => Some(*x),
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+fn as_str(value: &Value) -> Option<&str> {
+    match value {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn load_baseline() -> Option<Value> {
+    let text = std::fs::read_to_string("bench-results/BENCH_sweep.json").ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// For every scale-suite algorithm present in the baseline, compares
+/// per-node structural wall-clock at the largest size of each.
+fn compare_against_baseline(points: &[ScalePoint]) -> Vec<BaselineComparison> {
+    let Some(baseline) = load_baseline() else {
+        return Vec::new();
+    };
+    let Some(reports) = field(&baseline, "reports").and_then(as_array) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for report in reports {
+        let Some(name) = field(report, "algorithm").and_then(as_str) else {
+            continue;
+        };
+        let Some(scale_point) = points
+            .iter()
+            .filter(|p| p.algorithm == name)
+            .max_by_key(|p| p.n)
+        else {
+            continue;
+        };
+        let Some(base_point) = field(report, "points").and_then(as_array).and_then(|pts| {
+            pts.iter()
+                .max_by_key(|p| field(p, "n").and_then(as_f64).unwrap_or(0.0) as usize)
+        }) else {
+            continue;
+        };
+        let baseline_n = field(base_point, "n").and_then(as_f64).unwrap_or(0.0) as usize;
+        let baseline_ms = field(base_point, "elapsed_ms")
+            .and_then(as_f64)
+            .unwrap_or(0.0);
+        if baseline_n == 0 || baseline_ms <= 0.0 {
+            continue;
+        }
+        let baseline_per = baseline_ms / (baseline_n as f64 / 1_000.0);
+        let scale_per = scale_point.direct_ms / (scale_point.n as f64 / 1_000.0);
+        out.push(BaselineComparison {
+            algorithm: name.to_string(),
+            baseline_n,
+            baseline_ms,
+            scale_n: scale_point.n,
+            scale_ms: scale_point.direct_ms,
+            baseline_ms_per_knode: baseline_per,
+            scale_ms_per_knode: scale_per,
+            per_node_speedup: baseline_per / scale_per.max(1e-9),
+        });
+    }
+    out
+}
+
+/// The CI perf smoke gate: re-runs one mid-size instance per landscape
+/// class (each registry algorithm at the baseline ladder's smallest size)
+/// and compares wall-clock against the checked-in `BENCH_sweep.json`,
+/// failing beyond `threshold`× regression.
+///
+/// # Errors
+///
+/// Missing/unreadable baseline, harness errors, or any algorithm
+/// regressing beyond the threshold.
+pub fn perf_gate(threshold: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string("bench-results/BENCH_sweep.json")
+        .map_err(|e| format!("cannot read bench-results/BENCH_sweep.json: {e}"))?;
+    let baseline =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse BENCH_sweep.json: {e}"))?;
+    let sizes = field(&baseline, "sizes")
+        .and_then(as_array)
+        .ok_or("BENCH_sweep.json has no `sizes`")?;
+    let mid = sizes
+        .iter()
+        .filter_map(as_f64)
+        .map(|x| x as usize)
+        .min()
+        .ok_or("BENCH_sweep.json has empty `sizes`")?;
+    let reports = field(&baseline, "reports")
+        .and_then(as_array)
+        .ok_or("BENCH_sweep.json has no `reports`")?;
+
+    let mut table = Table::new(
+        format!("Perf smoke gate — n = {mid}, threshold {threshold}x"),
+        &["algorithm", "baseline ms", "now ms", "ratio", "status"],
+    );
+    let mut failures = Vec::new();
+    for algo in registry() {
+        let report = reports
+            .iter()
+            .find(|r| field(r, "algorithm").and_then(as_str) == Some(algo.name()));
+        let Some(report) = report else {
+            return Err(format!("`{}` missing from BENCH_sweep.json", algo.name()));
+        };
+        // The baseline ran seed = requested size, so the mid-size point is
+        // the one whose seed equals `mid`.
+        let baseline_ms = field(report, "points")
+            .and_then(as_array)
+            .and_then(|pts| {
+                pts.iter()
+                    .find(|p| field(p, "seed").and_then(as_f64).map(|s| s as usize) == Some(mid))
+            })
+            .and_then(|p| field(p, "elapsed_ms"))
+            .and_then(as_f64)
+            .ok_or_else(|| format!("no mid-size baseline point for `{}`", algo.name()))?;
+        let cfg = RunConfig::default();
+        let spec = algo.default_spec(mid, &cfg);
+        let instance = spec.build().map_err(|e| e.to_string())?;
+        let fresh = run_timed(
+            find(algo.name()).expect("registry name"),
+            &instance,
+            &RunConfig::seeded(mid as u64),
+        )
+        .map_err(|e| e.to_string())?;
+        // Sub-millisecond baselines are all noise; clamp the denominator.
+        let ratio = fresh.elapsed_ms / baseline_ms.max(1.0);
+        let ok = ratio <= threshold;
+        if !ok {
+            failures.push(format!("{} ({ratio:.2}x)", algo.name()));
+        }
+        table.row(&[
+            algo.name().to_string(),
+            f1(baseline_ms),
+            f1(fresh.elapsed_ms),
+            f3(ratio),
+            if ok { "ok" } else { "REGRESSED" }.to_string(),
+        ]);
+    }
+    table.print();
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "perf smoke gate failed (> {threshold}x of BENCH_sweep.json): {}",
+            failures.join(", ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_resolve() {
+        for name in preset_names() {
+            assert!(preset_sizes(name).is_some(), "{name}");
+        }
+        assert!(preset_sizes("nope").is_none());
+    }
+
+    #[test]
+    fn suite_names_resolve_in_registry() {
+        for entry in suite() {
+            let algo = find(entry.algorithm).expect("suite algorithm registered");
+            let spec = (entry.spec)(4_096);
+            assert!(algo.supports(spec.kind()), "{}", entry.algorithm);
+        }
+    }
+
+    #[test]
+    fn json_navigation_helpers() {
+        let v = serde_json::from_str(r#"{"a": [1, 2.5], "s": "x"}"#).unwrap();
+        assert_eq!(field(&v, "s").and_then(as_str), Some("x"));
+        let arr = field(&v, "a").and_then(as_array).unwrap();
+        assert_eq!(as_f64(&arr[0]), Some(1.0));
+        assert_eq!(as_f64(&arr[1]), Some(2.5));
+        assert!(field(&v, "missing").is_none());
+    }
+}

@@ -53,3 +53,22 @@ fn unknown_subcommand_fails_cleanly() {
     let output = lcl(&["frobnicate"]);
     assert!(!output.status.success());
 }
+
+#[test]
+fn unknown_scale_preset_fails_cleanly() {
+    let output = lcl(&["sweep", "--scale", "galactic"]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown scale preset"), "stderr: {stderr}");
+}
+
+#[test]
+fn perfgate_without_baseline_fails_cleanly() {
+    // The CLI test runs from the crate manifest dir, where no
+    // bench-results/BENCH_sweep.json exists; the gate must say so rather
+    // than panic.
+    let output = lcl(&["perfgate"]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("BENCH_sweep.json"), "stderr: {stderr}");
+}

@@ -92,6 +92,24 @@ impl Tree {
         &self.adjacency[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 
+    /// The raw CSR offset array: `offsets()[v]..offsets()[v + 1]` indexes
+    /// [`Tree::adjacency`] for node `v`. Length `n + 1`.
+    ///
+    /// Exposed so engines can lay out per-directed-edge buffers (message
+    /// arenas) aligned with the adjacency storage.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw CSR adjacency array (flattened neighbor lists); length
+    /// `2 * (n - 1)`. Entry `offsets()[v] + p` is the neighbor of `v` at
+    /// port `p`.
+    #[inline]
+    pub fn adjacency(&self) -> &[u32] {
+        &self.adjacency
+    }
+
     /// Iterator over all node ids `0..n`.
     pub fn nodes(&self) -> std::ops::Range<NodeId> {
         0..self.node_count()

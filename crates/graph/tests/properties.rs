@@ -4,8 +4,11 @@ use lcl_graph::decompose::{Decomposition, RakeCompressParams};
 use lcl_graph::generators::random_bounded_degree_tree;
 use lcl_graph::hierarchical::LowerBoundGraph;
 use lcl_graph::levels::Levels;
-use lcl_graph::{induced_paths, NodeMask, Tree};
+use lcl_graph::{induced_paths, NodeMask, Tree, TreeBuilder};
 use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 
 fn arb_tree() -> impl Strategy<Value = Tree> {
     (2usize..200, 2usize..6, any::<u64>())
@@ -52,6 +55,104 @@ proptest! {
             let mask = levels.mask_at(tree.node_count(), i);
             for v in mask.iter() {
                 prop_assert!(mask.induced_degree(&tree, v) <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn from_edges_is_invariant_under_edge_permutation(tree in arb_tree(), perm_seed in any::<u64>()) {
+        // Rebuild the tree from its own edge list with shuffled edge order
+        // and flipped endpoint order: node set, degrees, and neighbor
+        // *sets* must be identical (per-node neighbor order is the only
+        // representational freedom), and the builder must accept it.
+        let n = tree.node_count();
+        let mut edges: Vec<(usize, usize)> = tree.edges().collect();
+        let mut rng = SmallRng::seed_from_u64(perm_seed);
+        edges.shuffle(&mut rng);
+        let flipped: Vec<(usize, usize)> =
+            edges.iter().map(|&(u, v)| if u.is_multiple_of(2) { (v, u) } else { (u, v) }).collect();
+        let rebuilt = Tree::from_edges(n, &flipped).unwrap();
+        prop_assert_eq!(rebuilt.node_count(), n);
+        prop_assert_eq!(rebuilt.edge_count(), n - 1);
+        for v in tree.nodes() {
+            prop_assert_eq!(rebuilt.degree(v), tree.degree(v));
+            let mut a = tree.neighbors(v).to_vec();
+            let mut b = rebuilt.neighbors(v).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "neighbor set of {} changed", v);
+        }
+    }
+
+    #[test]
+    fn builder_grow_and_csr_are_consistent(tree in arb_tree()) {
+        // TreeBuilder::grow + add_edge reproduces from_edges, and the CSR
+        // accessors the engine arenas align to are self-consistent.
+        let n = tree.node_count();
+        let mut b = TreeBuilder::new(0);
+        prop_assert_eq!(b.grow(n), 0);
+        for (u, v) in tree.edges() {
+            b.add_edge(u, v);
+        }
+        let grown = b.build().unwrap();
+        prop_assert_eq!(&grown, &tree);
+        let offsets = tree.offsets();
+        prop_assert_eq!(offsets.len(), n + 1);
+        prop_assert_eq!(offsets[0], 0);
+        prop_assert_eq!(offsets[n] as usize, tree.adjacency().len());
+        for v in tree.nodes() {
+            prop_assert_eq!((offsets[v + 1] - offsets[v]) as usize, tree.degree(v));
+            let slice = &tree.adjacency()[offsets[v] as usize..offsets[v + 1] as usize];
+            prop_assert_eq!(slice, tree.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn rooted_order_is_topological_and_subtree_sizes_sum(tree in arb_tree(), r in any::<prop::sample::Index>()) {
+        let n = tree.node_count();
+        let root = r.index(n);
+        let (order, parent) = tree.rooted_order(root);
+        prop_assert_eq!(order.len(), n);
+        prop_assert_eq!(order[0], root);
+        prop_assert_eq!(parent[root], root);
+        // Topological: every node appears after its parent.
+        let mut position = vec![usize::MAX; n];
+        for (i, &v) in order.iter().enumerate() {
+            prop_assert_eq!(position[v], usize::MAX, "node visited twice");
+            position[v] = i;
+        }
+        for v in tree.nodes() {
+            if v != root {
+                prop_assert!(position[parent[v]] < position[v], "child {} before parent", v);
+            }
+        }
+        // Subtree sizes: the root's subtree is everything, and every node's
+        // size is one plus its children's sizes (so the per-node sizes sum
+        // to n along every root-to-node chain consistently).
+        let sizes = tree.subtree_sizes(root);
+        prop_assert_eq!(sizes[root] as usize, n);
+        for v in tree.nodes() {
+            let children_sum: u32 = tree
+                .nodes()
+                .filter(|&w| w != root && parent[w] == v)
+                .map(|w| sizes[w])
+                .sum();
+            prop_assert_eq!(sizes[v], children_sum + 1, "size identity at {}", v);
+        }
+    }
+
+    #[test]
+    fn levels_peeling_depth_is_monotone_in_k(tree in arb_tree(), k in 1usize..5) {
+        // Peeling is prefix-stable: raising the budget from k to k + 1
+        // never changes a level that was already assigned (<= k), and
+        // survivors of the k-round peel stay at depth > k.
+        let coarse = Levels::compute(&tree, k);
+        let fine = Levels::compute(&tree, k + 1);
+        for v in tree.nodes() {
+            if coarse.level(v) <= k {
+                prop_assert_eq!(fine.level(v), coarse.level(v), "level of {} changed", v);
+            } else {
+                prop_assert!(fine.level(v) > k, "survivor {} peeled early", v);
             }
         }
     }

@@ -5,8 +5,9 @@
 //! `lcl_algorithms`, verifies the output against the matching problem
 //! verifier, and packs the per-node rounds into a [`RunRecord`].
 
-use crate::algorithm::{Algorithm, RunConfig, RunRecord};
+use crate::algorithm::{Algorithm, ExecMode, RunConfig, RunRecord};
 use crate::instance::{HarnessError, Instance, InstanceKind, InstanceSpec};
+use crate::replay::replay_chunked;
 use lcl_algorithms::a35::a35;
 use lcl_algorithms::apoly::apoly;
 use lcl_algorithms::dfree_a::algorithm_a;
@@ -18,11 +19,12 @@ use lcl_algorithms::randomized::randomized_three_color_path;
 use lcl_algorithms::two_coloring::two_color_path;
 use lcl_algorithms::weight_augmented_solver::solve_weight_augmented;
 use lcl_algorithms::AlgorithmRun;
-use lcl_core::coloring::{HierarchicalColoring, Variant};
-use lcl_core::dfree::{DFreeWeight, DfreeInput};
-use lcl_core::labeling::HierarchicalLabeling;
+use lcl_core::coloring::{ColorLabel, HierarchicalColoring, Variant};
+use lcl_core::dfree::{DFreeWeight, DfreeInput, DfreeOutput};
+use lcl_core::labeling::{HierarchicalLabeling, LabelingOutput};
 use lcl_core::problem::LclProblem;
 use lcl_core::weight_augmented::WeightAugmented;
+use lcl_core::weight_augmented::{AugmentedOutput, SecondaryOutput};
 use lcl_core::weighted::{WeightedColoring, WeightedOutput};
 use lcl_graph::weighted::WeightedConstruction;
 use lcl_graph::{NodeMask, Tree};
@@ -110,6 +112,98 @@ fn weighted_waiting(run: &AlgorithmRun<WeightedOutput>) -> f64 {
     waiting as f64 / run.len() as f64
 }
 
+// ---------------------------------------------------------------------------
+// Canonical u64 label encodings.
+//
+// Every adapter reduces its output type to a `u64` label (injective per
+// algorithm), so records are comparable across engines and the solved
+// schedule can be replayed through the LOCAL engine as plain numeric
+// messages. Encodings are stable: golden-record fixtures depend on them.
+// ---------------------------------------------------------------------------
+
+fn color_code(c: ColorLabel) -> u64 {
+    match c {
+        ColorLabel::White => 0,
+        ColorLabel::Black => 1,
+        ColorLabel::Exempt => 2,
+        ColorLabel::Decline => 3,
+        ColorLabel::Red => 4,
+        ColorLabel::Green => 5,
+        ColorLabel::Yellow => 6,
+    }
+}
+
+fn weighted_code(o: &WeightedOutput) -> u64 {
+    match o {
+        WeightedOutput::Active(c) => color_code(*c),
+        WeightedOutput::Decline => 16,
+        WeightedOutput::Connect => 17,
+        WeightedOutput::Copy(c) => 32 + color_code(*c),
+    }
+}
+
+fn dfree_code(o: DfreeOutput) -> u64 {
+    match o {
+        DfreeOutput::Decline => 0,
+        DfreeOutput::Connect => 1,
+        DfreeOutput::Copy => 2,
+    }
+}
+
+fn labeling_code(o: &LabelingOutput) -> u64 {
+    let port = o.out_port.map_or(0, |p| p as u64 + 1);
+    (u64::from(o.label.order_key()) << 32) | port
+}
+
+fn augmented_code(o: &AugmentedOutput) -> u64 {
+    match o {
+        AugmentedOutput::Active(c) => color_code(*c),
+        AugmentedOutput::Weight {
+            labeling,
+            secondary,
+        } => {
+            let sec = match secondary {
+                SecondaryOutput::Color(c) => color_code(*c),
+                SecondaryOutput::Decline => 15,
+            };
+            (1 << 60) | (labeling_code(labeling) << 8) | sec
+        }
+    }
+}
+
+/// Builds the record and, under [`ExecMode::Engine`], re-executes the
+/// solved schedule end-to-end on the chunked LOCAL engine (divergence is
+/// an error, not a silent record). Every adapter funnels through here.
+fn finalize(
+    algo: &dyn Algorithm,
+    instance: &Instance,
+    cfg: &RunConfig,
+    labels: Vec<u64>,
+    rounds: Vec<u64>,
+    waiting: Option<f64>,
+) -> Result<RunRecord, HarnessError> {
+    let mut record = RunRecord::from_rounds(
+        algo.name(),
+        instance.spec(),
+        cfg.seed,
+        labels,
+        rounds,
+        waiting,
+        cfg.verify,
+    );
+    if let ExecMode::Engine(engine) = &cfg.exec {
+        replay_chunked(
+            algo.name(),
+            instance.tree(),
+            &record.labels,
+            &record.rounds,
+            engine,
+        )?;
+        record.engine = "chunked".to_string();
+    }
+    Ok(record)
+}
+
 fn verification_error(algorithm: &str, violation: impl std::fmt::Display) -> HarnessError {
     HarnessError::VerificationFailed {
         algorithm: algorithm.to_string(),
@@ -177,14 +271,8 @@ impl Algorithm for TwoColoring {
             check_proper(instance.tree(), &run.outputs)
                 .map_err(|e| verification_error(self.name(), e))?;
         }
-        Ok(RunRecord::from_rounds(
-            self.name(),
-            instance.spec(),
-            cfg.seed,
-            run.rounds,
-            None,
-            cfg.verify,
-        ))
+        let labels = run.outputs.iter().map(|&c| color_code(c)).collect();
+        finalize(self, instance, cfg, labels, run.rounds, None)
     }
 }
 
@@ -230,14 +318,7 @@ impl Algorithm for LinialColoring {
                 ));
             }
         }
-        Ok(RunRecord::from_rounds(
-            self.name(),
-            instance.spec(),
-            cfg.seed,
-            run.rounds,
-            None,
-            cfg.verify,
-        ))
+        finalize(self, instance, cfg, run.outputs, run.rounds, None)
     }
 }
 
@@ -277,14 +358,8 @@ impl Algorithm for RandomizedColoring {
             check_proper(instance.tree(), &run.outputs)
                 .map_err(|e| verification_error(self.name(), e))?;
         }
-        Ok(RunRecord::from_rounds(
-            self.name(),
-            instance.spec(),
-            cfg.seed,
-            run.rounds,
-            None,
-            cfg.verify,
-        ))
+        let labels = run.outputs.iter().map(|&c| color_code(c)).collect();
+        finalize(self, instance, cfg, labels, run.rounds, None)
     }
 }
 
@@ -350,14 +425,8 @@ impl Algorithm for GenericColoring {
                 .verify(instance.tree(), &vec![(); n], &outputs)
                 .map_err(|e| verification_error(self.name(), e))?;
         }
-        Ok(RunRecord::from_rounds(
-            self.name(),
-            instance.spec(),
-            cfg.seed,
-            masked.rounds,
-            None,
-            cfg.verify,
-        ))
+        let labels = outputs.iter().map(|&c| color_code(c)).collect();
+        finalize(self, instance, cfg, labels, masked.rounds, None)
     }
 }
 
@@ -393,14 +462,8 @@ fn run_weighted(
             .map_err(|e| verification_error(algo.name(), e))?;
     }
     let waiting = weighted_waiting(&run);
-    Ok(RunRecord::from_rounds(
-        algo.name(),
-        instance.spec(),
-        cfg.seed,
-        run.rounds,
-        Some(waiting),
-        cfg.verify,
-    ))
+    let labels = run.outputs.iter().map(weighted_code).collect();
+    finalize(algo, instance, cfg, labels, run.rounds, Some(waiting))
 }
 
 /// `A_poly` for `Π^{2.5}_{Δ,d,k}` (Section 7.1).
@@ -547,14 +610,8 @@ impl Algorithm for WeightAugmentedSolver {
                 .verify(instance.tree(), construction.kinds(), &run.outputs)
                 .map_err(|e| verification_error(self.name(), e))?;
         }
-        Ok(RunRecord::from_rounds(
-            self.name(),
-            instance.spec(),
-            cfg.seed,
-            run.rounds,
-            None,
-            cfg.verify,
-        ))
+        let labels = run.outputs.iter().map(augmented_code).collect();
+        finalize(self, instance, cfg, labels, run.rounds, None)
     }
 }
 
@@ -622,14 +679,8 @@ impl Algorithm for DfreeA {
         // Algorithm A is uniform: every node terminates at the collection
         // radius.
         let rounds = vec![run.radius; n];
-        Ok(RunRecord::from_rounds(
-            self.name(),
-            instance.spec(),
-            cfg.seed,
-            rounds,
-            None,
-            cfg.verify,
-        ))
+        let labels = outputs.iter().map(|&o| dfree_code(o)).collect();
+        finalize(self, instance, cfg, labels, rounds, None)
     }
 }
 
@@ -684,14 +735,8 @@ impl Algorithm for FastDecomposition {
                 .verify(instance.tree(), &input, &outputs)
                 .map_err(|e| verification_error(self.name(), e))?;
         }
-        Ok(RunRecord::from_rounds(
-            self.name(),
-            instance.spec(),
-            cfg.seed,
-            run.rounds,
-            None,
-            cfg.verify,
-        ))
+        let labels = outputs.iter().map(|&o| dfree_code(o)).collect();
+        finalize(self, instance, cfg, labels, run.rounds, None)
     }
 }
 
@@ -746,14 +791,8 @@ impl Algorithm for LabelingSolver {
                 .verify(instance.tree(), &vec![(); n], &solution.run.outputs)
                 .map_err(|e| verification_error(self.name(), e))?;
         }
-        Ok(RunRecord::from_rounds(
-            self.name(),
-            instance.spec(),
-            cfg.seed,
-            solution.run.rounds,
-            None,
-            cfg.verify,
-        ))
+        let labels = solution.run.outputs.iter().map(labeling_code).collect();
+        finalize(self, instance, cfg, labels, solution.run.rounds, None)
     }
 }
 

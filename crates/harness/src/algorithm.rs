@@ -1,8 +1,28 @@
 //! The object-safe [`Algorithm`] trait and its run artifacts.
 
 use crate::instance::{HarnessError, Instance, InstanceKind, InstanceSpec};
+use lcl_local::engine::EngineConfig;
 use serde::Serialize;
 use std::time::Instant;
+
+/// How a run is executed.
+///
+/// Every algorithm first *solves* its instance structurally (computing each
+/// node's output label and termination round). Under [`ExecMode::Engine`]
+/// the solved schedule is then executed end-to-end on the chunked LOCAL
+/// engine — every node runs as a message-passing state machine that
+/// terminates in its scheduled round and broadcasts its label as final
+/// messages — and the engine-observed outputs/rounds (checked against the
+/// structural plan) become the record. This is what the differential test
+/// oracle and the large-scale sweeps run on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Structural execution only (the default).
+    #[default]
+    Direct,
+    /// Re-execute the solved schedule on the chunked LOCAL engine.
+    Engine(EngineConfig),
+}
 
 /// Knobs shared by every algorithm run.
 ///
@@ -25,6 +45,8 @@ pub struct RunConfig {
     pub gamma_multiplier: f64,
     /// Verify the output against the problem constraints after the run.
     pub verify: bool,
+    /// Execution mode; see [`ExecMode`].
+    pub exec: ExecMode,
 }
 
 impl Default for RunConfig {
@@ -35,6 +57,7 @@ impl Default for RunConfig {
             d: None,
             gamma_multiplier: 1.0,
             verify: true,
+            exec: ExecMode::Direct,
         }
     }
 }
@@ -60,6 +83,13 @@ impl RunConfig {
     #[must_use]
     pub fn with_gamma_multiplier(mut self, m: f64) -> Self {
         self.gamma_multiplier = m;
+        self
+    }
+
+    /// Returns `self` executing on the chunked LOCAL engine.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.exec = ExecMode::Engine(engine);
         self
     }
 
@@ -95,6 +125,10 @@ pub struct RunRecord {
     pub n: usize,
     /// Seed used for IDs/coins.
     pub seed: u64,
+    /// Per-node output labels in a canonical `u64` encoding (length =
+    /// `n`). The encoding is injective per algorithm (see the adapters);
+    /// equality of label vectors is equality of outputs.
+    pub labels: Vec<u64>,
     /// Per-node termination rounds (length = `n`).
     pub rounds: Vec<u64>,
     /// Node-averaged complexity of the run.
@@ -108,23 +142,37 @@ pub struct RunRecord {
     /// Whether the output was verified against the problem constraints
     /// (false = verification was skipped via [`RunConfig::verify`]).
     pub verified: bool,
+    /// Which executor produced the rounds: `"direct"` (structural) or
+    /// `"chunked"` (schedule re-executed on the chunked LOCAL engine).
+    pub engine: String,
     /// Wall-clock milliseconds of the algorithm proper (filled by
     /// [`run_timed`]; `0.0` for direct [`Algorithm::run`] calls).
     pub elapsed_ms: f64,
 }
 
 impl RunRecord {
-    /// Assembles a record from per-node rounds; summary statistics are
-    /// computed here, borrowing the rounds.
+    /// Assembles a record from per-node labels and rounds; summary
+    /// statistics are computed here, borrowing the rounds. The record
+    /// starts with `engine = "direct"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` and `rounds` have different lengths.
     #[must_use]
     pub fn from_rounds(
         algorithm: &str,
         spec: &InstanceSpec,
         seed: u64,
+        labels: Vec<u64>,
         rounds: Vec<u64>,
         waiting_averaged: Option<f64>,
         verified: bool,
     ) -> Self {
+        assert_eq!(
+            labels.len(),
+            rounds.len(),
+            "labels and rounds must cover the same nodes"
+        );
         let stats = lcl_local::metrics::RoundStats::from_slice(&rounds);
         let node_averaged = stats.node_averaged();
         let worst_case = stats.worst_case();
@@ -134,11 +182,13 @@ impl RunRecord {
             spec: spec.describe(),
             n,
             seed,
+            labels,
             rounds,
             node_averaged,
             worst_case,
             waiting_averaged: waiting_averaged.unwrap_or(node_averaged),
             verified,
+            engine: "direct".to_string(),
             elapsed_ms: 0.0,
         }
     }
@@ -209,12 +259,22 @@ mod tests {
     #[test]
     fn record_statistics_computed() {
         let spec = InstanceSpec::Path { n: 3 };
-        let r = RunRecord::from_rounds("two-coloring", &spec, 9, vec![1, 2, 3], None, true);
+        let r = RunRecord::from_rounds(
+            "two-coloring",
+            &spec,
+            9,
+            vec![0, 1, 0],
+            vec![1, 2, 3],
+            None,
+            true,
+        );
         assert_eq!(r.n, 3);
         assert_eq!(r.node_averaged, 2.0);
         assert_eq!(r.worst_case, 3);
         assert_eq!(r.waiting_averaged, 2.0);
         assert_eq!(r.spec, "path(n=3)");
+        assert_eq!(r.labels, vec![0, 1, 0]);
+        assert_eq!(r.engine, "direct");
     }
 
     #[test]

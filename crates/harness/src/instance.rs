@@ -12,10 +12,9 @@ use lcl_graph::levels::Levels;
 use lcl_graph::weighted::{NodeKind, WeightedConstruction, WeightedParams};
 use lcl_graph::{generators, Tree};
 use serde::Serialize;
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Errors surfaced by the harness.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +36,14 @@ pub enum HarnessError {
         algorithm: String,
         /// The violation, rendered.
         violation: String,
+    },
+    /// An engine-backed execution disagreed with the structurally solved
+    /// schedule — an engine bug, surfaced instead of silently recorded.
+    EngineDivergence {
+        /// Name of the algorithm whose schedule was replayed.
+        algorithm: String,
+        /// What diverged.
+        detail: String,
     },
 }
 
@@ -60,6 +67,12 @@ impl fmt::Display for HarnessError {
                 write!(
                     f,
                     "output of `{algorithm}` failed verification: {violation}"
+                )
+            }
+            HarnessError::EngineDivergence { algorithm, detail } => {
+                write!(
+                    f,
+                    "engine execution of `{algorithm}` diverged from the solved schedule: {detail}"
                 )
             }
         }
@@ -296,9 +309,52 @@ impl InstanceSpec {
         Ok(Instance {
             spec: self.clone(),
             data,
-            levels: Mutex::new(HashMap::new()),
         })
     }
+}
+
+/// Process-wide peeling cache shared by every [`Instance`] built from an
+/// equal spec — including instances living in different [`Session`]
+/// (crate::Session) shards or different figure sweeps. Peelings depend
+/// only on `(spec, k)` (generators are deterministic), so the same spec
+/// appearing in several figures no longer re-peels per shard.
+///
+/// Kept small and LRU-evicted: at production scale one entry is `n` bytes.
+struct LevelsCache {
+    /// Most recently used last.
+    entries: Vec<((InstanceSpec, usize), Arc<Levels>)>,
+}
+
+/// Maximum number of cached peelings (distinct `(spec, k)` pairs).
+const LEVELS_CACHE_CAP: usize = 32;
+
+impl LevelsCache {
+    fn lookup(&mut self, key: &(InstanceSpec, usize)) -> Option<Arc<Levels>> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        let levels = entry.1.clone();
+        self.entries.push(entry);
+        Some(levels)
+    }
+
+    fn insert(&mut self, key: (InstanceSpec, usize), levels: Arc<Levels>) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        }
+        self.entries.push((key, levels));
+        if self.entries.len() > LEVELS_CACHE_CAP {
+            self.entries.remove(0);
+        }
+    }
+}
+
+fn levels_cache() -> &'static Mutex<LevelsCache> {
+    static CACHE: OnceLock<Mutex<LevelsCache>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(LevelsCache {
+            entries: Vec::new(),
+        })
+    })
 }
 
 fn check_weighted_params(n: usize, k: usize) -> Result<(), HarnessError> {
@@ -332,12 +388,12 @@ enum InstanceData {
     Weighted(WeightedConstruction),
 }
 
-/// A built instance: topology plus construction metadata and a cache of
-/// peeling decompositions keyed by hierarchy depth.
+/// A built instance: topology plus construction metadata. Peeling
+/// decompositions are memoized in a process-wide cache keyed by
+/// `(spec, k)`, shared across all instances of the same spec.
 pub struct Instance {
     spec: InstanceSpec,
     data: InstanceData,
-    levels: Mutex<HashMap<usize, Arc<Levels>>>,
 }
 
 impl Instance {
@@ -404,17 +460,36 @@ impl Instance {
         }
     }
 
-    /// The depth-`k` peeling of the whole tree, computed once and cached.
+    /// The depth-`k` peeling of the whole tree, computed once per
+    /// `(spec, k)` process-wide and shared.
     ///
-    /// Sweeps run one instance under many seeds; the peeling only depends
-    /// on topology, so all runs share it.
+    /// Sweeps run one instance under many seeds, and the same spec often
+    /// appears in several [`Session`](crate::Session) shards or figures;
+    /// the peeling only depends on topology, so all of them share it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process-wide cache mutex is poisoned.
     #[must_use]
     pub fn levels(&self, k: usize) -> Arc<Levels> {
-        let mut cache = self.levels.lock().expect("levels cache poisoned");
-        cache
-            .entry(k)
-            .or_insert_with(|| Arc::new(Levels::compute(self.tree(), k)))
-            .clone()
+        let key = (self.spec.clone(), k);
+        if let Some(hit) = levels_cache()
+            .lock()
+            .expect("levels cache poisoned")
+            .lookup(&key)
+        {
+            return hit;
+        }
+        // Compute outside the lock so unrelated specs never serialize on
+        // one peeling; a racing equal spec at worst duplicates the work
+        // once and the last insert wins.
+        let computed = Arc::new(Levels::compute(self.tree(), k));
+        let mut cache = levels_cache().lock().expect("levels cache poisoned");
+        if let Some(hit) = cache.lookup(&key) {
+            return hit;
+        }
+        cache.insert(key, computed.clone());
+        computed
     }
 }
 
@@ -450,6 +525,19 @@ mod tests {
         let a = inst.levels(2);
         let b = inst.levels(2);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn levels_are_shared_across_instances_of_one_spec() {
+        // Two separate builds of the same spec — e.g. the same figure spec
+        // appearing in two Session shards — share one peeling.
+        let spec = InstanceSpec::Theorem11 { n: 1_500, k: 3 };
+        let first = spec.build().unwrap();
+        let a = first.levels(3);
+        drop(first);
+        let second = spec.build().unwrap();
+        let b = second.levels(3);
+        assert!(Arc::ptr_eq(&a, &b), "peeling recomputed across instances");
     }
 
     #[test]

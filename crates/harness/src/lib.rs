@@ -39,10 +39,12 @@ pub mod adapters;
 pub mod algorithm;
 pub mod instance;
 pub mod registry;
+pub mod replay;
 pub mod session;
 
 pub use adapters::{run_on_construction, WeightedRegime};
-pub use algorithm::{run_timed, Algorithm, RunConfig, RunRecord};
+pub use algorithm::{run_timed, Algorithm, ExecMode, RunConfig, RunRecord};
 pub use instance::{HarnessError, Instance, InstanceKind, InstanceSpec};
 pub use registry::{find, registry};
-pub use session::{FitSummary, Session, SweepPoint, SweepReport};
+pub use replay::{replay_chunked, replay_factory, replay_round_budget, ReplayProtocol};
+pub use session::{FitSummary, ScaleConfig, Session, SweepPoint, SweepReport};

@@ -1,0 +1,151 @@
+//! Schedule replay: executing a solved run on the LOCAL engine.
+//!
+//! The structural algorithm implementations compute, for every node, an
+//! output label and the round in which the simulated LOCAL algorithm
+//! terminates. [`ReplayProtocol`] turns that solved schedule back into a
+//! real message-passing execution: each node runs as a state machine that
+//! stays silent until its scheduled round, then terminates and broadcasts
+//! its label as final messages (the standard "neighbors observe the
+//! output" convention). Replaying through an engine therefore exercises the
+//! engine's full machinery — arenas, delivery, termination bookkeeping,
+//! chunk scheduling — on exactly the round distributions the paper's
+//! algorithms produce.
+//!
+//! [`replay_chunked`] drives the chunked engine and is what
+//! [`ExecMode::Engine`](crate::algorithm::ExecMode) runs; the differential
+//! test suite replays the same schedules through
+//! `lcl_local::reference_engine` and demands identical outcomes.
+
+use crate::instance::HarnessError;
+use lcl_graph::Tree;
+use lcl_local::engine::{
+    run_sync_with, EngineConfig, Inbox, NodeContext, Outbox, Protocol, SyncOutcome,
+};
+use lcl_local::identifiers::Ids;
+
+/// Per-node state machine replaying one node's slice of a solved schedule.
+#[derive(Debug, Clone)]
+pub struct ReplayProtocol {
+    target_round: u64,
+    label: u64,
+}
+
+impl ReplayProtocol {
+    /// A node that terminates in `target_round` with output `label`.
+    #[must_use]
+    pub fn new(target_round: u64, label: u64) -> Self {
+        ReplayProtocol {
+            target_round,
+            label,
+        }
+    }
+}
+
+impl Protocol for ReplayProtocol {
+    type Message = u64;
+    type Output = u64;
+
+    fn step(
+        &mut self,
+        _ctx: &NodeContext,
+        round: u64,
+        _inbox: &Inbox<'_, u64>,
+        outbox: &mut Outbox<'_, u64>,
+    ) -> Option<u64> {
+        if round == self.target_round {
+            outbox.broadcast(self.label);
+            return Some(self.label);
+        }
+        None
+    }
+}
+
+/// A factory handing each node its slice of the schedule, usable with any
+/// engine entry point (`run_sync_with`, `run_reference`).
+///
+/// # Panics
+///
+/// The returned closure indexes by `ctx.node`, so `labels` and `rounds`
+/// must cover all nodes of the tree the engine runs on.
+pub fn replay_factory<'a>(
+    labels: &'a [u64],
+    rounds: &'a [u64],
+) -> impl FnMut(&NodeContext) -> ReplayProtocol + 'a {
+    move |ctx| ReplayProtocol::new(rounds[ctx.node], labels[ctx.node])
+}
+
+/// A round budget that any faithful replay of `rounds` fits in.
+#[must_use]
+pub fn replay_round_budget(rounds: &[u64]) -> u64 {
+    rounds.iter().copied().max().unwrap_or(0).saturating_add(2)
+}
+
+/// Replays a solved schedule end-to-end on the chunked engine and checks
+/// the engine-observed outcome against the plan.
+///
+/// # Errors
+///
+/// [`HarnessError::EngineDivergence`] if the engine errors out or its
+/// observed outputs/rounds differ from the schedule — either means an
+/// engine bug, never a caller error.
+///
+/// # Panics
+///
+/// Panics if `labels`/`rounds` do not cover all nodes of `tree`.
+pub fn replay_chunked(
+    algorithm: &str,
+    tree: &Tree,
+    labels: &[u64],
+    rounds: &[u64],
+    config: &EngineConfig,
+) -> Result<SyncOutcome<u64>, HarnessError> {
+    let n = tree.node_count();
+    assert_eq!(labels.len(), n, "labels must cover all nodes");
+    assert_eq!(rounds.len(), n, "rounds must cover all nodes");
+    let ids = Ids::sequential(n);
+    let budget = replay_round_budget(rounds);
+    let outcome = run_sync_with(tree, &ids, replay_factory(labels, rounds), budget, config)
+        .map_err(|e| HarnessError::EngineDivergence {
+            algorithm: algorithm.to_string(),
+            detail: format!("chunked engine failed to complete the schedule: {e}"),
+        })?;
+    if outcome.outputs != labels {
+        return Err(HarnessError::EngineDivergence {
+            algorithm: algorithm.to_string(),
+            detail: "engine outputs diverge from the solved schedule".to_string(),
+        });
+    }
+    if outcome.stats.as_slice() != rounds {
+        return Err(HarnessError::EngineDivergence {
+            algorithm: algorithm.to_string(),
+            detail: "engine termination rounds diverge from the solved schedule".to_string(),
+        });
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::generators::path;
+
+    #[test]
+    fn replay_reproduces_the_schedule() {
+        let tree = path(9);
+        let labels: Vec<u64> = (0..9u64).map(|v| v % 3).collect();
+        let rounds: Vec<u64> = (0..9u64).map(|v| v.max(8 - v)).collect();
+        let out =
+            replay_chunked("test", &tree, &labels, &rounds, &EngineConfig::sequential()).unwrap();
+        assert_eq!(out.outputs, labels);
+        assert_eq!(out.stats.as_slice(), &rounds[..]);
+        // Final-message broadcasts: each node posts deg(v) messages, and a
+        // message is consumed only if the neighbor is still running.
+        assert!(out.messages > 0);
+    }
+
+    #[test]
+    fn round_budget_covers_the_worst_node() {
+        assert_eq!(replay_round_budget(&[0, 3, 1]), 5);
+        assert_eq!(replay_round_budget(&[]), 2);
+    }
+}

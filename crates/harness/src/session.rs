@@ -1,6 +1,6 @@
 //! Batched, seeded, parallel execution of registry algorithms.
 
-use crate::algorithm::{run_timed, Algorithm, RunConfig, RunRecord};
+use crate::algorithm::{run_timed, Algorithm, ExecMode, RunConfig, RunRecord};
 use crate::instance::{HarnessError, Instance, InstanceSpec};
 use crate::registry::find;
 use lcl_local::math::fit_power_law;
@@ -18,11 +18,42 @@ pub struct Job {
     pub config: RunConfig,
 }
 
+/// Scaling knobs of a [`Session`], tuned for sweeps whose instances are
+/// too large to keep resident all at once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleConfig {
+    /// Default chunk size injected into engine-backed jobs whose
+    /// [`EngineConfig`](lcl_local::engine::EngineConfig) left `chunk_size`
+    /// at `0`.
+    pub chunk_size: usize,
+    /// Worker threads for building instances and running jobs
+    /// (`0` = available parallelism).
+    pub threads: usize,
+    /// Maximum number of distinct instances built and held in memory at
+    /// once: the sweep streams through its unique specs in shards of this
+    /// size, dropping each shard's instances before building the next.
+    pub max_resident_instances: usize,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            chunk_size: 0,
+            threads: 0,
+            max_resident_instances: 8,
+        }
+    }
+}
+
 /// A batch runner: queue jobs, then execute them on a std-thread pool.
 ///
-/// Jobs with equal specs share one built instance (and therefore its
+/// Jobs with equal specs share one built instance (and its process-wide
 /// cached peelings), so a size-swept, seed-replicated batch builds each
-/// topology exactly once. Results come back in submission order.
+/// topology exactly once. Instead of materializing every instance up
+/// front, the runner streams through the unique specs in shards of at
+/// most [`ScaleConfig::max_resident_instances`], bounding peak memory to
+/// `O(shard)` instances even for million-node sweeps. Results come back
+/// in submission order regardless.
 ///
 /// ```
 /// use lcl_harness::{InstanceSpec, RunConfig, Session};
@@ -43,23 +74,27 @@ pub struct Job {
 #[derive(Default)]
 pub struct Session {
     jobs: Vec<Job>,
-    threads: Option<usize>,
+    scale: ScaleConfig,
 }
 
 impl Session {
     /// An empty session.
     #[must_use]
     pub fn new() -> Self {
-        Session {
-            jobs: Vec::new(),
-            threads: None,
-        }
+        Session::default()
     }
 
     /// Caps the worker thread count (default: available parallelism).
     #[must_use]
     pub fn threads(mut self, n: usize) -> Self {
-        self.threads = Some(n.max(1));
+        self.scale.threads = n.max(1);
+        self
+    }
+
+    /// Replaces the full scaling configuration.
+    #[must_use]
+    pub fn scale(mut self, scale: ScaleConfig) -> Self {
+        self.scale = scale;
         self
     }
 
@@ -107,6 +142,11 @@ impl Session {
     /// Executes all queued jobs and returns their records in submission
     /// order.
     ///
+    /// Unique specs are processed in shards of at most
+    /// [`ScaleConfig::max_resident_instances`]: each shard's instances are
+    /// built in parallel, all of the shard's jobs run in parallel against
+    /// them, and the instances are dropped before the next shard builds.
+    ///
     /// # Errors
     ///
     /// The first job error in submission order (instance build failures,
@@ -116,9 +156,19 @@ impl Session {
     ///
     /// Panics if a worker thread panics (propagated by `std::thread::scope`).
     pub fn run(self) -> Result<Vec<RunRecord>, HarnessError> {
-        let jobs = self.jobs;
+        let mut jobs = self.jobs;
         if jobs.is_empty() {
             return Ok(Vec::new());
+        }
+        // Fill engine-job chunk sizes left at "defer to the session".
+        if self.scale.chunk_size != 0 {
+            for job in &mut jobs {
+                if let ExecMode::Engine(engine) = &mut job.config.exec {
+                    if engine.chunk_size == 0 {
+                        engine.chunk_size = self.scale.chunk_size;
+                    }
+                }
+            }
         }
         // Group jobs by spec so each unique instance is built once; jobs
         // themselves (including many seeds on one instance) all run in
@@ -137,53 +187,66 @@ impl Session {
         let hardware = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1);
-        let threads = self.threads.unwrap_or(hardware).max(1);
+        let threads = match self.scale.threads {
+            0 => hardware,
+            t => t,
+        };
+        let shard_size = self.scale.max_resident_instances.max(1);
 
-        // Phase 1: build every unique instance, in parallel over specs.
-        let next_group = AtomicUsize::new(0);
-        let built: Vec<Mutex<Option<Result<Instance, HarnessError>>>> =
-            groups.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads.min(groups.len()) {
-                scope.spawn(|| loop {
-                    let g = next_group.fetch_add(1, Ordering::Relaxed);
-                    if g >= groups.len() {
-                        break;
-                    }
-                    let outcome = groups[g].build();
-                    *built[g].lock().expect("build slot poisoned") = Some(outcome);
-                });
-            }
-        });
-        let instances: Vec<Result<Instance, HarnessError>> = built
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("build slot poisoned")
-                    .expect("every instance was built")
-            })
-            .collect();
-
-        // Phase 2: execute all jobs, in parallel over jobs.
-        let next_job = AtomicUsize::new(0);
         let results: Vec<Mutex<Option<Result<RunRecord, HarnessError>>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads.min(jobs.len()) {
-                scope.spawn(|| loop {
-                    let i = next_job.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let job = &jobs[i];
-                    let outcome = match &instances[group_of[i]] {
-                        Ok(instance) => run_timed(job.algorithm, instance, &job.config),
-                        Err(e) => Err(e.clone()),
-                    };
-                    *results[i].lock().expect("result slot poisoned") = Some(outcome);
-                });
-            }
-        });
+        for shard_start in (0..groups.len()).step_by(shard_size) {
+            let shard = &groups[shard_start..(shard_start + shard_size).min(groups.len())];
+
+            // Phase 1: build this shard's instances, in parallel over specs.
+            let next_group = AtomicUsize::new(0);
+            let built: Vec<Mutex<Option<Result<Instance, HarnessError>>>> =
+                shard.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(shard.len()) {
+                    scope.spawn(|| loop {
+                        let g = next_group.fetch_add(1, Ordering::Relaxed);
+                        if g >= shard.len() {
+                            break;
+                        }
+                        let outcome = shard[g].build();
+                        *built[g].lock().expect("build slot poisoned") = Some(outcome);
+                    });
+                }
+            });
+            let instances: Vec<Result<Instance, HarnessError>> = built
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("build slot poisoned")
+                        .expect("every instance was built")
+                })
+                .collect();
+
+            // Phase 2: run this shard's jobs, in parallel over jobs; the
+            // shard's instances drop at the end of the iteration.
+            let shard_jobs: Vec<usize> = (0..jobs.len())
+                .filter(|&i| group_of[i] >= shard_start && group_of[i] < shard_start + shard.len())
+                .collect();
+            let next_job = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(shard_jobs.len()) {
+                    scope.spawn(|| loop {
+                        let j = next_job.fetch_add(1, Ordering::Relaxed);
+                        if j >= shard_jobs.len() {
+                            break;
+                        }
+                        let i = shard_jobs[j];
+                        let job = &jobs[i];
+                        let outcome = match &instances[group_of[i] - shard_start] {
+                            Ok(instance) => run_timed(job.algorithm, instance, &job.config),
+                            Err(e) => Err(e.clone()),
+                        };
+                        *results[i].lock().expect("result slot poisoned") = Some(outcome);
+                    });
+                }
+            });
+        }
 
         results
             .into_iter()
@@ -360,6 +423,61 @@ mod tests {
             records.iter().map(|r| r.seed).collect::<Vec<_>>(),
             vec![9, 3, 7, 1]
         );
+    }
+
+    #[test]
+    fn sharded_streaming_preserves_order_and_results() {
+        // Five distinct specs with max_resident_instances = 2 forces three
+        // shards; records must still match the unsharded run, in order.
+        let queue = |mut s: Session| {
+            for n in [64usize, 96, 32, 128, 80] {
+                s.push(
+                    "two-coloring",
+                    InstanceSpec::Path { n },
+                    RunConfig::seeded(n as u64),
+                )
+                .unwrap();
+            }
+            s
+        };
+        let all_at_once = queue(Session::new().scale(ScaleConfig {
+            max_resident_instances: usize::MAX,
+            ..ScaleConfig::default()
+        }))
+        .run()
+        .unwrap();
+        let streamed = queue(Session::new().scale(ScaleConfig {
+            max_resident_instances: 2,
+            threads: 3,
+            ..ScaleConfig::default()
+        }))
+        .run()
+        .unwrap();
+        assert_eq!(all_at_once.len(), streamed.len());
+        for (a, b) in all_at_once.iter().zip(&streamed) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.rounds, b.rounds);
+        }
+    }
+
+    #[test]
+    fn session_chunk_size_fills_deferred_engine_jobs() {
+        use lcl_local::engine::EngineConfig;
+        let mut s = Session::new().scale(ScaleConfig {
+            chunk_size: 64,
+            ..ScaleConfig::default()
+        });
+        s.push(
+            "two-coloring",
+            InstanceSpec::Path { n: 128 },
+            RunConfig::seeded(1).with_engine(EngineConfig::default()),
+        )
+        .unwrap();
+        let records = s.run().unwrap();
+        assert_eq!(records[0].engine, "chunked");
+        assert!(records[0].verified);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Differential test oracle for the chunked LOCAL engine.
+//!
+//! Every registry algorithm, on a small instance of every supported kind,
+//! under ≥ 8 seeds, must produce *identical* outputs — label vector, per-
+//! node round vector, verification status — whether its solved schedule is
+//! executed by the chunked engine (across chunk sizes `{1, 7, 64, n}` and
+//! 1–2 worker threads) or by the frozen pre-chunking engine
+//! (`lcl_local::reference_engine`), and both must agree with the direct
+//! structural run. Zero divergence is the acceptance bar for the engine
+//! rewrite.
+
+use lcl_harness::replay::{replay_factory, replay_round_budget};
+use lcl_harness::{registry, Algorithm, InstanceKind, InstanceSpec, RunConfig};
+use lcl_local::engine::EngineConfig;
+use lcl_local::identifiers::Ids;
+use lcl_local::reference_engine::run_reference;
+
+/// One small spec per supported instance kind (plus the algorithm's own
+/// smallest spec, which covers kinds with algorithm-specific parameters
+/// such as the weighted constructions).
+fn small_specs(algo: &dyn Algorithm) -> Vec<InstanceSpec> {
+    let mut specs = vec![algo.smallest_spec()];
+    for kind in algo.supported_kinds() {
+        let extra = match kind {
+            InstanceKind::Path => Some(InstanceSpec::Path { n: 24 }),
+            InstanceKind::WeightTree => Some(InstanceSpec::BalancedWeight { w: 64, delta: 3 }),
+            InstanceKind::RandomTree => Some(InstanceSpec::RandomTree {
+                n: 48,
+                max_degree: 4,
+                seed: 3,
+            }),
+            InstanceKind::LowerBound => Some(InstanceSpec::Theorem11 { n: 400, k: 2 }),
+            // Weighted parameters (Δ, d, k) are algorithm-specific; the
+            // smallest spec above is the canonical small instance.
+            InstanceKind::Weighted => None,
+        };
+        if let Some(s) = extra {
+            if s.kind() == *kind && !specs.contains(&s) {
+                specs.push(s);
+            }
+        }
+    }
+    specs
+}
+
+/// Runs the full differential protocol for one algorithm.
+fn assert_engines_agree(algo: &'static dyn Algorithm) {
+    for spec in small_specs(algo) {
+        let instance = spec.build().unwrap_or_else(|e| {
+            panic!("{}: {} failed to build: {e}", algo.name(), spec.describe())
+        });
+        let n = instance.node_count();
+        let chunk_sizes = [1, 7, 64, n.max(1)];
+        for seed in 0..8u64 {
+            let ctx = format!("{} on {} seed {seed}", algo.name(), spec.describe());
+            let direct = algo
+                .run(&instance, &RunConfig::seeded(seed))
+                .unwrap_or_else(|e| panic!("{ctx}: direct run failed: {e}"));
+            assert_eq!(direct.engine, "direct", "{ctx}");
+            assert_eq!(direct.labels.len(), n, "{ctx}");
+            assert_eq!(direct.rounds.len(), n, "{ctx}");
+
+            // Frozen oracle: replay the solved schedule through the
+            // pre-chunking engine.
+            let ids = Ids::sequential(n);
+            let budget = replay_round_budget(&direct.rounds);
+            let oracle = run_reference(
+                instance.tree(),
+                &ids,
+                replay_factory(&direct.labels, &direct.rounds),
+                budget,
+            )
+            .unwrap_or_else(|e| panic!("{ctx}: reference engine failed: {e}"));
+            assert_eq!(oracle.outputs, direct.labels, "{ctx}: oracle labels");
+            assert_eq!(
+                oracle.stats.as_slice(),
+                &direct.rounds[..],
+                "{ctx}: oracle rounds"
+            );
+
+            // Chunked engine: every chunk size in {1, 7, 64, n} for every
+            // seed, alternating worker counts across the seeds.
+            for chunk_size in chunk_sizes {
+                let threads = 1 + (seed % 2) as usize;
+                let cfg = RunConfig::seeded(seed).with_engine(EngineConfig {
+                    chunk_size,
+                    threads,
+                });
+                let chunked = algo
+                    .run(&instance, &cfg)
+                    .unwrap_or_else(|e| panic!("{ctx}: chunked run (cs={chunk_size}) failed: {e}"));
+                assert_eq!(chunked.engine, "chunked", "{ctx}");
+                assert_eq!(
+                    chunked.labels, direct.labels,
+                    "{ctx}: labels cs={chunk_size}"
+                );
+                assert_eq!(
+                    chunked.rounds, direct.rounds,
+                    "{ctx}: rounds cs={chunk_size}"
+                );
+                assert_eq!(chunked.verified, direct.verified, "{ctx}: verification");
+                assert_eq!(
+                    chunked.node_averaged, direct.node_averaged,
+                    "{ctx}: node-averaged"
+                );
+                assert_eq!(chunked.worst_case, direct.worst_case, "{ctx}: worst-case");
+            }
+        }
+    }
+}
+
+fn by_name(name: &str) -> &'static dyn Algorithm {
+    *registry()
+        .iter()
+        .find(|a| a.name() == name)
+        .unwrap_or_else(|| panic!("`{name}` not in registry"))
+}
+
+// One test per algorithm so the suite parallelizes across test threads and
+// a divergence names its algorithm in the failing test.
+
+#[test]
+fn differential_two_coloring() {
+    assert_engines_agree(by_name("two-coloring"));
+}
+
+#[test]
+fn differential_linial() {
+    assert_engines_agree(by_name("linial"));
+}
+
+#[test]
+fn differential_randomized() {
+    assert_engines_agree(by_name("randomized"));
+}
+
+#[test]
+fn differential_generic_coloring() {
+    assert_engines_agree(by_name("generic-coloring"));
+}
+
+#[test]
+fn differential_apoly() {
+    assert_engines_agree(by_name("apoly"));
+}
+
+#[test]
+fn differential_a35() {
+    assert_engines_agree(by_name("a35"));
+}
+
+#[test]
+fn differential_weight_augmented() {
+    assert_engines_agree(by_name("weight-augmented"));
+}
+
+#[test]
+fn differential_dfree_a() {
+    assert_engines_agree(by_name("dfree-a"));
+}
+
+#[test]
+fn differential_fast_decomposition() {
+    assert_engines_agree(by_name("fast-decomposition"));
+}
+
+#[test]
+fn differential_labeling_solver() {
+    assert_engines_agree(by_name("labeling-solver"));
+}
+
+#[test]
+fn every_registry_algorithm_is_covered() {
+    // The per-algorithm tests above must never silently fall out of sync
+    // with the registry.
+    let covered = [
+        "two-coloring",
+        "linial",
+        "randomized",
+        "generic-coloring",
+        "apoly",
+        "a35",
+        "weight-augmented",
+        "dfree-a",
+        "fast-decomposition",
+        "labeling-solver",
+    ];
+    let mut names: Vec<&str> = registry().iter().map(|a| a.name()).collect();
+    names.sort_unstable();
+    let mut expected: Vec<&str> = covered.to_vec();
+    expected.sort_unstable();
+    assert_eq!(names, expected);
+}

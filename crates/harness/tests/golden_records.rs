@@ -1,0 +1,86 @@
+//! Golden-record serialization tests.
+//!
+//! One small, fully deterministic [`RunRecord`] per landscape class (one
+//! per registry algorithm, on its smallest spec, fixed seed) is checked in
+//! as a JSON fixture under `tests/golden/`. The test re-runs each
+//! algorithm and asserts *byte-stable* serialization, catching accidental
+//! schema drift (field added/renamed/reordered), label-encoding drift, and
+//! determinism drift (an algorithm whose output stops being a pure
+//! function of its seed) in `report.rs`/`session.rs`-adjacent code.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p lcl_harness --test golden_records
+//! ```
+//!
+//! and review the fixture diff like any other code change.
+
+use lcl_harness::{registry, RunConfig};
+use std::path::PathBuf;
+
+/// Seed fixed for every golden run; `elapsed_ms` stays `0.0` because the
+/// fixtures go through `Algorithm::run`, not `run_timed`.
+const GOLDEN_SEED: u64 = 42;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+#[test]
+fn run_records_serialize_byte_stably() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    if update {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+    }
+    let mut failures = Vec::new();
+    for algo in registry() {
+        let spec = algo.smallest_spec();
+        let instance = spec.build().expect("smallest spec builds");
+        let record = algo
+            .run(&instance, &RunConfig::seeded(GOLDEN_SEED))
+            .expect("smallest spec runs");
+        let mut json = serde_json::to_string(&record).expect("serializable");
+        json.push('\n');
+        let path = dir.join(format!("{}.json", algo.name()));
+        if update {
+            std::fs::write(&path, &json).expect("write fixture");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden fixture {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                path.display()
+            )
+        });
+        if expected != json {
+            failures.push(algo.name());
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "RunRecord serialization drifted for {failures:?}; if intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the fixture diff"
+    );
+}
+
+#[test]
+fn golden_runs_are_deterministic_across_repetition() {
+    // The byte-stability of the fixtures relies on every algorithm being a
+    // pure function of (spec, seed); check it directly for two runs in one
+    // process (fresh instances, shared peeling cache).
+    for algo in registry() {
+        let spec = algo.smallest_spec();
+        let a = algo
+            .run(&spec.build().unwrap(), &RunConfig::seeded(GOLDEN_SEED))
+            .unwrap();
+        let b = algo
+            .run(&spec.build().unwrap(), &RunConfig::seeded(GOLDEN_SEED))
+            .unwrap();
+        assert_eq!(a.labels, b.labels, "{} labels drift", algo.name());
+        assert_eq!(a.rounds, b.rounds, "{} rounds drift", algo.name());
+    }
+}

@@ -1,4 +1,4 @@
-//! Faithful synchronous message-passing engine for the LOCAL model.
+//! Chunked, arena-backed synchronous engine for the LOCAL model.
 //!
 //! Time proceeds in rounds. In round `r` every non-terminated node consumes
 //! the messages sent to it in round `r - 1`, updates its state, and either
@@ -7,12 +7,41 @@
 //! one final batch of messages (delivered in round `r + 1`) so that
 //! neighbors can observe its output — the standard LOCAL convention.
 //!
+//! # Execution strategy
+//!
+//! The engine is built for million-node trees:
+//!
+//! - **CSR-aligned message arenas.** Messages live in two flat
+//!   `Vec<Option<M>>` arenas with one slot per *directed edge*, laid out
+//!   exactly like the tree's CSR adjacency array ([`lcl_graph::Tree::offsets`]).
+//!   Slot `offsets[v] + p` of the write arena holds the message node `v`
+//!   sent on port `p` this round. The arenas are allocated once per run and
+//!   reused (double-buffered) across all rounds — no per-node per-round
+//!   allocation.
+//! - **Gather-based delivery.** A precomputed reverse-edge permutation maps
+//!   each directed edge to its reversal, so a node's inbox is a zero-copy
+//!   *view* over the previous round's write arena; nothing is moved or
+//!   cloned between rounds.
+//! - **Chunked parallelism.** Nodes are split into fixed-size chunks;
+//!   contiguous runs of chunks form per-worker regions executed on scoped
+//!   std threads. Within a round, workers write disjoint CSR ranges of the
+//!   write arena and read the (immutable) previous arena, so the engine
+//!   stays free of `unsafe` and of locks on the hot path.
+//!
+//! Results are bit-identical for every chunk size and thread count: a
+//! node's step depends only on its own state and its inbox view. The
+//! pre-rewrite engine is preserved as [`crate::reference_engine`]
+//! (test/feature-gated) and serves as the differential-testing oracle.
+//!
 //! Message size is unbounded, matching the model; the engine tracks message
-//! counts only for diagnostics.
+//! counts only for diagnostics. At most one message per port per round may
+//! be sent (the natural LOCAL convention; enforced by [`Outbox::send`]).
 
 use crate::identifiers::Ids;
 use crate::metrics::RoundStats;
 use lcl_graph::{NodeId, Tree};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -30,37 +59,266 @@ pub struct NodeContext {
     pub n: usize,
 }
 
-/// What a node does at the end of a round.
-#[derive(Debug, Clone)]
-pub enum Action<M, O> {
-    /// Keep running and send the given `(port, message)` pairs.
-    Send(Vec<(usize, M)>),
-    /// Terminate now with `output`; `final_messages` are delivered next
-    /// round so neighbors can read the decision.
-    Output {
-        /// The node's final output label.
-        output: O,
-        /// Messages posted together with termination.
-        final_messages: Vec<(usize, M)>,
+/// A read-only view of the messages a node received this round.
+///
+/// Backed either by the chunked engine's message arena (a gather over the
+/// reverse-edge permutation, no copies) or by the reference engine's
+/// per-node message list. Iteration order is *unspecified* and differs
+/// between engines (port order vs arrival order); protocols must not
+/// depend on it.
+pub struct Inbox<'a, M> {
+    inner: InboxInner<'a, M>,
+}
+
+enum InboxInner<'a, M> {
+    /// Chunked engine: gather from the previous round's arena.
+    Gather {
+        read: &'a [Option<M>],
+        rev: &'a [u32],
+        base: usize,
+        degree: usize,
     },
+    /// Reference engine: explicit `(port, message)` list.
+    #[cfg(any(test, feature = "reference-engine"))]
+    List(&'a [(usize, M)]),
+}
+
+impl<'a, M> Inbox<'a, M> {
+    pub(crate) fn gather(
+        read: &'a [Option<M>],
+        rev: &'a [u32],
+        base: usize,
+        degree: usize,
+    ) -> Self {
+        Inbox {
+            inner: InboxInner::Gather {
+                read,
+                rev,
+                base,
+                degree,
+            },
+        }
+    }
+
+    #[cfg(any(test, feature = "reference-engine"))]
+    pub(crate) fn list(list: &'a [(usize, M)]) -> Self {
+        Inbox {
+            inner: InboxInner::List(list),
+        }
+    }
+
+    /// Iterates over `(port, message)` pairs received this round.
+    #[must_use]
+    pub fn iter(&self) -> InboxIter<'a, M> {
+        InboxIter {
+            inner: match &self.inner {
+                InboxInner::Gather {
+                    read,
+                    rev,
+                    base,
+                    degree,
+                } => InboxIterInner::Gather {
+                    read,
+                    rev,
+                    base: *base,
+                    degree: *degree,
+                    port: 0,
+                },
+                #[cfg(any(test, feature = "reference-engine"))]
+                InboxInner::List(list) => InboxIterInner::List(list.iter()),
+            },
+        }
+    }
+
+    /// The message received on `port`, if any.
+    #[must_use]
+    pub fn get(&self, port: usize) -> Option<&'a M> {
+        match &self.inner {
+            InboxInner::Gather {
+                read,
+                rev,
+                base,
+                degree,
+            } => {
+                if port >= *degree {
+                    return None;
+                }
+                read[rev[base + port] as usize].as_ref()
+            }
+            #[cfg(any(test, feature = "reference-engine"))]
+            InboxInner::List(list) => list.iter().find(|(p, _)| *p == port).map(|(_, m)| m),
+        }
+    }
+
+    /// Number of messages received this round.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// True when no messages were received this round.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+}
+
+/// Iterator over an [`Inbox`], yielding `(port, &message)`.
+pub struct InboxIter<'a, M> {
+    inner: InboxIterInner<'a, M>,
+}
+
+enum InboxIterInner<'a, M> {
+    Gather {
+        read: &'a [Option<M>],
+        rev: &'a [u32],
+        base: usize,
+        degree: usize,
+        port: usize,
+    },
+    #[cfg(any(test, feature = "reference-engine"))]
+    List(std::slice::Iter<'a, (usize, M)>),
+}
+
+impl<'a, M> Iterator for InboxIter<'a, M> {
+    type Item = (usize, &'a M);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.inner {
+            InboxIterInner::Gather {
+                read,
+                rev,
+                base,
+                degree,
+                port,
+            } => {
+                while *port < *degree {
+                    let p = *port;
+                    *port += 1;
+                    if let Some(m) = read[rev[*base + p] as usize].as_ref() {
+                        return Some((p, m));
+                    }
+                }
+                None
+            }
+            #[cfg(any(test, feature = "reference-engine"))]
+            InboxIterInner::List(it) => it.next().map(|(p, m)| (*p, m)),
+        }
+    }
+}
+
+/// The send surface a protocol writes its outgoing messages to.
+///
+/// Backed either by the node's CSR slot range in the chunked engine's write
+/// arena (zero-allocation) or by a plain list in the reference engine. At
+/// most one message per port per round.
+pub struct Outbox<'a, M> {
+    degree: usize,
+    sent: usize,
+    inner: OutboxInner<'a, M>,
+}
+
+enum OutboxInner<'a, M> {
+    Slots(&'a mut [Option<M>]),
+    #[cfg(any(test, feature = "reference-engine"))]
+    List(&'a mut Vec<(usize, M)>),
+}
+
+impl<'a, M> Outbox<'a, M> {
+    pub(crate) fn slots(slots: &'a mut [Option<M>]) -> Self {
+        Outbox {
+            degree: slots.len(),
+            sent: 0,
+            inner: OutboxInner::Slots(slots),
+        }
+    }
+
+    #[cfg(any(test, feature = "reference-engine"))]
+    pub(crate) fn list(list: &'a mut Vec<(usize, M)>, degree: usize) -> Self {
+        Outbox {
+            degree,
+            sent: 0,
+            inner: OutboxInner::List(list),
+        }
+    }
+
+    /// Number of ports (the node's degree).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of messages sent through this outbox so far this round.
+    #[must_use]
+    pub fn sent(&self) -> usize {
+        self.sent
+    }
+
+    /// Sends `msg` on `port` (delivered to that neighbor next round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree` or if a message was already sent on this
+    /// port this round.
+    pub fn send(&mut self, port: usize, msg: M) {
+        assert!(
+            port < self.degree,
+            "port {port} out of range (degree {})",
+            self.degree
+        );
+        match &mut self.inner {
+            OutboxInner::Slots(slots) => {
+                assert!(
+                    slots[port].is_none(),
+                    "duplicate message on port {port} in one round"
+                );
+                slots[port] = Some(msg);
+            }
+            #[cfg(any(test, feature = "reference-engine"))]
+            OutboxInner::List(list) => {
+                assert!(
+                    list.iter().all(|(p, _)| *p != port),
+                    "duplicate message on port {port} in one round"
+                );
+                list.push((port, msg));
+            }
+        }
+        self.sent += 1;
+    }
+
+    /// Sends a copy of `msg` on every port.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for port in 0..self.degree {
+            self.send(port, msg.clone());
+        }
+    }
 }
 
 /// A per-node state machine. One instance is created per node by the
 /// factory passed to [`run_sync`].
-pub trait Protocol {
+///
+/// `step` executes one round: it reads this round's `inbox` (empty in round
+/// 0), writes next round's messages into `outbox`, and returns `Some(out)`
+/// to terminate with output `out` (messages written in the terminating step
+/// are the node's *final messages*, delivered next round) or `None` to keep
+/// running.
+pub trait Protocol: Send {
     /// Message type exchanged with neighbors.
-    type Message: Clone;
+    type Message: Clone + Send + Sync;
     /// Output label type.
-    type Output: Clone;
+    type Output: Clone + Send;
 
-    /// Executes one round. `round` starts at 0 (where the inbox is empty);
-    /// `inbox` holds `(port, message)` pairs from the previous round.
+    /// Executes one round; see the trait docs.
     fn step(
         &mut self,
         ctx: &NodeContext,
         round: u64,
-        inbox: &[(usize, Self::Message)],
-    ) -> Action<Self::Message, Self::Output>;
+        inbox: &Inbox<'_, Self::Message>,
+        outbox: &mut Outbox<'_, Self::Message>,
+    ) -> Option<Self::Output>;
 }
 
 /// Errors from [`run_sync`].
@@ -94,11 +352,226 @@ pub struct SyncOutcome<O> {
     pub outputs: Vec<O>,
     /// Per-node termination rounds.
     pub stats: RoundStats<'static>,
-    /// Total number of messages delivered.
+    /// Number of messages sent by running nodes, including final messages
+    /// (diagnostics; the reference engine counts deliveries to live nodes
+    /// instead, which can differ on terminal rounds for messages sent to
+    /// just-terminated nodes).
     pub messages: u64,
 }
 
-/// Runs a protocol on every node of `tree` until all nodes terminate.
+/// Tuning knobs of the chunked engine. The all-zero [`Default`] resolves
+/// both knobs automatically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Nodes per scheduling chunk; worker regions are aligned to chunk
+    /// boundaries. `0` means the default (1024). Never affects results.
+    pub chunk_size: usize,
+    /// Worker threads. `0` resolves to the available parallelism for large
+    /// instances and `1` (inline, no spawns) for small ones; an explicit
+    /// value is honored exactly.
+    pub threads: usize,
+}
+
+/// Below this node count the auto thread policy stays sequential: per-round
+/// spawn overhead would dominate the work.
+const AUTO_PARALLEL_MIN_NODES: usize = 16_384;
+
+/// Default chunk size when [`EngineConfig::chunk_size`] is `0`.
+const DEFAULT_CHUNK_SIZE: usize = 1024;
+
+impl EngineConfig {
+    /// A config that always runs inline on the caller's thread.
+    #[must_use]
+    pub fn sequential() -> Self {
+        EngineConfig {
+            chunk_size: 0,
+            threads: 1,
+        }
+    }
+
+    fn resolved_chunk_size(&self) -> usize {
+        if self.chunk_size == 0 {
+            DEFAULT_CHUNK_SIZE
+        } else {
+            self.chunk_size
+        }
+    }
+
+    fn resolved_threads(&self, n: usize) -> usize {
+        match self.threads {
+            0 if n < AUTO_PARALLEL_MIN_NODES => 1,
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            t => t,
+        }
+    }
+}
+
+/// Lifecycle of a node inside a run. After terminating, a node spends two
+/// rounds clearing its (stale) slots in each arena so old messages never
+/// resurface, then goes dormant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    Running,
+    /// Terminated; must still wipe its out-slots in `left` more rounds
+    /// (one per arena of the double buffer).
+    Clearing(u8),
+    Done,
+}
+
+/// The reverse-edge permutation: for each directed edge `offsets[v] + p`
+/// (node `v`, port `p`, neighbor `w`), the index of the reverse edge
+/// `(w -> v)` in the CSR layout. Computed once per run in `O(n)`.
+fn reverse_edges(tree: &Tree) -> Vec<u32> {
+    let offsets = tree.offsets();
+    let adjacency = tree.adjacency();
+    let mut rev = vec![0u32; adjacency.len()];
+    let mut open: HashMap<(u32, u32), u32> = HashMap::with_capacity(adjacency.len() / 2 + 1);
+    for v in tree.nodes() {
+        let base = offsets[v] as usize;
+        for (p, &w) in tree.neighbors(v).iter().enumerate() {
+            let e = (base + p) as u32;
+            let vu = v as u32;
+            let key = if vu < w { (vu, w) } else { (w, vu) };
+            match open.entry(key) {
+                Entry::Vacant(slot) => {
+                    slot.insert(e);
+                }
+                Entry::Occupied(slot) => {
+                    let e0 = slot.remove();
+                    rev[e as usize] = e0;
+                    rev[e0 as usize] = e;
+                }
+            }
+        }
+    }
+    rev
+}
+
+/// Region cut points: `workers + 1` node indices, every internal cut on a
+/// chunk boundary, chunks distributed as evenly as possible.
+fn region_bounds(n: usize, chunk_size: usize, workers: usize) -> Vec<usize> {
+    let chunks = n.div_ceil(chunk_size);
+    let workers = workers.clamp(1, chunks.max(1));
+    let base = chunks / workers;
+    let extra = chunks % workers;
+    let mut bounds = Vec::with_capacity(workers + 1);
+    bounds.push(0);
+    let mut c = 0;
+    for t in 0..workers {
+        c += base + usize::from(t < extra);
+        bounds.push((c * chunk_size).min(n));
+    }
+    bounds
+}
+
+/// One worker's contiguous slice of every per-node array plus its CSR
+/// range of the write arena.
+struct Region<'a, P: Protocol> {
+    start: NodeId,
+    slot_base: usize,
+    machines: &'a mut [Option<P>],
+    outputs: &'a mut [Option<P::Output>],
+    rounds: &'a mut [u64],
+    states: &'a mut [NodeState],
+    write: &'a mut [Option<P::Message>],
+}
+
+/// Executes one round over one region. Returns `(terminated, sent)`.
+fn step_region<P: Protocol>(
+    region: &mut Region<'_, P>,
+    read: &[Option<P::Message>],
+    rev: &[u32],
+    offsets: &[u32],
+    contexts: &[NodeContext],
+    round: u64,
+) -> (usize, u64) {
+    let mut terminated = 0usize;
+    let mut sent = 0u64;
+    for i in 0..region.machines.len() {
+        let v = region.start + i;
+        let lo = offsets[v] as usize - region.slot_base;
+        let hi = offsets[v + 1] as usize - region.slot_base;
+        match region.states[i] {
+            NodeState::Done => {}
+            NodeState::Clearing(left) => {
+                for slot in &mut region.write[lo..hi] {
+                    *slot = None;
+                }
+                region.states[i] = if left <= 1 {
+                    NodeState::Done
+                } else {
+                    NodeState::Clearing(left - 1)
+                };
+            }
+            NodeState::Running => {
+                let out_slots = &mut region.write[lo..hi];
+                for slot in out_slots.iter_mut() {
+                    *slot = None;
+                }
+                let ctx = &contexts[v];
+                let inbox = Inbox::gather(read, rev, offsets[v] as usize, ctx.degree);
+                let mut outbox = Outbox::slots(out_slots);
+                let decided = region.machines[i]
+                    .as_mut()
+                    .expect("running node has a machine")
+                    .step(ctx, round, &inbox, &mut outbox);
+                sent += outbox.sent() as u64;
+                if let Some(output) = decided {
+                    region.outputs[i] = Some(output);
+                    region.rounds[i] = round;
+                    region.machines[i] = None;
+                    region.states[i] = NodeState::Clearing(2);
+                    terminated += 1;
+                }
+            }
+        }
+    }
+    (terminated, sent)
+}
+
+/// Splits all per-node arrays and the write arena into per-region slices.
+#[allow(clippy::too_many_arguments)]
+fn split_regions<'a, P: Protocol>(
+    bounds: &[usize],
+    offsets: &[u32],
+    mut machines: &'a mut [Option<P>],
+    mut outputs: &'a mut [Option<P::Output>],
+    mut rounds: &'a mut [u64],
+    mut states: &'a mut [NodeState],
+    mut write: &'a mut [Option<P::Message>],
+) -> Vec<Region<'a, P>> {
+    let mut regions = Vec::with_capacity(bounds.len() - 1);
+    for w in bounds.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let nodes = hi - lo;
+        let slots = offsets[hi] as usize - offsets[lo] as usize;
+        let (m, m_rest) = std::mem::take(&mut machines).split_at_mut(nodes);
+        machines = m_rest;
+        let (o, o_rest) = std::mem::take(&mut outputs).split_at_mut(nodes);
+        outputs = o_rest;
+        let (r, r_rest) = std::mem::take(&mut rounds).split_at_mut(nodes);
+        rounds = r_rest;
+        let (s, s_rest) = std::mem::take(&mut states).split_at_mut(nodes);
+        states = s_rest;
+        let (ws, w_rest) = std::mem::take(&mut write).split_at_mut(slots);
+        write = w_rest;
+        regions.push(Region {
+            start: lo,
+            slot_base: offsets[lo] as usize,
+            machines: m,
+            outputs: o,
+            rounds: r,
+            states: s,
+            write: ws,
+        });
+    }
+    regions
+}
+
+/// Runs a protocol on every node of `tree` until all nodes terminate,
+/// using the default [`EngineConfig`].
 ///
 /// `factory` is called once per node to create its state machine.
 ///
@@ -111,7 +584,7 @@ pub struct SyncOutcome<O> {
 ///
 /// ```
 /// use lcl_graph::generators::path;
-/// use lcl_local::engine::{run_sync, Action, NodeContext, Protocol};
+/// use lcl_local::engine::{run_sync, Inbox, NodeContext, Outbox, Protocol};
 /// use lcl_local::identifiers::Ids;
 ///
 /// // Every node immediately outputs its own degree.
@@ -119,10 +592,11 @@ pub struct SyncOutcome<O> {
 /// impl Protocol for DegreeEcho {
 ///     type Message = ();
 ///     type Output = usize;
-///     fn step(&mut self, ctx: &NodeContext, _round: u64, _inbox: &[(usize, ())])
-///         -> Action<(), usize>
+///     fn step(&mut self, ctx: &NodeContext, _round: u64,
+///             _inbox: &Inbox<'_, ()>, _outbox: &mut Outbox<'_, ()>)
+///         -> Option<usize>
 ///     {
-///         Action::Output { output: ctx.degree, final_messages: vec![] }
+///         Some(ctx.degree)
 ///     }
 /// }
 ///
@@ -136,8 +610,34 @@ pub struct SyncOutcome<O> {
 pub fn run_sync<P, F>(
     tree: &Tree,
     ids: &Ids,
+    factory: F,
+    max_rounds: u64,
+) -> Result<SyncOutcome<P::Output>, RunError>
+where
+    P: Protocol,
+    F: FnMut(&NodeContext) -> P,
+{
+    run_sync_with(tree, ids, factory, max_rounds, &EngineConfig::default())
+}
+
+/// [`run_sync`] with explicit engine tuning. Outputs and rounds are
+/// independent of `config`; only scheduling changes.
+///
+/// # Errors
+///
+/// Returns [`RunError::RoundLimitExceeded`] if any node is still running
+/// after `max_rounds` rounds.
+///
+/// # Panics
+///
+/// Panics if `ids` does not cover all nodes, or if a worker thread panics
+/// (protocol panics propagate).
+pub fn run_sync_with<P, F>(
+    tree: &Tree,
+    ids: &Ids,
     mut factory: F,
     max_rounds: u64,
+    config: &EngineConfig,
 ) -> Result<SyncOutcome<P::Output>, RunError>
 where
     P: Protocol,
@@ -145,6 +645,9 @@ where
 {
     let n = tree.node_count();
     assert_eq!(ids.len(), n, "ID assignment must cover all nodes");
+    let offsets = tree.offsets();
+    let rev = reverse_edges(tree);
+    let slots = tree.adjacency().len();
 
     let contexts: Vec<NodeContext> = tree
         .nodes()
@@ -158,19 +661,17 @@ where
     let mut machines: Vec<Option<P>> = contexts.iter().map(|c| Some(factory(c))).collect();
     let mut outputs: Vec<Option<P::Output>> = vec![None; n];
     let mut rounds: Vec<u64> = vec![0; n];
-    let mut inboxes: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
-    let mut next_inboxes: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
+    let mut states: Vec<NodeState> = vec![NodeState::Running; n];
+    // The double-buffered arenas: one message slot per directed edge,
+    // allocated once, reused every round.
+    let mut arena_a: Vec<Option<P::Message>> = vec![None; slots];
+    let mut arena_b: Vec<Option<P::Message>> = vec![None; slots];
+
+    let workers = config.resolved_threads(n);
+    let bounds = region_bounds(n, config.resolved_chunk_size(), workers);
+
     let mut running = n;
     let mut messages: u64 = 0;
-
-    // Port of `v` as seen from neighbor `w`: index of v in w's list.
-    let reverse_port = |v: NodeId, w: NodeId| -> usize {
-        tree.neighbors(w)
-            .iter()
-            .position(|&x| x as usize == v)
-            .expect("neighbor lists are symmetric")
-    };
-
     let mut round = 0u64;
     while running > 0 {
         if round > max_rounds {
@@ -179,37 +680,45 @@ where
                 unfinished: running,
             });
         }
-        for v in 0..n {
-            let Some(machine) = machines[v].as_mut() else {
-                continue;
-            };
-            let action = machine.step(&contexts[v], round, &inboxes[v]);
-            let outbound = match action {
-                Action::Send(msgs) => msgs,
-                Action::Output {
-                    output,
-                    final_messages,
-                } => {
-                    outputs[v] = Some(output);
-                    rounds[v] = round;
-                    machines[v] = None;
-                    running -= 1;
-                    final_messages
-                }
-            };
-            for (port, msg) in outbound {
-                let w = tree.neighbors(v)[port] as usize;
-                // Messages to already-terminated nodes are dropped.
-                if machines[w].is_some() {
-                    next_inboxes[w].push((reverse_port(v, w), msg));
-                    messages += 1;
-                }
-            }
-        }
-        for v in 0..n {
-            inboxes[v].clear();
-            std::mem::swap(&mut inboxes[v], &mut next_inboxes[v]);
-        }
+        // Even rounds write arena A and read arena B; odd rounds swap.
+        let (read, write) = if round.is_multiple_of(2) {
+            (&arena_b, &mut arena_a)
+        } else {
+            (&arena_a, &mut arena_b)
+        };
+        let mut regions = split_regions(
+            &bounds,
+            offsets,
+            &mut machines,
+            &mut outputs,
+            &mut rounds,
+            &mut states,
+            write,
+        );
+        let (terminated, sent) = if regions.len() == 1 {
+            let mut region = regions.pop().expect("one region");
+            step_region(&mut region, read, &rev, offsets, &contexts, round)
+        } else {
+            let read: &[Option<P::Message>] = read;
+            let rev: &[u32] = &rev;
+            let contexts: &[NodeContext] = &contexts;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = regions
+                    .into_iter()
+                    .map(|mut region| {
+                        scope.spawn(move || {
+                            step_region(&mut region, read, rev, offsets, contexts, round)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("engine worker panicked"))
+                    .fold((0usize, 0u64), |(t, c), (dt, dc)| (t + dt, c + dc))
+            })
+        };
+        running -= terminated;
+        messages += sent;
         round += 1;
     }
 
@@ -225,14 +734,14 @@ where
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use lcl_graph::generators::{path, star};
 
     /// Floods the minimum ID for exactly `budget` rounds, then outputs it.
-    struct MinFlood {
-        best: u64,
-        budget: u64,
+    pub(crate) struct MinFlood {
+        pub(crate) best: u64,
+        pub(crate) budget: u64,
     }
 
     impl Protocol for MinFlood {
@@ -240,21 +749,19 @@ mod tests {
         type Output = u64;
         fn step(
             &mut self,
-            ctx: &NodeContext,
+            _ctx: &NodeContext,
             round: u64,
-            inbox: &[(usize, u64)],
-        ) -> Action<u64, u64> {
-            for &(_, m) in inbox {
+            inbox: &Inbox<'_, u64>,
+            outbox: &mut Outbox<'_, u64>,
+        ) -> Option<u64> {
+            for (_, &m) in inbox.iter() {
                 self.best = self.best.min(m);
             }
             if round == self.budget {
-                return Action::Output {
-                    output: self.best,
-                    final_messages: vec![],
-                };
+                return Some(self.best);
             }
-            let msgs = (0..ctx.degree).map(|p| (p, self.best)).collect();
-            Action::Send(msgs)
+            outbox.broadcast(self.best);
+            None
         }
     }
 
@@ -309,12 +816,54 @@ mod tests {
         assert!(out.outputs.iter().all(|&m| m == 0));
     }
 
+    #[test]
+    fn results_identical_across_chunk_sizes_and_threads() {
+        let n = 40;
+        let tree = path(n);
+        let ids = Ids::random(n, 5);
+        let baseline = run_sync_with(
+            &tree,
+            &ids,
+            |c| MinFlood {
+                best: c.id,
+                budget: 17,
+            },
+            100,
+            &EngineConfig::sequential(),
+        )
+        .unwrap();
+        for chunk_size in [1, 7, 64, n] {
+            for threads in [1, 2, 3] {
+                let out = run_sync_with(
+                    &tree,
+                    &ids,
+                    |c| MinFlood {
+                        best: c.id,
+                        budget: 17,
+                    },
+                    100,
+                    &EngineConfig {
+                        chunk_size,
+                        threads,
+                    },
+                )
+                .unwrap();
+                assert_eq!(out.outputs, baseline.outputs, "cs={chunk_size} t={threads}");
+                assert_eq!(out.stats, baseline.stats, "cs={chunk_size} t={threads}");
+                assert_eq!(
+                    out.messages, baseline.messages,
+                    "cs={chunk_size} t={threads}"
+                );
+            }
+        }
+    }
+
     /// Endpoint flood on a path: endpoints start a token carrying a hop
     /// count; nodes output (distance to first endpoint seen per side) once
     /// both sides arrived. Endpoints treat themselves as one side.
-    struct EndpointFlood {
-        seen: Vec<Option<u64>>, // per port: hop distance to that side's end
-        self_is_end: bool,
+    pub(crate) struct EndpointFlood {
+        pub(crate) seen: Vec<Option<u64>>, // per port: hop distance to that side's end
+        pub(crate) self_is_end: bool,
     }
 
     impl Protocol for EndpointFlood {
@@ -325,29 +874,26 @@ mod tests {
             &mut self,
             ctx: &NodeContext,
             round: u64,
-            inbox: &[(usize, u64)],
-        ) -> Action<u64, u64> {
+            inbox: &Inbox<'_, u64>,
+            outbox: &mut Outbox<'_, u64>,
+        ) -> Option<u64> {
             if round == 0 {
                 self.seen = vec![None; ctx.degree];
                 self.self_is_end = ctx.degree == 1;
                 if ctx.n == 1 {
-                    return Action::Output {
-                        output: 0,
-                        final_messages: vec![],
-                    };
+                    return Some(0);
                 }
                 if self.self_is_end {
-                    return Action::Send(vec![(0, 1)]);
+                    outbox.send(0, 1);
                 }
-                return Action::Send(vec![]);
+                return None;
             }
-            let mut to_send = Vec::new();
-            for &(port, hops) in inbox {
+            for (port, &hops) in inbox.iter() {
                 if self.seen[port].is_none() {
                     self.seen[port] = Some(hops);
                     // Forward to the opposite port if any.
                     if ctx.degree == 2 {
-                        to_send.push((1 - port, hops + 1));
+                        outbox.send(1 - port, hops + 1);
                     }
                 }
             }
@@ -358,12 +904,9 @@ mod tests {
             };
             if done {
                 let far = self.seen.iter().flatten().copied().max().unwrap_or(0);
-                return Action::Output {
-                    output: far,
-                    final_messages: to_send,
-                };
+                return Some(far);
             }
-            Action::Send(to_send)
+            None
         }
     }
 
@@ -397,8 +940,14 @@ mod tests {
         impl Protocol for Forever {
             type Message = ();
             type Output = ();
-            fn step(&mut self, _: &NodeContext, _: u64, _: &[(usize, ())]) -> Action<(), ()> {
-                Action::Send(vec![])
+            fn step(
+                &mut self,
+                _: &NodeContext,
+                _: u64,
+                _: &Inbox<'_, ()>,
+                _: &mut Outbox<'_, ()>,
+            ) -> Option<()> {
+                None
             }
         }
         let tree = path(3);
@@ -446,7 +995,64 @@ mod tests {
             100,
         )
         .unwrap();
-        // 6 directed edges * 3 sending rounds = 18 (rounds 0,1,2 send).
+        // 6 directed edges * 3 sending rounds = 18 (rounds 0, 1, 2 send).
         assert_eq!(out.messages, 18);
+    }
+
+    #[test]
+    fn duplicate_port_send_panics() {
+        struct DoubleSend;
+        impl Protocol for DoubleSend {
+            type Message = u8;
+            type Output = ();
+            fn step(
+                &mut self,
+                _: &NodeContext,
+                _: u64,
+                _: &Inbox<'_, u8>,
+                outbox: &mut Outbox<'_, u8>,
+            ) -> Option<()> {
+                outbox.send(0, 1);
+                outbox.send(0, 2);
+                Some(())
+            }
+        }
+        let tree = path(2);
+        let ids = Ids::sequential(2);
+        let result = std::panic::catch_unwind(|| run_sync(&tree, &ids, |_| DoubleSend, 5));
+        assert!(result.is_err(), "duplicate send must panic");
+    }
+
+    #[test]
+    fn region_bounds_align_to_chunks() {
+        assert_eq!(region_bounds(10, 4, 2), vec![0, 8, 10]);
+        assert_eq!(region_bounds(10, 100, 4), vec![0, 10]);
+        assert_eq!(region_bounds(1, 1, 8), vec![0, 1]);
+        let b = region_bounds(1_000, 16, 3);
+        assert_eq!(b.first(), Some(&0));
+        assert_eq!(b.last(), Some(&1_000));
+        for w in b.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(w[1] == 1_000 || w[1] % 16 == 0);
+        }
+    }
+
+    #[test]
+    fn reverse_edges_are_involutive() {
+        let tree = lcl_graph::generators::random_bounded_degree_tree(200, 5, 3);
+        let rev = reverse_edges(&tree);
+        let offsets = tree.offsets();
+        let adjacency = tree.adjacency();
+        for v in tree.nodes() {
+            for (p, &w) in tree.neighbors(v).iter().enumerate() {
+                let e = offsets[v] as usize + p;
+                let r = rev[e] as usize;
+                // The reverse edge belongs to w and points back at v.
+                assert_eq!(adjacency[r] as usize, v);
+                assert!(r >= offsets[w as usize] as usize);
+                assert!(r < offsets[w as usize + 1] as usize);
+                assert_eq!(rev[r] as usize, e, "involution");
+            }
+        }
     }
 }

@@ -6,8 +6,12 @@
 //! the complexity measure is the number of rounds until each node commits to
 //! an output. This crate provides:
 //!
-//! - a faithful message-passing engine ([`engine`]) that records the exact
-//!   round in which every node terminates,
+//! - a chunked, arena-backed message-passing engine ([`engine`]) that
+//!   records the exact round in which every node terminates and scales to
+//!   million-node trees (CSR-aligned double-buffered message arenas, no
+//!   per-node per-round allocation, optional chunk-parallel execution),
+//! - the frozen pre-chunking engine ([`reference_engine`], test/feature
+//!   gated) used as a differential-testing oracle for the engine above,
 //! - a ball-view engine ([`view`]) implementing the equivalent
 //!   "collect radius-*r* view, then decide" formulation, used as reference
 //!   semantics for cross-validating fast structural implementations,
@@ -21,17 +25,18 @@
 //!
 //! ```
 //! use lcl_graph::generators::path;
-//! use lcl_local::engine::{run_sync, Action, NodeContext, Protocol};
+//! use lcl_local::engine::{run_sync, Inbox, NodeContext, Outbox, Protocol};
 //! use lcl_local::identifiers::Ids;
 //!
 //! struct IdEcho;
 //! impl Protocol for IdEcho {
 //!     type Message = ();
 //!     type Output = u64;
-//!     fn step(&mut self, ctx: &NodeContext, _r: u64, _in: &[(usize, ())])
-//!         -> Action<(), u64>
+//!     fn step(&mut self, ctx: &NodeContext, _r: u64,
+//!             _inbox: &Inbox<'_, ()>, _outbox: &mut Outbox<'_, ()>)
+//!         -> Option<u64>
 //!     {
-//!         Action::Output { output: ctx.id, final_messages: vec![] }
+//!         Some(ctx.id)
 //!     }
 //! }
 //!
@@ -49,8 +54,15 @@ pub mod engine;
 pub mod identifiers;
 pub mod math;
 pub mod metrics;
+#[cfg(any(test, feature = "reference-engine"))]
+pub mod reference_engine;
 pub mod view;
 
-pub use engine::{run_sync, Action, NodeContext, Protocol, RunError, SyncOutcome};
+pub use engine::{
+    run_sync, run_sync_with, EngineConfig, Inbox, NodeContext, Outbox, Protocol, RunError,
+    SyncOutcome,
+};
 pub use identifiers::Ids;
 pub use metrics::RoundStats;
+#[cfg(any(test, feature = "reference-engine"))]
+pub use reference_engine::run_reference;

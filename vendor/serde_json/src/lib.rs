@@ -1,6 +1,6 @@
 //! Vendored minimal stand-in for `serde_json`: renders the serde stub's
-//! [`serde::Value`] model as JSON text. Only the serialization entry points
-//! used by this workspace are provided.
+//! [`serde::Value`] model as JSON text and parses JSON text back into it.
+//! Only the entry points used by this workspace are provided.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +33,220 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0);
     Ok(out)
+}
+
+/// Parses JSON text into the [`Value`] model.
+///
+/// Supports the full JSON grammar this workspace emits: objects, arrays,
+/// strings with the standard escapes, integers (signed/unsigned), floats,
+/// booleans, and `null`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed input or trailing non-whitespace.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing input at byte {pos}")));
+    }
+    Ok(value)
+}
+
+/// Maximum container nesting; corrupted input must error, not overflow
+/// the stack.
+const MAX_DEPTH: usize = 128;
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), Error> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{}` at byte {}", b as char, *pos)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, Error> {
+    if depth > MAX_DEPTH {
+        return Err(Error(format!("nesting deeper than {MAX_DEPTH}")));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err(Error("unexpected end of input".into())),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(Error(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, Error> {
+    expect(bytes, pos, b'{')?;
+    let mut entries = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(entries));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        entries.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            _ => return Err(Error(format!("expected `,` or `}}` at byte {}", *pos))),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, Error> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(Error(format!("expected `,` or `]` at byte {}", *pos))),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| Error("non-ASCII \\u escape".into()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error("invalid \\u escape".into()))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error("invalid codepoint".into()))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(Error(format!("invalid escape at byte {}", *pos))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy everything up to the next quote or escape in one
+                // chunk. The boundaries are ASCII bytes, so the slice stays
+                // on char boundaries of the (already valid UTF-8) input.
+                let start = *pos;
+                while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                let chunk = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| Error("invalid UTF-8".into()))?;
+                out.push_str(chunk);
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    if bytes.get(*pos) == Some(&b'.') {
+        is_float = true;
+        *pos += 1;
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        is_float = true;
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII number");
+    if text.is_empty() || text == "-" {
+        return Err(Error(format!("invalid number at byte {start}")));
+    }
+    if is_float {
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid float `{text}`")))
+    } else if text.starts_with('-') {
+        text.parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| Error(format!("invalid integer `{text}`")))
+    } else {
+        text.parse::<u64>()
+            .map(Value::UInt)
+            .map_err(|_| Error(format!("invalid integer `{text}`")))
+    }
 }
 
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
@@ -147,6 +361,47 @@ mod tests {
         assert_eq!(to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
         assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
         assert_eq!(to_string(&(1u32, 2.5f64)).unwrap(), "[1,2.5]");
+    }
+
+    #[test]
+    fn parses_what_it_renders() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::Str("a \"b\"\nc".to_string())),
+            ("count".to_string(), Value::UInt(7)),
+            ("delta".to_string(), Value::Int(-3)),
+            ("ratio".to_string(), Value::Float(2.5)),
+            ("flag".to_string(), Value::Bool(true)),
+            ("nothing".to_string(), Value::Null),
+            (
+                "items".to_string(),
+                Value::Array(vec![Value::UInt(1), Value::Float(0.125)]),
+            ),
+            ("empty".to_string(), Value::Array(vec![])),
+        ]);
+        for rendered in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str(&rendered).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parses_scientific_notation_and_rejects_garbage() {
+        assert_eq!(from_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(from_str("-2.5E-1").unwrap(), Value::Float(-0.25));
+        assert_eq!(
+            from_str("  [1, 2]  ").unwrap(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+        assert!(from_str("").is_err());
+        assert!(from_str("{\"a\":}").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("true false").is_err());
+        assert!(from_str("\"unterminated").is_err());
+        // Nesting beyond MAX_DEPTH errors instead of overflowing the stack.
+        let deep = "[".repeat(100_000);
+        assert!(from_str(&deep).is_err());
+        // Within the limit still parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(from_str(&ok).is_ok());
     }
 
     #[test]
