@@ -1,0 +1,14 @@
+//! `fig2_empirical` — the Fig. 2 landscape table reproduced empirically:
+//! every registry algorithm's measured node-averaged curve is fitted to
+//! the landscape classes and placed next to its theoretical cell.
+//!
+//! All sweep declarations live in [`lcl_bench::figures`]; execution goes
+//! through the `lcl_harness` registry and `Session` runner. The `lcl` CLI
+//! (`lcl sweep fig2_empirical`, or `lcl classify` for the standalone
+//! classifier) is the equivalent single entry point.
+
+use lcl_bench::figures::{run_figure, FigureOpts};
+
+fn main() {
+    run_figure("fig2_empirical", &FigureOpts::default()).expect("figure runs to completion");
+}

@@ -11,6 +11,10 @@
 //! lcl sweep --scale smoke|ci|full [--chunk-size C] [--threads T]
 //!                                   large-n suite on the chunked engine;
 //!                                   emits bench-results/BENCH_engine.json
+//! lcl classify [--scale tiny|smoke|ci|full] [--strict]
+//!                                   fit every algorithm's measured
+//!                                   node-averaged curve to its landscape
+//!                                   class; emits BENCH_classify.json
 //! lcl baseline [--n N]              emit bench-results/BENCH_sweep.json
 //! lcl perfgate [--threshold X]      CI smoke gate vs BENCH_sweep.json
 //! ```
@@ -29,6 +33,7 @@ fn main() -> ExitCode {
         Some("figures") => cmd_figures(),
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..]),
         Some("baseline") => cmd_baseline(&args[1..]),
         Some("perfgate") => cmd_perfgate(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -46,13 +51,14 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: lcl <list|figures|run|sweep|baseline|perfgate> [options]\n\
+const USAGE: &str = "usage: lcl <list|figures|run|sweep|classify|baseline|perfgate> [options]\n\
      lcl list\n\
      lcl figures\n\
      lcl run <algo> [--n N] [--seed S] [--k K] [--d D] [--gamma-mult M]\n\
              [--engine direct|chunked] [--chunk-size C] [--engine-threads T] [--no-verify] [--json]\n\
      lcl sweep <figure>|all [--tiny] [--schema]\n\
      lcl sweep --scale smoke|ci|full [--chunk-size C] [--threads T]\n\
+     lcl classify [--scale tiny|smoke|ci|full] [--strict]\n\
      lcl baseline [--n N]\n\
      lcl perfgate [--threshold X]";
 
@@ -262,6 +268,16 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `lcl classify`: fit measured node-averaged curves to the landscape.
+/// `--strict` (what CI runs) fails when any fitted class contradicts its
+/// algorithm's theoretical class.
+fn cmd_classify(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    flags.ensure_known(&["--scale"], &["--strict"])?;
+    let preset = flags.value("--scale")?.unwrap_or("ci");
+    lcl_bench::classify::run_classify(preset, flags.switch("--strict"))
 }
 
 #[derive(Serialize)]

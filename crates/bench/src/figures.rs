@@ -41,6 +41,7 @@ impl FigureOpts {
 pub fn figure_names() -> &'static [&'static str] {
     &[
         "fig2_landscape",
+        "fig2_empirical",
         "thm1_density",
         "thm2_thm3_poly",
         "thm4_thm5_logstar",
@@ -62,6 +63,7 @@ pub fn figure_names() -> &'static [&'static str] {
 pub fn run_figure(name: &str, opts: &FigureOpts) -> Result<serde::Value, String> {
     match name {
         "fig2_landscape" => fig2_landscape(opts),
+        "fig2_empirical" => fig2_empirical(opts),
         "thm1_density" => thm1_density(opts),
         "thm2_thm3_poly" => thm2_thm3_poly(opts),
         "thm4_thm5_logstar" => thm4_thm5_logstar(opts),
@@ -189,6 +191,64 @@ fn fig2_landscape(opts: &FigureOpts) -> Result<serde::Value, String> {
         &LandscapeRecord {
             regions: regions_rec,
             measured,
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Fig. 2, measured — the empirical landscape table.
+// ---------------------------------------------------------------------
+
+#[derive(Serialize)]
+struct EmpiricalLandscapeRecord {
+    preset: String,
+    regions: Vec<(String, String, String)>,
+    algorithms: Vec<crate::classify::AlgorithmClassification>,
+}
+
+/// The landscape table of Fig. 2, reproduced *empirically*: every
+/// registry algorithm's node-averaged curve is measured over a size
+/// ladder and fitted to the landscape classes; the resulting cell is
+/// printed next to the theoretical one, together with the provable
+/// regions of [`figure2_regions`].
+fn fig2_empirical(opts: &FigureOpts) -> Result<serde::Value, String> {
+    let preset = if opts.tiny { "tiny" } else { "ci" };
+    let scale = crate::classify::classify_scale(preset).expect("built-in preset");
+    let mut regions = Vec::new();
+    for r in figure2_regions() {
+        let kind = match r.kind {
+            RegionKind::Point => "point",
+            RegionKind::Dense => "dense",
+            RegionKind::Gap => "GAP",
+        };
+        regions.push((
+            r.range.to_string(),
+            kind.to_string(),
+            r.provenance.to_string(),
+        ));
+    }
+    let mut table = Table::new(
+        format!("Fig. 2, measured — empirical landscape table (preset `{preset}`)"),
+        &["algorithm", "landscape cell", "theory (node-avg)", "fitted"],
+    );
+    let mut algorithms = Vec::new();
+    for algo in lcl_harness::registry() {
+        let (summary, _) = crate::classify::classify_algorithm(*algo, &scale)?;
+        table.row(&[
+            summary.algorithm.clone(),
+            summary.landscape_class.clone(),
+            summary.theoretical.clone(),
+            summary.fitted.clone(),
+        ]);
+        algorithms.push(summary);
+    }
+    table.print();
+    Ok(save_json(
+        "fig2_empirical",
+        &EmpiricalLandscapeRecord {
+            preset: preset.to_string(),
+            regions,
+            algorithms,
         },
     ))
 }

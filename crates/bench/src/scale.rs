@@ -115,6 +115,10 @@ struct ScalePoint {
     n: usize,
     /// Node-averaged rounds.
     node_averaged: f64,
+    /// Node-averaged rounds over the waiting mass.
+    waiting_averaged: f64,
+    /// Median termination round.
+    median_round: u64,
     /// Worst-case rounds.
     worst_case: u64,
     /// Wall-clock of the structural run (ms).
@@ -247,6 +251,8 @@ pub fn run_scale(preset: &str, chunk_size: usize, threads: usize) -> Result<(), 
                 spec: direct.spec.clone(),
                 n: direct.n,
                 node_averaged: direct.node_averaged,
+                waiting_averaged: direct.waiting_averaged,
+                median_round: direct.median_round,
                 worst_case: direct.worst_case,
                 direct_ms: direct.elapsed_ms,
                 engine_ms,
@@ -359,12 +365,16 @@ fn compare_against_baseline(points: &[ScalePoint]) -> Vec<BaselineComparison> {
 /// The CI perf smoke gate: re-runs one mid-size instance per landscape
 /// class (each registry algorithm at the baseline ladder's smallest size)
 /// and compares wall-clock against the checked-in `BENCH_sweep.json`,
-/// failing beyond `threshold`× regression.
+/// failing beyond `threshold`× regression. The baseline's node-averaged
+/// rounds are carried forward too: every algorithm is a pure function of
+/// `(spec, seed)`, so a fresh run whose node-averaged count drifts from
+/// the baseline means its *behavior* changed, not just its speed — the
+/// gate fails on any relative drift beyond float-printing noise.
 ///
 /// # Errors
 ///
-/// Missing/unreadable baseline, harness errors, or any algorithm
-/// regressing beyond the threshold.
+/// Missing/unreadable baseline, harness errors, any algorithm regressing
+/// beyond the threshold, or any node-averaged drift.
 pub fn perf_gate(threshold: f64) -> Result<(), String> {
     let text = std::fs::read_to_string("bench-results/BENCH_sweep.json")
         .map_err(|e| format!("cannot read bench-results/BENCH_sweep.json: {e}"))?;
@@ -385,7 +395,14 @@ pub fn perf_gate(threshold: f64) -> Result<(), String> {
 
     let mut table = Table::new(
         format!("Perf smoke gate — n = {mid}, threshold {threshold}x"),
-        &["algorithm", "baseline ms", "now ms", "ratio", "status"],
+        &[
+            "algorithm",
+            "baseline ms",
+            "now ms",
+            "ratio",
+            "node-avg",
+            "status",
+        ],
     );
     let mut failures = Vec::new();
     for algo in registry() {
@@ -397,15 +414,19 @@ pub fn perf_gate(threshold: f64) -> Result<(), String> {
         };
         // The baseline ran seed = requested size, so the mid-size point is
         // the one whose seed equals `mid`.
-        let baseline_ms = field(report, "points")
+        let base_point = field(report, "points")
             .and_then(as_array)
             .and_then(|pts| {
                 pts.iter()
                     .find(|p| field(p, "seed").and_then(as_f64).map(|s| s as usize) == Some(mid))
             })
-            .and_then(|p| field(p, "elapsed_ms"))
-            .and_then(as_f64)
             .ok_or_else(|| format!("no mid-size baseline point for `{}`", algo.name()))?;
+        let baseline_ms = field(base_point, "elapsed_ms")
+            .and_then(as_f64)
+            .ok_or_else(|| format!("no baseline elapsed_ms for `{}`", algo.name()))?;
+        let baseline_avg = field(base_point, "node_averaged")
+            .and_then(as_f64)
+            .ok_or_else(|| format!("no baseline node_averaged for `{}`", algo.name()))?;
         let cfg = RunConfig::default();
         let spec = algo.default_spec(mid, &cfg);
         let instance = spec.build().map_err(|e| e.to_string())?;
@@ -417,16 +438,31 @@ pub fn perf_gate(threshold: f64) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
         // Sub-millisecond baselines are all noise; clamp the denominator.
         let ratio = fresh.elapsed_ms / baseline_ms.max(1.0);
-        let ok = ratio <= threshold;
+        // Node-averaged rounds are deterministic per (spec, seed); any
+        // drift beyond the baseline's float-printing precision means the
+        // algorithm's behavior changed and the baseline must be
+        // regenerated intentionally.
+        let avg_drift = (fresh.node_averaged - baseline_avg).abs() / baseline_avg.abs().max(1e-12);
+        let avg_ok = avg_drift <= 1e-9;
+        let ok = ratio <= threshold && avg_ok;
         if !ok {
-            failures.push(format!("{} ({ratio:.2}x)", algo.name()));
+            failures.push(if avg_ok {
+                format!("{} ({ratio:.2}x)", algo.name())
+            } else {
+                format!(
+                    "{} (node-avg {} vs baseline {baseline_avg})",
+                    algo.name(),
+                    fresh.node_averaged
+                )
+            });
         }
         table.row(&[
             algo.name().to_string(),
             f1(baseline_ms),
             f1(fresh.elapsed_ms),
             f3(ratio),
-            if ok { "ok" } else { "REGRESSED" }.to_string(),
+            if avg_ok { "ok" } else { "DRIFTED" }.to_string(),
+            if ok { "ok" } else { "FAILED" }.to_string(),
         ]);
     }
     table.print();

@@ -49,6 +49,28 @@ fn tiny_sweep_matches_golden_schema() {
 }
 
 #[test]
+fn classify_runs_at_tiny_scale() {
+    // The tiny ladders cannot resolve the landscape (log* is constant
+    // across them), so no --strict: this only checks the pipeline runs
+    // and reports every algorithm.
+    let output = lcl(&["classify", "--scale", "tiny"]);
+    assert!(output.status.success(), "lcl classify failed: {output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for name in lcl_harness::registry().iter().map(|a| a.name()) {
+        assert!(stdout.contains(name), "classify table is missing `{name}`");
+    }
+    assert!(stdout.contains("fitted"), "stdout: {stdout}");
+}
+
+#[test]
+fn classify_rejects_unknown_preset() {
+    let output = lcl(&["classify", "--scale", "galactic"]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown preset"), "stderr: {stderr}");
+}
+
+#[test]
 fn unknown_subcommand_fails_cleanly() {
     let output = lcl(&["frobnicate"]);
     assert!(!output.status.success());

@@ -380,6 +380,176 @@ fn search_delta_d_at(
     None
 }
 
+/// Coarse growth regimes of the landscape, ordered by growth rate.
+///
+/// A [`ComplexityClass`] refines a regime with an exponent; the regime is
+/// the level at which empirical classification is decided (see
+/// [`ComplexityClass::consistent_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Regime {
+    /// `Θ(1)`.
+    Constant,
+    /// `Θ((log* n)^c)` for some `c ∈ (0, 1]`.
+    LogStar,
+    /// `Θ(log n)`.
+    Log,
+    /// `Θ(n^c)` for some `c ∈ (0, 1]`.
+    Poly,
+}
+
+/// A named cell of the node-averaged complexity landscape (Fig. 2),
+/// as a machine-checkable value rather than a display string.
+///
+/// This is the vocabulary the empirical classifier fits measured
+/// node-averaged curves against, and the type every registry algorithm
+/// reports its theoretical node-averaged class in.
+///
+/// # Examples
+///
+/// ```
+/// use lcl_core::landscape::{ComplexityClass, Regime};
+///
+/// let theory = ComplexityClass::poly(0.5); // Θ(n^{1/2})
+/// assert_eq!(theory.regime(), Regime::Poly);
+/// assert_eq!(theory.describe(), "Θ(n^0.50)");
+///
+/// // A fitted Θ(n^0.46) curve is consistent with the Θ(√n) theory…
+/// assert!(theory.consistent_with(&ComplexityClass::poly(0.46)));
+/// // …but a fitted Θ(log n) curve is not.
+/// assert!(!theory.consistent_with(&ComplexityClass::Log));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ComplexityClass {
+    /// `Θ(1)`: node-averaged rounds bounded by a constant.
+    Constant,
+    /// `Θ((log* n)^c)`; `c = 1` is `Θ(log* n)` itself.
+    LogStarPow {
+        /// The exponent `c ∈ (0, 1]`.
+        exponent: f64,
+    },
+    /// `Θ(log n)`.
+    Log,
+    /// `Θ(n^c)`; `c = 1` is the `Θ(n)` ceiling of the landscape.
+    PolyPow {
+        /// The exponent `c ∈ (0, 1]`.
+        exponent: f64,
+    },
+}
+
+/// Tolerance on polynomial exponents when comparing a fitted class with a
+/// theoretical one: OLS exponents on 5-point ladders with additive
+/// lower-order terms land within ~0.1 of the true exponent.
+pub const POLY_EXPONENT_TOLERANCE: f64 = 0.12;
+
+impl ComplexityClass {
+    /// `Θ(n^c)` (clamped rendering; `c = 1` displays as `Θ(n)`).
+    #[must_use]
+    pub fn poly(exponent: f64) -> Self {
+        ComplexityClass::PolyPow { exponent }
+    }
+
+    /// `Θ((log* n)^c)` (`c = 1` displays as `Θ(log* n)`).
+    #[must_use]
+    pub fn log_star_pow(exponent: f64) -> Self {
+        ComplexityClass::LogStarPow { exponent }
+    }
+
+    /// `Θ(log* n)`.
+    #[must_use]
+    pub fn log_star() -> Self {
+        ComplexityClass::LogStarPow { exponent: 1.0 }
+    }
+
+    /// The coarse growth regime of this class.
+    #[must_use]
+    pub fn regime(&self) -> Regime {
+        match self {
+            ComplexityClass::Constant => Regime::Constant,
+            ComplexityClass::LogStarPow { .. } => Regime::LogStar,
+            ComplexityClass::Log => Regime::Log,
+            ComplexityClass::PolyPow { .. } => Regime::Poly,
+        }
+    }
+
+    /// The exponent refining the regime, when the class carries one.
+    #[must_use]
+    pub fn exponent(&self) -> Option<f64> {
+        match *self {
+            ComplexityClass::LogStarPow { exponent } | ComplexityClass::PolyPow { exponent } => {
+                Some(exponent)
+            }
+            _ => None,
+        }
+    }
+
+    /// The growth function `g(n)` of the class, evaluated at `n` — the
+    /// shape the classifier fits `T(n) ≈ a + c · g(n)` against.
+    ///
+    /// `g` is `1`, `(log* n)^c`, `log₂ n`, or `n^c` respectively.
+    #[must_use]
+    pub fn evaluate(&self, n: f64) -> f64 {
+        let n = n.max(1.0);
+        match *self {
+            ComplexityClass::Constant => 1.0,
+            ComplexityClass::LogStarPow { exponent } => {
+                f64::from(lcl_local::math::log_star(n as u64)).powf(exponent)
+            }
+            ComplexityClass::Log => n.log2(),
+            ComplexityClass::PolyPow { exponent } => n.powf(exponent),
+        }
+    }
+
+    /// Whether a measured (fitted) class is consistent with this
+    /// theoretical class.
+    ///
+    /// Matching is decided at the [`Regime`] level, with the `Θ(1)` and
+    /// `Θ((log* n)^c)` regimes deliberately forming *one* bucket:
+    /// `log* n ≤ 5` for every `n ≤ 2^65536`, so at feasible sizes the two
+    /// regimes differ by at most a factor of five and no finite
+    /// measurement separates them. (The landscape itself makes the bucket
+    /// principled: by Theorem 7 nothing exists strictly between `ω(1)`
+    /// and `(log* n)^{o(1)}`, so these are adjacent cells with a provable
+    /// gap, not a blurred continuum.) `Θ(log n)` and `Θ(n^c)` grow
+    /// without bound at feasible sizes and must match exactly
+    /// (polynomial exponents within [`POLY_EXPONENT_TOLERANCE`]).
+    #[must_use]
+    pub fn consistent_with(&self, fitted: &ComplexityClass) -> bool {
+        let sub_log = |r: Regime| matches!(r, Regime::Constant | Regime::LogStar);
+        match (self.regime(), fitted.regime()) {
+            (a, b) if sub_log(a) && sub_log(b) => true,
+            (Regime::Poly, Regime::Poly) => {
+                let t = self.exponent().unwrap_or(0.0);
+                let f = fitted.exponent().unwrap_or(0.0);
+                (t - f).abs() <= POLY_EXPONENT_TOLERANCE
+            }
+            (a, b) => a == b,
+        }
+    }
+
+    /// Human-readable rendering, e.g. `"Θ((log* n)^0.50)"`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match *self {
+            ComplexityClass::Constant => "Θ(1)".to_string(),
+            ComplexityClass::LogStarPow { exponent } if (exponent - 1.0).abs() < 1e-9 => {
+                "Θ(log* n)".to_string()
+            }
+            ComplexityClass::LogStarPow { exponent } => format!("Θ((log* n)^{exponent:.2})"),
+            ComplexityClass::Log => "Θ(log n)".to_string(),
+            ComplexityClass::PolyPow { exponent } if (exponent - 1.0).abs() < 1e-9 => {
+                "Θ(n)".to_string()
+            }
+            ComplexityClass::PolyPow { exponent } => format!("Θ(n^{exponent:.2})"),
+        }
+    }
+}
+
+impl fmt::Display for ComplexityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
 /// A region of the Fig. 2 landscape.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LandscapeRegion {
@@ -659,6 +829,55 @@ mod tests {
         assert!(regions
             .iter()
             .any(|r| r.provenance.contains("Corollary 60")));
+    }
+
+    #[test]
+    fn complexity_class_rendering_and_regimes() {
+        assert_eq!(ComplexityClass::Constant.describe(), "Θ(1)");
+        assert_eq!(ComplexityClass::log_star().describe(), "Θ(log* n)");
+        assert_eq!(
+            ComplexityClass::log_star_pow(0.5).describe(),
+            "Θ((log* n)^0.50)"
+        );
+        assert_eq!(ComplexityClass::Log.describe(), "Θ(log n)");
+        assert_eq!(ComplexityClass::poly(1.0).describe(), "Θ(n)");
+        assert_eq!(ComplexityClass::poly(0.4).to_string(), "Θ(n^0.40)");
+        let order = [
+            ComplexityClass::Constant.regime(),
+            ComplexityClass::log_star().regime(),
+            ComplexityClass::Log.regime(),
+            ComplexityClass::poly(0.5).regime(),
+        ];
+        let mut sorted = order;
+        sorted.sort();
+        assert_eq!(order, sorted, "regimes are ordered by growth");
+    }
+
+    #[test]
+    fn complexity_class_evaluation() {
+        assert_eq!(ComplexityClass::Constant.evaluate(1e6), 1.0);
+        assert_eq!(ComplexityClass::log_star().evaluate(65_536.0), 4.0);
+        assert_eq!(ComplexityClass::log_star().evaluate(65_537.0), 5.0);
+        assert!((ComplexityClass::Log.evaluate(1_024.0) - 10.0).abs() < 1e-12);
+        assert!((ComplexityClass::poly(0.5).evaluate(10_000.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consistency_matches_regimes_with_log_star_flatness() {
+        let theory = ComplexityClass::log_star_pow(0.5);
+        assert!(theory.consistent_with(&ComplexityClass::Constant));
+        assert!(theory.consistent_with(&ComplexityClass::log_star()));
+        assert!(!theory.consistent_with(&ComplexityClass::Log));
+        // The sub-log* bucket is symmetric: a log*-ish drift cannot
+        // contradict O(1) theory at feasible sizes either.
+        assert!(ComplexityClass::Constant.consistent_with(&ComplexityClass::log_star()));
+        assert!(!ComplexityClass::Constant.consistent_with(&ComplexityClass::Log));
+        // Poly exponents compare within tolerance.
+        let half = ComplexityClass::poly(0.5);
+        assert!(half.consistent_with(&ComplexityClass::poly(0.5 + POLY_EXPONENT_TOLERANCE / 2.0)));
+        assert!(!half.consistent_with(&ComplexityClass::poly(0.8)));
+        assert!(ComplexityClass::Log.consistent_with(&ComplexityClass::Log));
+        assert!(!ComplexityClass::Log.consistent_with(&ComplexityClass::Constant));
     }
 
     #[test]

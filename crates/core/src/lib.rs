@@ -5,7 +5,7 @@
 //! defines every LCL problem family the paper introduces, with full
 //! constraint verifiers, plus the closed-form complexity landscape:
 //!
-//! - [`problem`] — the [`LclProblem`](problem::LclProblem) abstraction,
+//! - [`problem`] — the [`LclProblem`] abstraction,
 //! - [`coloring`] — `k`-hierarchical 2½- and 3½-coloring (Definitions 8, 9),
 //! - [`dfree`] — the `d`-free weight problem (Section 7),
 //! - [`weighted`] — the weighted problems `Π^{2.5}/Π^{3.5}_{Δ,d,k}`
@@ -32,7 +32,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod coloring;
 pub mod dfree;

@@ -1,6 +1,7 @@
 //! The object-safe [`Algorithm`] trait and its run artifacts.
 
 use crate::instance::{HarnessError, Instance, InstanceKind, InstanceSpec};
+use lcl_core::landscape::ComplexityClass;
 use lcl_local::engine::EngineConfig;
 use serde::Serialize;
 use std::time::Instant;
@@ -114,6 +115,16 @@ pub fn scale_gammas(gammas: &[usize], multiplier: f64) -> Vec<usize> {
         .collect()
 }
 
+/// One bin of a termination histogram: `count` nodes fixed their output
+/// in exactly round `round`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct RoundBin {
+    /// The termination round.
+    pub round: u64,
+    /// How many nodes terminated in that round.
+    pub count: u64,
+}
+
 /// One completed algorithm execution, with exact per-node rounds.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunRecord {
@@ -135,6 +146,14 @@ pub struct RunRecord {
     pub node_averaged: f64,
     /// Worst-case round of the run.
     pub worst_case: u64,
+    /// Median termination round: half the nodes have fixed their output
+    /// by this round. Far below `worst_case` for algorithms with a small
+    /// late-terminating core (the paper's central phenomenon).
+    pub median_round: u64,
+    /// Sparse termination histogram (`count > 0` bins, sorted by round):
+    /// the per-node distribution the node-averaged summaries are
+    /// computed from.
+    pub histogram: Vec<RoundBin>,
     /// Node-averaged rounds over the *waiting mass* only (nodes that do
     /// not output `Decline`/`Connect`); equals `node_averaged` for
     /// problems without a declining side.
@@ -176,6 +195,13 @@ impl RunRecord {
         let stats = lcl_local::metrics::RoundStats::from_slice(&rounds);
         let node_averaged = stats.node_averaged();
         let worst_case = stats.worst_case();
+        let profile = stats.profile();
+        let median_round = profile.quantile(0.5);
+        let histogram = profile
+            .nonzero_bins()
+            .into_iter()
+            .map(|(round, count)| RoundBin { round, count })
+            .collect();
         let n = rounds.len();
         RunRecord {
             algorithm: algorithm.to_string(),
@@ -186,11 +212,21 @@ impl RunRecord {
             rounds,
             node_averaged,
             worst_case,
+            median_round,
+            histogram,
             waiting_averaged: waiting_averaged.unwrap_or(node_averaged),
             verified,
             engine: "direct".to_string(),
             elapsed_ms: 0.0,
         }
+    }
+
+    /// The termination profile of this run, built from the raw per-node
+    /// `rounds` vector (independently of the serialized `histogram`
+    /// field, which the differential tests cross-check against it).
+    #[must_use]
+    pub fn profile(&self) -> lcl_local::metrics::TerminationProfile {
+        lcl_local::metrics::TerminationProfile::from_rounds(&self.rounds)
     }
 }
 
@@ -203,8 +239,26 @@ pub trait Algorithm: Send + Sync {
     /// Registry name (kebab-case, stable across releases).
     fn name(&self) -> &'static str;
 
-    /// The landscape cell the algorithm realizes, e.g. `"Θ(n^{α₁})"`.
+    /// The landscape cell the algorithm realizes, e.g. `"Θ(n^{α₁})"`
+    /// (display form; see [`Algorithm::node_averaged_class`] for the
+    /// machine-checkable value).
     fn landscape_class(&self) -> &'static str;
+
+    /// The theoretical node-averaged complexity class the algorithm
+    /// realizes on its [`classify_spec`](Algorithm::classify_spec)
+    /// family, under the parameters of `cfg` — the value the empirical
+    /// classifier (`lcl classify`) compares its fitted class against.
+    fn node_averaged_class(&self, cfg: &RunConfig) -> ComplexityClass;
+
+    /// The instance family a size sweep should classify the algorithm on.
+    ///
+    /// Defaults to [`default_spec`](Algorithm::default_spec); overridden
+    /// where the theoretical class is realized on a different family than
+    /// the canonical sweep instance (the labeling solver's `O(k·n^{1/k})`
+    /// bound is tight on paths, not on the random trees it sweeps).
+    fn classify_spec(&self, n: usize, cfg: &RunConfig) -> InstanceSpec {
+        self.default_spec(n, cfg)
+    }
 
     /// Where in the paper the algorithm lives, e.g. `"Section 7.1"`.
     fn paper_ref(&self) -> &'static str;

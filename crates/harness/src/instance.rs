@@ -101,6 +101,23 @@ pub enum InstanceKind {
 /// Specs are cheap value objects: [`Session`](crate::Session) groups jobs
 /// by spec equality so each unique instance is built exactly once per
 /// batch.
+///
+/// # Examples
+///
+/// ```
+/// use lcl_harness::{InstanceKind, InstanceSpec};
+///
+/// let spec = InstanceSpec::WeightedPoly { n: 3_000, delta: 5, d: 2, k: 2 };
+/// assert_eq!(spec.kind(), InstanceKind::Weighted);
+/// assert_eq!(spec.describe(), "weighted-poly(n=3000,delta=5,d=2,k=2)");
+///
+/// // Building materializes the topology; the built size can differ
+/// // slightly from the requested one (constructions round to gadgets).
+/// let instance = spec.build()?;
+/// assert!(instance.node_count() >= 1_000);
+/// assert_eq!(instance.spec(), &spec);
+/// # Ok::<(), lcl_harness::HarnessError>(())
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub enum InstanceSpec {
     /// A path on `n` nodes.

@@ -33,7 +33,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adapters;
 pub mod algorithm;
@@ -43,7 +43,7 @@ pub mod replay;
 pub mod session;
 
 pub use adapters::{run_on_construction, WeightedRegime};
-pub use algorithm::{run_timed, Algorithm, ExecMode, RunConfig, RunRecord};
+pub use algorithm::{run_timed, Algorithm, ExecMode, RoundBin, RunConfig, RunRecord};
 pub use instance::{HarnessError, Instance, InstanceKind, InstanceSpec};
 pub use registry::{find, registry};
 pub use replay::{replay_chunked, replay_factory, replay_round_budget, ReplayProtocol};

@@ -121,6 +121,15 @@ pub fn replay_chunked(
             detail: "engine termination rounds diverge from the solved schedule".to_string(),
         });
     }
+    // The engine accumulates its termination profile from per-round
+    // counters, independently of the per-node round slots; both paths must
+    // tell the same story as the structural schedule.
+    if outcome.profile != lcl_local::metrics::TerminationProfile::from_rounds(rounds) {
+        return Err(HarnessError::EngineDivergence {
+            algorithm: algorithm.to_string(),
+            detail: "engine termination profile diverges from the solved schedule".to_string(),
+        });
+    }
     Ok(outcome)
 }
 
@@ -138,6 +147,10 @@ mod tests {
             replay_chunked("test", &tree, &labels, &rounds, &EngineConfig::sequential()).unwrap();
         assert_eq!(out.outputs, labels);
         assert_eq!(out.stats.as_slice(), &rounds[..]);
+        assert_eq!(
+            out.profile,
+            lcl_local::metrics::TerminationProfile::from_rounds(&rounds)
+        );
         // Final-message broadcasts: each node posts deg(v) messages, and a
         // message is consumed only if the neighbor is still running.
         assert!(out.messages > 0);

@@ -273,6 +273,8 @@ pub struct SweepPoint {
     pub node_averaged: f64,
     /// Worst-case rounds.
     pub worst_case: u64,
+    /// Median termination round.
+    pub median_round: u64,
     /// Node-averaged rounds over the waiting mass.
     pub waiting_averaged: f64,
     /// Wall-clock milliseconds of the run.
@@ -287,6 +289,7 @@ impl From<&RunRecord> for SweepPoint {
             seed: r.seed,
             node_averaged: r.node_averaged,
             worst_case: r.worst_case,
+            median_round: r.median_round,
             waiting_averaged: r.waiting_averaged,
             elapsed_ms: r.elapsed_ms,
         }

@@ -59,6 +59,24 @@ fn assert_engines_agree(algo: &'static dyn Algorithm) {
             assert_eq!(direct.engine, "direct", "{ctx}");
             assert_eq!(direct.labels.len(), n, "{ctx}");
             assert_eq!(direct.rounds.len(), n, "{ctx}");
+            // The serialized histogram/median must agree with the raw
+            // per-node rounds they summarize.
+            let profile = direct.profile();
+            assert_eq!(
+                direct
+                    .histogram
+                    .iter()
+                    .map(|b| (b.round, b.count))
+                    .collect::<Vec<_>>(),
+                profile.nonzero_bins(),
+                "{ctx}: histogram"
+            );
+            assert_eq!(direct.median_round, profile.quantile(0.5), "{ctx}: median");
+            assert_eq!(
+                direct.histogram.iter().map(|b| b.count).sum::<u64>(),
+                n as u64,
+                "{ctx}: histogram mass"
+            );
 
             // Frozen oracle: replay the solved schedule through the
             // pre-chunking engine.
@@ -104,6 +122,14 @@ fn assert_engines_agree(algo: &'static dyn Algorithm) {
                     "{ctx}: node-averaged"
                 );
                 assert_eq!(chunked.worst_case, direct.worst_case, "{ctx}: worst-case");
+                assert_eq!(
+                    chunked.median_round, direct.median_round,
+                    "{ctx}: median round cs={chunk_size}"
+                );
+                assert_eq!(
+                    chunked.histogram, direct.histogram,
+                    "{ctx}: histogram cs={chunk_size}"
+                );
             }
         }
     }

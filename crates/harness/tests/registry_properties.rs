@@ -49,6 +49,78 @@ fn default_specs_are_supported_and_buildable() {
     }
 }
 
+#[test]
+fn classification_hooks_are_coherent() {
+    use lcl_core::landscape::Regime;
+    for algo in registry() {
+        let cfg = RunConfig::default();
+        // The classification family must be runnable by the algorithm
+        // and buildable at sweep sizes.
+        let spec = algo.classify_spec(4_000, &cfg);
+        assert!(
+            algo.supports(spec.kind()),
+            "{}: classify spec kind unsupported",
+            algo.name()
+        );
+        assert!(spec.build().is_ok(), "{}: classify spec", algo.name());
+        // The machine-checkable class must agree in regime with the
+        // display string (coarse sanity: a Θ(n^c) cell must not render
+        // as a log* one and vice versa).
+        let class = algo.node_averaged_class(&cfg);
+        let display = algo.landscape_class();
+        match class.regime() {
+            Regime::Poly => assert!(
+                display.contains("n^") || display.contains("Θ(n)"),
+                "{}: {display} vs {class}",
+                algo.name()
+            ),
+            Regime::LogStar => assert!(
+                display.contains("log*"),
+                "{}: {display} vs {class}",
+                algo.name()
+            ),
+            Regime::Log => assert!(
+                display.contains("log n"),
+                "{}: {display} vs {class}",
+                algo.name()
+            ),
+            Regime::Constant => assert!(
+                display.contains("O(1)"),
+                "{}: {display} vs {class}",
+                algo.name()
+            ),
+        }
+        if let Some(e) = class.exponent() {
+            assert!(e > 0.0 && e <= 1.0, "{}: exponent {e}", algo.name());
+        }
+    }
+}
+
+#[test]
+fn records_summarize_their_own_histogram() {
+    for algo in registry() {
+        let instance = algo.smallest_spec().build().expect("smallest spec builds");
+        let record = algo
+            .run(&instance, &RunConfig::seeded(9))
+            .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+        let mass: u64 = record.histogram.iter().map(|b| b.count).sum();
+        assert_eq!(mass, record.n as u64, "{}", algo.name());
+        let avg: f64 = record
+            .histogram
+            .iter()
+            .map(|b| b.round as f64 * b.count as f64)
+            .sum::<f64>()
+            / record.n as f64;
+        assert!(
+            (avg - record.node_averaged).abs() < 1e-9,
+            "{}: histogram mean {avg} vs node-averaged {}",
+            algo.name(),
+            record.node_averaged
+        );
+        assert!(record.median_round <= record.worst_case, "{}", algo.name());
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -30,7 +30,7 @@
 //!
 //! Results are bit-identical for every chunk size and thread count: a
 //! node's step depends only on its own state and its inbox view. The
-//! pre-rewrite engine is preserved as [`crate::reference_engine`]
+//! pre-rewrite engine is preserved as `crate::reference_engine`
 //! (test/feature-gated) and serves as the differential-testing oracle.
 //!
 //! Message size is unbounded, matching the model; the engine tracks message
@@ -38,7 +38,7 @@
 //! be sent (the natural LOCAL convention; enforced by [`Outbox::send`]).
 
 use crate::identifiers::Ids;
-use crate::metrics::RoundStats;
+use crate::metrics::{RoundStats, TerminationProfile};
 use lcl_graph::{NodeId, Tree};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -350,8 +350,17 @@ impl Error for RunError {}
 pub struct SyncOutcome<O> {
     /// Output of every node.
     pub outputs: Vec<O>,
-    /// Per-node termination rounds.
+    /// Per-node termination rounds: `stats.round(v)` is the first round in
+    /// which node `v`'s output is final. Recorded in one `u32` slot per
+    /// node during the run (half the footprint of the summary's `u64`
+    /// form at million-node scale) and widened once at the end.
     pub stats: RoundStats<'static>,
+    /// Aggregated per-round termination counts. The chunked engine
+    /// accumulates these for free (it already counts terminations per
+    /// round to detect completion), so the histogram costs no per-node
+    /// work; it is cross-checked against `stats` in the differential
+    /// tests.
+    pub profile: TerminationProfile,
     /// Number of messages sent by running nodes, including final messages
     /// (diagnostics; the reference engine counts deliveries to live nodes
     /// instead, which can differ on terminal rounds for messages sent to
@@ -473,7 +482,9 @@ struct Region<'a, P: Protocol> {
     slot_base: usize,
     machines: &'a mut [Option<P>],
     outputs: &'a mut [Option<P::Output>],
-    rounds: &'a mut [u64],
+    /// One `u32` slot per node: the first round in which the node's
+    /// output is final, written exactly once (at termination).
+    rounds: &'a mut [u32],
     states: &'a mut [NodeState],
     write: &'a mut [Option<P::Message>],
 }
@@ -520,7 +531,7 @@ fn step_region<P: Protocol>(
                 sent += outbox.sent() as u64;
                 if let Some(output) = decided {
                     region.outputs[i] = Some(output);
-                    region.rounds[i] = round;
+                    region.rounds[i] = round as u32;
                     region.machines[i] = None;
                     region.states[i] = NodeState::Clearing(2);
                     terminated += 1;
@@ -538,7 +549,7 @@ fn split_regions<'a, P: Protocol>(
     offsets: &[u32],
     mut machines: &'a mut [Option<P>],
     mut outputs: &'a mut [Option<P::Output>],
-    mut rounds: &'a mut [u64],
+    mut rounds: &'a mut [u32],
     mut states: &'a mut [NodeState],
     mut write: &'a mut [Option<P::Message>],
 ) -> Vec<Region<'a, P>> {
@@ -660,8 +671,11 @@ where
         .collect();
     let mut machines: Vec<Option<P>> = contexts.iter().map(|c| Some(factory(c))).collect();
     let mut outputs: Vec<Option<P::Output>> = vec![None; n];
-    let mut rounds: Vec<u64> = vec![0; n];
+    let mut rounds: Vec<u32> = vec![0; n];
     let mut states: Vec<NodeState> = vec![NodeState::Running; n];
+    // Per-round termination counts: `terminated_in[r]` nodes fixed their
+    // output in round `r`. One push per round, no per-node work.
+    let mut terminated_in: Vec<u64> = Vec::new();
     // The double-buffered arenas: one message slot per directed edge,
     // allocated once, reused every round.
     let mut arena_a: Vec<Option<P::Message>> = vec![None; slots];
@@ -680,6 +694,10 @@ where
                 unfinished: running,
             });
         }
+        assert!(
+            round <= u64::from(u32::MAX),
+            "termination rounds are recorded in u32 slots"
+        );
         // Even rounds write arena A and read arena B; odd rounds swap.
         let (read, write) = if round.is_multiple_of(2) {
             (&arena_b, &mut arena_a)
@@ -719,6 +737,7 @@ where
         };
         running -= terminated;
         messages += sent;
+        terminated_in.push(terminated as u64);
         round += 1;
     }
 
@@ -726,9 +745,12 @@ where
         .into_iter()
         .map(|o| o.expect("all nodes terminated"))
         .collect();
+    let profile = TerminationProfile::from_counts(terminated_in);
+    debug_assert_eq!(profile.total_nodes() as usize, n);
     Ok(SyncOutcome {
         outputs,
-        stats: RoundStats::new(rounds),
+        stats: RoundStats::new(rounds.into_iter().map(u64::from).collect()),
+        profile,
         messages,
     })
 }
@@ -850,6 +872,7 @@ pub(crate) mod tests {
                 .unwrap();
                 assert_eq!(out.outputs, baseline.outputs, "cs={chunk_size} t={threads}");
                 assert_eq!(out.stats, baseline.stats, "cs={chunk_size} t={threads}");
+                assert_eq!(out.profile, baseline.profile, "cs={chunk_size} t={threads}");
                 assert_eq!(
                     out.messages, baseline.messages,
                     "cs={chunk_size} t={threads}"
@@ -932,6 +955,11 @@ pub(crate) mod tests {
         }
         // Node-averaged ~ 3n/4, worst-case = n-1.
         assert_eq!(out.stats.worst_case(), (n - 1) as u64);
+        // The per-round termination counts agree with the per-node rounds:
+        // two nodes fix their output per round from the middle outward.
+        assert_eq!(out.profile, out.stats.profile());
+        assert_eq!(out.profile.worst_case(), (n - 1) as u64);
+        assert_eq!(out.profile.total_nodes(), n as u64);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!   records the exact round in which every node terminates and scales to
 //!   million-node trees (CSR-aligned double-buffered message arenas, no
 //!   per-node per-round allocation, optional chunk-parallel execution),
-//! - the frozen pre-chunking engine ([`reference_engine`], test/feature
+//! - the frozen pre-chunking engine (`reference_engine`, test/feature
 //!   gated) used as a differential-testing oracle for the engine above,
 //! - a ball-view engine ([`view`]) implementing the equivalent
 //!   "collect radius-*r* view, then decide" formulation, used as reference

@@ -135,6 +135,174 @@ impl<'a> RoundStats<'a> {
     }
 }
 
+impl<'a> RoundStats<'a> {
+    /// The smallest round `r` such that at least `⌈q · n⌉` nodes have
+    /// terminated by round `r` (`q ∈ (0, 1]`; `q = 0.5` is the median
+    /// termination round).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q <= 1`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        let mut sorted: Vec<u64> = self.rounds.to_vec();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// The aggregated per-round termination profile of this execution.
+    #[must_use]
+    pub fn profile(&self) -> TerminationProfile {
+        TerminationProfile::from_rounds(&self.rounds)
+    }
+}
+
+/// Aggregated per-round termination counts of one execution: `counts[r]`
+/// is the number of nodes whose termination round is exactly `r`.
+///
+/// This is the dense histogram the chunked engine accumulates for free
+/// while running (it already counts terminations per round), and the
+/// summary the harness serializes instead of (or alongside) the raw
+/// per-node round vector. All summary statistics of [`RoundStats`] are
+/// recoverable from it; [`TerminationProfile::node_averaged`] and
+/// [`RoundStats::node_averaged`] agree exactly.
+///
+/// # Examples
+///
+/// ```
+/// use lcl_local::metrics::{RoundStats, TerminationProfile};
+/// let stats = RoundStats::new(vec![0, 2, 2, 3]);
+/// let profile = stats.profile();
+/// assert_eq!(profile.nonzero_bins(), vec![(0, 1), (2, 2), (3, 1)]);
+/// assert_eq!(profile.node_averaged(), stats.node_averaged());
+/// assert_eq!(profile.worst_case(), 3);
+/// assert_eq!(profile.quantile(0.5), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TerminationProfile {
+    /// Dense counts indexed by round; the last entry is non-zero.
+    counts: Vec<u64>,
+}
+
+impl TerminationProfile {
+    /// Wraps dense per-round termination counts (`counts[r]` = nodes
+    /// terminating in round `r`). Trailing zero rounds are trimmed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts sum to zero (no nodes).
+    #[must_use]
+    pub fn from_counts(mut counts: Vec<u64>) -> Self {
+        while counts.last() == Some(&0) {
+            counts.pop();
+        }
+        assert!(
+            !counts.is_empty(),
+            "termination profile needs at least one node"
+        );
+        TerminationProfile { counts }
+    }
+
+    /// Builds the profile from per-node termination rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is empty.
+    #[must_use]
+    pub fn from_rounds(rounds: &[u64]) -> Self {
+        assert!(
+            !rounds.is_empty(),
+            "termination profile needs at least one node"
+        );
+        let worst = *rounds.iter().max().expect("non-empty") as usize;
+        let mut counts = vec![0u64; worst + 1];
+        for &r in rounds {
+            counts[r as usize] += 1;
+        }
+        TerminationProfile { counts }
+    }
+
+    /// Dense counts indexed by round (the last entry is non-zero).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sparse `(round, count)` bins with `count > 0`, sorted by round.
+    #[must_use]
+    pub fn nonzero_bins(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(r, &c)| (r as u64, c))
+            .collect()
+    }
+
+    /// Total number of nodes.
+    #[must_use]
+    pub fn total_nodes(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Node-averaged complexity `(Σ_v T_v) / n`.
+    #[must_use]
+    pub fn node_averaged(&self) -> f64 {
+        let total: u128 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| r as u128 * u128::from(c))
+            .sum();
+        total as f64 / self.total_nodes() as f64
+    }
+
+    /// Worst-case complexity `max_v T_v`.
+    #[must_use]
+    pub fn worst_case(&self) -> u64 {
+        (self.counts.len() - 1) as u64
+    }
+
+    /// The smallest round by which a `q` fraction of nodes has terminated.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q <= 1`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        let need = (q * self.total_nodes() as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (r, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= need {
+                return r as u64;
+            }
+        }
+        self.worst_case()
+    }
+
+    /// Fraction of nodes with termination round at most `r`.
+    #[must_use]
+    pub fn fraction_done_by(&self, r: u64) -> f64 {
+        let done: u64 = self.counts.iter().take(r as usize + 1).sum();
+        done as f64 / self.total_nodes() as f64
+    }
+}
+
+impl serde::Serialize for TerminationProfile {
+    // Sparse form: serializing million-node runs must not emit one entry
+    // per empty round.
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![(
+            "bins".to_string(),
+            serde::Serialize::to_value(&self.nonzero_bins()),
+        )])
+    }
+}
+
 impl FromIterator<u64> for RoundStats<'static> {
     fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
         RoundStats::new(iter.into_iter().collect())
@@ -199,5 +367,42 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_rejected() {
         let _ = RoundStats::new(vec![]);
+    }
+
+    #[test]
+    fn quantiles_walk_the_sorted_rounds() {
+        let s = RoundStats::new(vec![5, 0, 1, 3]);
+        assert_eq!(s.quantile(0.25), 0);
+        assert_eq!(s.quantile(0.5), 1);
+        assert_eq!(s.quantile(0.75), 3);
+        assert_eq!(s.quantile(1.0), 5);
+    }
+
+    #[test]
+    fn profile_agrees_with_round_stats() {
+        let s = RoundStats::new(vec![0, 0, 7, 3, 3, 3]);
+        let p = s.profile();
+        assert_eq!(p.total_nodes(), 6);
+        assert_eq!(p.node_averaged(), s.node_averaged());
+        assert_eq!(p.worst_case(), s.worst_case());
+        assert_eq!(p.nonzero_bins(), vec![(0, 2), (3, 3), (7, 1)]);
+        for q in [0.1, 0.34, 0.5, 0.99, 1.0] {
+            assert_eq!(p.quantile(q), s.quantile(q), "q = {q}");
+        }
+        assert_eq!(p.fraction_done_by(3), s.fraction_done_by(3));
+    }
+
+    #[test]
+    fn profile_from_counts_trims_trailing_zeros() {
+        let p = TerminationProfile::from_counts(vec![2, 0, 1, 0, 0]);
+        assert_eq!(p.counts(), &[2, 0, 1]);
+        assert_eq!(p.worst_case(), 2);
+        assert_eq!(p, TerminationProfile::from_rounds(&[0, 0, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn profile_rejects_empty() {
+        let _ = TerminationProfile::from_counts(vec![0, 0]);
     }
 }

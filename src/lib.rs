@@ -71,6 +71,7 @@ pub mod prelude {
     pub use lcl_algorithms::generic_coloring::generic_coloring;
     pub use lcl_algorithms::AlgorithmRun;
     pub use lcl_core::coloring::{ColorLabel, HierarchicalColoring, Variant};
+    pub use lcl_core::landscape::{ComplexityClass, Regime};
     pub use lcl_core::problem::{LclProblem, Violation};
     pub use lcl_graph::hierarchical::LowerBoundGraph;
     pub use lcl_graph::{NodeMask, Tree, TreeBuilder};
@@ -79,5 +80,5 @@ pub mod prelude {
         RunRecord, Session, SweepReport,
     };
     pub use lcl_local::identifiers::Ids;
-    pub use lcl_local::metrics::RoundStats;
+    pub use lcl_local::metrics::{RoundStats, TerminationProfile};
 }
