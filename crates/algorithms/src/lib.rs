@@ -16,7 +16,9 @@
 //! - [`randomized`] — the randomized O(1) node-averaged side of the
 //!   landscape (3-coloring paths in O(1) expected average rounds),
 //! - [`weight_augmented_solver`] — weight-augmented 2½-coloring
-//!   (Section 10, Lemma 69).
+//!   (Section 10, Lemma 69),
+//! - [`path_lcl_solver`] — a table-driven solver for *arbitrary*
+//!   user-supplied path LCLs, with rounds matching their decided class.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +30,7 @@ pub mod fast_decomposition;
 pub mod generic_coloring;
 pub mod labeling_solver;
 pub mod linial;
+pub mod path_lcl_solver;
 pub mod randomized;
 pub mod run;
 pub mod two_coloring;

@@ -1,0 +1,303 @@
+//! A table-driven solver for arbitrary (edge-symmetric, input-free) LCLs
+//! on paths.
+//!
+//! Given any [`PathTable`] and its decided complexity class, this module
+//! produces a *valid* labeling of a path together with per-node
+//! termination rounds matching the class's locality (the \[BBC+19\]
+//! classification the paper leans on through Lemma 16):
+//!
+//! - **`O(1)`** problems admit a tiling anchored at a self-loop label:
+//!   every node terminates within a constant radius (`2·labels + 4`, the
+//!   same horizon the classifier samples),
+//! - **`Θ(log* n)`** problems are solved by splitting the path with a
+//!   ruling structure derived from Linial's 3-coloring and filling the
+//!   segments; every node pays the color-reduction cascade plus a
+//!   constant,
+//! - **`Θ(n)`** (rigid) problems propagate a single global decision:
+//!   like the 2-coloring baseline, a node terminates once it has heard
+//!   from both endpoints (`max` of the endpoint distances).
+//!
+//! The labeling itself is computed structurally by a reachability DP over
+//! the compatibility table (forward reach sets from one endpoint, then a
+//! deterministic backward selection), so the output is a pure function of
+//! the instance — the per-node rounds carry the LOCAL complexity, exactly
+//! as the other structural solvers in this crate do (e.g. algorithm `A`'s
+//! uniform collection radius).
+
+use crate::linial::three_color_path;
+use crate::run::AlgorithmRun;
+use lcl_core::problem_spec::PathTable;
+use lcl_graph::Tree;
+use lcl_local::identifiers::Ids;
+
+/// The decided complexity class driving the round schedule (the solvable
+/// subset of the path-LCL classification; unsolvable problems never reach
+/// the solver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathSolveClass {
+    /// `O(1)`: constant-radius termination.
+    Constant,
+    /// `Θ(log* n)`: Linial cascade plus a constant.
+    LogStar,
+    /// `Θ(n)`: termination after hearing from both endpoints.
+    Linear,
+}
+
+/// Solves `table` on the path `tree`, returning one label per node (the
+/// table's label indices as `u64`) and the class-governed termination
+/// rounds.
+///
+/// # Errors
+///
+/// Returns a description when `tree` is not a path or no valid labeling
+/// of this exact length exists (possible for parity-constrained tables
+/// even when the problem class is solvable in the large).
+pub fn solve_path_lcl(
+    tree: &Tree,
+    table: &PathTable,
+    class: PathSolveClass,
+    ids: &Ids,
+) -> Result<AlgorithmRun<u64>, String> {
+    table.validate()?;
+    let n = tree.node_count();
+    if tree.max_degree() > 2 {
+        return Err("path-LCL solver needs a path-shaped tree".into());
+    }
+    let order = path_order(tree)?;
+    let labels = label_path(table, &order)?;
+
+    // Scatter the position-ordered labels back to node indexing.
+    let mut outputs = vec![0u64; n];
+    for (pos, &v) in order.iter().enumerate() {
+        outputs[v] = labels[pos] as u64;
+    }
+
+    let rounds = match class {
+        PathSolveClass::Constant => {
+            // The classifier's solvability horizon: a constant radius that
+            // always suffices to anchor a self-loop tiling.
+            let radius = (2 * table.labels + 4) as u64;
+            vec![radius; n]
+        }
+        PathSolveClass::LogStar => {
+            // Every node runs the color-reduction cascade, then a constant
+            // number of segment-filling rounds.
+            let cascade = three_color_path(tree, ids);
+            cascade.rounds.iter().map(|r| r + 2).collect()
+        }
+        PathSolveClass::Linear => {
+            // Rigid problems: a node's output is only safe once it has
+            // seen both endpoints (same convention as the 2-coloring
+            // baseline).
+            if n == 1 {
+                vec![0]
+            } else {
+                let a = order[0];
+                let b = order[n - 1];
+                let dist_a = tree.bfs_distances(a);
+                let dist_b = tree.bfs_distances(b);
+                (0..n).map(|v| dist_a[v].max(dist_b[v]) as u64).collect()
+            }
+        }
+    };
+    Ok(AlgorithmRun::new(outputs, rounds))
+}
+
+/// Verifies `outputs` (label indices) against the table; used by the
+/// harness adapter after every run.
+///
+/// # Errors
+///
+/// The first violated constraint, rendered.
+pub fn verify_path_lcl(tree: &Tree, table: &PathTable, outputs: &[u64]) -> Result<(), String> {
+    let in_range = |v: usize| -> Result<u8, String> {
+        u8::try_from(outputs[v])
+            .ok()
+            .filter(|&l| (l as usize) < table.labels)
+            .ok_or_else(|| format!("node {v} outputs {} outside the label range", outputs[v]))
+    };
+    for (u, v) in tree.edges() {
+        let (a, b) = (in_range(u)?, in_range(v)?);
+        if !table.allows(a, b) {
+            return Err(format!("edge ({u}, {v}) carries forbidden pair ({a}, {b})"));
+        }
+    }
+    for v in tree.nodes() {
+        if tree.degree(v) <= 1 && !table.end_allowed(in_range(v)?) {
+            return Err(format!(
+                "endpoint {v} outputs {} which is not endpoint-allowed",
+                outputs[v]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Nodes of the path in positional order, starting from the
+/// smaller-indexed endpoint (deterministic in the topology alone).
+fn path_order(tree: &Tree) -> Result<Vec<usize>, String> {
+    let n = tree.node_count();
+    if n == 1 {
+        return Ok(vec![0]);
+    }
+    let endpoints: Vec<usize> = tree.nodes().filter(|&v| tree.degree(v) == 1).collect();
+    if endpoints.len() != 2 {
+        return Err("path-LCL solver needs a connected path".into());
+    }
+    let start = endpoints[0].min(endpoints[1]);
+    let mut order = Vec::with_capacity(n);
+    let mut prev = usize::MAX;
+    let mut cur = start;
+    loop {
+        order.push(cur);
+        let next = tree
+            .neighbors(cur)
+            .iter()
+            .map(|&w| w as usize)
+            .find(|&w| w != prev);
+        match next {
+            Some(w) => {
+                prev = cur;
+                cur = w;
+            }
+            None => break,
+        }
+    }
+    if order.len() != n {
+        return Err("path-LCL solver needs a connected path".into());
+    }
+    Ok(order)
+}
+
+/// A valid labeling in positional order via reachability DP: forward
+/// reach sets from the left endpoint, then a smallest-label backward
+/// selection anchored at a right-endpoint-allowed label.
+fn label_path(table: &PathTable, order: &[usize]) -> Result<Vec<u8>, String> {
+    let n = order.len();
+    let labels = table.labels;
+    let matrix = table.matrix();
+    let ends = table.end_vec();
+    if n == 1 {
+        let l = (0..labels)
+            .find(|&l| ends[l])
+            .ok_or("no endpoint-allowed label")?;
+        return Ok(vec![l as u8]);
+    }
+    // reach[i][l]: a valid prefix of length i+1 ending in label l exists.
+    let mut reach = vec![vec![false; labels]; n];
+    reach[0].clone_from(&ends);
+    for i in 1..n {
+        for prev in 0..labels {
+            if reach[i - 1][prev] {
+                for l in 0..labels {
+                    if matrix[prev][l] {
+                        reach[i][l] = true;
+                    }
+                }
+            }
+        }
+    }
+    let last = (0..labels)
+        .find(|&l| reach[n - 1][l] && ends[l])
+        .ok_or_else(|| format!("no valid labeling of a {n}-node path exists for this table"))?;
+    let mut chosen = vec![0u8; n];
+    chosen[n - 1] = last as u8;
+    for i in (0..n - 1).rev() {
+        let next = chosen[i + 1] as usize;
+        let l = (0..labels)
+            .find(|&l| reach[i][l] && matrix[l][next])
+            .expect("reach DP guarantees a predecessor");
+        chosen[i] = l as u8;
+    }
+    Ok(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::generators::path;
+
+    fn ids(n: usize) -> Ids {
+        Ids::random(n, 7)
+    }
+
+    #[test]
+    fn solves_proper_colorings() {
+        for (c, class) in [
+            (2usize, PathSolveClass::Linear),
+            (3, PathSolveClass::LogStar),
+        ] {
+            let table = PathTable::proper_coloring(c);
+            let t = path(33);
+            let run = solve_path_lcl(&t, &table, class, &ids(33)).unwrap();
+            verify_path_lcl(&t, &table, &run.outputs).unwrap();
+            assert_eq!(run.outputs.len(), 33);
+        }
+    }
+
+    #[test]
+    fn constant_class_rounds_are_uniform_and_size_independent() {
+        // 0/1 alternate, label 2 is a wildcard self-loop: O(1).
+        let table = PathTable::new(3, vec![(0, 1), (0, 2), (1, 2), (2, 2)], vec![0, 1, 2]);
+        let small = solve_path_lcl(&path(20), &table, PathSolveClass::Constant, &ids(20)).unwrap();
+        let large =
+            solve_path_lcl(&path(500), &table, PathSolveClass::Constant, &ids(500)).unwrap();
+        assert_eq!(small.rounds[0], large.rounds[0]);
+        assert!(small.rounds.iter().all(|&r| r == small.rounds[0]));
+        verify_path_lcl(&path(500), &table, &large.outputs).unwrap();
+    }
+
+    #[test]
+    fn linear_rounds_match_endpoint_distances() {
+        let table = PathTable::proper_coloring(2);
+        let t = path(9);
+        let run = solve_path_lcl(&t, &table, PathSolveClass::Linear, &ids(9)).unwrap();
+        // On a 9-node path max(dist_a, dist_b) is 8 at the endpoints and
+        // 4 in the middle.
+        assert_eq!(run.rounds[0], 8);
+        assert_eq!(run.rounds[4], 4);
+    }
+
+    #[test]
+    fn single_node_and_unsolvable_lengths() {
+        let table = PathTable::proper_coloring(2);
+        let run = solve_path_lcl(&path(1), &table, PathSolveClass::Linear, &ids(1)).unwrap();
+        assert_eq!(run.outputs, vec![0]);
+        assert_eq!(run.rounds, vec![0]);
+        // Endpoints must carry label 0 but 0 is incompatible with itself
+        // and nothing else exists: length 2 unsolvable.
+        let rigid = PathTable::new(1, vec![], vec![0]);
+        assert!(solve_path_lcl(&path(2), &rigid, PathSolveClass::Linear, &ids(2)).is_err());
+    }
+
+    #[test]
+    fn verification_catches_forbidden_pairs_and_ends() {
+        let table = PathTable::proper_coloring(2);
+        let t = path(3);
+        assert!(verify_path_lcl(&t, &table, &[0, 0, 1]).is_err());
+        let ends_only_zero = PathTable::new(2, vec![(0, 1)], vec![0]);
+        assert!(verify_path_lcl(&t, &ends_only_zero, &[0, 1, 0]).is_ok());
+        assert!(verify_path_lcl(&t, &ends_only_zero, &[1, 0, 1]).is_err());
+        assert!(verify_path_lcl(&t, &table, &[0, 9, 0]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_paths() {
+        use lcl_graph::generators::random_bounded_degree_tree;
+        let t = random_bounded_degree_tree(16, 4, 3);
+        let table = PathTable::proper_coloring(3);
+        if t.max_degree() > 2 {
+            assert!(solve_path_lcl(&t, &table, PathSolveClass::LogStar, &ids(16)).is_err());
+        }
+    }
+
+    #[test]
+    fn labeling_is_deterministic() {
+        let table = PathTable::proper_coloring(3);
+        let t = path(40);
+        let a = solve_path_lcl(&t, &table, PathSolveClass::LogStar, &ids(40)).unwrap();
+        let b = solve_path_lcl(&t, &table, PathSolveClass::LogStar, &ids(40)).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.rounds, b.rounds);
+    }
+}

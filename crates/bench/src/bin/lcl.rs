@@ -3,6 +3,10 @@
 //! ```text
 //! lcl list                          table of all registry algorithms
 //! lcl figures                       names of the figure sweeps
+//! lcl problems                      names of the preset problems
+//! lcl solve <preset>|<problem.json> [--n N] [--seed S] [--classify-only]
+//!         [--json]                  classify a declarative problem, resolve
+//!                                   its best-fit solver, and run the plan
 //! lcl run <algo> [--n N] [--seed S] [--k K] [--d D] [--gamma-mult M]
 //!         [--engine direct|chunked] [--chunk-size C] [--engine-threads T]
 //!         [--no-verify] [--json]    one seeded run via the registry
@@ -21,7 +25,10 @@
 
 use lcl_bench::figures::{figure_names, run_figure, FigureOpts};
 use lcl_bench::report::{f1, f3, save_json, schema_lines, Table};
-use lcl_harness::{find, registry, run_timed, ExecMode, RunConfig, Session, SweepReport};
+use lcl_core::problem_spec::ProblemSpec;
+use lcl_harness::{
+    classify, find, plan, registry, run_timed, ExecMode, PlanError, RunConfig, Session, SweepReport,
+};
 use lcl_local::engine::EngineConfig;
 use serde::Serialize;
 use std::process::ExitCode;
@@ -31,6 +38,8 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("figures") => cmd_figures(),
+        Some("problems") => cmd_problems(),
+        Some("solve") => cmd_solve(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
@@ -51,9 +60,11 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: lcl <list|figures|run|sweep|classify|baseline|perfgate> [options]\n\
+const USAGE: &str = "usage: lcl <list|figures|problems|solve|run|sweep|classify|baseline|perfgate> [options]\n\
      lcl list\n\
      lcl figures\n\
+     lcl problems\n\
+     lcl solve <preset>|<problem.json> [--n N] [--seed S] [--classify-only] [--json]\n\
      lcl run <algo> [--n N] [--seed S] [--k K] [--d D] [--gamma-mult M]\n\
              [--engine direct|chunked] [--chunk-size C] [--engine-threads T] [--no-verify] [--json]\n\
      lcl sweep <figure>|all [--tiny] [--schema]\n\
@@ -68,7 +79,7 @@ fn print_usage() {
 
 fn cmd_list() -> Result<(), String> {
     let mut table = Table::new(
-        "Registry — the ten algorithms of the landscape",
+        "Registry — the solvers of the landscape",
         &[
             "name",
             "landscape class",
@@ -99,6 +110,142 @@ fn cmd_list() -> Result<(), String> {
 fn cmd_figures() -> Result<(), String> {
     for name in figure_names() {
         println!("{name}");
+    }
+    Ok(())
+}
+
+fn cmd_problems() -> Result<(), String> {
+    for (name, _) in ProblemSpec::presets() {
+        println!("{name}");
+    }
+    Ok(())
+}
+
+/// Loads the solve target: a preset name, or a path to a JSON problem
+/// file in the `ProblemSpec` value model.
+fn load_problem(target: &str) -> Result<(String, ProblemSpec), String> {
+    if let Some(spec) = ProblemSpec::preset(target) {
+        return Ok((target.to_string(), spec));
+    }
+    if target.ends_with(".json") || std::path::Path::new(target).exists() {
+        let text = std::fs::read_to_string(target)
+            .map_err(|e| format!("cannot read problem file `{target}`: {e}"))?;
+        let value = serde_json::from_str(&text)
+            .map_err(|e| format!("`{target}` is not valid JSON: {e}"))?;
+        let spec = ProblemSpec::from_value(&value)
+            .map_err(|e| format!("`{target}` is not a valid problem spec: {e}"))?;
+        return Ok((target.to_string(), spec));
+    }
+    Err(format!(
+        "`{target}` is neither a preset (see `lcl problems`) nor a problem JSON file"
+    ))
+}
+
+/// Prints the stable `PLAN ...` schema line (golden-diffed in CI against
+/// `crates/bench/golden/plan_schema.txt`) plus the human-readable plan
+/// table. `resolution` is `None` for classify-only reports of problems
+/// no solver bids on.
+fn print_plan(
+    label: &str,
+    problem: &ProblemSpec,
+    classification: &lcl_harness::Classification,
+    resolution: Option<(&str, lcl_harness::SolverFit, bool)>,
+) {
+    let (solver, score, consistent, fit_reason) = match resolution {
+        Some((name, fit, consistent)) => (
+            name.to_string(),
+            fit.score.to_string(),
+            consistent.to_string(),
+            fit.reason.to_string(),
+        ),
+        None => (
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "no registered solver bids on this problem".to_string(),
+        ),
+    };
+    println!(
+        "PLAN problem={} class={} source={} solver={} score={} consistent={}",
+        problem.describe(),
+        classification.class.describe(),
+        classification.source.describe(),
+        solver,
+        score,
+        consistent,
+    );
+    let mut table = Table::new(
+        format!("plan for `{label}`"),
+        &["problem", "predicted class", "source", "solver", "fit"],
+    );
+    table.row(&[
+        problem.describe(),
+        classification.class.describe(),
+        classification.source.describe().to_string(),
+        solver,
+        fit_reason,
+    ]);
+    table.print();
+    println!("evidence: {}", classification.detail);
+}
+
+/// `lcl solve`: the problem-first workload — classify a declarative
+/// problem, resolve its best-fit solver, and (unless `--classify-only`)
+/// run the plan. Emits one stable `PLAN ...` line per invocation, which
+/// CI collects and diffs against `crates/bench/golden/plan_schema.txt`.
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let target = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("`lcl solve` needs a preset name or a problem JSON file (see `lcl problems`)")?;
+    let flags = Flags { args: &args[1..] };
+    flags.ensure_known(&["--n", "--seed"], &["--classify-only", "--json"])?;
+    let n: usize = flags.parsed("--n")?.unwrap_or(10_000);
+    let seed: u64 = flags.parsed("--seed")?.unwrap_or(1);
+
+    let (label, problem) = load_problem(target)?;
+    let classify_only = flags.switch("--classify-only");
+    // One classification: `plan` both classifies and resolves. A problem
+    // no solver bids on is still reportable under --classify-only.
+    let plan = match plan(&problem, n, &RunConfig::seeded(seed)) {
+        Ok(plan) => plan,
+        Err(PlanError::NoSolver(_)) if classify_only => {
+            let classification = classify(&problem).map_err(|e| e.to_string())?;
+            print_plan(&label, &problem, &classification, None);
+            return Ok(());
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    let predicted = plan.solver.node_averaged_class(&plan.config);
+    let consistent = plan.classification.class.consistent_with(&predicted);
+    print_plan(
+        &label,
+        &problem,
+        &plan.classification,
+        Some((plan.solver.name(), plan.fit, consistent)),
+    );
+
+    if classify_only {
+        return Ok(());
+    }
+
+    let record = plan.run().map_err(|e| e.to_string())?;
+    let mut run_table = Table::new(
+        format!("{} on {}", record.algorithm, record.spec),
+        &["n", "seed", "node-avg", "worst", "median", "verified", "ms"],
+    );
+    run_table.row(&[
+        record.n.to_string(),
+        record.seed.to_string(),
+        f3(record.node_averaged),
+        record.worst_case.to_string(),
+        record.median_round.to_string(),
+        record.verified.to_string(),
+        f1(record.elapsed_ms),
+    ]);
+    run_table.print();
+    if flags.switch("--json") {
+        save_json(&format!("solve_{}", plan.solver.name()), &record);
     }
     Ok(())
 }
@@ -199,6 +346,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         gamma_multiplier: flags.parsed("--gamma-mult")?.unwrap_or(1.0),
         verify: !flags.switch("--no-verify"),
         exec,
+        ..RunConfig::default()
     };
     let spec = algo.default_spec(n, &cfg);
     let instance = spec.build().map_err(|e| e.to_string())?;

@@ -1,5 +1,6 @@
-//! Smoke tests for the `lcl` CLI: the registry listing must cover all ten
-//! algorithms, and a tiny figure sweep must emit the golden JSON schema.
+//! Smoke tests for the `lcl` CLI: the registry listing must cover every
+//! solver, a tiny figure sweep must emit the golden JSON schema, and the
+//! problem-first `solve` pipeline must classify presets and JSON tables.
 
 use std::path::Path;
 use std::process::Command;
@@ -60,6 +61,84 @@ fn classify_runs_at_tiny_scale() {
         assert!(stdout.contains(name), "classify table is missing `{name}`");
     }
     assert!(stdout.contains("fitted"), "stdout: {stdout}");
+}
+
+#[test]
+fn solve_classifies_and_runs_a_preset() {
+    let output = lcl(&["solve", "3-coloring", "--n", "600"]);
+    assert!(output.status.success(), "lcl solve failed: {output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let plan_line = stdout
+        .lines()
+        .find(|l| l.starts_with("PLAN "))
+        .expect("solve prints a PLAN line");
+    assert!(plan_line.contains("solver=linial"), "{plan_line}");
+    assert!(plan_line.contains("source=path-automaton"), "{plan_line}");
+    assert!(plan_line.contains("consistent=true"), "{plan_line}");
+    assert!(stdout.contains("verified"), "{stdout}");
+}
+
+#[test]
+fn solve_accepts_a_json_problem_file() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/custom_path.json");
+    let output = lcl(&[
+        "solve",
+        fixture.to_str().unwrap(),
+        "--n",
+        "400",
+        "--classify-only",
+    ]);
+    assert!(
+        output.status.success(),
+        "lcl solve fixture failed: {output:?}"
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("solver=path-lcl"), "{stdout}");
+    assert!(stdout.contains("class=Θ(1)"), "{stdout}");
+}
+
+#[test]
+fn solve_classify_only_reports_solverless_problems() {
+    // An asymmetric BW path problem: classifiable by the alternating
+    // automaton, but no adapter bids on it (the symmetric-path reduction
+    // does not apply). --classify-only must still report the class;
+    // actually solving must fail with the typed NoSolver error.
+    let dir = std::env::temp_dir().join("lcl_smoke_asym_bw.json");
+    std::fs::write(
+        &dir,
+        r#"{"problem": "bw", "out_labels": 2, "max_degree": 2,
+            "white": [[0], [0, 0]], "black": [[0], [0, 0], [1]]}"#,
+    )
+    .expect("write fixture");
+    let path = dir.to_str().unwrap();
+    let output = lcl(&["solve", path, "--classify-only"]);
+    assert!(output.status.success(), "classify-only failed: {output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("solver=-"), "{stdout}");
+    assert!(stdout.contains("source=bw-testing"), "{stdout}");
+    let output = lcl(&["solve", path, "--n", "200"]);
+    assert!(!output.status.success(), "solver-less run must fail");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("no registered solver"), "{stderr}");
+}
+
+#[test]
+fn solve_rejects_unknown_targets_and_bad_problems() {
+    let output = lcl(&["solve", "no-such-problem"]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("neither a preset"), "{stderr}");
+}
+
+#[test]
+fn problems_lists_every_preset() {
+    let output = lcl(&["problems"]);
+    assert!(output.status.success(), "lcl problems failed: {output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let names: Vec<&str> = stdout.lines().filter(|l| !l.is_empty()).collect();
+    assert!(names.len() >= 6, "expected ≥ 6 presets, got {names:?}");
+    assert!(names.contains(&"3-coloring"));
+    assert!(names.contains(&"bw-all-equal"));
 }
 
 #[test]

@@ -15,7 +15,10 @@
 //! - [`landscape`] — exponent formulas `α₁(x)` (Lemmas 33/36), parameter
 //!   synthesis for the density theorems (Theorems 1 and 6), and the Fig. 2
 //!   region map,
-//! - [`params`] — concrete instance parameters (`ℓ_i`, `γ_i`).
+//! - [`params`] — concrete instance parameters (`ℓ_i`, `γ_i`),
+//! - [`problem_spec`] — the declarative, serializable [`ProblemSpec`]
+//!   vocabulary the problem-first solver surface is built on (explicit
+//!   path/black-white tables plus every named paper family).
 //!
 //! # Examples
 //!
@@ -40,8 +43,10 @@ pub mod labeling;
 pub mod landscape;
 pub mod params;
 pub mod problem;
+pub mod problem_spec;
 pub mod weight_augmented;
 pub mod weighted;
 
 pub use coloring::{ColorLabel, HierarchicalColoring, Variant};
 pub use problem::{LclProblem, Violation};
+pub use problem_spec::{BwTable, PathTable, ProblemRegime, ProblemSpec};

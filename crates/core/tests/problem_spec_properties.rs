@@ -1,0 +1,184 @@
+//! Property tests for the declarative problem vocabulary (ISSUE 5):
+//! construction, validation, and JSON (de)serialization must be total —
+//! arbitrary (including invalid) specs never panic — and every valid
+//! spec must survive a serde round trip bit-exactly.
+
+use lcl_core::problem_spec::{BwTable, PathTable, ProblemRegime, ProblemSpec};
+use proptest::prelude::*;
+use serde::{Serialize, Value};
+
+/// Expands a seed into a canonical random path table: up to 5 labels,
+/// pair/end membership from the seed's bits. Intentionally generates
+/// degenerate tables (no pairs, empty ends) as well.
+fn path_table_from_seed(seed: u64) -> PathTable {
+    let labels = (seed % 5 + 1) as usize;
+    let mut bits = seed / 5;
+    let mut allowed = Vec::new();
+    for a in 0..labels as u8 {
+        for b in a..labels as u8 {
+            if bits & 1 == 1 {
+                allowed.push((a, b));
+            }
+            bits >>= 1;
+        }
+    }
+    let mut ends = Vec::new();
+    for l in 0..labels as u8 {
+        if bits & 1 == 1 {
+            ends.push(l);
+        }
+        bits >>= 1;
+    }
+    PathTable::new(labels, allowed, ends)
+}
+
+/// Expands a seed into a random black-white table over a binary/ternary
+/// alphabet, degree 2 or 3; multisets picked from the seed's bits.
+fn bw_table_from_seed(seed: u64) -> BwTable {
+    let out_labels = (seed % 3 + 1) as u8;
+    let max_degree = (seed / 3 % 2 + 2) as usize;
+    let mut bits = seed / 6;
+    let side = |bits: &mut u64| {
+        let mut sets = Vec::new();
+        for len in 1..=max_degree {
+            for first in 0..out_labels {
+                if *bits & 1 == 1 {
+                    let m: Vec<u8> = (0..len).map(|i| (first + i as u8) % out_labels).collect();
+                    sets.push(m);
+                }
+                *bits >>= 1;
+            }
+        }
+        sets
+    };
+    let white = side(&mut bits);
+    let black = side(&mut bits);
+    BwTable::new(out_labels, max_degree, white, black)
+}
+
+/// An arbitrary spec: tables from seeds, named families with parameters
+/// straddling the valid/invalid boundary.
+fn spec_from(variant: u8, seed: u64) -> ProblemSpec {
+    match variant % 8 {
+        0 => ProblemSpec::Path(path_table_from_seed(seed)),
+        1 => ProblemSpec::Coloring {
+            colors: (seed % 300) as usize,
+        },
+        2 => ProblemSpec::Bw(bw_table_from_seed(seed)),
+        3 => ProblemSpec::HierarchicalColoring {
+            k: (seed % 20) as usize,
+        },
+        4 => ProblemSpec::Weighted {
+            regime: if seed & 1 == 0 {
+                ProblemRegime::Poly
+            } else {
+                ProblemRegime::LogStar
+            },
+            delta: (seed / 2 % 9) as usize,
+            d: (seed / 18 % 5) as usize,
+            k: (seed / 90 % 20) as usize,
+        },
+        5 => ProblemSpec::WeightAugmented {
+            k: (seed % 20) as usize,
+        },
+        6 => ProblemSpec::DfreeWeight {
+            d: (seed % 5) as usize,
+            anchored: seed & 1 == 1,
+        },
+        _ => ProblemSpec::HierarchicalLabeling {
+            k: (seed % 20) as usize,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn construction_validation_and_describe_are_total(variant in 0u8..8, seed in any::<u64>()) {
+        let spec = spec_from(variant, seed);
+        // None of these may panic, valid or not.
+        let _ = spec.validate();
+        let _ = spec.describe();
+        let _ = spec.path_table();
+        let _ = spec.declared_class();
+        let _ = spec.hierarchy_k();
+        let _ = spec.decline_d();
+    }
+
+    #[test]
+    fn valid_specs_round_trip_through_json(variant in 0u8..8, seed in any::<u64>()) {
+        let spec = spec_from(variant, seed);
+        prop_assume!(spec.validate().is_ok());
+        // Value-model round trip.
+        let value = spec.to_value();
+        let parsed = ProblemSpec::from_value(&value).expect("valid spec must parse back");
+        prop_assert_eq!(&parsed, &spec);
+        // Full JSON-text round trip through the vendored serde_json.
+        let text = serde_json::to_string(&spec).expect("serializable");
+        let reparsed = ProblemSpec::from_value(&serde_json::from_str(&text).expect("valid JSON"))
+            .expect("JSON text must parse back");
+        prop_assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn corrupted_values_error_instead_of_panicking(
+        variant in 0u8..8,
+        seed in any::<u64>(),
+        strike in any::<prop::sample::Index>(),
+    ) {
+        let spec = spec_from(variant, seed);
+        let Value::Object(mut entries) = spec.to_value() else {
+            panic!("specs serialize to objects");
+        };
+        // Corrupt one field: odd seeds drop it, even seeds retype it.
+        let i = strike.index(entries.len());
+        if seed & 1 == 1 {
+            entries.remove(i);
+        } else {
+            entries[i].1 = Value::Str("corrupt".into());
+        }
+        // Must yield a Result, never a panic. (Dropping/retyping a
+        // required field errors; corrupting nothing essential may still
+        // parse — both are acceptable outcomes.)
+        let _ = ProblemSpec::from_value(&Value::Object(entries));
+    }
+
+    #[test]
+    fn path_tables_canonicalize_idempotently(seed in any::<u64>()) {
+        let t = path_table_from_seed(seed);
+        let again = PathTable::new(t.labels, t.allowed.clone(), t.ends.clone());
+        prop_assert_eq!(&again, &t);
+        // allows() agrees with the dense matrix.
+        let m = t.matrix();
+        for a in 0..t.labels as u8 {
+            for b in 0..t.labels as u8 {
+                prop_assert_eq!(t.allows(a, b), m[a as usize][b as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn bw_tables_canonicalize_and_reduce_consistently(seed in any::<u64>()) {
+        let t = bw_table_from_seed(seed);
+        let again = BwTable::new(
+            t.out_labels,
+            t.max_degree,
+            t.white.clone(),
+            t.black.clone(),
+        );
+        prop_assert_eq!(&again, &t);
+        if let Some(path) = t.symmetric_path_table() {
+            // The reduction only exists for side-symmetric path problems,
+            // and must mirror accepts() exactly.
+            prop_assert_eq!(t.max_degree, 2);
+            prop_assert_eq!(&t.white, &t.black);
+            for a in 0..t.out_labels {
+                for b in 0..t.out_labels {
+                    prop_assert_eq!(path.allows(a, b), t.accepts(true, &[a, b]));
+                }
+                prop_assert_eq!(path.end_allowed(a), t.accepts(true, &[a]));
+            }
+        }
+    }
+}

@@ -20,4 +20,7 @@ pub mod testing;
 
 pub use bw::{BwProblem, Side};
 pub use path_lcl::{PathClass, PathLcl};
-pub use testing::{find_good_function, GoodFunctionReport, ImpliedComplexity, TestingConfig};
+pub use testing::{
+    alternating_path_class, find_good_function, GoodFunctionReport, ImpliedComplexity, TestOutcome,
+    TestingConfig,
+};

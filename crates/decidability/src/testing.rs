@@ -53,6 +53,23 @@ impl TestingConfig {
             hair_budget: 0,
         }
     }
+
+    /// Defaults for trees of maximum degree `delta` (clamped to ≥ 2):
+    /// the same layer/compress budget as [`TestingConfig::paths`], with a
+    /// single hair per compress-path node — enough to distinguish
+    /// tree-degree behavior on the small alphabets the planner feeds in
+    /// while keeping the enumeration tractable. This is the configuration
+    /// the harness planner uses to classify declarative black-white
+    /// problems.
+    pub fn for_delta(delta: usize) -> Self {
+        let delta = delta.max(2);
+        TestingConfig {
+            delta,
+            ell: 2,
+            max_layers: 8,
+            hair_budget: usize::from(delta > 2),
+        }
+    }
 }
 
 /// Outcome of testing one candidate function.

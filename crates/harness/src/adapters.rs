@@ -1,12 +1,19 @@
-//! [`Algorithm`] implementations for all ten algorithms of the paper.
+//! [`Algorithm`] implementations for the paper's algorithms.
 //!
 //! Each adapter is a thin shim: it derives the paper's scheduling
 //! parameters from the instance spec, calls the free function in
 //! `lcl_algorithms`, verifies the output against the matching problem
 //! verifier, and packs the per-node rounds into a [`RunRecord`].
+//!
+//! Since ISSUE 5 every adapter also *bids* on declarative problems via
+//! [`Algorithm::solves`]: a specialized adapter bids high on exactly the
+//! family it implements, and the table-driven [`PathLclSolver`] bids low
+//! on any path-expressible table, so the resolver always prefers the
+//! specialist and falls back to the generic solver otherwise.
 
 use crate::algorithm::{Algorithm, ExecMode, RunConfig, RunRecord};
 use crate::instance::{HarnessError, Instance, InstanceKind, InstanceSpec};
+use crate::planner::SolverFit;
 use crate::replay::replay_chunked;
 use lcl_algorithms::a35::a35;
 use lcl_algorithms::apoly::apoly;
@@ -15,6 +22,7 @@ use lcl_algorithms::fast_decomposition::fast_dfree_standalone;
 use lcl_algorithms::generic_coloring::generic_coloring_masked;
 use lcl_algorithms::labeling_solver::solve_hierarchical_labeling;
 use lcl_algorithms::linial::three_color_path;
+use lcl_algorithms::path_lcl_solver::{solve_path_lcl, verify_path_lcl, PathSolveClass};
 use lcl_algorithms::randomized::randomized_three_color_path;
 use lcl_algorithms::two_coloring::two_color_path;
 use lcl_algorithms::weight_augmented_solver::solve_weight_augmented;
@@ -24,9 +32,11 @@ use lcl_core::dfree::{DFreeWeight, DfreeInput, DfreeOutput};
 use lcl_core::labeling::{HierarchicalLabeling, LabelingOutput};
 use lcl_core::landscape::ComplexityClass;
 use lcl_core::problem::LclProblem;
+use lcl_core::problem_spec::{PathTable, ProblemSpec};
 use lcl_core::weight_augmented::WeightAugmented;
 use lcl_core::weight_augmented::{AugmentedOutput, SecondaryOutput};
 use lcl_core::weighted::{WeightedColoring, WeightedOutput};
+use lcl_decidability::path_lcl::{PathClass, PathLcl};
 use lcl_graph::weighted::WeightedConstruction;
 use lcl_graph::{NodeMask, Tree};
 use lcl_local::identifiers::Ids;
@@ -98,6 +108,35 @@ pub fn run_on_construction_scaled(
             ids,
         ),
     }
+}
+
+/// The `(Δ, d, k)` a weighted adapter's theoretical class is computed
+/// at: the planned problem's own parameters when the config carries a
+/// matching-regime [`ProblemSpec::Weighted`], else the adapter's
+/// default-spec parameters with `d` clamped into the exponent formulas'
+/// `Δ ≥ d + 3` domain (the hook must be total over arbitrary configs).
+fn weighted_class_params(
+    cfg: &RunConfig,
+    regime: lcl_core::problem_spec::ProblemRegime,
+    default_delta: usize,
+    default_d: usize,
+) -> (usize, usize, usize) {
+    if let Some(ProblemSpec::Weighted {
+        regime: r,
+        delta,
+        d,
+        k,
+    }) = &cfg.problem
+    {
+        if *r == regime {
+            return (*delta, *d, *k);
+        }
+    }
+    let d = cfg
+        .d
+        .unwrap_or(default_d)
+        .clamp(1, default_delta.saturating_sub(3).max(1));
+    (default_delta, d, cfg.k.unwrap_or(2))
 }
 
 /// Node-averaged rounds over the waiting mass of a weighted run: nodes
@@ -270,6 +309,11 @@ impl Algorithm for TwoColoring {
         InstanceSpec::Path { n: 16 }
     }
 
+    fn solves(&self, problem: &ProblemSpec) -> Option<SolverFit> {
+        let c = problem.path_table()?.as_proper_coloring()?;
+        (c == 2).then(|| SolverFit::new(90, "the rigid Θ(n) 2-coloring baseline"))
+    }
+
     fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
         ensure_supported(self, instance)?;
         let ids = Ids::random(instance.node_count(), cfg.seed);
@@ -315,6 +359,12 @@ impl Algorithm for LinialColoring {
 
     fn smallest_spec(&self) -> InstanceSpec {
         InstanceSpec::Path { n: 16 }
+    }
+
+    fn solves(&self, problem: &ProblemSpec) -> Option<SolverFit> {
+        // A proper 3-coloring is a valid proper c-coloring for any c ≥ 3.
+        let c = problem.path_table()?.as_proper_coloring()?;
+        (c >= 3).then(|| SolverFit::new(90, "deterministic Θ(log* n) coloring (c ≥ 3)"))
     }
 
     fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
@@ -368,6 +418,11 @@ impl Algorithm for RandomizedColoring {
         InstanceSpec::Path { n: 16 }
     }
 
+    fn solves(&self, problem: &ProblemSpec) -> Option<SolverFit> {
+        let c = problem.path_table()?.as_proper_coloring()?;
+        (c >= 3).then(|| SolverFit::new(60, "randomized O(1) node-averaged coloring"))
+    }
+
     fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
         ensure_supported(self, instance)?;
         let run = randomized_three_color_path(instance.tree(), cfg.seed);
@@ -415,6 +470,11 @@ impl Algorithm for GenericColoring {
 
     fn smallest_spec(&self) -> InstanceSpec {
         InstanceSpec::Theorem11 { n: 400, k: 2 }
+    }
+
+    fn solves(&self, problem: &ProblemSpec) -> Option<SolverFit> {
+        matches!(problem, ProblemSpec::HierarchicalColoring { .. })
+            .then(|| SolverFit::new(90, "the Theorem 11 hierarchical 3½-coloring"))
     }
 
     fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
@@ -501,11 +561,11 @@ impl Algorithm for Apoly {
     }
 
     fn node_averaged_class(&self, cfg: &RunConfig) -> ComplexityClass {
-        // The Theorem 2 exponent at the default-spec parameters
-        // (Δ = 5, d, k from the config, as `default_spec` uses).
-        let d = cfg.d.unwrap_or(2);
-        let k = cfg.k.unwrap_or(2);
-        let x = lcl_core::landscape::efficiency_x(5, d);
+        // The Theorem 2 exponent at the planned problem's (Δ, d, k), or
+        // the default-spec parameters (Δ = 5) otherwise.
+        let (delta, d, k) =
+            weighted_class_params(cfg, lcl_core::problem_spec::ProblemRegime::Poly, 5, 2);
+        let x = lcl_core::landscape::efficiency_x(delta, d);
         ComplexityClass::poly(lcl_core::landscape::alpha1_poly(x, k))
     }
 
@@ -535,6 +595,17 @@ impl Algorithm for Apoly {
         }
     }
 
+    fn solves(&self, problem: &ProblemSpec) -> Option<SolverFit> {
+        matches!(
+            problem,
+            ProblemSpec::Weighted {
+                regime: lcl_core::problem_spec::ProblemRegime::Poly,
+                ..
+            }
+        )
+        .then(|| SolverFit::new(90, "A_poly on the Π^{2.5} weighted family"))
+    }
+
     fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
         run_weighted(self, Variant::TwoHalf, WeightedRegime::Poly, instance, cfg)
     }
@@ -553,10 +624,11 @@ impl Algorithm for A35 {
     }
 
     fn node_averaged_class(&self, cfg: &RunConfig) -> ComplexityClass {
-        // Theorem 5's upper bound at the default-spec parameters (Δ = 6).
-        let d = cfg.d.unwrap_or(3);
-        let k = cfg.k.unwrap_or(2);
-        let x_prime = lcl_core::landscape::efficiency_x_prime(6, d).min(1.0);
+        // Theorem 5's upper bound at the planned problem's (Δ, d, k), or
+        // the default-spec parameters (Δ = 6) otherwise.
+        let (delta, d, k) =
+            weighted_class_params(cfg, lcl_core::problem_spec::ProblemRegime::LogStar, 6, 3);
+        let x_prime = lcl_core::landscape::efficiency_x_prime(delta, d).min(1.0);
         ComplexityClass::log_star_pow(lcl_core::landscape::alpha1_log_star(x_prime, k))
     }
 
@@ -584,6 +656,17 @@ impl Algorithm for A35 {
             d: 3,
             k: 2,
         }
+    }
+
+    fn solves(&self, problem: &ProblemSpec) -> Option<SolverFit> {
+        matches!(
+            problem,
+            ProblemSpec::Weighted {
+                regime: lcl_core::problem_spec::ProblemRegime::LogStar,
+                ..
+            }
+        )
+        .then(|| SolverFit::new(90, "the Π^{3.5} log*-regime algorithm"))
     }
 
     fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
@@ -635,6 +718,11 @@ impl Algorithm for WeightAugmentedSolver {
             delta: 5,
             k: 2,
         }
+    }
+
+    fn solves(&self, problem: &ProblemSpec) -> Option<SolverFit> {
+        matches!(problem, ProblemSpec::WeightAugmented { .. })
+            .then(|| SolverFit::new(90, "the Lemma 69 weight-augmented 2½-coloring"))
     }
 
     fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
@@ -708,6 +796,11 @@ impl Algorithm for DfreeA {
         InstanceSpec::BalancedWeight { w: 256, delta: 5 }
     }
 
+    fn solves(&self, problem: &ProblemSpec) -> Option<SolverFit> {
+        matches!(problem, ProblemSpec::DfreeWeight { anchored: true, .. })
+            .then(|| SolverFit::new(90, "algorithm A on the anchored d-free weight problem"))
+    }
+
     fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
         ensure_supported(self, instance)?;
         let n = instance.node_count();
@@ -771,6 +864,17 @@ impl Algorithm for FastDecomposition {
 
     fn smallest_spec(&self) -> InstanceSpec {
         InstanceSpec::BalancedWeight { w: 256, delta: 5 }
+    }
+
+    fn solves(&self, problem: &ProblemSpec) -> Option<SolverFit> {
+        matches!(
+            problem,
+            ProblemSpec::DfreeWeight {
+                anchored: false,
+                ..
+            }
+        )
+        .then(|| SolverFit::new(90, "geometric pending decay without an anchor"))
     }
 
     fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
@@ -851,6 +955,11 @@ impl Algorithm for LabelingSolver {
         }
     }
 
+    fn solves(&self, problem: &ProblemSpec) -> Option<SolverFit> {
+        matches!(problem, ProblemSpec::HierarchicalLabeling { .. })
+            .then(|| SolverFit::new(90, "the Definition 63 hierarchical labeling solver"))
+    }
+
     fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
         ensure_supported(self, instance)?;
         let k = cfg.k.or(instance.spec().hierarchy_k()).unwrap_or(2).max(1);
@@ -863,6 +972,108 @@ impl Algorithm for LabelingSolver {
         }
         let labels = solution.run.outputs.iter().map(labeling_code).collect();
         finalize(self, instance, cfg, labels, solution.run.rounds, None)
+    }
+}
+
+/// The table-driven solver for *arbitrary* path LCLs — the problem-first
+/// surface's generic fallback ([`lcl_algorithms::path_lcl_solver`]).
+///
+/// The problem comes in through [`RunConfig::problem`] (the planner fills
+/// it); without one the adapter solves its demonstration default, proper
+/// 3-coloring, so `lcl run path-lcl` and the registry-wide sweeps work
+/// out of the box. The decided [`PathClass`] of the table drives both the
+/// round schedule and [`Algorithm::node_averaged_class`], so the
+/// empirical classifier checks the decided class, not a hardcoded one.
+pub struct PathLclSolver;
+
+impl PathLclSolver {
+    /// The effective table of a run configuration: the configured
+    /// problem's path table, or the demonstration default (proper
+    /// 3-coloring) when no problem is set.
+    fn table(cfg: &RunConfig) -> Result<PathTable, HarnessError> {
+        match &cfg.problem {
+            Some(problem) => problem.path_table().ok_or_else(|| {
+                HarnessError::BadSpec(format!(
+                    "`path-lcl` needs a path-expressible problem, got {}",
+                    problem.describe()
+                ))
+            }),
+            None => Ok(PathTable::proper_coloring(3)),
+        }
+    }
+
+    /// The decided class of `table`, via the path automaton.
+    fn decide(table: &PathTable) -> PathClass {
+        PathLcl::new(table.matrix(), table.end_vec()).classify()
+    }
+}
+
+impl Algorithm for PathLclSolver {
+    fn name(&self) -> &'static str {
+        "path-lcl"
+    }
+
+    fn landscape_class(&self) -> &'static str {
+        "decided per table (O(1) | Θ(log* n) | Θ(n))"
+    }
+
+    fn node_averaged_class(&self, cfg: &RunConfig) -> ComplexityClass {
+        // Lemma 16: on paths the node-averaged class equals the decided
+        // worst-case class. Unsolvable/invalid tables never run; report
+        // the Θ(n) ceiling for them.
+        match Self::table(cfg).as_ref().map(Self::decide) {
+            Ok(PathClass::Constant) => ComplexityClass::Constant,
+            Ok(PathClass::LogStar) => ComplexityClass::log_star(),
+            Ok(PathClass::Linear) | Ok(PathClass::Unsolvable) | Err(_) => {
+                ComplexityClass::poly(1.0)
+            }
+        }
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Lemma 16 / [BBC+19]"
+    }
+
+    fn supported_kinds(&self) -> &'static [InstanceKind] {
+        &[InstanceKind::Path]
+    }
+
+    fn default_spec(&self, n: usize, _cfg: &RunConfig) -> InstanceSpec {
+        InstanceSpec::Path { n }
+    }
+
+    fn smallest_spec(&self) -> InstanceSpec {
+        InstanceSpec::Path { n: 16 }
+    }
+
+    fn solves(&self, problem: &ProblemSpec) -> Option<SolverFit> {
+        problem
+            .path_table()
+            .map(|_| SolverFit::new(40, "table-driven solver for any decided path LCL"))
+    }
+
+    fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
+        ensure_supported(self, instance)?;
+        let table = Self::table(cfg)?;
+        table.validate().map_err(HarnessError::BadSpec)?;
+        let class = match Self::decide(&table) {
+            PathClass::Unsolvable => {
+                return Err(HarnessError::BadSpec(
+                    "the problem is unsolvable on large paths".to_string(),
+                ))
+            }
+            PathClass::Constant => PathSolveClass::Constant,
+            PathClass::LogStar => PathSolveClass::LogStar,
+            PathClass::Linear => PathSolveClass::Linear,
+        };
+        let ids = Ids::random(instance.node_count(), cfg.seed);
+        let run =
+            solve_path_lcl(instance.tree(), &table, class, &ids).map_err(HarnessError::BadSpec)?;
+        if cfg.verify {
+            verify_path_lcl(instance.tree(), &table, &run.outputs)
+                .map_err(|e| verification_error(self.name(), e))?;
+        }
+        finalize(self, instance, cfg, run.outputs, run.rounds, None)
     }
 }
 
@@ -902,11 +1113,54 @@ mod tests {
         let mut names: Vec<_> = registry().iter().map(|a| a.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 10);
+        assert_eq!(names.len(), 11);
         for n in names {
             assert!(n
                 .chars()
                 .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
         }
+    }
+
+    #[test]
+    fn path_lcl_solver_defaults_to_three_coloring() {
+        let inst = InstanceSpec::Path { n: 64 }.build().unwrap();
+        let record = PathLclSolver.run(&inst, &RunConfig::seeded(5)).unwrap();
+        assert!(record.verified);
+        assert_eq!(record.rounds.len(), 64);
+        assert_eq!(
+            PathLclSolver.node_averaged_class(&RunConfig::default()),
+            ComplexityClass::log_star()
+        );
+    }
+
+    #[test]
+    fn path_lcl_solver_follows_the_configured_problem() {
+        let cfg = RunConfig::seeded(3).with_problem(ProblemSpec::Coloring { colors: 2 });
+        let inst = InstanceSpec::Path { n: 33 }.build().unwrap();
+        let record = PathLclSolver.run(&inst, &cfg).unwrap();
+        assert!(record.verified);
+        // 2-coloring is rigid: endpoint distances dominate the rounds.
+        assert_eq!(record.worst_case, 32);
+        assert_eq!(
+            PathLclSolver.node_averaged_class(&cfg),
+            ComplexityClass::poly(1.0)
+        );
+    }
+
+    #[test]
+    fn path_lcl_solver_rejects_unsolvable_and_inexpressible() {
+        let inst = InstanceSpec::Path { n: 8 }.build().unwrap();
+        // Endpoint label incompatible with everything: unsolvable.
+        let unsolvable = ProblemSpec::Path(PathTable::new(2, vec![(1, 1)], vec![0]));
+        let err = PathLclSolver
+            .run(&inst, &RunConfig::seeded(1).with_problem(unsolvable))
+            .unwrap_err();
+        assert!(matches!(err, HarnessError::BadSpec(_)), "{err}");
+        // A tree-degree problem has no path table.
+        let tree_problem = ProblemSpec::HierarchicalLabeling { k: 2 };
+        let err = PathLclSolver
+            .run(&inst, &RunConfig::seeded(1).with_problem(tree_problem))
+            .unwrap_err();
+        assert!(matches!(err, HarnessError::BadSpec(_)), "{err}");
     }
 }

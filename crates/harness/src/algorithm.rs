@@ -1,7 +1,9 @@
 //! The object-safe [`Algorithm`] trait and its run artifacts.
 
 use crate::instance::{HarnessError, Instance, InstanceKind, InstanceSpec};
+use crate::planner::SolverFit;
 use lcl_core::landscape::ComplexityClass;
+use lcl_core::problem_spec::ProblemSpec;
 use lcl_local::engine::EngineConfig;
 use serde::Serialize;
 use std::time::Instant;
@@ -48,6 +50,10 @@ pub struct RunConfig {
     pub verify: bool,
     /// Execution mode; see [`ExecMode`].
     pub exec: ExecMode,
+    /// The declarative problem driving table-parameterized solvers
+    /// (`path-lcl`); filled by the planner, ignored by algorithms whose
+    /// problem is fixed by their instance family.
+    pub problem: Option<ProblemSpec>,
 }
 
 impl Default for RunConfig {
@@ -59,6 +65,7 @@ impl Default for RunConfig {
             gamma_multiplier: 1.0,
             verify: true,
             exec: ExecMode::Direct,
+            problem: None,
         }
     }
 }
@@ -91,6 +98,14 @@ impl RunConfig {
     #[must_use]
     pub fn with_engine(mut self, engine: EngineConfig) -> Self {
         self.exec = ExecMode::Engine(engine);
+        self
+    }
+
+    /// Returns `self` carrying the declarative problem (consumed by
+    /// table-driven solvers such as `path-lcl`).
+    #[must_use]
+    pub fn with_problem(mut self, problem: ProblemSpec) -> Self {
+        self.problem = Some(problem);
         self
     }
 
@@ -286,6 +301,18 @@ pub trait Algorithm: Send + Sync {
     /// True when the algorithm accepts this instance kind.
     fn supports(&self, kind: InstanceKind) -> bool {
         self.supported_kinds().contains(&kind)
+    }
+
+    /// This algorithm's bid on a declarative problem: `Some(fit)` when it
+    /// can solve the problem, with a preference score the capability-
+    /// indexed resolver ranks bids by. The default bids on nothing;
+    /// every adapter overrides it for the families it solves.
+    ///
+    /// Implementations must be total over arbitrary (possibly invalid)
+    /// specs — the resolver may probe before validation.
+    fn solves(&self, problem: &ProblemSpec) -> Option<SolverFit> {
+        let _ = problem;
+        None
     }
 }
 

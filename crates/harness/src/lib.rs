@@ -1,25 +1,34 @@
-//! Unified execution surface for the paper's algorithms.
+//! Problem-first execution surface for the paper's algorithms.
 //!
-//! The paper's landscape (Fig. 2) is a *classification*: every
-//! problem/algorithm pair occupies a named cell. This crate gives the
-//! reproduction the same shape programmatically:
+//! The paper's landscape (Fig. 2) is a *classification of problems*:
+//! every LCL occupies a named cell, and algorithms merely realize cells.
+//! This crate gives the reproduction the same shape programmatically:
 //!
+//! - [`planner`] — the problem-first layer: a declarative
+//!   [`ProblemSpec`](lcl_core::problem_spec::ProblemSpec) is classified
+//!   (via the decidability crate where decidable, declared metadata
+//!   otherwise), matched against solver bids, and concretized into a
+//!   runnable [`Plan`] — failures are typed [`PlanError`]s, never panics,
 //! - [`Algorithm`] — an object-safe trait implemented by every solver
-//!   (name, landscape class, supported instance kinds,
+//!   (name, landscape class, supported instance kinds, a
+//!   [`solves`](Algorithm::solves) bid on declarative problems,
 //!   `run(&Instance, &RunConfig) -> RunRecord`),
+//! - [`resolver()`] — the capability index over all eleven solvers
+//!   ([`registry()`] remains as a thin deprecated shim over it),
 //! - [`InstanceSpec`] / [`Instance`] — declarative instance descriptions
 //!   wrapping the generators (paths, `LowerBoundGraph`,
 //!   `WeightedConstruction`) with cached peelings,
-//! - [`registry()`] — the static table of all ten algorithms,
-//! - [`Session`] — a builder executing seeded, size-swept batches on a
-//!   std-thread pool, emitting serializable [`RunRecord`]s and
-//!   [`SweepReport`]s.
+//! - [`Session`] / [`SessionBuilder`] — seeded, size-swept batch
+//!   execution on a std-thread pool, queueing *problems* (presets or raw
+//!   specs) and algorithm/instance pairs interchangeably, emitting
+//!   serializable [`RunRecord`]s and [`SweepReport`]s.
 //!
 //! ```
 //! use lcl_harness::{registry, InstanceSpec, RunConfig, Session};
 //!
-//! // Every algorithm of the paper is one registry entry.
-//! assert_eq!(registry().len(), 10);
+//! // Every solver of the landscape is one resolver entry (the ten
+//! // paper algorithms plus the table-driven path-LCL solver).
+//! assert_eq!(registry().len(), 11);
 //!
 //! // Run a seeded batch of the Θ(n) baseline over two path sizes.
 //! let mut session = Session::new();
@@ -31,6 +40,20 @@
 //! assert!(records[1].node_averaged > records[0].node_averaged);
 //! # Ok::<(), lcl_harness::HarnessError>(())
 //! ```
+//!
+//! The problem-first path — name a problem, let the planner classify it
+//! and pick the solver:
+//!
+//! ```
+//! use lcl_harness::Session;
+//!
+//! let mut builder = Session::builder().size(800);
+//! builder.preset("3-coloring")?.preset("bw-all-equal")?;
+//! let records = builder.build().run()?;
+//! assert_eq!(records.len(), 2);
+//! assert!(records.iter().all(|r| r.verified));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -38,6 +61,7 @@
 pub mod adapters;
 pub mod algorithm;
 pub mod instance;
+pub mod planner;
 pub mod registry;
 pub mod replay;
 pub mod session;
@@ -45,6 +69,9 @@ pub mod session;
 pub use adapters::{run_on_construction, WeightedRegime};
 pub use algorithm::{run_timed, Algorithm, ExecMode, RoundBin, RunConfig, RunRecord};
 pub use instance::{HarnessError, Instance, InstanceKind, InstanceSpec};
-pub use registry::{find, registry};
+pub use planner::{
+    canonical_instance, classify, plan, ClassSource, Classification, Plan, PlanError, SolverFit,
+};
+pub use registry::{find, registry, resolver, Resolver};
 pub use replay::{replay_chunked, replay_factory, replay_round_budget, ReplayProtocol};
-pub use session::{FitSummary, ScaleConfig, Session, SweepPoint, SweepReport};
+pub use session::{FitSummary, ScaleConfig, Session, SessionBuilder, SweepPoint, SweepReport};

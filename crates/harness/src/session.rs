@@ -2,7 +2,9 @@
 
 use crate::algorithm::{run_timed, Algorithm, ExecMode, RunConfig, RunRecord};
 use crate::instance::{HarnessError, Instance, InstanceSpec};
+use crate::planner::{plan, PlanError};
 use crate::registry::find;
+use lcl_core::problem_spec::ProblemSpec;
 use lcl_local::math::fit_power_law;
 use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -82,6 +84,14 @@ impl Session {
     #[must_use]
     pub fn new() -> Self {
         Session::default()
+    }
+
+    /// The problem-first entry point: a [`SessionBuilder`] that queues
+    /// declarative problems (planned end-to-end) and raw
+    /// algorithm/instance pairs interchangeably.
+    #[must_use]
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
     }
 
     /// Caps the worker thread count (default: available parallelism).
@@ -256,6 +266,139 @@ impl Session {
                     .expect("every job was executed")
             })
             .collect()
+    }
+}
+
+/// The problem-first [`Session`] builder: queues work by *problem* —
+/// named presets or declarative [`ProblemSpec`]s, planned end-to-end by
+/// the planner (classify → resolve → concretize) — or by raw
+/// algorithm/instance pairs, interchangeably. `build()` hands back the
+/// assembled [`Session`].
+///
+/// ```
+/// use lcl_harness::{InstanceSpec, RunConfig, Session};
+/// use lcl_core::problem_spec::ProblemSpec;
+///
+/// let mut builder = Session::builder().size(600).base_config(RunConfig::seeded(9));
+/// builder
+///     .problem(&ProblemSpec::Coloring { colors: 3 })?   // planned: → linial
+///     .preset("bw-all-equal")?                          // planned: → path-lcl
+///     .spec("two-coloring", InstanceSpec::Path { n: 600 }, RunConfig::seeded(9))?;
+/// let records = builder.build().run()?;
+/// assert_eq!(records.len(), 3);
+/// assert!(records.iter().all(|r| r.verified));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct SessionBuilder {
+    session: Session,
+    size: usize,
+    base: RunConfig,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder::new()
+    }
+}
+
+impl SessionBuilder {
+    /// An empty builder with a 10 000-node default problem size and the
+    /// default [`RunConfig`] as the planning base.
+    #[must_use]
+    pub fn new() -> Self {
+        SessionBuilder {
+            session: Session::new(),
+            size: 10_000,
+            base: RunConfig::default(),
+        }
+    }
+
+    /// Sets the target instance size subsequent problems are planned at.
+    #[must_use]
+    pub fn size(mut self, n: usize) -> Self {
+        self.size = n.max(1);
+        self
+    }
+
+    /// Sets the base [`RunConfig`] (seed, verification, engine knobs) the
+    /// planner extends with each problem's parameters.
+    #[must_use]
+    pub fn base_config(mut self, base: RunConfig) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Replaces the scaling configuration of the underlying session.
+    #[must_use]
+    pub fn scale(mut self, scale: ScaleConfig) -> Self {
+        self.session.scale = scale;
+        self
+    }
+
+    /// Queues a declarative problem: plans it (classify → resolve →
+    /// concretize) at the builder's size and base config, then queues the
+    /// resulting solver/instance/config job.
+    ///
+    /// # Errors
+    ///
+    /// Every [`PlanError`] of [`plan`] — malformed specs, unsolvable or
+    /// undecidable problems, capability gaps.
+    pub fn problem(&mut self, problem: &ProblemSpec) -> Result<&mut Self, PlanError> {
+        let planned = plan(problem, self.size, &self.base)?;
+        self.session.jobs.push(Job {
+            algorithm: planned.solver,
+            spec: planned.spec,
+            config: planned.config,
+        });
+        Ok(self)
+    }
+
+    /// Queues a named preset problem (see
+    /// [`ProblemSpec::presets`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::BadProblem`] for unknown names, then as
+    /// [`SessionBuilder::problem`].
+    pub fn preset(&mut self, name: &str) -> Result<&mut Self, PlanError> {
+        let problem = ProblemSpec::preset(name)
+            .ok_or_else(|| PlanError::BadProblem(format!("unknown preset `{name}`")))?;
+        self.problem(&problem)
+    }
+
+    /// Queues a raw algorithm/instance pair, exactly like
+    /// [`Session::push`] — the escape hatch for workloads that name
+    /// their algorithm directly.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Session::push`].
+    pub fn spec(
+        &mut self,
+        algorithm: &str,
+        spec: InstanceSpec,
+        config: RunConfig,
+    ) -> Result<&mut Self, HarnessError> {
+        self.session.push(algorithm, spec, config)?;
+        Ok(self)
+    }
+
+    /// Number of queued jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.session.len()
+    }
+
+    /// True when no jobs are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.session.is_empty()
+    }
+
+    /// The assembled session.
+    #[must_use]
+    pub fn build(self) -> Session {
+        self.session
     }
 }
 
@@ -509,6 +652,48 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, HarnessError::UnsupportedInstance { .. }));
+    }
+
+    #[test]
+    fn builder_mixes_problems_presets_and_raw_specs() {
+        let mut builder = Session::builder()
+            .size(300)
+            .base_config(RunConfig::seeded(4));
+        builder
+            .problem(&ProblemSpec::Coloring { colors: 2 })
+            .unwrap()
+            .preset("bw-all-equal")
+            .unwrap()
+            .spec(
+                "randomized",
+                InstanceSpec::Path { n: 300 },
+                RunConfig::seeded(4),
+            )
+            .unwrap();
+        assert_eq!(builder.len(), 3);
+        assert!(!builder.is_empty());
+        let records = builder.build().run().unwrap();
+        assert_eq!(
+            records
+                .iter()
+                .map(|r| r.algorithm.as_str())
+                .collect::<Vec<_>>(),
+            vec!["two-coloring", "path-lcl", "randomized"]
+        );
+        assert!(records.iter().all(|r| r.verified));
+    }
+
+    #[test]
+    fn builder_surfaces_plan_errors() {
+        let mut builder = Session::builder();
+        let err = builder.preset("no-such-problem").map(|_| ()).unwrap_err();
+        assert!(matches!(err, PlanError::BadProblem(_)), "{err}");
+        let err = builder
+            .problem(&ProblemSpec::Coloring { colors: 1 })
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, PlanError::BadProblem(_)), "{err}");
+        assert!(builder.is_empty());
     }
 
     #[test]

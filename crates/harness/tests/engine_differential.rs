@@ -196,6 +196,11 @@ fn differential_labeling_solver() {
 }
 
 #[test]
+fn differential_path_lcl() {
+    assert_engines_agree(by_name("path-lcl"));
+}
+
+#[test]
 fn every_registry_algorithm_is_covered() {
     // The per-algorithm tests above must never silently fall out of sync
     // with the registry.
@@ -210,6 +215,7 @@ fn every_registry_algorithm_is_covered() {
         "dfree-a",
         "fast-decomposition",
         "labeling-solver",
+        "path-lcl",
     ];
     let mut names: Vec<&str> = registry().iter().map(|a| a.name()).collect();
     names.sort_unstable();

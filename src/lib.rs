@@ -17,7 +17,7 @@
 //! - [`algorithms`] — every algorithm in the paper, each reporting exact
 //!   per-node termination rounds,
 //! - [`harness`] — the unified `Algorithm`/`Instance`/`Session` execution
-//!   API: a `registry()` of all ten algorithms and a parallel batch
+//!   API: the problem-first planner/resolver and a parallel batch
 //!   runner emitting serializable records,
 //! - [`decidability`] — the black-white formalism, path classification,
 //!   label-sets, and the testing procedure.
@@ -27,9 +27,11 @@
 //! ```
 //! use lcl_landscape::prelude::*;
 //!
-//! // Every algorithm of the paper is a registry entry with a name, a
-//! // landscape class, and supported instance kinds.
-//! assert_eq!(registry().len(), 10);
+//! // Every solver of the landscape is a registry entry with a name, a
+//! // landscape class, supported instance kinds, and a bid on
+//! // declarative problems (the ten paper algorithms plus the
+//! // table-driven path-LCL solver).
+//! assert_eq!(registry().len(), 11);
 //! let algo = find("generic-coloring").expect("registered");
 //!
 //! // Run a seeded size sweep of the Theorem 11 lower-bound instance

@@ -12,6 +12,7 @@ const EXAMPLES: &[&str] = &[
     "path_classifier",
     "landscape_explorer",
     "decompose_and_solve",
+    "solve_custom_problem",
 ];
 
 #[test]
