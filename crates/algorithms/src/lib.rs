@@ -19,6 +19,12 @@
 //!   (Section 10, Lemma 69),
 //! - [`path_lcl_solver`] — a table-driven solver for *arbitrary*
 //!   user-supplied path LCLs, with rounds matching their decided class.
+//!
+//! The [`protocols`] module carries the engine-native side: every solver
+//! above also exists as a first-class `lcl_local` protocol (genuine
+//! message rounds where the LOCAL model demands them, scheduled final
+//! broadcasts where precomputation is legitimate), and the structural
+//! implementations double as differential oracles for those protocols.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +37,7 @@ pub mod generic_coloring;
 pub mod labeling_solver;
 pub mod linial;
 pub mod path_lcl_solver;
+pub mod protocols;
 pub mod randomized;
 pub mod run;
 pub mod two_coloring;

@@ -18,13 +18,14 @@ use crate::run::AlgorithmRun;
 use lcl_graph::{NodeMask, Tree};
 use lcl_local::identifiers::Ids;
 
-/// Result of one Linial reduction-step parameter computation.
+/// Result of one Linial reduction-step parameter computation. Shared with
+/// the engine-native protocol in [`crate::protocols::linial`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct StepParams {
+pub(crate) struct StepParams {
     /// The field size (a prime).
-    q: u64,
+    pub(crate) q: u64,
     /// Number of base-`q` digits used to encode a color.
-    digits: u32,
+    pub(crate) digits: u32,
 }
 
 fn is_prime(n: u64) -> bool {
@@ -50,7 +51,7 @@ fn next_prime(mut n: u64) -> u64 {
 
 /// Chooses the smallest usable prime `q` for reducing an `m`-coloring with
 /// maximum degree `delta`: `q` must satisfy `q > delta * (⌈log_q m⌉ - 1)`.
-fn step_params(m: u64, delta: u64) -> StepParams {
+pub(crate) fn step_params(m: u64, delta: u64) -> StepParams {
     let mut q = next_prime(delta + 1);
     loop {
         let digits = digits_base(m, q);
@@ -74,7 +75,7 @@ fn digits_base(m: u64, q: u64) -> u32 {
 
 /// Evaluates the polynomial whose coefficients are the base-`q` digits of
 /// `color`, at point `a`, over `F_q`.
-fn poly_eval(color: u64, q: u64, digits: u32, a: u64) -> u64 {
+pub(crate) fn poly_eval(color: u64, q: u64, digits: u32, a: u64) -> u64 {
     let mut value = 0u64;
     let mut c = color;
     let mut power = 1u64;
@@ -87,10 +88,54 @@ fn poly_eval(color: u64, q: u64, digits: u32, a: u64) -> u64 {
     value
 }
 
+/// The per-node rule of one reduction round: the collision-free reduced
+/// color for a node colored `color` whose neighbors hold `neighbor_colors`,
+/// under step parameters `p`. Pure function of one round's local view,
+/// shared by the structural loop and the engine-native protocol.
+///
+/// # Panics
+///
+/// Panics if no collision-free evaluation point exists, which `p` being
+/// computed by [`step_params`] rules out for degree ≤ `delta`.
+pub(crate) fn reduced_color(color: u64, neighbor_colors: &[u64], p: StepParams) -> u64 {
+    for a in 0..p.q {
+        let own = poly_eval(color, p.q, p.digits, a);
+        let clash = neighbor_colors
+            .iter()
+            .any(|&cw| cw != color && poly_eval(cw, p.q, p.digits, a) == own);
+        if !clash {
+            return a * p.q + own;
+        }
+    }
+    panic!("a collision-free evaluation point exists")
+}
+
+/// The per-node rule of one elimination round: a node of color class
+/// `class` recolors to the first of the `target` final colors unused by
+/// its neighbors; everyone else keeps their color. Shared by the
+/// structural loop and the engine-native protocol.
+///
+/// # Panics
+///
+/// Panics if all `target` colors are taken, which degree ≤ `target - 1`
+/// rules out.
+pub(crate) fn eliminated_color(
+    color: u64,
+    neighbor_colors: &[u64],
+    class: u64,
+    target: u64,
+) -> u64 {
+    if color != class {
+        return color;
+    }
+    (0..target)
+        .find(|cand| !neighbor_colors.contains(cand))
+        .expect("degree <= delta leaves a free color")
+}
+
 /// One synchronous Linial reduction round on the subgraph induced by
 /// `mask`: every node picks its new color from its own and its neighbors'
-/// current colors. Pure function of the round's inputs, shared by the
-/// structural loop and the message-passing cross-validation test.
+/// current colors.
 fn linial_round(
     tree: &Tree,
     mask: &NodeMask,
@@ -108,18 +153,7 @@ fn linial_round(
             .filter(|&w| mask.contains(w))
             .map(|w| colors[w])
             .collect();
-        let mut chosen = None;
-        for a in 0..p.q {
-            let own = poly_eval(colors[v], p.q, p.digits, a);
-            let clash = neighbor_colors
-                .iter()
-                .any(|&cw| cw != colors[v] && poly_eval(cw, p.q, p.digits, a) == own);
-            if !clash {
-                chosen = Some(a * p.q + own);
-                break;
-            }
-        }
-        next[v] = chosen.expect("a collision-free evaluation point exists");
+        next[v] = reduced_color(colors[v], &neighbor_colors, p);
     }
     (next, p.q * p.q)
 }
@@ -211,9 +245,7 @@ pub fn linial_coloring(tree: &Tree, ids: &Ids, mask: &NodeMask, delta: u64) -> L
                     .filter(|&w| mask.contains(w))
                     .map(|w| colors[w])
                     .collect();
-                colors[v] = (0..target)
-                    .find(|cand| !used.contains(cand))
-                    .expect("degree <= delta leaves a free color");
+                colors[v] = eliminated_color(colors[v], &used, c, target);
             }
         }
         rounds += 1;
@@ -243,7 +275,7 @@ pub fn three_color_path(tree: &Tree, ids: &Ids) -> AlgorithmRun<u64> {
 mod tests {
     use super::*;
     use lcl_graph::generators::{path, random_bounded_degree_tree};
-    use lcl_local::engine::{run_sync, Inbox, NodeContext, Outbox, Protocol};
+    use lcl_local::engine::run_sync;
     use lcl_local::math::log_star;
 
     fn assert_proper(tree: &Tree, mask: &NodeMask, colors: &[u64]) {
@@ -334,88 +366,16 @@ mod tests {
         }
     }
 
-    /// The same algorithm written as a message-passing protocol; each round
-    /// exchanges colors and applies the identical reduction rule. Used to
-    /// show the structural implementation is round-faithful.
-    struct LinialProtocol {
-        color: u64,
-        m: u64,
-        delta: u64,
-        phase2_class: u64,
-        target: u64,
-    }
-
-    impl Protocol for LinialProtocol {
-        type Message = u64;
-        type Output = u64;
-        fn step(
-            &mut self,
-            ctx: &NodeContext,
-            _round: u64,
-            inbox: &Inbox<'_, u64>,
-            outbox: &mut Outbox<'_, u64>,
-        ) -> Option<u64> {
-            // Apply previous round's exchange.
-            if !inbox.is_empty() || ctx.degree == 0 {
-                let neighbor_colors: Vec<u64> = inbox.iter().map(|(_, &c)| c).collect();
-                let p = step_params(self.m, self.delta);
-                if p.q * p.q < self.m {
-                    // Reduction round.
-                    let mut chosen = None;
-                    for a in 0..p.q {
-                        let own = poly_eval(self.color, p.q, p.digits, a);
-                        let clash = neighbor_colors
-                            .iter()
-                            .any(|&cw| cw != self.color && poly_eval(cw, p.q, p.digits, a) == own);
-                        if !clash {
-                            chosen = Some(a * p.q + own);
-                            break;
-                        }
-                    }
-                    self.color = chosen.unwrap();
-                    self.m = p.q * p.q;
-                    self.phase2_class = self.m;
-                } else {
-                    // Elimination round for class phase2_class - 1.
-                    self.phase2_class -= 1;
-                    if self.color == self.phase2_class {
-                        self.color = (0..self.target)
-                            .find(|c| !neighbor_colors.contains(c))
-                            .unwrap();
-                    }
-                    if self.phase2_class == self.target {
-                        return Some(self.color);
-                    }
-                }
-            } else if self.m <= self.target {
-                return Some(self.color);
-            }
-            outbox.broadcast(self.color);
-            None
-        }
-    }
-
     #[test]
     fn message_passing_agrees_with_structural() {
+        use crate::protocols::linial::{cascade_space, LinialCascade};
         let n = 64;
         let tree = path(n);
         let ids = Ids::random(n, 9);
         let mask = NodeMask::full(n);
         let structural = linial_coloring(&tree, &ids, &mask, 2);
-        let space = ids.as_slice().iter().max().unwrap() + 1;
-        let sync = run_sync(
-            &tree,
-            &ids,
-            |c| LinialProtocol {
-                color: c.id,
-                m: space,
-                delta: 2,
-                phase2_class: space,
-                target: 3,
-            },
-            10_000,
-        )
-        .unwrap();
+        let space = cascade_space(&ids, 2);
+        let sync = run_sync(&tree, &ids, |c| LinialCascade::new(c.id, space, 2), 10_000).unwrap();
         assert_eq!(sync.outputs, structural.colors);
         // Round counts agree exactly: the protocol's round 0 only exchanges
         // initial colors, and it outputs in the round of its last update.

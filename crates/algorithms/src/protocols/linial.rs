@@ -1,0 +1,140 @@
+//! Engine-native Linial coloring: the `O(log* n)` cascade as a lockstep
+//! message-passing protocol.
+//!
+//! Round 0 broadcasts the initial colors (the unique IDs); every later
+//! round applies exactly one update of the structural algorithm — a
+//! polynomial color reduction while it shrinks the palette, then one
+//! color-class elimination per round — to the colors received from the
+//! previous round's broadcast. All nodes share the same palette-size
+//! trajectory because it depends only on the ID-space parameter `space`
+//! (knowledge of the ID space is part of the model, exactly as the
+//! structural [`linial_coloring`](crate::linial::linial_coloring) assumes
+//! it), so the cascade stays in lockstep and every node terminates in the
+//! same round — the round of its last update, matching the structural
+//! round count exactly.
+
+use crate::linial::{eliminated_color, reduced_color, step_params};
+use lcl_local::engine::{Inbox, NodeContext, Outbox, Protocol};
+use lcl_local::identifiers::Ids;
+
+/// The ID-space parameter the cascade must be seeded with to match
+/// [`linial_coloring`](crate::linial::linial_coloring) on the same
+/// instance: one more than the larger of the maximum ID and the target
+/// palette's largest color.
+#[must_use]
+pub fn cascade_space(ids: &Ids, delta: u64) -> u64 {
+    ids.as_slice()
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(delta + 1)
+        + 1
+}
+
+/// Per-node state machine of the Linial cascade.
+#[derive(Debug, Clone)]
+pub struct LinialCascade {
+    color: u64,
+    m: u64,
+    delta: u64,
+    target: u64,
+    class: u64,
+}
+
+impl LinialCascade {
+    /// A node starting from color `id` in an ID space of `space` values,
+    /// on a graph of maximum degree `delta`. Pass
+    /// [`cascade_space`]`(ids, delta)` for `space` to match the
+    /// structural algorithm bit for bit.
+    #[must_use]
+    pub fn new(id: u64, space: u64, delta: u64) -> Self {
+        let target = delta + 1;
+        let m = space.max(target + 1);
+        LinialCascade {
+            color: id,
+            m,
+            delta,
+            target,
+            class: m,
+        }
+    }
+}
+
+impl Protocol for LinialCascade {
+    type Message = u64;
+    type Output = u64;
+
+    fn step(
+        &mut self,
+        _ctx: &NodeContext,
+        round: u64,
+        inbox: &Inbox<'_, u64>,
+        outbox: &mut Outbox<'_, u64>,
+    ) -> Option<u64> {
+        if round > 0 {
+            // Apply one update to the previous round's exchange. The
+            // palette trajectory is a pure function of `space`, so every
+            // node switches from reduction to elimination in the same
+            // round without coordination.
+            let neighbor_colors: Vec<u64> = inbox.iter().map(|(_, &c)| c).collect();
+            let p = step_params(self.m, self.delta);
+            if p.q * p.q < self.m {
+                self.color = reduced_color(self.color, &neighbor_colors, p);
+                self.m = p.q * p.q;
+                self.class = self.m;
+            } else {
+                self.class -= 1;
+                self.color =
+                    eliminated_color(self.color, &neighbor_colors, self.class, self.target);
+                if self.class == self.target {
+                    return Some(self.color);
+                }
+            }
+        }
+        outbox.broadcast(self.color);
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linial::{linial_coloring, three_color_path};
+    use lcl_graph::generators::{path, random_bounded_degree_tree};
+    use lcl_graph::NodeMask;
+    use lcl_local::engine::run_sync;
+
+    #[test]
+    fn cascade_matches_three_color_path() {
+        for n in [1usize, 2, 16, 257] {
+            let tree = path(n);
+            let ids = Ids::random(n, n as u64);
+            let direct = three_color_path(&tree, &ids);
+            let space = cascade_space(&ids, 2);
+            let sync =
+                run_sync(&tree, &ids, |c| LinialCascade::new(c.id, space, 2), 10_000).unwrap();
+            assert_eq!(sync.outputs, direct.outputs, "n = {n}");
+            assert_eq!(sync.stats.as_slice(), &direct.rounds[..], "n = {n}");
+        }
+    }
+
+    #[test]
+    fn cascade_matches_on_bounded_degree_trees() {
+        for seed in 0..3 {
+            let n = 300;
+            let tree = random_bounded_degree_tree(n, 4, seed);
+            let ids = Ids::random(n, seed);
+            let structural = linial_coloring(&tree, &ids, &NodeMask::full(n), 4);
+            let space = cascade_space(&ids, 4);
+            let sync =
+                run_sync(&tree, &ids, |c| LinialCascade::new(c.id, space, 4), 10_000).unwrap();
+            assert_eq!(sync.outputs, structural.colors, "seed = {seed}");
+            assert!(sync
+                .stats
+                .as_slice()
+                .iter()
+                .all(|&r| r == structural.rounds));
+        }
+    }
+}

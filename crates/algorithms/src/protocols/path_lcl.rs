@@ -1,0 +1,163 @@
+//! Engine-native execution of the table-driven path-LCL solver.
+//!
+//! The label a node outputs is the structural solver's reachability-DP
+//! label — a pure function of the instance, computed as the node's local
+//! computation over the view its round bound grants it (see
+//! [`solve_path_lcl`](crate::path_lcl_solver::solve_path_lcl)). What the
+//! protocol realizes natively is the *round structure* of the decided
+//! complexity class:
+//!
+//! - **`O(1)`** and **`Θ(log* n)`** tables terminate at a locally known
+//!   round — a constant radius of the table, respectively the Linial
+//!   cascade length (a function of the ID space) plus a constant — and
+//!   broadcast their label as final messages,
+//! - **`Θ(n)`** (rigid) tables genuinely wait: endpoint waves as in
+//!   [`WaveTwoColoring`](crate::protocols::two_coloring::WaveTwoColoring)
+//!   carry hop counts through the path, and a node terminates only once
+//!   both waves passed it — the round equal to its eccentricity.
+
+use lcl_local::engine::{Inbox, NodeContext, Outbox, Protocol};
+
+/// How a node learns its termination round.
+#[derive(Debug, Clone)]
+enum Timing {
+    /// Terminate at a locally computed round (constant-radius and
+    /// log*-class tables).
+    At(u64),
+    /// Rigid tables: wait for the hop-count waves from both endpoints;
+    /// entries hold this node's distance per side, filed as in the wave
+    /// 2-coloring (arrival port; an endpoint is its own second entry).
+    Waves([Option<u64>; 2]),
+}
+
+/// Per-node state machine executing one node's slice of a path-LCL plan.
+#[derive(Debug, Clone)]
+pub struct PathLclProtocol {
+    label: u64,
+    timing: Timing,
+}
+
+impl PathLclProtocol {
+    /// A node that terminates at round `target` with output `label`.
+    #[must_use]
+    pub fn at_round(target: u64, label: u64) -> Self {
+        PathLclProtocol {
+            label,
+            timing: Timing::At(target),
+        }
+    }
+
+    /// A node of a rigid table: output `label` once both endpoint waves
+    /// arrived.
+    #[must_use]
+    pub fn rigid(label: u64) -> Self {
+        PathLclProtocol {
+            label,
+            timing: Timing::Waves([None, None]),
+        }
+    }
+}
+
+impl Protocol for PathLclProtocol {
+    type Message = u64;
+    type Output = u64;
+
+    fn step(
+        &mut self,
+        ctx: &NodeContext,
+        round: u64,
+        inbox: &Inbox<'_, u64>,
+        outbox: &mut Outbox<'_, u64>,
+    ) -> Option<u64> {
+        match &mut self.timing {
+            Timing::At(target) => {
+                if round == *target {
+                    outbox.broadcast(self.label);
+                    return Some(self.label);
+                }
+                None
+            }
+            Timing::Waves(seen) => {
+                assert!(ctx.degree <= 2, "path-LCL solver needs a path-shaped tree");
+                if ctx.n == 1 {
+                    return Some(self.label);
+                }
+                if round == 0 && ctx.degree == 1 {
+                    seen[1] = Some(0);
+                    outbox.send(0, 0);
+                }
+                for (port, &dist) in inbox.iter() {
+                    let mine = dist + 1;
+                    seen[port] = Some(mine);
+                    if ctx.degree == 2 {
+                        outbox.send(1 - port, mine);
+                    }
+                }
+                if seen[0].is_some() && seen[1].is_some() {
+                    return Some(self.label);
+                }
+                None
+            }
+        }
+    }
+
+    fn next_wake(&self, _ctx: &NodeContext, _now: u64) -> u64 {
+        match self.timing {
+            // One wake at the scheduled round; stray mail earlier is a
+            // no-op step.
+            Timing::At(target) => target,
+            // Purely reactive after round 0: mail wakes the node.
+            Timing::Waves(_) => u64::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path_lcl_solver::{solve_path_lcl, PathSolveClass};
+    use lcl_core::problem_spec::PathTable;
+    use lcl_graph::generators::path;
+    use lcl_local::engine::run_sync;
+    use lcl_local::identifiers::Ids;
+
+    fn check(n: usize, table: &PathTable, class: PathSolveClass) {
+        let tree = path(n);
+        let ids = Ids::random(n, n as u64 + 1);
+        let direct = solve_path_lcl(&tree, table, class, &ids).unwrap();
+        let budget = direct.rounds.iter().max().unwrap() + 2;
+        let sync = run_sync(
+            &tree,
+            &ids,
+            |c| match class {
+                PathSolveClass::Linear => PathLclProtocol::rigid(direct.outputs[c.node]),
+                _ => PathLclProtocol::at_round(direct.rounds[c.node], direct.outputs[c.node]),
+            },
+            budget,
+        )
+        .unwrap();
+        assert_eq!(sync.outputs, direct.outputs, "n = {n}, class = {class:?}");
+        assert_eq!(
+            sync.stats.as_slice(),
+            &direct.rounds[..],
+            "n = {n}, class = {class:?}"
+        );
+    }
+
+    #[test]
+    fn rigid_waves_match_the_structural_rounds() {
+        let table = PathTable::proper_coloring(2);
+        for n in [1usize, 2, 3, 17, 64] {
+            check(n, &table, PathSolveClass::Linear);
+        }
+    }
+
+    #[test]
+    fn scheduled_classes_match_the_structural_rounds() {
+        let table = PathTable::proper_coloring(3);
+        for n in [1usize, 2, 17, 64] {
+            check(n, &table, PathSolveClass::LogStar);
+            check(n, &table, PathSolveClass::Constant);
+        }
+    }
+}

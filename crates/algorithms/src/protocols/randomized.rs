@@ -1,0 +1,135 @@
+//! Engine-native randomized 3-coloring of paths: propose/finalize rounds
+//! with per-node randomness streams.
+//!
+//! Round 0 draws and broadcasts a first proposal. In every later round a
+//! node checks its standing proposal against what its neighbors sent —
+//! simultaneous proposals and final colors alike. A clean proposal
+//! becomes the node's output (broadcast as a final message so sleeping
+//! neighbors still observe it); a conflicted node redraws and broadcasts
+//! again. Because every node draws from its own stream (`node_rng`
+//! keyed by node index), the
+//! k-th draw here is the k-th draw of the structural
+//! [`randomized_three_color_path`](crate::randomized::randomized_three_color_path),
+//! and outputs and termination rounds match it bit for bit.
+
+use crate::randomized::{convergence_limit, draw_color, node_rng};
+use lcl_core::coloring::ColorLabel;
+use lcl_local::engine::{Inbox, NodeContext, Outbox, Protocol};
+use rand::rngs::SmallRng;
+
+/// One round's message: the sender's tentative proposal, or the color it
+/// just finalized (its final broadcast).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColorNews {
+    /// A still-tentative proposal for this round.
+    Propose(ColorLabel),
+    /// The sender terminated with this color.
+    Final(ColorLabel),
+}
+
+/// Per-node state machine of the randomized coloring.
+#[derive(Debug, Clone)]
+pub struct RandomizedColoring {
+    rng: SmallRng,
+    proposal: Option<ColorLabel>,
+    fixed: [Option<ColorLabel>; 2],
+}
+
+impl RandomizedColoring {
+    /// The state machine for node `node` under run seed `seed`; the pair
+    /// selects the node's private randomness stream.
+    #[must_use]
+    pub fn new(seed: u64, node: usize) -> Self {
+        RandomizedColoring {
+            rng: node_rng(seed, node),
+            proposal: None,
+            fixed: [None, None],
+        }
+    }
+
+    /// The round budget any successful run fits in, plus slack for the
+    /// final broadcasts.
+    #[must_use]
+    pub fn round_budget(n: usize) -> u64 {
+        convergence_limit(n) + 2
+    }
+}
+
+impl Protocol for RandomizedColoring {
+    type Message = ColorNews;
+    type Output = ColorLabel;
+
+    fn step(
+        &mut self,
+        ctx: &NodeContext,
+        round: u64,
+        inbox: &Inbox<'_, ColorNews>,
+        outbox: &mut Outbox<'_, ColorNews>,
+    ) -> Option<ColorLabel> {
+        if round == 0 {
+            assert!(ctx.degree <= 2, "randomized 3-coloring here targets paths");
+            let first = draw_color(&mut self.rng);
+            self.proposal = Some(first);
+            outbox.broadcast(ColorNews::Propose(first));
+            return None;
+        }
+        let mine = self.proposal.expect("proposal drawn in round 0");
+        let mut conflict = false;
+        for (port, news) in inbox.iter() {
+            match *news {
+                ColorNews::Propose(c) => conflict |= c == mine,
+                ColorNews::Final(c) => self.fixed[port] = Some(c),
+            }
+        }
+        conflict |= self.fixed.iter().flatten().any(|&c| c == mine);
+        if !conflict {
+            outbox.broadcast(ColorNews::Final(mine));
+            return Some(mine);
+        }
+        let next = draw_color(&mut self.rng);
+        self.proposal = Some(next);
+        outbox.broadcast(ColorNews::Propose(next));
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::randomized::randomized_three_color_path;
+    use lcl_graph::generators::path;
+    use lcl_local::engine::run_sync;
+    use lcl_local::identifiers::Ids;
+
+    #[test]
+    fn protocol_matches_the_structural_oracle() {
+        for n in [1usize, 2, 10, 500] {
+            for seed in 0..5u64 {
+                let tree = path(n);
+                let ids = Ids::sequential(n);
+                let direct = randomized_three_color_path(&tree, seed);
+                let sync = run_sync(
+                    &tree,
+                    &ids,
+                    |c| RandomizedColoring::new(seed, c.node),
+                    RandomizedColoring::round_budget(n),
+                )
+                .unwrap();
+                assert_eq!(sync.outputs, direct.outputs, "n = {n}, seed = {seed}");
+                assert_eq!(
+                    sync.stats.as_slice(),
+                    &direct.rounds[..],
+                    "n = {n}, seed = {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "targets paths")]
+    fn protocol_rejects_high_degree() {
+        let tree = lcl_graph::generators::star(5);
+        let ids = Ids::sequential(5);
+        let _ = run_sync(&tree, &ids, |c| RandomizedColoring::new(0, c.node), 10);
+    }
+}

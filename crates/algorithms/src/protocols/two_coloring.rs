@@ -1,0 +1,115 @@
+//! Engine-native 2-coloring of paths: the rigid `Θ(n)` baseline computed
+//! by genuine message rounds.
+//!
+//! Each endpoint launches a wave carrying `(its id, hop distance)` in
+//! round 0; interior nodes forward each wave to the opposite port,
+//! incrementing the distance. A node terminates the moment it has seen
+//! both waves — i.e. in the round equal to its eccentricity — and colors
+//! itself by the parity of its distance to the smaller-ID endpoint
+//! ("the endpoint with the smaller ID is White"). This reproduces
+//! [`two_color_path`](crate::two_coloring::two_color_path) exactly:
+//! identical labels, identical per-node termination rounds.
+
+use lcl_core::coloring::ColorLabel;
+use lcl_local::engine::{Inbox, NodeContext, Outbox, Protocol};
+
+/// One wave hop: `(originating endpoint's id, sender's distance to it)`.
+pub type WaveMsg = (u64, u64);
+
+/// Per-node state machine of the wave 2-coloring.
+///
+/// `waves` holds the two waves this node has seen, as
+/// `(endpoint id, own distance to that endpoint)`; an interior node files
+/// them by arrival port, an endpoint counts itself as the second entry
+/// from round 0.
+#[derive(Debug, Clone, Default)]
+pub struct WaveTwoColoring {
+    waves: [Option<(u64, u64)>; 2],
+}
+
+impl WaveTwoColoring {
+    /// A fresh node; all state is discovered through messages.
+    #[must_use]
+    pub fn new() -> Self {
+        WaveTwoColoring::default()
+    }
+}
+
+impl Protocol for WaveTwoColoring {
+    type Message = WaveMsg;
+    type Output = ColorLabel;
+
+    fn step(
+        &mut self,
+        ctx: &NodeContext,
+        round: u64,
+        inbox: &Inbox<'_, WaveMsg>,
+        outbox: &mut Outbox<'_, WaveMsg>,
+    ) -> Option<ColorLabel> {
+        assert!(
+            ctx.degree <= 2,
+            "two_color_path requires a path-shaped tree"
+        );
+        if ctx.n == 1 {
+            return Some(ColorLabel::White);
+        }
+        if round == 0 && ctx.degree == 1 {
+            // Endpoint: launch the wave; its own side is known immediately.
+            self.waves[1] = Some((ctx.id, 0));
+            outbox.send(0, (ctx.id, 0));
+        }
+        for (port, &(endpoint, dist)) in inbox.iter() {
+            let mine = dist + 1;
+            self.waves[port] = Some((endpoint, mine));
+            if ctx.degree == 2 {
+                // Forward the wave; on the terminating step these are the
+                // node's final messages.
+                outbox.send(1 - port, (endpoint, mine));
+            }
+        }
+        if let (Some((id_a, dist_a)), Some((id_b, dist_b))) = (self.waves[0], self.waves[1]) {
+            let anchor_dist = if id_a < id_b { dist_a } else { dist_b };
+            return Some(if anchor_dist % 2 == 0 {
+                ColorLabel::White
+            } else {
+                ColorLabel::Black
+            });
+        }
+        None
+    }
+
+    fn next_wake(&self, _ctx: &NodeContext, _now: u64) -> u64 {
+        // Purely reactive after round 0: progress only happens when a wave
+        // arrives, and mail always wakes the node.
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_coloring::two_color_path;
+    use lcl_graph::generators::path;
+    use lcl_local::engine::run_sync;
+    use lcl_local::identifiers::Ids;
+
+    #[test]
+    fn waves_match_the_structural_oracle() {
+        for n in [1usize, 2, 3, 8, 101] {
+            let tree = path(n);
+            let ids = Ids::random(n, n as u64);
+            let direct = two_color_path(&tree, &ids);
+            let sync = run_sync(&tree, &ids, |_| WaveTwoColoring::new(), n as u64 + 2).unwrap();
+            assert_eq!(sync.outputs, direct.outputs, "n = {n}");
+            assert_eq!(sync.stats.as_slice(), &direct.rounds[..], "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "path-shaped")]
+    fn waves_reject_non_paths() {
+        let tree = lcl_graph::generators::star(4);
+        let ids = Ids::sequential(4);
+        let _ = run_sync(&tree, &ids, |_| WaveTwoColoring::new(), 10);
+    }
+}

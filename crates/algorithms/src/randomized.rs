@@ -23,6 +23,26 @@ use rand::{Rng, SeedableRng};
 
 const COLORS: [ColorLabel; 3] = [ColorLabel::Red, ColorLabel::Green, ColorLabel::Yellow];
 
+/// The independent randomness stream of node `v`: its `k`-th draw is its
+/// round-`k` color proposal. Keying streams by node (splitmix-style mixing
+/// of the run seed with the node index) makes the structural reference and
+/// the engine-native protocol consume randomness identically regardless of
+/// execution order, so their outputs match bit for bit.
+pub(crate) fn node_rng(seed: u64, v: usize) -> SmallRng {
+    SmallRng::seed_from_u64(seed.wrapping_add((v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// One uniform color proposal from a node's stream.
+pub(crate) fn draw_color(rng: &mut SmallRng) -> ColorLabel {
+    COLORS[rng.gen_range(0..3)]
+}
+
+/// The round budget after which a failed convergence indicates a bug
+/// rather than bad luck (`64 + 4 log₂ n`; probability `≪ 2^{-64}`).
+pub(crate) fn convergence_limit(n: usize) -> u64 {
+    64 + 4 * (usize::BITS - n.leading_zeros()) as u64
+}
+
 /// Randomized proper 3-coloring of a bounded-degree-≤2 tree (a path), with
 /// per-node termination rounds. Deterministic given the seed.
 ///
@@ -40,20 +60,20 @@ pub fn randomized_three_color_path(tree: &Tree, seed: u64) -> AlgorithmRun<Color
         "randomized 3-coloring here targets paths"
     );
     let n = tree.node_count();
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rngs: Vec<SmallRng> = (0..n).map(|v| node_rng(seed, v)).collect();
     let mut output: Vec<Option<ColorLabel>> = vec![None; n];
     let mut rounds: Vec<u64> = vec![0; n];
     let mut undecided: Vec<usize> = (0..n).collect();
-    let limit = 64 + 4 * (usize::BITS - n.leading_zeros()) as u64;
+    let limit = convergence_limit(n);
 
     let mut round = 0u64;
     while !undecided.is_empty() {
         round += 1;
         assert!(round <= limit, "randomized coloring failed to converge");
-        // Simultaneous proposals.
+        // Simultaneous proposals, each from its node's own stream.
         let proposals: Vec<(usize, ColorLabel)> = undecided
             .iter()
-            .map(|&v| (v, COLORS[rng.gen_range(0..3)]))
+            .map(|&v| (v, draw_color(&mut rngs[v])))
             .collect();
         let mut proposal_of = vec![None; n];
         for &(v, c) in &proposals {

@@ -8,8 +8,9 @@
 //!         [--json]                  classify a declarative problem, resolve
 //!                                   its best-fit solver, and run the plan
 //! lcl run <algo> [--n N] [--seed S] [--k K] [--d D] [--gamma-mult M]
-//!         [--engine direct|chunked] [--chunk-size C] [--engine-threads T]
+//!         [--chunk-size C] [--engine-threads T]
 //!         [--no-verify] [--json]    one seeded run via the registry
+//!                                   (always on the chunked engine)
 //! lcl sweep <figure>|all [--tiny] [--schema]
 //!                                   regenerate figures via Session
 //! lcl sweep --scale smoke|ci|full [--chunk-size C] [--threads T]
@@ -27,7 +28,7 @@ use lcl_bench::figures::{figure_names, run_figure, FigureOpts};
 use lcl_bench::report::{f1, f3, save_json, schema_lines, Table};
 use lcl_core::problem_spec::ProblemSpec;
 use lcl_harness::{
-    classify, find, plan, registry, run_timed, ExecMode, PlanError, RunConfig, Session, SweepReport,
+    classify, find, plan, registry, run_timed, PlanError, RunConfig, Session, SweepReport,
 };
 use lcl_local::engine::EngineConfig;
 use serde::Serialize;
@@ -60,13 +61,14 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: lcl <list|figures|problems|solve|run|sweep|classify|baseline|perfgate> [options]\n\
+const USAGE: &str =
+    "usage: lcl <list|figures|problems|solve|run|sweep|classify|baseline|perfgate> [options]\n\
      lcl list\n\
      lcl figures\n\
      lcl problems\n\
      lcl solve <preset>|<problem.json> [--n N] [--seed S] [--classify-only] [--json]\n\
      lcl run <algo> [--n N] [--seed S] [--k K] [--d D] [--gamma-mult M]\n\
-             [--engine direct|chunked] [--chunk-size C] [--engine-threads T] [--no-verify] [--json]\n\
+             [--chunk-size C] [--engine-threads T] [--no-verify] [--json]\n\
      lcl sweep <figure>|all [--tiny] [--schema]\n\
      lcl sweep --scale smoke|ci|full [--chunk-size C] [--threads T]\n\
      lcl classify [--scale tiny|smoke|ci|full] [--strict]\n\
@@ -315,37 +317,24 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--k",
             "--d",
             "--gamma-mult",
-            "--engine",
             "--chunk-size",
             "--engine-threads",
         ],
         &["--no-verify", "--json"],
     )?;
     let n: usize = flags.parsed("--n")?.unwrap_or(10_000);
-    let exec = match flags.value("--engine")? {
-        None | Some("direct") => {
-            // Engine tuning without the engine would silently run the
-            // structural path; refuse instead of misleading a benchmark.
-            for flag in ["--chunk-size", "--engine-threads"] {
-                if flags.value(flag)?.is_some() {
-                    return Err(format!("{flag} requires `--engine chunked`"));
-                }
-            }
-            ExecMode::Direct
-        }
-        Some("chunked") => ExecMode::Engine(EngineConfig {
-            chunk_size: flags.parsed("--chunk-size")?.unwrap_or(0),
-            threads: flags.parsed("--engine-threads")?.unwrap_or(0),
-        }),
-        Some(other) => return Err(format!("unknown engine `{other}` (direct|chunked)")),
-    };
+    // Every run executes natively on the chunked engine; the flags only
+    // tune it (0 = engine defaults).
     let cfg = RunConfig {
         seed: flags.parsed("--seed")?.unwrap_or(1),
         k: flags.parsed("--k")?,
         d: flags.parsed("--d")?,
         gamma_multiplier: flags.parsed("--gamma-mult")?.unwrap_or(1.0),
         verify: !flags.switch("--no-verify"),
-        exec,
+        engine: EngineConfig {
+            chunk_size: flags.parsed("--chunk-size")?.unwrap_or(0),
+            threads: flags.parsed("--engine-threads")?.unwrap_or(0),
+        },
         ..RunConfig::default()
     };
     let spec = algo.default_spec(n, &cfg);

@@ -1,57 +1,72 @@
 //! Production-scale sweeps on the chunked LOCAL engine, and the CI perf
-//! smoke gate.
+//! gates.
 //!
-//! `lcl sweep --scale <preset>` runs a fixed suite of scale-capable
-//! algorithms at large `n`. Algorithms whose worst-case round count is
-//! `O(log n)` or better are executed *end-to-end on the chunked engine*
-//! (their solved schedule replayed as a real message-passing run — see
-//! `lcl_harness::replay`); the `Θ(n)`-round algorithms run structurally,
-//! since no round-by-round simulation of `10^6` rounds is CI-feasible.
-//! Each engine algorithm is also timed structurally, so the emitted
-//! `bench-results/BENCH_engine.json` records the engine's overhead per
-//! point and the per-node speedup of the scaled pipeline against the
+//! `lcl sweep --scale <preset>` runs every registry algorithm at large
+//! `n`, end-to-end on the chunked engine — since the engine-native port
+//! there is no other execution path, and the event-driven scheduler makes
+//! even the `Θ(n)`-round algorithms feasible (a sleeping node costs
+//! nothing; work tracks messages, not `rounds × nodes`). Every measured
+//! point in the emitted `bench-results/BENCH_engine.json` carries a real
+//! `engine_ms` and its `engine_nodes_per_sec` throughput; the document
+//! also compares per-node wall-clock of the scaled pipeline against the
 //! checked-in `BENCH_sweep.json` baseline.
 //!
-//! [`perf_gate`] is the CI smoke gate: it re-runs one mid-size instance
-//! per landscape class (every registry algorithm at the baseline's
-//! smallest ladder size) and fails when wall-clock regresses by more than
-//! a generous factor against `BENCH_sweep.json`.
+//! [`perf_gate`] is the CI gate: it re-runs one mid-size instance per
+//! landscape class against `BENCH_sweep.json` (wall-clock factor and
+//! node-averaged drift), then re-runs the committed `BENCH_engine.json`
+//! points and fails when any `(spec, seed)` throughput regresses by more
+//! than the same factor.
 
 use crate::report::{f1, f3, save_json, Table};
 use lcl_harness::{find, registry, run_timed, InstanceSpec, RunConfig, ScaleConfig, Session};
 use lcl_local::engine::EngineConfig;
 use serde::{Serialize, Value};
 
-/// How a scale-suite algorithm executes at large `n`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ScaleExec {
-    /// Solved schedule replayed end-to-end on the chunked engine
-    /// (feasible: worst-case rounds are `O(log n)` or better).
-    Engine,
-    /// Structural run only (`Θ(n)`-round algorithms).
-    Direct,
-}
-
 /// One suite entry: algorithm plus its canonical scale instance.
 struct ScaleEntry {
     algorithm: &'static str,
-    exec: ScaleExec,
+    /// Whether the million-node acceptance instance applies: the
+    /// algorithms whose worst-case round count is `O(log n)` or better
+    /// must clear a `10^6`-node end-to-end engine run in the `ci` and
+    /// `full` presets.
+    million: bool,
     spec: fn(usize) -> InstanceSpec,
 }
 
-/// The scale suite: every algorithm that runs on unbounded plain-tree
-/// families. Weighted-construction algorithms are excluded — their
-/// instances are parameter-bound gadgets, not size-swept topologies.
+/// The scale suite: every registry algorithm on its canonical large-`n`
+/// family, so `BENCH_engine.json` reports engine throughput for the whole
+/// registry. Weighted-construction instances are parameter-bound gadget
+/// families — still size-swept here, just at their canonical `(Δ, d, k)`.
 fn suite() -> Vec<ScaleEntry> {
     vec![
         ScaleEntry {
             algorithm: "two-coloring",
-            exec: ScaleExec::Direct,
+            million: false,
             spec: |n| InstanceSpec::Path { n },
         },
         ScaleEntry {
+            algorithm: "linial",
+            million: true,
+            spec: |n| InstanceSpec::Path { n },
+        },
+        ScaleEntry {
+            algorithm: "randomized",
+            million: true,
+            spec: |n| InstanceSpec::Path { n },
+        },
+        ScaleEntry {
+            algorithm: "path-lcl",
+            million: false,
+            spec: |n| InstanceSpec::Path { n },
+        },
+        ScaleEntry {
+            algorithm: "generic-coloring",
+            million: false,
+            spec: |n| InstanceSpec::Theorem11 { n, k: 2 },
+        },
+        ScaleEntry {
             algorithm: "labeling-solver",
-            exec: ScaleExec::Direct,
+            million: false,
             spec: |n| InstanceSpec::RandomTree {
                 n,
                 max_degree: 4,
@@ -59,18 +74,8 @@ fn suite() -> Vec<ScaleEntry> {
             },
         },
         ScaleEntry {
-            algorithm: "linial",
-            exec: ScaleExec::Engine,
-            spec: |n| InstanceSpec::Path { n },
-        },
-        ScaleEntry {
-            algorithm: "randomized",
-            exec: ScaleExec::Engine,
-            spec: |n| InstanceSpec::Path { n },
-        },
-        ScaleEntry {
             algorithm: "dfree-a",
-            exec: ScaleExec::Engine,
+            million: true,
             spec: |n| InstanceSpec::RandomTree {
                 n,
                 max_degree: 4,
@@ -79,8 +84,33 @@ fn suite() -> Vec<ScaleEntry> {
         },
         ScaleEntry {
             algorithm: "fast-decomposition",
-            exec: ScaleExec::Engine,
+            million: true,
             spec: |n| InstanceSpec::BalancedWeight { w: n, delta: 4 },
+        },
+        ScaleEntry {
+            algorithm: "apoly",
+            million: false,
+            spec: |n| InstanceSpec::WeightedPoly {
+                n,
+                delta: 5,
+                d: 2,
+                k: 2,
+            },
+        },
+        ScaleEntry {
+            algorithm: "a35",
+            million: false,
+            spec: |n| InstanceSpec::WeightedLogStar {
+                n,
+                delta: 6,
+                d: 3,
+                k: 2,
+            },
+        },
+        ScaleEntry {
+            algorithm: "weight-augmented",
+            million: false,
+            spec: |n| InstanceSpec::WeightedUnit { n, delta: 5, k: 2 },
         },
     ]
 }
@@ -111,8 +141,12 @@ struct ScalePoint {
     algorithm: String,
     /// Rendered instance spec.
     spec: String,
+    /// The size the suite requested (what [`perf_gate`] rebuilds from).
+    requested_n: usize,
     /// Actual node count.
     n: usize,
+    /// Run seed.
+    seed: u64,
     /// Node-averaged rounds.
     node_averaged: f64,
     /// Node-averaged rounds over the waiting mass.
@@ -121,14 +155,11 @@ struct ScalePoint {
     median_round: u64,
     /// Worst-case rounds.
     worst_case: u64,
-    /// Wall-clock of the structural run (ms).
-    direct_ms: f64,
-    /// Wall-clock of the chunked-engine run (ms); absent for
-    /// structural-only algorithms.
-    engine_ms: Option<f64>,
-    /// `engine_ms / direct_ms` when both exist: the cost of a faithful
-    /// round-by-round execution on top of solving.
-    engine_overhead: Option<f64>,
+    /// Wall-clock of the engine-native run (ms) — always real; there is
+    /// no other execution path.
+    engine_ms: f64,
+    /// Engine throughput: nodes processed per second of wall-clock.
+    engine_nodes_per_sec: f64,
 }
 
 /// Per-algorithm comparison against the `BENCH_sweep.json` baseline.
@@ -140,7 +171,7 @@ struct BaselineComparison {
     baseline_n: usize,
     /// Baseline wall-clock at that size (ms).
     baseline_ms: f64,
-    /// Largest scale-suite size (structural run, same execution kind).
+    /// Largest scale-suite size.
     scale_n: usize,
     /// Scale-suite wall-clock at that size (ms).
     scale_ms: f64,
@@ -168,15 +199,18 @@ struct EngineBench {
     baseline_comparison: Vec<BaselineComparison>,
 }
 
+const SCALE_SEED: u64 = 7;
+
+fn nodes_per_sec(n: usize, elapsed_ms: f64) -> f64 {
+    n as f64 / (elapsed_ms.max(1e-6) / 1_000.0)
+}
+
 fn run_one(
     algorithm: &str,
     spec: InstanceSpec,
-    engine: Option<EngineConfig>,
+    engine: &EngineConfig,
 ) -> Result<lcl_harness::RunRecord, String> {
-    let mut cfg = RunConfig::seeded(7);
-    if let Some(engine) = engine {
-        cfg = cfg.with_engine(engine);
-    }
+    let cfg = RunConfig::seeded(SCALE_SEED).with_engine(engine.clone());
     let mut session = Session::new().scale(ScaleConfig {
         // One instance resident at a time and one job at a time:
         // timings stay honest and memory stays O(n).
@@ -211,9 +245,8 @@ pub fn run_scale(preset: &str, chunk_size: usize, threads: usize) -> Result<(), 
             "n",
             "node-avg",
             "worst",
-            "direct ms",
             "engine ms",
-            "overhead",
+            "knodes/s",
         ],
     );
     let mut points = Vec::new();
@@ -221,42 +254,33 @@ pub fn run_scale(preset: &str, chunk_size: usize, threads: usize) -> Result<(), 
         let mut entry_sizes = sizes.clone();
         // The acceptance instance: a million-node tree end-to-end on the
         // chunked engine for every log-class algorithm.
-        if million && entry.exec == ScaleExec::Engine && !entry_sizes.contains(&1_000_000) {
+        if million && entry.million && !entry_sizes.contains(&1_000_000) {
             entry_sizes.push(1_000_000);
         }
-        for &n in &entry_sizes {
-            let spec = (entry.spec)(n);
-            let direct = run_one(entry.algorithm, spec.clone(), None)?;
-            let engine_record = match entry.exec {
-                ScaleExec::Engine => Some(run_one(
-                    entry.algorithm,
-                    spec.clone(),
-                    Some(engine_cfg.clone()),
-                )?),
-                ScaleExec::Direct => None,
-            };
-            let engine_ms = engine_record.as_ref().map(|r| r.elapsed_ms);
-            let overhead = engine_ms.map(|e| e / direct.elapsed_ms.max(1e-6));
+        for &requested_n in &entry_sizes {
+            let spec = (entry.spec)(requested_n);
+            let record = run_one(entry.algorithm, spec, &engine_cfg)?;
+            let throughput = nodes_per_sec(record.n, record.elapsed_ms);
             table.row(&[
                 entry.algorithm.to_string(),
-                direct.n.to_string(),
-                f3(direct.node_averaged),
-                direct.worst_case.to_string(),
-                f1(direct.elapsed_ms),
-                engine_ms.map_or("-".into(), f1),
-                overhead.map_or("-".into(), f3),
+                record.n.to_string(),
+                f3(record.node_averaged),
+                record.worst_case.to_string(),
+                f1(record.elapsed_ms),
+                f1(throughput / 1_000.0),
             ]);
             points.push(ScalePoint {
                 algorithm: entry.algorithm.to_string(),
-                spec: direct.spec.clone(),
-                n: direct.n,
-                node_averaged: direct.node_averaged,
-                waiting_averaged: direct.waiting_averaged,
-                median_round: direct.median_round,
-                worst_case: direct.worst_case,
-                direct_ms: direct.elapsed_ms,
-                engine_ms,
-                engine_overhead: overhead,
+                spec: record.spec.clone(),
+                requested_n,
+                n: record.n,
+                seed: record.seed,
+                node_averaged: record.node_averaged,
+                waiting_averaged: record.waiting_averaged,
+                median_round: record.median_round,
+                worst_case: record.worst_case,
+                engine_ms: record.elapsed_ms,
+                engine_nodes_per_sec: throughput,
             });
         }
     }
@@ -313,7 +337,7 @@ fn load_baseline() -> Option<Value> {
 }
 
 /// For every scale-suite algorithm present in the baseline, compares
-/// per-node structural wall-clock at the largest size of each.
+/// per-node wall-clock at the largest size of each.
 fn compare_against_baseline(points: &[ScalePoint]) -> Vec<BaselineComparison> {
     let Some(baseline) = load_baseline() else {
         return Vec::new();
@@ -347,13 +371,13 @@ fn compare_against_baseline(points: &[ScalePoint]) -> Vec<BaselineComparison> {
             continue;
         }
         let baseline_per = baseline_ms / (baseline_n as f64 / 1_000.0);
-        let scale_per = scale_point.direct_ms / (scale_point.n as f64 / 1_000.0);
+        let scale_per = scale_point.engine_ms / (scale_point.n as f64 / 1_000.0);
         out.push(BaselineComparison {
             algorithm: name.to_string(),
             baseline_n,
             baseline_ms,
             scale_n: scale_point.n,
-            scale_ms: scale_point.direct_ms,
+            scale_ms: scale_point.engine_ms,
             baseline_ms_per_knode: baseline_per,
             scale_ms_per_knode: scale_per,
             per_node_speedup: baseline_per / scale_per.max(1e-9),
@@ -362,18 +386,101 @@ fn compare_against_baseline(points: &[ScalePoint]) -> Vec<BaselineComparison> {
     out
 }
 
-/// The CI perf smoke gate: re-runs one mid-size instance per landscape
-/// class (each registry algorithm at the baseline ladder's smallest size)
-/// and compares wall-clock against the checked-in `BENCH_sweep.json`,
-/// failing beyond `threshold`× regression. The baseline's node-averaged
-/// rounds are carried forward too: every algorithm is a pure function of
-/// `(spec, seed)`, so a fresh run whose node-averaged count drifts from
-/// the baseline means its *behavior* changed, not just its speed — the
-/// gate fails on any relative drift beyond float-printing noise.
+/// The committed-throughput gate: re-runs every `BENCH_engine.json` point
+/// (same spec, same seed, the baseline's own chunk size and thread count)
+/// and fails when nodes/sec regresses by more than `threshold`×.
+///
+/// Million-node acceptance points are skipped to keep the gate CI-cheap;
+/// the skip is reported, never silent.
+fn throughput_gate(threshold: f64) -> Result<(), String> {
+    const GATE_MAX_N: usize = 250_000;
+    let text = std::fs::read_to_string("bench-results/BENCH_engine.json")
+        .map_err(|e| format!("cannot read bench-results/BENCH_engine.json: {e}"))?;
+    let baseline =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse BENCH_engine.json: {e}"))?;
+    let engine_cfg = EngineConfig {
+        chunk_size: field(&baseline, "chunk_size")
+            .and_then(as_f64)
+            .unwrap_or(0.0) as usize,
+        threads: field(&baseline, "threads").and_then(as_f64).unwrap_or(0.0) as usize,
+    };
+    let points = field(&baseline, "points")
+        .and_then(as_array)
+        .ok_or("BENCH_engine.json has no `points`")?;
+    let entries = suite();
+
+    let mut table = Table::new(
+        format!("Engine throughput gate — threshold {threshold}x vs BENCH_engine.json"),
+        &["algorithm", "n", "base kn/s", "now kn/s", "ratio", "status"],
+    );
+    let mut failures = Vec::new();
+    let mut skipped = 0usize;
+    for point in points {
+        let name = field(point, "algorithm")
+            .and_then(as_str)
+            .ok_or("BENCH_engine.json point without `algorithm`")?;
+        let requested_n = field(point, "requested_n")
+            .and_then(as_f64)
+            .ok_or_else(|| format!("no `requested_n` for `{name}` in BENCH_engine.json"))?
+            as usize;
+        let baseline_nps = field(point, "engine_nodes_per_sec")
+            .and_then(as_f64)
+            .ok_or_else(|| format!("no `engine_nodes_per_sec` for `{name}`"))?;
+        if requested_n > GATE_MAX_N {
+            skipped += 1;
+            continue;
+        }
+        let entry = entries
+            .iter()
+            .find(|e| e.algorithm == name)
+            .ok_or_else(|| format!("`{name}` from BENCH_engine.json is not in the scale suite"))?;
+        let record = run_one(name, (entry.spec)(requested_n), &engine_cfg)?;
+        let fresh_nps = nodes_per_sec(record.n, record.elapsed_ms);
+        let ratio = baseline_nps / fresh_nps.max(1e-9);
+        let ok = ratio <= threshold;
+        if !ok {
+            failures.push(format!("{name} ({ratio:.2}x slower)"));
+        }
+        table.row(&[
+            name.to_string(),
+            record.n.to_string(),
+            f1(baseline_nps / 1_000.0),
+            f1(fresh_nps / 1_000.0),
+            f3(ratio),
+            if ok { "ok" } else { "FAILED" }.to_string(),
+        ]);
+    }
+    table.print();
+    if skipped > 0 {
+        println!("throughput gate: skipped {skipped} point(s) above n = {GATE_MAX_N} (acceptance instances, not CI-gated)");
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "engine throughput gate failed (> {threshold}x below BENCH_engine.json): {}",
+            failures.join(", ")
+        ))
+    }
+}
+
+/// The CI perf gate. Two stages, both against committed baselines:
+///
+/// 1. **Wall-clock and behavior** vs `BENCH_sweep.json`: one mid-size
+///    instance per landscape class (every registry algorithm at the
+///    baseline ladder's smallest size), failing beyond `threshold`×
+///    regression. The baseline's node-averaged rounds are carried forward
+///    too: every algorithm is a pure function of `(spec, seed)`, so a
+///    fresh run whose node-averaged count drifts from the baseline means
+///    its *behavior* changed, not just its speed — the gate fails on any
+///    relative drift beyond float-printing noise.
+/// 2. **Engine throughput** vs `BENCH_engine.json`: every committed scale
+///    point re-measured, failing when nodes/sec regresses beyond
+///    `threshold`×.
 ///
 /// # Errors
 ///
-/// Missing/unreadable baseline, harness errors, any algorithm regressing
+/// Missing/unreadable baselines, harness errors, any algorithm regressing
 /// beyond the threshold, or any node-averaged drift.
 pub fn perf_gate(threshold: f64) -> Result<(), String> {
     let text = std::fs::read_to_string("bench-results/BENCH_sweep.json")
@@ -466,14 +573,13 @@ pub fn perf_gate(threshold: f64) -> Result<(), String> {
         ]);
     }
     table.print();
-    if failures.is_empty() {
-        Ok(())
-    } else {
-        Err(format!(
+    if !failures.is_empty() {
+        return Err(format!(
             "perf smoke gate failed (> {threshold}x of BENCH_sweep.json): {}",
             failures.join(", ")
-        ))
+        ));
     }
+    throughput_gate(threshold)
 }
 
 #[cfg(test)]
@@ -486,6 +592,18 @@ mod tests {
             assert!(preset_sizes(name).is_some(), "{name}");
         }
         assert!(preset_sizes("nope").is_none());
+    }
+
+    #[test]
+    fn suite_covers_the_whole_registry() {
+        let mut suite_names: Vec<&str> = suite().iter().map(|e| e.algorithm).collect();
+        suite_names.sort_unstable();
+        let mut registry_names: Vec<&str> = registry().iter().map(|a| a.name()).collect();
+        registry_names.sort_unstable();
+        assert_eq!(
+            suite_names, registry_names,
+            "every registry algorithm must report engine throughput"
+        );
     }
 
     #[test]

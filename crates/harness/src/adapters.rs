@@ -1,9 +1,18 @@
-//! [`Algorithm`] implementations for the paper's algorithms.
+//! [`Algorithm`] implementations for the paper's algorithms — thin
+//! [`Protocol`] factories over the chunked LOCAL engine.
 //!
-//! Each adapter is a thin shim: it derives the paper's scheduling
-//! parameters from the instance spec, calls the free function in
-//! `lcl_algorithms`, verifies the output against the matching problem
-//! verifier, and packs the per-node rounds into a [`RunRecord`].
+//! Every adapter executes natively on the chunked engine; there is no
+//! structural fallback path. The solvers whose round structure the LOCAL
+//! model forces to be discovered online (`two-coloring`, `linial`,
+//! `randomized`, rigid `path-lcl` tables) run their genuine
+//! message-passing protocols from [`lcl_algorithms::protocols`]; the
+//! solvers whose outputs are a legitimate port-number/ID-model
+//! precomputation first *solve* the instance structurally (deriving the
+//! paper's scheduling parameters from the spec), verify the typed output
+//! against the matching problem verifier, and then execute the plan as
+//! [`ScheduledCast`](lcl_algorithms::protocols::ScheduledCast) machines.
+//! Either way the engine-observed outputs and termination rounds become
+//! the [`RunRecord`], always stamped `engine = "chunked"`.
 //!
 //! Since ISSUE 5 every adapter also *bids* on declarative problems via
 //! [`Algorithm::solves`]: a specialized adapter bids high on exactly the
@@ -11,20 +20,22 @@
 //! on any path-expressible table, so the resolver always prefers the
 //! specialist and falls back to the generic solver otherwise.
 
-use crate::algorithm::{Algorithm, ExecMode, RunConfig, RunRecord};
+use crate::algorithm::{Algorithm, RunConfig, RunRecord};
 use crate::instance::{HarnessError, Instance, InstanceKind, InstanceSpec};
 use crate::planner::SolverFit;
-use crate::replay::replay_chunked;
 use lcl_algorithms::a35::a35;
 use lcl_algorithms::apoly::apoly;
 use lcl_algorithms::dfree_a::algorithm_a;
 use lcl_algorithms::fast_decomposition::fast_dfree_standalone;
 use lcl_algorithms::generic_coloring::generic_coloring_masked;
 use lcl_algorithms::labeling_solver::solve_hierarchical_labeling;
-use lcl_algorithms::linial::three_color_path;
+use lcl_algorithms::linial::linial_round_count;
 use lcl_algorithms::path_lcl_solver::{solve_path_lcl, verify_path_lcl, PathSolveClass};
-use lcl_algorithms::randomized::randomized_three_color_path;
-use lcl_algorithms::two_coloring::two_color_path;
+use lcl_algorithms::protocols::linial::{cascade_space, LinialCascade};
+use lcl_algorithms::protocols::path_lcl::PathLclProtocol;
+use lcl_algorithms::protocols::randomized::RandomizedColoring as RandomizedProtocol;
+use lcl_algorithms::protocols::two_coloring::WaveTwoColoring;
+use lcl_algorithms::protocols::{plan_round_budget, scheduled_cast_factory};
 use lcl_algorithms::weight_augmented_solver::solve_weight_augmented;
 use lcl_algorithms::AlgorithmRun;
 use lcl_core::coloring::{ColorLabel, HierarchicalColoring, Variant};
@@ -39,7 +50,9 @@ use lcl_core::weighted::{WeightedColoring, WeightedOutput};
 use lcl_decidability::path_lcl::{PathClass, PathLcl};
 use lcl_graph::weighted::WeightedConstruction;
 use lcl_graph::{NodeMask, Tree};
+use lcl_local::engine::{run_sync_with, EngineConfig, NodeContext, Protocol, SyncOutcome};
 use lcl_local::identifiers::Ids;
+use std::sync::Arc;
 
 /// Which scheduling regime drives the phase parameters on a weighted
 /// construction: `γ_i = n^{α_i}` (polynomial, `A_poly`) or
@@ -156,9 +169,9 @@ fn weighted_waiting(run: &AlgorithmRun<WeightedOutput>) -> f64 {
 // Canonical u64 label encodings.
 //
 // Every adapter reduces its output type to a `u64` label (injective per
-// algorithm), so records are comparable across engines and the solved
-// schedule can be replayed through the LOCAL engine as plain numeric
-// messages. Encodings are stable: golden-record fixtures depend on them.
+// algorithm), so records are comparable across engines and precomputed
+// plans travel through the LOCAL engine as plain numeric messages.
+// Encodings are stable: golden-record fixtures depend on them.
 // ---------------------------------------------------------------------------
 
 fn color_code(c: ColorLabel) -> u64 {
@@ -211,18 +224,39 @@ fn augmented_code(o: &AugmentedOutput) -> u64 {
     }
 }
 
-/// Builds the record and, under [`ExecMode::Engine`], re-executes the
-/// solved schedule end-to-end on the chunked LOCAL engine (divergence is
-/// an error, not a silent record). Every adapter funnels through here.
-fn finalize(
+/// Runs a protocol factory natively on the chunked engine; an engine
+/// error (e.g. a blown round budget) is an engine or adapter bug, never a
+/// caller error.
+fn execute_protocol<P, F>(
+    algo: &dyn Algorithm,
+    tree: &Tree,
+    ids: &Ids,
+    engine: &EngineConfig,
+    factory: F,
+    budget: u64,
+) -> Result<SyncOutcome<P::Output>, HarnessError>
+where
+    P: Protocol,
+    F: FnMut(&NodeContext) -> P,
+{
+    run_sync_with(tree, ids, factory, budget, engine).map_err(|e| HarnessError::EngineDivergence {
+        algorithm: algo.name().to_string(),
+        detail: format!("chunked engine failed to complete the run: {e}"),
+    })
+}
+
+/// Assembles the production record from an engine-observed outcome. Every
+/// record carries `engine = "chunked"`: the chunked engine is the only
+/// execution path.
+fn record_outcome(
     algo: &dyn Algorithm,
     instance: &Instance,
     cfg: &RunConfig,
     labels: Vec<u64>,
     rounds: Vec<u64>,
     waiting: Option<f64>,
-) -> Result<RunRecord, HarnessError> {
-    let mut record = RunRecord::from_rounds(
+) -> RunRecord {
+    RunRecord::from_rounds(
         algo.name(),
         instance.spec(),
         cfg.seed,
@@ -230,18 +264,61 @@ fn finalize(
         rounds,
         waiting,
         cfg.verify,
-    );
-    if let ExecMode::Engine(engine) = &cfg.exec {
-        replay_chunked(
-            algo.name(),
-            instance.tree(),
-            &record.labels,
-            &record.rounds,
-            engine,
-        )?;
-        record.engine = "chunked".to_string();
+    )
+    .on_engine("chunked")
+}
+
+/// Checks an engine outcome against the structural plan it executed;
+/// divergence means an engine bug, surfaced as an error rather than
+/// silently recorded.
+fn check_plan(
+    algo: &dyn Algorithm,
+    outcome: &SyncOutcome<u64>,
+    labels: &[u64],
+    rounds: &[u64],
+) -> Result<(), HarnessError> {
+    if outcome.outputs != labels || outcome.stats.as_slice() != rounds {
+        return Err(HarnessError::EngineDivergence {
+            algorithm: algo.name().to_string(),
+            detail: "engine outcome diverges from the solved plan".to_string(),
+        });
     }
-    Ok(record)
+    Ok(())
+}
+
+/// Executes a precomputed plan (per-node labels and termination rounds)
+/// natively as `ScheduledCast` machines on the chunked engine and builds
+/// the record from the engine-observed outcome. The plan-driven adapters
+/// funnel through here.
+fn run_plan(
+    algo: &dyn Algorithm,
+    instance: &Instance,
+    cfg: &RunConfig,
+    labels: Vec<u64>,
+    rounds: Vec<u64>,
+    waiting: Option<f64>,
+) -> Result<RunRecord, HarnessError> {
+    let budget = plan_round_budget(&rounds);
+    let labels = Arc::new(labels);
+    let rounds = Arc::new(rounds);
+    let ids = Ids::sequential(instance.node_count());
+    let outcome = execute_protocol(
+        algo,
+        instance.tree(),
+        &ids,
+        &cfg.engine,
+        scheduled_cast_factory(labels.clone(), rounds.clone()),
+        budget,
+    )?;
+    check_plan(algo, &outcome, &labels, &rounds)?;
+    Ok(record_outcome(
+        algo,
+        instance,
+        cfg,
+        outcome.outputs,
+        outcome.stats.as_slice().to_vec(),
+        waiting,
+    ))
 }
 
 fn verification_error(algorithm: &str, violation: impl std::fmt::Display) -> HarnessError {
@@ -316,14 +393,23 @@ impl Algorithm for TwoColoring {
 
     fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
         ensure_supported(self, instance)?;
-        let ids = Ids::random(instance.node_count(), cfg.seed);
-        let run = two_color_path(instance.tree(), &ids);
+        let n = instance.node_count();
+        let ids = Ids::random(n, cfg.seed);
+        let outcome = execute_protocol(
+            self,
+            instance.tree(),
+            &ids,
+            &cfg.engine,
+            |_| WaveTwoColoring::new(),
+            n as u64 + 2,
+        )?;
         if cfg.verify {
-            check_proper(instance.tree(), &run.outputs)
+            check_proper(instance.tree(), &outcome.outputs)
                 .map_err(|e| verification_error(self.name(), e))?;
         }
-        let labels = run.outputs.iter().map(|&c| color_code(c)).collect();
-        finalize(self, instance, cfg, labels, run.rounds, None)
+        let labels = outcome.outputs.iter().map(|&c| color_code(c)).collect();
+        let rounds = outcome.stats.as_slice().to_vec();
+        Ok(record_outcome(self, instance, cfg, labels, rounds, None))
     }
 }
 
@@ -370,18 +456,35 @@ impl Algorithm for LinialColoring {
     fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
         ensure_supported(self, instance)?;
         let ids = Ids::random(instance.node_count(), cfg.seed);
-        let run = three_color_path(instance.tree(), &ids);
+        let space = cascade_space(&ids, 2);
+        let budget = linial_round_count(space, 2) + 2;
+        let outcome = execute_protocol(
+            self,
+            instance.tree(),
+            &ids,
+            &cfg.engine,
+            |c| LinialCascade::new(c.id, space, 2),
+            budget,
+        )?;
         if cfg.verify {
-            check_proper(instance.tree(), &run.outputs)
+            check_proper(instance.tree(), &outcome.outputs)
                 .map_err(|e| verification_error(self.name(), e))?;
-            if let Some(&c) = run.outputs.iter().find(|&&c| c > 2) {
+            if let Some(&c) = outcome.outputs.iter().find(|&&c| c > 2) {
                 return Err(verification_error(
                     self.name(),
                     format!("color {c} outside the 3-color palette"),
                 ));
             }
         }
-        finalize(self, instance, cfg, run.outputs, run.rounds, None)
+        let rounds = outcome.stats.as_slice().to_vec();
+        Ok(record_outcome(
+            self,
+            instance,
+            cfg,
+            outcome.outputs,
+            rounds,
+            None,
+        ))
     }
 }
 
@@ -425,13 +528,24 @@ impl Algorithm for RandomizedColoring {
 
     fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
         ensure_supported(self, instance)?;
-        let run = randomized_three_color_path(instance.tree(), cfg.seed);
+        let n = instance.node_count();
+        let ids = Ids::sequential(n);
+        let seed = cfg.seed;
+        let outcome = execute_protocol(
+            self,
+            instance.tree(),
+            &ids,
+            &cfg.engine,
+            |c| RandomizedProtocol::new(seed, c.node),
+            RandomizedProtocol::round_budget(n),
+        )?;
         if cfg.verify {
-            check_proper(instance.tree(), &run.outputs)
+            check_proper(instance.tree(), &outcome.outputs)
                 .map_err(|e| verification_error(self.name(), e))?;
         }
-        let labels = run.outputs.iter().map(|&c| color_code(c)).collect();
-        finalize(self, instance, cfg, labels, run.rounds, None)
+        let labels = outcome.outputs.iter().map(|&c| color_code(c)).collect();
+        let rounds = outcome.stats.as_slice().to_vec();
+        Ok(record_outcome(self, instance, cfg, labels, rounds, None))
     }
 }
 
@@ -508,7 +622,7 @@ impl Algorithm for GenericColoring {
                 .map_err(|e| verification_error(self.name(), e))?;
         }
         let labels = outputs.iter().map(|&c| color_code(c)).collect();
-        finalize(self, instance, cfg, labels, masked.rounds, None)
+        run_plan(self, instance, cfg, labels, masked.rounds, None)
     }
 }
 
@@ -545,7 +659,7 @@ fn run_weighted(
     }
     let waiting = weighted_waiting(&run);
     let labels = run.outputs.iter().map(weighted_code).collect();
-    finalize(algo, instance, cfg, labels, run.rounds, Some(waiting))
+    run_plan(algo, instance, cfg, labels, run.rounds, Some(waiting))
 }
 
 /// `A_poly` for `Π^{2.5}_{Δ,d,k}` (Section 7.1).
@@ -742,7 +856,7 @@ impl Algorithm for WeightAugmentedSolver {
                 .map_err(|e| verification_error(self.name(), e))?;
         }
         let labels = run.outputs.iter().map(augmented_code).collect();
-        finalize(self, instance, cfg, labels, run.rounds, None)
+        run_plan(self, instance, cfg, labels, run.rounds, None)
     }
 }
 
@@ -822,7 +936,7 @@ impl Algorithm for DfreeA {
         // radius.
         let rounds = vec![run.radius; n];
         let labels = outputs.iter().map(|&o| dfree_code(o)).collect();
-        finalize(self, instance, cfg, labels, rounds, None)
+        run_plan(self, instance, cfg, labels, rounds, None)
     }
 }
 
@@ -896,7 +1010,7 @@ impl Algorithm for FastDecomposition {
                 .map_err(|e| verification_error(self.name(), e))?;
         }
         let labels = outputs.iter().map(|&o| dfree_code(o)).collect();
-        finalize(self, instance, cfg, labels, run.rounds, None)
+        run_plan(self, instance, cfg, labels, run.rounds, None)
     }
 }
 
@@ -971,7 +1085,7 @@ impl Algorithm for LabelingSolver {
                 .map_err(|e| verification_error(self.name(), e))?;
         }
         let labels = solution.run.outputs.iter().map(labeling_code).collect();
-        finalize(self, instance, cfg, labels, solution.run.rounds, None)
+        run_plan(self, instance, cfg, labels, solution.run.rounds, None)
     }
 }
 
@@ -1067,13 +1181,39 @@ impl Algorithm for PathLclSolver {
             PathClass::Linear => PathSolveClass::Linear,
         };
         let ids = Ids::random(instance.node_count(), cfg.seed);
-        let run =
+        let plan =
             solve_path_lcl(instance.tree(), &table, class, &ids).map_err(HarnessError::BadSpec)?;
         if cfg.verify {
-            verify_path_lcl(instance.tree(), &table, &run.outputs)
+            verify_path_lcl(instance.tree(), &table, &plan.outputs)
                 .map_err(|e| verification_error(self.name(), e))?;
         }
-        finalize(self, instance, cfg, run.outputs, run.rounds, None)
+        // Rigid tables genuinely wait for the endpoint waves; the scheduled
+        // classes terminate at their locally computed round.
+        let labels = Arc::new(plan.outputs);
+        let rounds = Arc::new(plan.rounds);
+        let budget = plan_round_budget(&rounds);
+        let (l, r) = (labels.clone(), rounds.clone());
+        let outcome = execute_protocol(
+            self,
+            instance.tree(),
+            &ids,
+            &cfg.engine,
+            move |c| match class {
+                PathSolveClass::Linear => PathLclProtocol::rigid(l[c.node]),
+                _ => PathLclProtocol::at_round(r[c.node], l[c.node]),
+            },
+            budget,
+        )?;
+        check_plan(self, &outcome, &labels, &rounds)?;
+        let rounds = outcome.stats.as_slice().to_vec();
+        Ok(record_outcome(
+            self,
+            instance,
+            cfg,
+            outcome.outputs,
+            rounds,
+            None,
+        ))
     }
 }
 

@@ -8,25 +8,6 @@ use lcl_local::engine::EngineConfig;
 use serde::Serialize;
 use std::time::Instant;
 
-/// How a run is executed.
-///
-/// Every algorithm first *solves* its instance structurally (computing each
-/// node's output label and termination round). Under [`ExecMode::Engine`]
-/// the solved schedule is then executed end-to-end on the chunked LOCAL
-/// engine — every node runs as a message-passing state machine that
-/// terminates in its scheduled round and broadcasts its label as final
-/// messages — and the engine-observed outputs/rounds (checked against the
-/// structural plan) become the record. This is what the differential test
-/// oracle and the large-scale sweeps run on.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub enum ExecMode {
-    /// Structural execution only (the default).
-    #[default]
-    Direct,
-    /// Re-execute the solved schedule on the chunked LOCAL engine.
-    Engine(EngineConfig),
-}
-
 /// Knobs shared by every algorithm run.
 ///
 /// The instance spec is authoritative for parameters it carries (`Δ`,
@@ -48,8 +29,10 @@ pub struct RunConfig {
     pub gamma_multiplier: f64,
     /// Verify the output against the problem constraints after the run.
     pub verify: bool,
-    /// Execution mode; see [`ExecMode`].
-    pub exec: ExecMode,
+    /// Chunked-engine knobs (chunk size, thread count). Every run executes
+    /// natively on the chunked LOCAL engine — this configures *how*, not
+    /// whether.
+    pub engine: EngineConfig,
     /// The declarative problem driving table-parameterized solvers
     /// (`path-lcl`); filled by the planner, ignored by algorithms whose
     /// problem is fixed by their instance family.
@@ -64,7 +47,7 @@ impl Default for RunConfig {
             d: None,
             gamma_multiplier: 1.0,
             verify: true,
-            exec: ExecMode::Direct,
+            engine: EngineConfig::default(),
             problem: None,
         }
     }
@@ -94,10 +77,10 @@ impl RunConfig {
         self
     }
 
-    /// Returns `self` executing on the chunked LOCAL engine.
+    /// Returns `self` with the given chunked-engine knobs.
     #[must_use]
     pub fn with_engine(mut self, engine: EngineConfig) -> Self {
-        self.exec = ExecMode::Engine(engine);
+        self.engine = engine;
         self
     }
 
@@ -176,8 +159,9 @@ pub struct RunRecord {
     /// Whether the output was verified against the problem constraints
     /// (false = verification was skipped via [`RunConfig::verify`]).
     pub verified: bool,
-    /// Which executor produced the rounds: `"direct"` (structural) or
-    /// `"chunked"` (schedule re-executed on the chunked LOCAL engine).
+    /// Which executor produced the rounds. Every production record says
+    /// `"chunked"` (the chunked LOCAL engine is the only execution path);
+    /// `"direct"` appears only on structural-oracle assemblies in tests.
     pub engine: String,
     /// Wall-clock milliseconds of the algorithm proper (filled by
     /// [`run_timed`]; `0.0` for direct [`Algorithm::run`] calls).
@@ -234,6 +218,14 @@ impl RunRecord {
             engine: "direct".to_string(),
             elapsed_ms: 0.0,
         }
+    }
+
+    /// Returns the record re-attributed to the given executor; the
+    /// adapters stamp `"chunked"` on every engine-observed record.
+    #[must_use]
+    pub fn on_engine(mut self, engine: &str) -> Self {
+        self.engine = engine.to_string();
+        self
     }
 
     /// The termination profile of this run, built from the raw per-node

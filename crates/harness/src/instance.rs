@@ -37,10 +37,11 @@ pub enum HarnessError {
         /// The violation, rendered.
         violation: String,
     },
-    /// An engine-backed execution disagreed with the structurally solved
-    /// schedule — an engine bug, surfaced instead of silently recorded.
+    /// The engine failed to complete a run, or its outcome disagreed with
+    /// the structurally solved plan — an engine or adapter bug, surfaced
+    /// instead of silently recorded.
     EngineDivergence {
-        /// Name of the algorithm whose schedule was replayed.
+        /// Name of the algorithm whose run diverged.
         algorithm: String,
         /// What diverged.
         detail: String,

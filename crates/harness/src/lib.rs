@@ -63,15 +63,17 @@ pub mod algorithm;
 pub mod instance;
 pub mod planner;
 pub mod registry;
+#[cfg(any(test, feature = "direct-oracle"))]
 pub mod replay;
 pub mod session;
 
 pub use adapters::{run_on_construction, WeightedRegime};
-pub use algorithm::{run_timed, Algorithm, ExecMode, RoundBin, RunConfig, RunRecord};
+pub use algorithm::{run_timed, Algorithm, RoundBin, RunConfig, RunRecord};
 pub use instance::{HarnessError, Instance, InstanceKind, InstanceSpec};
 pub use planner::{
     canonical_instance, classify, plan, ClassSource, Classification, Plan, PlanError, SolverFit,
 };
 pub use registry::{find, registry, resolver, Resolver};
+#[cfg(any(test, feature = "direct-oracle"))]
 pub use replay::{replay_chunked, replay_factory, replay_round_budget, ReplayProtocol};
 pub use session::{FitSummary, ScaleConfig, Session, SessionBuilder, SweepPoint, SweepReport};

@@ -1,4 +1,4 @@
-//! Schedule replay: executing a solved run on the LOCAL engine.
+//! Schedule replay: a migration oracle, not a production path.
 //!
 //! The structural algorithm implementations compute, for every node, an
 //! output label and the round in which the simulated LOCAL algorithm
@@ -11,10 +11,11 @@
 //! chunk scheduling — on exactly the round distributions the paper's
 //! algorithms produce.
 //!
-//! [`replay_chunked`] drives the chunked engine and is what
-//! [`ExecMode::Engine`](crate::algorithm::ExecMode) runs; the differential
-//! test suite replays the same schedules through
-//! `lcl_local::reference_engine` and demands identical outcomes.
+//! Production adapters no longer replay anything: they run native
+//! protocols (or `ScheduledCast` plans) on the chunked engine directly.
+//! This module survives only behind `cfg(test)` and the `direct-oracle`
+//! feature, as a harness for differential tests that want to drive both
+//! engines with an arbitrary solved schedule.
 
 use crate::instance::HarnessError;
 use lcl_graph::Tree;

@@ -1,6 +1,6 @@
 //! Batched, seeded, parallel execution of registry algorithms.
 
-use crate::algorithm::{run_timed, Algorithm, ExecMode, RunConfig, RunRecord};
+use crate::algorithm::{run_timed, Algorithm, RunConfig, RunRecord};
 use crate::instance::{HarnessError, Instance, InstanceSpec};
 use crate::planner::{plan, PlanError};
 use crate::registry::find;
@@ -170,13 +170,11 @@ impl Session {
         if jobs.is_empty() {
             return Ok(Vec::new());
         }
-        // Fill engine-job chunk sizes left at "defer to the session".
+        // Fill engine chunk sizes left at "defer to the session".
         if self.scale.chunk_size != 0 {
             for job in &mut jobs {
-                if let ExecMode::Engine(engine) = &mut job.config.exec {
-                    if engine.chunk_size == 0 {
-                        engine.chunk_size = self.scale.chunk_size;
-                    }
+                if job.config.engine.chunk_size == 0 {
+                    job.config.engine.chunk_size = self.scale.chunk_size;
                 }
             }
         }

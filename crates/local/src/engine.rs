@@ -11,27 +11,41 @@
 //!
 //! The engine is built for million-node trees:
 //!
-//! - **CSR-aligned message arenas.** Messages live in two flat
-//!   `Vec<Option<M>>` arenas with one slot per *directed edge*, laid out
-//!   exactly like the tree's CSR adjacency array ([`lcl_graph::Tree::offsets`]).
-//!   Slot `offsets[v] + p` of the write arena holds the message node `v`
-//!   sent on port `p` this round. The arenas are allocated once per run and
-//!   reused (double-buffered) across all rounds — no per-node per-round
-//!   allocation.
+//! - **CSR-aligned message arenas.** Messages live in two flat slot arenas
+//!   with one slot per *directed edge*, laid out exactly like the tree's
+//!   CSR adjacency array ([`lcl_graph::Tree::offsets`]). Slot
+//!   `offsets[v] + p` of the write arena holds the message node `v` sent on
+//!   port `p` this round, stamped with its delivery round. The arenas are
+//!   allocated once per run and reused (double-buffered) across all rounds
+//!   — no per-node per-round allocation.
 //! - **Gather-based delivery.** A precomputed reverse-edge permutation maps
 //!   each directed edge to its reversal, so a node's inbox is a zero-copy
 //!   *view* over the previous round's write arena; nothing is moved or
-//!   cloned between rounds.
+//!   cloned between rounds. Readers accept only slots stamped with the
+//!   current round, so stale slots of nodes the scheduler skipped (or that
+//!   terminated) never resurface — no clearing passes are needed.
 //! - **Chunked parallelism.** Nodes are split into fixed-size chunks;
 //!   contiguous runs of chunks form per-worker regions executed on scoped
 //!   std threads. Within a round, workers write disjoint CSR ranges of the
 //!   write arena and read the (immutable) previous arena, so the engine
 //!   stays free of `unsafe` and of locks on the hot path.
+//! - **Event-driven scheduling.** A node is stepped only when it has mail
+//!   or when its own [`Protocol::next_wake`] hint is due. Senders flag the
+//!   recipient's chunk (one atomic bool per chunk, double-buffered by round
+//!   parity like the arenas), each chunk tracks the minimum wake of its
+//!   running nodes, and a chunk is visited only when flagged or due — so a
+//!   two-front wave over a million-node path costs `O(chunk)` per round,
+//!   not `O(n)`. When a round ends with no messages in flight the engine
+//!   fast-forwards to the earliest wake instead of idling round by round.
 //!
 //! Results are bit-identical for every chunk size and thread count: a
-//! node's step depends only on its own state and its inbox view. The
-//! pre-rewrite engine is preserved as `crate::reference_engine`
-//! (test/feature-gated) and serves as the differential-testing oracle.
+//! node's step depends only on its own state and its inbox view, and the
+//! skip conditions are functions of per-node facts (mail present, hint
+//! due), never of chunk layout. Wake hints are *pure scheduling hints*: a
+//! protocol promises that the skipped steps would have been no-ops, so the
+//! reference engine (`crate::reference_engine`, test/feature-gated), which
+//! steps every running node every round, remains a valid differential
+//! oracle.
 //!
 //! Message size is unbounded, matching the model; the engine tracks message
 //! counts only for diagnostics. At most one message per port per round may
@@ -44,6 +58,12 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One message slot of an arena: the payload stamped with its delivery
+/// round. Readers ignore slots whose stamp is not the round being read, so
+/// slots left behind by skipped or terminated senders expire silently.
+type ArenaSlot<M> = Option<(u32, M)>;
 
 /// Static per-node information visible to a protocol.
 #[derive(Debug, Clone, Copy)]
@@ -73,10 +93,12 @@ pub struct Inbox<'a, M> {
 enum InboxInner<'a, M> {
     /// Chunked engine: gather from the previous round's arena.
     Gather {
-        read: &'a [Option<M>],
+        read: &'a [ArenaSlot<M>],
         rev: &'a [u32],
         base: usize,
         degree: usize,
+        /// Only slots stamped with this delivery round are visible.
+        expect: u32,
     },
     /// Reference engine: explicit `(port, message)` list.
     #[cfg(any(test, feature = "reference-engine"))]
@@ -85,10 +107,11 @@ enum InboxInner<'a, M> {
 
 impl<'a, M> Inbox<'a, M> {
     pub(crate) fn gather(
-        read: &'a [Option<M>],
+        read: &'a [ArenaSlot<M>],
         rev: &'a [u32],
         base: usize,
         degree: usize,
+        expect: u32,
     ) -> Self {
         Inbox {
             inner: InboxInner::Gather {
@@ -96,6 +119,7 @@ impl<'a, M> Inbox<'a, M> {
                 rev,
                 base,
                 degree,
+                expect,
             },
         }
     }
@@ -117,11 +141,13 @@ impl<'a, M> Inbox<'a, M> {
                     rev,
                     base,
                     degree,
+                    expect,
                 } => InboxIterInner::Gather {
                     read,
                     rev,
                     base: *base,
                     degree: *degree,
+                    expect: *expect,
                     port: 0,
                 },
                 #[cfg(any(test, feature = "reference-engine"))]
@@ -139,11 +165,15 @@ impl<'a, M> Inbox<'a, M> {
                 rev,
                 base,
                 degree,
+                expect,
             } => {
                 if port >= *degree {
                     return None;
                 }
-                read[rev[base + port] as usize].as_ref()
+                match read[rev[base + port] as usize].as_ref() {
+                    Some((stamp, m)) if stamp == expect => Some(m),
+                    _ => None,
+                }
             }
             #[cfg(any(test, feature = "reference-engine"))]
             InboxInner::List(list) => list.iter().find(|(p, _)| *p == port).map(|(_, m)| m),
@@ -170,10 +200,11 @@ pub struct InboxIter<'a, M> {
 
 enum InboxIterInner<'a, M> {
     Gather {
-        read: &'a [Option<M>],
+        read: &'a [ArenaSlot<M>],
         rev: &'a [u32],
         base: usize,
         degree: usize,
+        expect: u32,
         port: usize,
     },
     #[cfg(any(test, feature = "reference-engine"))]
@@ -190,13 +221,16 @@ impl<'a, M> Iterator for InboxIter<'a, M> {
                 rev,
                 base,
                 degree,
+                expect,
                 port,
             } => {
                 while *port < *degree {
                     let p = *port;
                     *port += 1;
-                    if let Some(m) = read[rev[*base + p] as usize].as_ref() {
-                        return Some((p, m));
+                    if let Some((stamp, m)) = read[rev[*base + p] as usize].as_ref() {
+                        if stamp == expect {
+                            return Some((p, m));
+                        }
                     }
                 }
                 None
@@ -219,17 +253,21 @@ pub struct Outbox<'a, M> {
 }
 
 enum OutboxInner<'a, M> {
-    Slots(&'a mut [Option<M>]),
+    Slots {
+        slots: &'a mut [ArenaSlot<M>],
+        /// Delivery-round stamp written next to every message.
+        stamp: u32,
+    },
     #[cfg(any(test, feature = "reference-engine"))]
     List(&'a mut Vec<(usize, M)>),
 }
 
 impl<'a, M> Outbox<'a, M> {
-    pub(crate) fn slots(slots: &'a mut [Option<M>]) -> Self {
+    pub(crate) fn slots(slots: &'a mut [ArenaSlot<M>], stamp: u32) -> Self {
         Outbox {
             degree: slots.len(),
             sent: 0,
-            inner: OutboxInner::Slots(slots),
+            inner: OutboxInner::Slots { slots, stamp },
         }
     }
 
@@ -267,12 +305,12 @@ impl<'a, M> Outbox<'a, M> {
             self.degree
         );
         match &mut self.inner {
-            OutboxInner::Slots(slots) => {
+            OutboxInner::Slots { slots, stamp } => {
                 assert!(
                     slots[port].is_none(),
                     "duplicate message on port {port} in one round"
                 );
-                slots[port] = Some(msg);
+                slots[port] = Some((*stamp, msg));
             }
             #[cfg(any(test, feature = "reference-engine"))]
             OutboxInner::List(list) => {
@@ -319,6 +357,25 @@ pub trait Protocol: Send {
         inbox: &Inbox<'_, Self::Message>,
         outbox: &mut Outbox<'_, Self::Message>,
     ) -> Option<Self::Output>;
+
+    /// The earliest round in which this node's next [`step`](Protocol::step)
+    /// does real work, assuming no messages arrive first.
+    ///
+    /// The chunked engine calls this right after a `step` at round `now`
+    /// returns `None`. Returning `w > now` promises that every step in
+    /// rounds `now + 1 .. w` with an **empty inbox** would be a no-op (no
+    /// state change, no sends, no termination); the engine is then free to
+    /// skip those steps. The node is stepped again no later than round
+    /// `max(w, now + 1)`, and earlier as soon as a message arrives.
+    /// `u64::MAX` means "sleep until mail".
+    ///
+    /// This is a pure scheduling hint: outcomes are bit-identical whether
+    /// or not the engine honors it, and the reference engine ignores it.
+    /// The default (`now`) schedules the node every round, which is always
+    /// correct.
+    fn next_wake(&self, _ctx: &NodeContext, now: u64) -> u64 {
+        now
+    }
 }
 
 /// Errors from [`run_sync`].
@@ -417,15 +474,11 @@ impl EngineConfig {
     }
 }
 
-/// Lifecycle of a node inside a run. After terminating, a node spends two
-/// rounds clearing its (stale) slots in each arena so old messages never
-/// resurface, then goes dormant.
+/// Lifecycle of a node inside a run. Stale arena slots of `Done` nodes are
+/// invalidated by their delivery-round stamps, so no clearing phase exists.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum NodeState {
     Running,
-    /// Terminated; must still wipe its out-slots in `left` more rounds
-    /// (one per arena of the double buffer).
-    Clearing(u8),
     Done,
 }
 
@@ -475,88 +528,161 @@ fn region_bounds(n: usize, chunk_size: usize, workers: usize) -> Vec<usize> {
     bounds
 }
 
+/// Read-only (or atomically shared) state every worker sees during one
+/// round.
+struct RoundShared<'a, M> {
+    read: &'a [ArenaSlot<M>],
+    rev: &'a [u32],
+    offsets: &'a [u32],
+    adjacency: &'a [u32],
+    contexts: &'a [NodeContext],
+    chunk_size: usize,
+    /// Mail flags consumed this round (set by last round's senders).
+    /// Indexed by global chunk; each flag is cleared by the chunk's owner.
+    mail_now: &'a [AtomicBool],
+    /// Mail flags senders set this round for next round's recipients.
+    mail_next: &'a [AtomicBool],
+    round: u64,
+}
+
 /// One worker's contiguous slice of every per-node array plus its CSR
-/// range of the write arena.
+/// range of the write arena. Regions are chunk-aligned, so each also owns
+/// a contiguous slice of the per-chunk wake array.
 struct Region<'a, P: Protocol> {
     start: NodeId,
     slot_base: usize,
+    /// Global index of the region's first chunk.
+    first_chunk: usize,
     machines: &'a mut [Option<P>],
     outputs: &'a mut [Option<P::Output>],
     /// One `u32` slot per node: the first round in which the node's
     /// output is final, written exactly once (at termination).
     rounds: &'a mut [u32],
     states: &'a mut [NodeState],
-    write: &'a mut [Option<P::Message>],
+    /// Per-node wake hints: the next round in which the node must be
+    /// stepped absent mail (`0` initially, so round 0 steps everyone).
+    wakes: &'a mut [u64],
+    /// Per-chunk minimum of the running nodes' wakes; a lower bound that
+    /// is exact after every visit and untouched (hence still valid)
+    /// between visits.
+    chunk_wakes: &'a mut [u64],
+    write: &'a mut [ArenaSlot<P::Message>],
 }
 
-/// Executes one round over one region. Returns `(terminated, sent)`.
+/// Does the node with CSR `base` and `degree` have a message stamped for
+/// this round?
+fn mail_waiting<M>(
+    read: &[ArenaSlot<M>],
+    rev: &[u32],
+    base: usize,
+    degree: usize,
+    expect: u32,
+) -> bool {
+    (0..degree)
+        .any(|p| matches!(&read[rev[base + p] as usize], Some((stamp, _)) if *stamp == expect))
+}
+
+/// Executes one round over one region, visiting only chunks that are due
+/// or flagged for mail. Returns `(terminated, sent)`.
 fn step_region<P: Protocol>(
     region: &mut Region<'_, P>,
-    read: &[Option<P::Message>],
-    rev: &[u32],
-    offsets: &[u32],
-    contexts: &[NodeContext],
-    round: u64,
+    shared: &RoundShared<'_, P::Message>,
 ) -> (usize, u64) {
+    let round = shared.round;
+    let expect = round as u32;
+    let stamp = expect + 1;
     let mut terminated = 0usize;
     let mut sent = 0u64;
-    for i in 0..region.machines.len() {
-        let v = region.start + i;
-        let lo = offsets[v] as usize - region.slot_base;
-        let hi = offsets[v + 1] as usize - region.slot_base;
-        match region.states[i] {
-            NodeState::Done => {}
-            NodeState::Clearing(left) => {
-                for slot in &mut region.write[lo..hi] {
-                    *slot = None;
-                }
-                region.states[i] = if left <= 1 {
-                    NodeState::Done
-                } else {
-                    NodeState::Clearing(left - 1)
-                };
+    for c in 0..region.chunk_wakes.len() {
+        let flag = &shared.mail_now[region.first_chunk + c];
+        // The owner is the only clearer; a plain load first keeps idle
+        // chunks' cache lines in the shared state.
+        let mail = flag.load(Ordering::Relaxed);
+        if mail {
+            flag.store(false, Ordering::Relaxed);
+        } else if region.chunk_wakes[c] > round {
+            continue;
+        }
+        let node_lo = c * shared.chunk_size;
+        let node_hi = (node_lo + shared.chunk_size).min(region.machines.len());
+        let mut chunk_wake = u64::MAX;
+        for i in node_lo..node_hi {
+            if region.states[i] == NodeState::Done {
+                continue;
             }
-            NodeState::Running => {
-                let out_slots = &mut region.write[lo..hi];
-                for slot in out_slots.iter_mut() {
-                    *slot = None;
+            let v = region.start + i;
+            let base = shared.offsets[v] as usize;
+            let ctx = &shared.contexts[v];
+            let due = region.wakes[i] <= round;
+            let stepping =
+                due || (mail && mail_waiting(shared.read, shared.rev, base, ctx.degree, expect));
+            if !stepping {
+                chunk_wake = chunk_wake.min(region.wakes[i]);
+                continue;
+            }
+            let lo = base - region.slot_base;
+            let hi = shared.offsets[v + 1] as usize - region.slot_base;
+            let out_slots = &mut region.write[lo..hi];
+            for slot in out_slots.iter_mut() {
+                *slot = None;
+            }
+            let inbox = Inbox::gather(shared.read, shared.rev, base, ctx.degree, expect);
+            let mut outbox = Outbox::slots(out_slots, stamp);
+            let decided = region.machines[i]
+                .as_mut()
+                .expect("running node has a machine")
+                .step(ctx, round, &inbox, &mut outbox);
+            let wrote = outbox.sent();
+            if wrote > 0 {
+                sent += wrote as u64;
+                for (p, slot) in region.write[lo..hi].iter().enumerate() {
+                    if slot.is_some() {
+                        let w = shared.adjacency[base + p] as usize;
+                        shared.mail_next[w / shared.chunk_size].store(true, Ordering::Relaxed);
+                    }
                 }
-                let ctx = &contexts[v];
-                let inbox = Inbox::gather(read, rev, offsets[v] as usize, ctx.degree);
-                let mut outbox = Outbox::slots(out_slots);
-                let decided = region.machines[i]
-                    .as_mut()
+            }
+            if let Some(output) = decided {
+                region.outputs[i] = Some(output);
+                region.rounds[i] = expect;
+                region.machines[i] = None;
+                region.states[i] = NodeState::Done;
+                terminated += 1;
+            } else {
+                let wake = region.machines[i]
+                    .as_ref()
                     .expect("running node has a machine")
-                    .step(ctx, round, &inbox, &mut outbox);
-                sent += outbox.sent() as u64;
-                if let Some(output) = decided {
-                    region.outputs[i] = Some(output);
-                    region.rounds[i] = round as u32;
-                    region.machines[i] = None;
-                    region.states[i] = NodeState::Clearing(2);
-                    terminated += 1;
-                }
+                    .next_wake(ctx, round)
+                    .max(round + 1);
+                region.wakes[i] = wake;
+                chunk_wake = chunk_wake.min(wake);
             }
         }
+        region.chunk_wakes[c] = chunk_wake;
     }
     (terminated, sent)
 }
 
-/// Splits all per-node arrays and the write arena into per-region slices.
+/// Splits all per-node and per-chunk arrays plus the write arena into
+/// per-region slices.
 #[allow(clippy::too_many_arguments)]
 fn split_regions<'a, P: Protocol>(
     bounds: &[usize],
     offsets: &[u32],
+    chunk_size: usize,
     mut machines: &'a mut [Option<P>],
     mut outputs: &'a mut [Option<P::Output>],
     mut rounds: &'a mut [u32],
     mut states: &'a mut [NodeState],
-    mut write: &'a mut [Option<P::Message>],
+    mut wakes: &'a mut [u64],
+    mut chunk_wakes: &'a mut [u64],
+    mut write: &'a mut [ArenaSlot<P::Message>],
 ) -> Vec<Region<'a, P>> {
     let mut regions = Vec::with_capacity(bounds.len() - 1);
     for w in bounds.windows(2) {
         let (lo, hi) = (w[0], w[1]);
         let nodes = hi - lo;
+        let chunks = nodes.div_ceil(chunk_size);
         let slots = offsets[hi] as usize - offsets[lo] as usize;
         let (m, m_rest) = std::mem::take(&mut machines).split_at_mut(nodes);
         machines = m_rest;
@@ -566,15 +692,22 @@ fn split_regions<'a, P: Protocol>(
         rounds = r_rest;
         let (s, s_rest) = std::mem::take(&mut states).split_at_mut(nodes);
         states = s_rest;
+        let (wk, wk_rest) = std::mem::take(&mut wakes).split_at_mut(nodes);
+        wakes = wk_rest;
+        let (cw, cw_rest) = std::mem::take(&mut chunk_wakes).split_at_mut(chunks);
+        chunk_wakes = cw_rest;
         let (ws, w_rest) = std::mem::take(&mut write).split_at_mut(slots);
         write = w_rest;
         regions.push(Region {
             start: lo,
             slot_base: offsets[lo] as usize,
+            first_chunk: lo / chunk_size,
             machines: m,
             outputs: o,
             rounds: r,
             states: s,
+            wakes: wk,
+            chunk_wakes: cw,
             write: ws,
         });
     }
@@ -657,8 +790,9 @@ where
     let n = tree.node_count();
     assert_eq!(ids.len(), n, "ID assignment must cover all nodes");
     let offsets = tree.offsets();
+    let adjacency = tree.adjacency();
     let rev = reverse_edges(tree);
-    let slots = tree.adjacency().len();
+    let slots = adjacency.len();
 
     let contexts: Vec<NodeContext> = tree
         .nodes()
@@ -678,11 +812,19 @@ where
     let mut terminated_in: Vec<u64> = Vec::new();
     // The double-buffered arenas: one message slot per directed edge,
     // allocated once, reused every round.
-    let mut arena_a: Vec<Option<P::Message>> = vec![None; slots];
-    let mut arena_b: Vec<Option<P::Message>> = vec![None; slots];
+    let mut arena_a: Vec<ArenaSlot<P::Message>> = vec![None; slots];
+    let mut arena_b: Vec<ArenaSlot<P::Message>> = vec![None; slots];
 
+    let chunk_size = config.resolved_chunk_size();
     let workers = config.resolved_threads(n);
-    let bounds = region_bounds(n, config.resolved_chunk_size(), workers);
+    let bounds = region_bounds(n, chunk_size, workers);
+    let chunk_count = n.div_ceil(chunk_size);
+
+    // Event-driven scheduling state: everyone is due at round 0, no mail.
+    let mut wakes: Vec<u64> = vec![0; n];
+    let mut chunk_wakes: Vec<u64> = vec![0; chunk_count];
+    let mail_a: Vec<AtomicBool> = (0..chunk_count).map(|_| AtomicBool::new(false)).collect();
+    let mail_b: Vec<AtomicBool> = (0..chunk_count).map(|_| AtomicBool::new(false)).collect();
 
     let mut running = n;
     let mut messages: u64 = 0;
@@ -695,39 +837,53 @@ where
             });
         }
         assert!(
-            round <= u64::from(u32::MAX),
+            round < u64::from(u32::MAX),
             "termination rounds are recorded in u32 slots"
         );
-        // Even rounds write arena A and read arena B; odd rounds swap.
+        // Even rounds write arena A and read arena B; odd rounds swap. The
+        // mail flags are double-buffered on the same parity.
         let (read, write) = if round.is_multiple_of(2) {
             (&arena_b, &mut arena_a)
         } else {
             (&arena_a, &mut arena_b)
         };
+        let (mail_now, mail_next) = if round.is_multiple_of(2) {
+            (&mail_a, &mail_b)
+        } else {
+            (&mail_b, &mail_a)
+        };
+        let shared = RoundShared {
+            read,
+            rev: &rev,
+            offsets,
+            adjacency,
+            contexts: &contexts,
+            chunk_size,
+            mail_now,
+            mail_next,
+            round,
+        };
         let mut regions = split_regions(
             &bounds,
             offsets,
+            chunk_size,
             &mut machines,
             &mut outputs,
             &mut rounds,
             &mut states,
+            &mut wakes,
+            &mut chunk_wakes,
             write,
         );
         let (terminated, sent) = if regions.len() == 1 {
             let mut region = regions.pop().expect("one region");
-            step_region(&mut region, read, &rev, offsets, &contexts, round)
+            step_region(&mut region, &shared)
         } else {
-            let read: &[Option<P::Message>] = read;
-            let rev: &[u32] = &rev;
-            let contexts: &[NodeContext] = &contexts;
+            let shared = &shared;
             std::thread::scope(|scope| {
                 let handles: Vec<_> = regions
                     .into_iter()
-                    .map(|mut region| {
-                        scope.spawn(move || {
-                            step_region(&mut region, read, rev, offsets, contexts, round)
-                        })
-                    })
+                    .map(|mut region| scope.spawn(move || step_region(&mut region, shared)))
                     .collect();
                 handles
                     .into_iter()
@@ -739,6 +895,18 @@ where
         messages += sent;
         terminated_in.push(terminated as u64);
         round += 1;
+        // Round fast-forward: with nothing in flight the next event is the
+        // earliest wake; skip the quiet rounds wholesale (they would all be
+        // zero-visit scans). The histogram keeps one (zero) entry per
+        // skipped round so profiles stay dense.
+        if running > 0 && sent == 0 {
+            let next = chunk_wakes.iter().copied().min().unwrap_or(u64::MAX);
+            if next > round {
+                let target = next.min(max_rounds.saturating_add(1));
+                terminated_in.resize(target as usize, 0);
+                round = target;
+            }
+        }
     }
 
     let outputs = outputs
@@ -931,6 +1099,15 @@ pub(crate) mod tests {
             }
             None
         }
+
+        fn next_wake(&self, _ctx: &NodeContext, now: u64) -> u64 {
+            // After round 0 this protocol only reacts to arriving tokens.
+            if now == 0 {
+                now
+            } else {
+                u64::MAX
+            }
+        }
     }
 
     #[test]
@@ -989,6 +1166,39 @@ pub(crate) mod tests {
             }
         );
         assert!(err.to_string().contains("3 nodes"));
+    }
+
+    #[test]
+    fn sleeping_forever_still_hits_the_round_limit() {
+        // A protocol that never terminates and also never wants to wake:
+        // the fast-forward path must land on the budget, not loop or hang.
+        struct Dormant;
+        impl Protocol for Dormant {
+            type Message = ();
+            type Output = ();
+            fn step(
+                &mut self,
+                _: &NodeContext,
+                _: u64,
+                _: &Inbox<'_, ()>,
+                _: &mut Outbox<'_, ()>,
+            ) -> Option<()> {
+                None
+            }
+            fn next_wake(&self, _: &NodeContext, _: u64) -> u64 {
+                u64::MAX
+            }
+        }
+        let tree = path(3);
+        let ids = Ids::sequential(3);
+        let err = run_sync(&tree, &ids, |_| Dormant, 5).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::RoundLimitExceeded {
+                limit: 5,
+                unfinished: 3
+            }
+        );
     }
 
     #[test]
@@ -1081,6 +1291,305 @@ pub(crate) mod tests {
                 assert!(r < offsets[w as usize + 1] as usize);
                 assert_eq!(rev[r] as usize, e, "involution");
             }
+        }
+    }
+
+    /// Silent until `target`, then broadcasts `label` and terminates with
+    /// it. With `hint` the sleep is declared via `next_wake`; without it
+    /// the node is stepped every round and does nothing — both must yield
+    /// identical outcomes.
+    pub(crate) struct Sleeper {
+        pub(crate) target: u64,
+        pub(crate) label: u64,
+        pub(crate) hint: bool,
+    }
+
+    impl Protocol for Sleeper {
+        type Message = u64;
+        type Output = u64;
+        fn step(
+            &mut self,
+            _ctx: &NodeContext,
+            round: u64,
+            _inbox: &Inbox<'_, u64>,
+            outbox: &mut Outbox<'_, u64>,
+        ) -> Option<u64> {
+            if round == self.target {
+                outbox.broadcast(self.label);
+                return Some(self.label);
+            }
+            None
+        }
+        fn next_wake(&self, _ctx: &NodeContext, now: u64) -> u64 {
+            if self.hint {
+                self.target
+            } else {
+                now
+            }
+        }
+    }
+
+    #[test]
+    fn wake_hints_do_not_change_outcomes() {
+        let n = 23;
+        let tree = path(n);
+        let ids = Ids::sequential(n);
+        // A spread-out schedule exercising skips, simultaneous wakes, and
+        // final-message delivery into sleeping neighbors.
+        let target = |v: usize| ((v as u64) * 7 % 19) + (v as u64 % 3) * 11;
+        let hinted = run_sync(
+            &tree,
+            &ids,
+            |c| Sleeper {
+                target: target(c.node),
+                label: c.id,
+                hint: true,
+            },
+            100,
+        )
+        .unwrap();
+        let plain = run_sync(
+            &tree,
+            &ids,
+            |c| Sleeper {
+                target: target(c.node),
+                label: c.id,
+                hint: false,
+            },
+            100,
+        )
+        .unwrap();
+        assert_eq!(hinted.outputs, plain.outputs);
+        assert_eq!(hinted.stats, plain.stats);
+        assert_eq!(hinted.profile, plain.profile);
+        assert_eq!(hinted.messages, plain.messages);
+        for chunk_size in [1, 7, 64, n] {
+            for threads in [1, 2, 3] {
+                let out = run_sync_with(
+                    &tree,
+                    &ids,
+                    |c| Sleeper {
+                        target: target(c.node),
+                        label: c.id,
+                        hint: true,
+                    },
+                    100,
+                    &EngineConfig {
+                        chunk_size,
+                        threads,
+                    },
+                )
+                .unwrap();
+                assert_eq!(out.outputs, plain.outputs, "cs={chunk_size} t={threads}");
+                assert_eq!(out.stats, plain.stats, "cs={chunk_size} t={threads}");
+                assert_eq!(out.profile, plain.profile, "cs={chunk_size} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn declared_sleepers_are_not_stepped() {
+        // Panics if the engine steps a node in a round its wake hint (and
+        // the absence of mail) said to skip — proving chunk skipping and
+        // fast-forward actually happen.
+        struct Strict {
+            target: u64,
+        }
+        impl Protocol for Strict {
+            type Message = ();
+            type Output = u64;
+            fn step(
+                &mut self,
+                _ctx: &NodeContext,
+                round: u64,
+                _inbox: &Inbox<'_, ()>,
+                _outbox: &mut Outbox<'_, ()>,
+            ) -> Option<u64> {
+                assert!(
+                    round == 0 || round == self.target,
+                    "stepped while asleep (round {round}, target {})",
+                    self.target
+                );
+                if round == self.target {
+                    Some(round)
+                } else {
+                    None
+                }
+            }
+            fn next_wake(&self, _ctx: &NodeContext, _now: u64) -> u64 {
+                self.target
+            }
+        }
+        let n = 5;
+        let tree = path(n);
+        let ids = Ids::sequential(n);
+        // Far-apart targets force fast-forward across long quiet spans.
+        let out = run_sync(
+            &tree,
+            &ids,
+            |c| Strict {
+                target: 1 + 10_000 * (c.node as u64 + 1),
+            },
+            100_000,
+        )
+        .unwrap();
+        for v in 0..n {
+            let t = 1 + 10_000 * (v as u64 + 1);
+            assert_eq!(out.outputs[v], t);
+            assert_eq!(out.stats.round(v), t);
+        }
+        assert_eq!(out.profile.total_nodes(), n as u64);
+        assert_eq!(out.profile.worst_case(), 1 + 10_000 * n as u64);
+    }
+
+    #[test]
+    fn mail_wakes_a_sleeping_node_early() {
+        // Node 0 pings its neighbor at round 0; every other node sleeps
+        // until round 50 but must observe mail the moment it arrives.
+        struct PingOnce {
+            is_source: bool,
+            heard: Option<u64>,
+        }
+        impl Protocol for PingOnce {
+            type Message = u64;
+            type Output = u64;
+            fn step(
+                &mut self,
+                _ctx: &NodeContext,
+                round: u64,
+                inbox: &Inbox<'_, u64>,
+                outbox: &mut Outbox<'_, u64>,
+            ) -> Option<u64> {
+                if round == 0 && self.is_source {
+                    outbox.broadcast(round);
+                    return Some(0);
+                }
+                if self.heard.is_none() && !inbox.is_empty() {
+                    self.heard = Some(round);
+                }
+                if round >= 50 {
+                    return Some(self.heard.unwrap_or(u64::MAX));
+                }
+                None
+            }
+            fn next_wake(&self, _ctx: &NodeContext, _now: u64) -> u64 {
+                50
+            }
+        }
+        let tree = path(3);
+        let ids = Ids::sequential(3);
+        let out = run_sync(
+            &tree,
+            &ids,
+            |c| PingOnce {
+                is_source: c.node == 0,
+                heard: None,
+            },
+            100,
+        )
+        .unwrap();
+        // Node 1 hears the ping at round 1 (woken by mail, not its hint);
+        // node 2 never hears anything and wakes at 50 on its own.
+        assert_eq!(out.outputs, vec![0, 1, u64::MAX]);
+        assert_eq!(out.stats.round(1), 50);
+    }
+
+    #[test]
+    fn stale_messages_are_not_redelivered() {
+        // The sender fires once at round 0 and then sleeps; its arena slot
+        // is never rewritten. The receiver steps every round and counts
+        // deliveries — the stamp check must make it see the message exactly
+        // once (a stale slot would resurface at round 3, 5, ...).
+        struct OneShotSender;
+        impl Protocol for OneShotSender {
+            type Message = u64;
+            type Output = u64;
+            fn step(
+                &mut self,
+                _ctx: &NodeContext,
+                round: u64,
+                _inbox: &Inbox<'_, u64>,
+                outbox: &mut Outbox<'_, u64>,
+            ) -> Option<u64> {
+                if round == 0 {
+                    outbox.broadcast(7);
+                } else if round == 8 {
+                    return Some(0);
+                }
+                None
+            }
+            fn next_wake(&self, _ctx: &NodeContext, _now: u64) -> u64 {
+                8
+            }
+        }
+        struct Counter {
+            seen: u64,
+        }
+        impl Protocol for Counter {
+            type Message = u64;
+            type Output = u64;
+            fn step(
+                &mut self,
+                _ctx: &NodeContext,
+                round: u64,
+                inbox: &Inbox<'_, u64>,
+                _outbox: &mut Outbox<'_, u64>,
+            ) -> Option<u64> {
+                self.seen += inbox.count() as u64;
+                assert_eq!(inbox.is_empty(), inbox.count() == 0);
+                if round == 8 {
+                    return Some(self.seen);
+                }
+                None
+            }
+        }
+        enum Either {
+            Send(OneShotSender),
+            Count(Counter),
+        }
+        impl Protocol for Either {
+            type Message = u64;
+            type Output = u64;
+            fn step(
+                &mut self,
+                ctx: &NodeContext,
+                round: u64,
+                inbox: &Inbox<'_, u64>,
+                outbox: &mut Outbox<'_, u64>,
+            ) -> Option<u64> {
+                match self {
+                    Either::Send(p) => p.step(ctx, round, inbox, outbox),
+                    Either::Count(p) => p.step(ctx, round, inbox, outbox),
+                }
+            }
+            fn next_wake(&self, ctx: &NodeContext, now: u64) -> u64 {
+                match self {
+                    Either::Send(p) => p.next_wake(ctx, now),
+                    Either::Count(p) => p.next_wake(ctx, now),
+                }
+            }
+        }
+        let tree = path(2);
+        let ids = Ids::sequential(2);
+        for chunk_size in [1, 2] {
+            let out = run_sync_with(
+                &tree,
+                &ids,
+                |c| {
+                    if c.node == 0 {
+                        Either::Send(OneShotSender)
+                    } else {
+                        Either::Count(Counter { seen: 0 })
+                    }
+                },
+                20,
+                &EngineConfig {
+                    chunk_size,
+                    threads: 1,
+                },
+            )
+            .unwrap();
+            assert_eq!(out.outputs[1], 1, "cs={chunk_size}: delivered exactly once");
         }
     }
 }
