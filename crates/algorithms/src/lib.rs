@@ -27,7 +27,7 @@
 //! implementations double as differential oracles for those protocols.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod a35;
 pub mod apoly;

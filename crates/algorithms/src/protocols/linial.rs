@@ -40,6 +40,9 @@ pub struct LinialCascade {
     delta: u64,
     target: u64,
     class: u64,
+    /// Reused across rounds so `step` never allocates on the hot path;
+    /// capacity is reserved once in [`LinialCascade::new`].
+    scratch: Vec<u64>,
 }
 
 impl LinialCascade {
@@ -57,6 +60,7 @@ impl LinialCascade {
             delta,
             target,
             class: m,
+            scratch: Vec::with_capacity(delta as usize),
         }
     }
 }
@@ -77,16 +81,16 @@ impl Protocol for LinialCascade {
             // palette trajectory is a pure function of `space`, so every
             // node switches from reduction to elimination in the same
             // round without coordination.
-            let neighbor_colors: Vec<u64> = inbox.iter().map(|(_, &c)| c).collect();
+            self.scratch.clear();
+            self.scratch.extend(inbox.iter().map(|(_, &c)| c));
             let p = step_params(self.m, self.delta);
             if p.q * p.q < self.m {
-                self.color = reduced_color(self.color, &neighbor_colors, p);
+                self.color = reduced_color(self.color, &self.scratch, p);
                 self.m = p.q * p.q;
                 self.class = self.m;
             } else {
                 self.class -= 1;
-                self.color =
-                    eliminated_color(self.color, &neighbor_colors, self.class, self.target);
+                self.color = eliminated_color(self.color, &self.scratch, self.class, self.target);
                 if self.class == self.target {
                     return Some(self.color);
                 }

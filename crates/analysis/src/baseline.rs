@@ -1,0 +1,159 @@
+//! The per-rule allow-baseline.
+//!
+//! A baseline entry suppresses one known, justified finding so the
+//! workspace gate can stay `--strict` without the rules losing their
+//! teeth. Entries are keyed by `(rule, file, item)` — deliberately *not*
+//! by line number, so routine edits above a blessed site do not churn
+//! the baseline file.
+//!
+//! File format, one entry per line:
+//!
+//! ```text
+//! LCL-A01 crates/local/src/engine.rs Outbox::broadcast  # clone of a Copy-like message
+//! ```
+//!
+//! Blank lines and `#`-comment lines are ignored. The part after `#` on
+//! an entry line is the justification, which is required.
+
+use serde::Serialize;
+
+/// One parsed baseline entry.
+#[derive(Debug, Clone, Serialize)]
+pub struct BaselineEntry {
+    /// The rule id the entry suppresses (`LCL-A01`).
+    pub rule: String,
+    /// Workspace-relative file path with forward slashes.
+    pub file: String,
+    /// The qualified item path the finding anchors to (`Outbox::broadcast`).
+    pub item: String,
+    /// The justification comment.
+    pub reason: String,
+    /// 1-based line of the entry in the baseline file.
+    pub line: u32,
+}
+
+/// A parsed baseline with per-entry use tracking.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: Vec<BaselineEntry>,
+    used: Vec<bool>,
+}
+
+impl Baseline {
+    /// The empty baseline: nothing is suppressed.
+    #[must_use]
+    pub fn empty() -> Self {
+        Baseline::default()
+    }
+
+    /// Parses the baseline file format. Malformed lines are errors —
+    /// a baseline that silently drops entries would un-suppress
+    /// findings on a typo, or worse, hide that it no longer applies.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (entry, reason) = match line.split_once('#') {
+                Some((e, r)) => (e.trim(), r.trim()),
+                None => {
+                    return Err(format!(
+                        "baseline line {line_no}: missing `# justification` comment"
+                    ))
+                }
+            };
+            let fields: Vec<&str> = entry.split_whitespace().collect();
+            let [rule, file, item] = fields[..] else {
+                return Err(format!(
+                    "baseline line {line_no}: expected `rule file item  # reason`, \
+                     got {} fields",
+                    fields.len()
+                ));
+            };
+            if reason.is_empty() {
+                return Err(format!("baseline line {line_no}: empty justification"));
+            }
+            entries.push(BaselineEntry {
+                rule: rule.to_string(),
+                file: file.to_string(),
+                item: item.to_string(),
+                reason: reason.to_string(),
+                line: line_no,
+            });
+        }
+        let used = vec![false; entries.len()];
+        Ok(Baseline { entries, used })
+    }
+
+    /// Looks up the entry suppressing `(rule, file, item)`, marking it
+    /// used. One entry may suppress several findings on the same item.
+    pub fn suppress(&mut self, rule: &str, file: &str, item: &str) -> Option<&BaselineEntry> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.rule == rule && e.file == file && e.item == item)?;
+        self.used[idx] = true;
+        Some(&self.entries[idx])
+    }
+
+    /// Entries that suppressed nothing this run — stale ballast that
+    /// should be deleted from the baseline file.
+    #[must_use]
+    pub fn stale(&self) -> Vec<BaselineEntry> {
+        self.entries
+            .iter()
+            .zip(&self.used)
+            .filter(|(_, used)| !**used)
+            .map(|(e, _)| e.clone())
+            .collect()
+    }
+
+    /// Number of entries in the baseline.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_tracks_use() {
+        let text = "\
+# header comment
+
+LCL-A01 crates/local/src/engine.rs Outbox::broadcast  # msg clone is Copy-like
+LCL-D02 crates/harness/src/algorithm.rs run_timed  # timing metadata only
+";
+        let mut b = Baseline::parse(text).expect("parses");
+        assert_eq!(b.len(), 2);
+        let hit = b
+            .suppress("LCL-A01", "crates/local/src/engine.rs", "Outbox::broadcast")
+            .expect("matches");
+        assert_eq!(hit.reason, "msg clone is Copy-like");
+        assert!(b
+            .suppress("LCL-A01", "crates/local/src/engine.rs", "other")
+            .is_none());
+        let stale = b.stale();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, "LCL-D02");
+    }
+
+    #[test]
+    fn rejects_entries_without_justification() {
+        assert!(Baseline::parse("LCL-A01 f.rs item\n").is_err());
+        assert!(Baseline::parse("LCL-A01 f.rs item  #   \n").is_err());
+        assert!(Baseline::parse("LCL-A01 f.rs  # too few fields\n").is_err());
+    }
+}

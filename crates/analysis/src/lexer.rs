@@ -1,0 +1,443 @@
+//! A span-accurate Rust tokenizer.
+//!
+//! The analyzer never needs a full parse — every rule works on token
+//! streams — but it does need *correct* tokens: braces inside string
+//! literals must not look like block structure, `'a` must not swallow a
+//! character literal, and `0..n` must not lex as a float. The lexer
+//! therefore handles the full literal grammar the workspace uses: raw
+//! and byte strings with arbitrary `#` fences, nested block comments,
+//! lifetimes versus character literals, and numeric literals with
+//! suffixes, underscores, and exponents.
+
+/// The coarse class of a token. Rules match on kind plus text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `Vec`, `r#type`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`), without the quote.
+    Lifetime,
+    /// A string literal of any flavor, quotes included in the text.
+    Str,
+    /// A character or byte literal, quotes included in the text.
+    Char,
+    /// A numeric literal, suffix included.
+    Num,
+    /// A single punctuation character (`.`, `::` is two tokens).
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `text`.
+    #[must_use]
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Whether this token is the punctuation character `ch`.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Tokenizes `src`, silently skipping whitespace and comments.
+///
+/// The lexer is total: malformed input (an unterminated string, say)
+/// produces a best-effort token stream rather than an error, because a
+/// linter must keep going on sources it half-understands.
+#[must_use]
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut toks = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('/') {
+            while let Some(n) = cur.peek() {
+                if n == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(), cur.peek_at(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            continue;
+        }
+        if let Some(tok) = lex_string_like(&mut cur, line, col) {
+            toks.push(tok);
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            // Raw identifiers: `r#type` lexes as the ident `type`.
+            if c == 'r' && cur.peek_at(1) == Some('#') && cur.peek_at(2).is_some_and(is_ident_start)
+            {
+                cur.bump();
+                cur.bump();
+            }
+            while let Some(n) = cur.peek() {
+                if is_ident_continue(n) {
+                    text.push(n);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            toks.push(lex_number(&mut cur, line, col));
+            continue;
+        }
+        if c == '\'' {
+            toks.push(lex_quote(&mut cur, line, col));
+            continue;
+        }
+        cur.bump();
+        toks.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+/// Lexes string literals in all their flavors (`"…"`, `r"…"`, `r#"…"#`,
+/// `b"…"`, `br#"…"#`), or returns `None` if the cursor is not at one.
+fn lex_string_like(cur: &mut Cursor, line: u32, col: u32) -> Option<Token> {
+    let c = cur.peek()?;
+    let (prefix_len, raw) = match c {
+        '"' => (0, false),
+        'r' | 'b' | 'c' => {
+            // Scan past `r`, `b`, `br`, `cr` toward `"` or `#…"`.
+            let mut ahead = 1;
+            if (c == 'b' || c == 'c') && cur.peek_at(ahead) == Some('r') {
+                ahead += 1;
+            }
+            let raw = c == 'r' || cur.peek_at(1) == Some('r');
+            let mut fences = ahead;
+            while raw && cur.peek_at(fences) == Some('#') {
+                fences += 1;
+            }
+            if cur.peek_at(fences) != Some('"') {
+                return None;
+            }
+            if !raw && cur.peek_at(ahead) != Some('"') {
+                return None;
+            }
+            (ahead, raw)
+        }
+        _ => return None,
+    };
+    let mut text = String::new();
+    for _ in 0..prefix_len {
+        text.push(cur.bump()?);
+    }
+    let mut fences = 0usize;
+    while raw && cur.peek() == Some('#') {
+        text.push(cur.bump()?);
+        fences += 1;
+    }
+    debug_assert_eq!(cur.peek(), Some('"'));
+    text.push(cur.bump()?);
+    loop {
+        match cur.peek() {
+            None => break,
+            Some('\\') if !raw => {
+                text.push(cur.bump().unwrap_or('\\'));
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            Some('"') => {
+                text.push(cur.bump()?);
+                if !raw {
+                    break;
+                }
+                let mut closed = 0usize;
+                while closed < fences && cur.peek() == Some('#') {
+                    text.push(cur.bump()?);
+                    closed += 1;
+                }
+                if closed == fences {
+                    break;
+                }
+            }
+            Some(_) => {
+                text.push(cur.bump()?);
+            }
+        }
+    }
+    Some(Token {
+        kind: TokKind::Str,
+        text,
+        line,
+        col,
+    })
+}
+
+/// Lexes a numeric literal: integers, floats, underscores, radix
+/// prefixes, exponents, and type suffixes. `0..n` stays two tokens —
+/// a trailing `.` is consumed only when a digit follows.
+fn lex_number(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            text.push(c);
+            cur.bump();
+            // `1e-3` / `2E+10`: a sign directly after the exponent
+            // marker belongs to the literal (decimal floats only).
+            if (c == 'e' || c == 'E')
+                && !text.starts_with("0x")
+                && !text.starts_with("0b")
+                && !text.starts_with("0o")
+                && matches!(cur.peek(), Some('+' | '-'))
+                && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                text.push(cur.bump().unwrap_or('+'));
+            }
+        } else if c == '.'
+            && !text.contains('.')
+            && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+        {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    Token {
+        kind: TokKind::Num,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'a'` (char literal) and lexes
+/// whichever the source holds.
+fn lex_quote(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    debug_assert_eq!(cur.peek(), Some('\''));
+    let next = cur.peek_at(1);
+    let lifetime = next.is_some_and(is_ident_start) && cur.peek_at(2) != Some('\'');
+    if lifetime {
+        cur.bump();
+        let mut text = String::new();
+        while let Some(c) = cur.peek() {
+            if is_ident_continue(c) {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Token {
+            kind: TokKind::Lifetime,
+            text,
+            line,
+            col,
+        };
+    }
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or('\''));
+    loop {
+        match cur.peek() {
+            None | Some('\n') => break,
+            Some('\\') => {
+                text.push(cur.bump().unwrap_or('\\'));
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            Some('\'') => {
+                text.push(cur.bump().unwrap_or('\''));
+                break;
+            }
+            Some(c) => {
+                text.push(c);
+                cur.bump();
+            }
+        }
+    }
+    Token {
+        kind: TokKind::Char,
+        text,
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_braces_and_comments() {
+        let toks = kinds(r#"let s = "{ /* not a comment */ }";"#);
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "s".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Str, r#""{ /* not a comment */ }""#.into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_respect_fences() {
+        let toks = kinds(r###"r#"a "quoted" b"# x"###);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[0].1, r###"r#"a "quoted" b"#"###);
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let toks = kinds("&'a str; 'x'; '\\n'; 'outer: loop");
+        assert!(toks.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(toks.contains(&(TokKind::Char, "'x'".into())));
+        assert!(toks.contains(&(TokKind::Char, "'\\n'".into())));
+        assert!(toks.contains(&(TokKind::Lifetime, "outer".into())));
+    }
+
+    #[test]
+    fn ranges_do_not_become_floats() {
+        let toks = kinds("0..n 1.5 2.0e-3 0xFF_u32 7.max(3)");
+        assert_eq!(toks[0], (TokKind::Num, "0".into()));
+        assert_eq!(toks[1], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[2], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[3], (TokKind::Ident, "n".into()));
+        assert_eq!(toks[4], (TokKind::Num, "1.5".into()));
+        assert_eq!(toks[5], (TokKind::Num, "2.0e-3".into()));
+        assert_eq!(toks[6], (TokKind::Num, "0xFF_u32".into()));
+        assert_eq!(toks[7], (TokKind::Num, "7".into()));
+        assert_eq!(toks[8], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[9], (TokKind::Ident, "max".into()));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(
+            toks,
+            vec![(TokKind::Ident, "a".into()), (TokKind::Ident, "b".into()),]
+        );
+    }
+
+    #[test]
+    fn spans_are_one_based_lines_and_cols() {
+        let toks = tokenize("fn f() {\n    x.unwrap();\n}");
+        let unwrap = toks.iter().find(|t| t.is_ident("unwrap")).expect("unwrap");
+        assert_eq!((unwrap.line, unwrap.col), (2, 7));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        let toks = kinds("r#type r#fn normal");
+        assert_eq!(toks[0], (TokKind::Ident, "type".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "fn".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "normal".into()));
+    }
+}

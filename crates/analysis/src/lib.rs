@@ -1,0 +1,112 @@
+//! In-house static analysis for the LCL workspace: `lcl analyze`.
+//!
+//! The chunked engine's trustworthiness rests on invariants the
+//! compiler cannot see — hot rounds allocate nothing, results never
+//! depend on hash order, wall clocks, or thread identity, the API
+//! crates fail through typed errors, and the differential/golden
+//! artifacts stay in lockstep with the code. This crate turns those
+//! prose invariants (ARCHITECTURE.md) into machine-checked rules over
+//! the workspace's own sources: a span-accurate tokenizer
+//! ([`lexer`]), a lightweight item-structure pass ([`model`]), a rule
+//! set ([`rules`]), a per-rule allow-baseline ([`baseline`]), and
+//! human/JSON reporting ([`report`]).
+//!
+//! The analyzer is deliberately dependency-free (the container has no
+//! crates.io): the tokenizer is hand-written in the same spirit as the
+//! vendored `serde_derive`'s token-stream parsing, and every rule works
+//! on token slices rather than an AST. It is a linter, not a compiler:
+//! resilient to code it half-understands, precise on the patterns the
+//! rules name.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod model;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use baseline::Baseline;
+use report::{sort_findings, Suppressed};
+pub use report::{AnalysisReport, Finding};
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// What to analyze and against which baseline.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Workspace root to scan.
+    pub root: PathBuf,
+    /// Baseline file to load; `None` runs with the empty baseline.
+    /// A missing file at this path is an error — a strict gate must
+    /// not silently degrade to "suppress nothing".
+    pub baseline: Option<PathBuf>,
+}
+
+/// Analysis failed before producing a report.
+#[derive(Debug)]
+pub enum AnalysisError {
+    /// Reading sources or the baseline file failed.
+    Io {
+        /// What was being read.
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The baseline file is malformed.
+    Baseline(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Io { context, source } => {
+                write!(f, "analysis i/o error ({context}): {source}")
+            }
+            AnalysisError::Baseline(msg) => write!(f, "bad baseline: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Scans the workspace, runs every rule, and applies the baseline.
+pub fn analyze(config: &AnalysisConfig) -> Result<AnalysisReport, AnalysisError> {
+    let mut base = match &config.baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|source| AnalysisError::Io {
+                context: format!("baseline {}", path.display()),
+                source,
+            })?;
+            Baseline::parse(&text).map_err(AnalysisError::Baseline)?
+        }
+        None => Baseline::empty(),
+    };
+    let files = workspace::scan(&config.root).map_err(|source| AnalysisError::Io {
+        context: format!("scanning {}", config.root.display()),
+        source,
+    })?;
+    let mut raw = rules::run_all(&files, &config.root);
+    sort_findings(&mut raw);
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    for finding in raw {
+        match base.suppress(finding.rule, &finding.file, &finding.item) {
+            Some(entry) => suppressed.push(Suppressed {
+                finding,
+                reason: entry.reason.clone(),
+            }),
+            None => findings.push(finding),
+        }
+    }
+    Ok(AnalysisReport {
+        findings,
+        suppressed,
+        stale_baseline: base.stale(),
+        files_scanned: files.len(),
+        baseline_entries: base.len(),
+    })
+}

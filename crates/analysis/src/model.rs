@@ -1,0 +1,746 @@
+//! A lightweight structural pass over the token stream.
+//!
+//! The analyzer does not build an AST. It recovers just enough item
+//! structure for the rules to aim at: function boundaries (signature
+//! and body token ranges), the impl context a function lives in (type
+//! and trait names), attributes, `#[cfg(test)]` reach, and struct
+//! fields (for hash-container taint). Everything inside a function
+//! body stays a flat token slice — the rules scan it lexically.
+
+use crate::lexer::{TokKind, Token};
+
+/// The impl or trait declaration a function was found inside.
+#[derive(Debug, Clone)]
+pub struct ImplCtx {
+    /// Base name of the self type (`Outbox` for `impl<M> Outbox<'_, M>`),
+    /// or the trait's own name inside a `trait` declaration.
+    pub type_name: String,
+    /// Base name of the implemented trait, if this is a trait impl.
+    pub trait_name: Option<String>,
+    /// Whether this is a `trait` declaration body (default methods)
+    /// rather than an `impl` block.
+    pub is_trait_decl: bool,
+}
+
+/// One function item with spans into the file's token stream.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The bare function name.
+    pub name: String,
+    /// `Type::name` inside an impl or trait, plain `name` otherwise.
+    pub qual_name: String,
+    /// The enclosing impl block or trait declaration, if any.
+    pub impl_ctx: Option<ImplCtx>,
+    /// Whether the function is unrestricted `pub` (exported API).
+    /// Restricted visibilities (`pub(crate)`, `pub(super)`, `pub(in …)`)
+    /// do not count: they are internal surface.
+    pub is_pub: bool,
+    /// Whether the function is test-only: `#[test]`, `#[cfg(test)]`, or
+    /// anywhere under a `#[cfg(test)]` module.
+    pub in_test: bool,
+    /// Whether the function carries `#[must_use]`.
+    pub has_must_use: bool,
+    /// Outer attributes, concatenated token texts (`cfg(test)`).
+    pub attrs: Vec<String>,
+    /// 1-based line of the function name.
+    pub line: u32,
+    /// 1-based column of the function name.
+    pub col: u32,
+    /// Token range `[start, end)` of the body, between the braces.
+    /// `None` for bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Return-type tokens, as texts (empty when the return is `()`).
+    pub ret: Vec<String>,
+}
+
+impl FnInfo {
+    /// Whether the declared return type is exactly the constructed type:
+    /// literally `Self`, or the base name of the enclosing impl's self
+    /// type. This is the builder-style shape `#[must_use]` should mark.
+    #[must_use]
+    pub fn returns_self(&self) -> bool {
+        if self.ret.len() != 1 {
+            return false;
+        }
+        if self.ret[0] == "Self" {
+            return true;
+        }
+        self.impl_ctx
+            .as_ref()
+            .is_some_and(|ctx| !ctx.is_trait_decl && ctx.type_name == self.ret[0])
+    }
+}
+
+/// One struct item with its named fields (for taint seeding).
+#[derive(Debug, Clone)]
+pub struct StructInfo {
+    /// The struct name.
+    pub name: String,
+    /// Named fields as `(field, type-text)`; type text is the
+    /// space-joined token texts of the declared type.
+    pub fields: Vec<(String, String)>,
+    /// 1-based line of the struct name.
+    pub line: u32,
+}
+
+/// The recovered structure of one source file.
+#[derive(Debug, Default)]
+pub struct FileModel {
+    /// Every function item, in source order.
+    pub fns: Vec<FnInfo>,
+    /// Every struct with named fields, in source order.
+    pub structs: Vec<StructInfo>,
+}
+
+/// Parses the token stream of one file into its item structure.
+#[must_use]
+pub fn parse_file(toks: &[Token]) -> FileModel {
+    let mut parser = Parser {
+        toks,
+        pos: 0,
+        model: FileModel::default(),
+    };
+    parser.items(false, None);
+    parser.model
+}
+
+struct Parser<'t> {
+    toks: &'t [Token],
+    pos: usize,
+    model: FileModel,
+}
+
+/// One parsed outer attribute: the concatenated display text plus the
+/// individual token texts (for word-exact checks like `cfg(test)`).
+struct Attr {
+    text: String,
+    words: Vec<String>,
+}
+
+impl Attr {
+    fn is_test(&self) -> bool {
+        if self.words.first().map(String::as_str) == Some("test") {
+            return true;
+        }
+        self.words.first().map(String::as_str) == Some("cfg")
+            && self.words.iter().any(|w| w == "test")
+    }
+
+    fn is_must_use(&self) -> bool {
+        self.words.first().map(String::as_str) == Some("must_use")
+    }
+}
+
+impl<'t> Parser<'t> {
+    fn peek(&self) -> Option<&'t Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<&'t Token> {
+        self.toks.get(self.pos + ahead)
+    }
+
+    fn bump(&mut self) -> Option<&'t Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        self.peek().is_some_and(|t| t.is_punct(ch))
+    }
+
+    fn at_ident(&self, text: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_ident(text))
+    }
+
+    /// Consumes a balanced `open …ensure close` group, current token
+    /// included. Tolerates EOF (stops there).
+    fn skip_group(&mut self, open: char, close: char) {
+        debug_assert!(self.at_punct(open));
+        let mut depth = 0usize;
+        while let Some(t) = self.bump() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Consumes a balanced generic-argument group starting at `<`. The
+    /// `>` of a `->` arrow (which appears inside `Fn(…) -> T` bounds)
+    /// does not close the group.
+    fn skip_angles(&mut self) {
+        debug_assert!(self.at_punct('<'));
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            if t.is_punct('-') && self.peek_at(1).is_some_and(|n| n.is_punct('>')) {
+                self.pos += 2;
+                continue;
+            }
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    self.pos += 1;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes to the `;` ending a non-brace item (`use`, `const`,
+    /// `static`, `type`), balancing every bracket flavor on the way.
+    fn skip_stmt(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.bump() {
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+            } else if t.is_punct(';') && depth == 0 {
+                return;
+            }
+        }
+    }
+
+    /// Parses one outer attribute if the cursor is at `#`; inner
+    /// attributes (`#![…]`) are consumed and dropped.
+    fn attr(&mut self) -> Option<Attr> {
+        if !self.at_punct('#') {
+            return None;
+        }
+        let inner = self.peek_at(1).is_some_and(|t| t.is_punct('!'));
+        self.bump();
+        if inner {
+            self.bump();
+        }
+        if !self.at_punct('[') {
+            return None;
+        }
+        let start = self.pos;
+        self.skip_group('[', ']');
+        if inner {
+            return None;
+        }
+        let body = &self.toks[start + 1..self.pos.saturating_sub(1)];
+        Some(Attr {
+            text: body.iter().map(|t| t.text.as_str()).collect(),
+            words: body.iter().map(|t| t.text.clone()).collect(),
+        })
+    }
+
+    /// Parses items until the matching `}` of the enclosing block (which
+    /// it consumes) or EOF.
+    fn items(&mut self, in_test: bool, impl_ctx: Option<&ImplCtx>) {
+        loop {
+            if self.peek().is_none() {
+                return;
+            }
+            if self.at_punct('}') {
+                self.bump();
+                return;
+            }
+            let mut attrs: Vec<Attr> = Vec::new();
+            while self.at_punct('#') {
+                if let Some(a) = self.attr() {
+                    attrs.push(a);
+                }
+            }
+            let mut is_pub = false;
+            loop {
+                if self.at_ident("pub") {
+                    self.bump();
+                    if self.at_punct('(') {
+                        // `pub(crate)` / `pub(super)` / `pub(in …)` are
+                        // internal surface, not exported API.
+                        self.skip_group('(', ')');
+                    } else {
+                        is_pub = true;
+                    }
+                    continue;
+                }
+                if self.at_ident("default") || self.at_ident("async") || self.at_ident("unsafe") {
+                    self.bump();
+                    continue;
+                }
+                if self.at_ident("const") {
+                    // `const` is a fn qualifier only when the fn (or a
+                    // further qualifier) follows directly; otherwise it
+                    // starts a `const NAME: … = …;` item.
+                    let next_is_fn = self.peek_at(1).is_some_and(|t| {
+                        t.is_ident("fn") || t.is_ident("unsafe") || t.is_ident("extern")
+                    });
+                    if next_is_fn {
+                        self.bump();
+                        continue;
+                    }
+                }
+                if self.at_ident("extern")
+                    && self
+                        .peek_at(1)
+                        .is_some_and(|t| t.kind == TokKind::Str || t.is_ident("fn"))
+                {
+                    self.bump();
+                    if self.peek().is_some_and(|t| t.kind == TokKind::Str) {
+                        self.bump();
+                    }
+                    continue;
+                }
+                break;
+            }
+            if self.at_ident("fn") {
+                self.parse_fn(&attrs, is_pub, in_test, impl_ctx);
+            } else if self.at_ident("mod") {
+                self.bump();
+                let child_test = in_test || attrs.iter().any(Attr::is_test);
+                self.bump(); // module name
+                if self.at_punct('{') {
+                    self.bump();
+                    self.items(child_test, None);
+                } else if self.at_punct(';') {
+                    self.bump();
+                }
+            } else if self.at_ident("impl") {
+                self.parse_impl(in_test);
+            } else if self.at_ident("trait") {
+                self.bump();
+                let name = self
+                    .peek()
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map_or_else(|| "?".to_string(), |t| t.text.clone());
+                while let Some(t) = self.peek() {
+                    if t.is_punct('{') {
+                        break;
+                    }
+                    if t.is_punct(';') {
+                        self.bump();
+                        break;
+                    }
+                    if t.is_punct('<') {
+                        self.skip_angles();
+                    } else {
+                        self.bump();
+                    }
+                }
+                if self.at_punct('{') {
+                    self.bump();
+                    let ctx = ImplCtx {
+                        type_name: name,
+                        trait_name: None,
+                        is_trait_decl: true,
+                    };
+                    self.items(in_test, Some(&ctx));
+                }
+            } else if self.at_ident("struct") {
+                self.parse_struct(in_test);
+            } else if self.at_ident("enum") || self.at_ident("union") {
+                self.bump();
+                while let Some(t) = self.peek() {
+                    if t.is_punct('{') {
+                        self.skip_group('{', '}');
+                        break;
+                    }
+                    if t.is_punct(';') {
+                        self.bump();
+                        break;
+                    }
+                    if t.is_punct('<') {
+                        self.skip_angles();
+                    } else {
+                        self.bump();
+                    }
+                }
+            } else if self.at_ident("macro_rules") {
+                self.bump(); // macro_rules
+                self.bump(); // !
+                self.bump(); // name
+                if self.at_punct('{') {
+                    self.skip_group('{', '}');
+                } else if self.at_punct('(') {
+                    self.skip_group('(', ')');
+                    if self.at_punct(';') {
+                        self.bump();
+                    }
+                }
+            } else if self.at_ident("use")
+                || self.at_ident("type")
+                || self.at_ident("static")
+                || self.at_ident("const")
+                || self.at_ident("extern")
+            {
+                self.skip_stmt();
+            } else {
+                // Unknown construct: advance one token and resync.
+                self.bump();
+            }
+        }
+    }
+
+    fn parse_fn(
+        &mut self,
+        attrs: &[Attr],
+        is_pub: bool,
+        in_test: bool,
+        impl_ctx: Option<&ImplCtx>,
+    ) {
+        self.bump(); // fn
+        let Some(name_tok) = self.peek() else { return };
+        if name_tok.kind != TokKind::Ident {
+            return;
+        }
+        let (name, line, col) = (name_tok.text.clone(), name_tok.line, name_tok.col);
+        self.bump();
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        if self.at_punct('(') {
+            self.skip_group('(', ')');
+        }
+        let mut ret: Vec<String> = Vec::new();
+        let mut capturing = false;
+        loop {
+            let Some(t) = self.peek() else { return };
+            if t.is_punct('{') || t.is_punct(';') {
+                break;
+            }
+            if t.is_ident("where") {
+                capturing = false;
+                self.bump();
+                continue;
+            }
+            if t.is_punct('-') && self.peek_at(1).is_some_and(|n| n.is_punct('>')) {
+                self.pos += 2;
+                capturing = true;
+                continue;
+            }
+            if capturing {
+                ret.push(t.text.clone());
+            }
+            if t.is_punct('<') {
+                let before = self.pos;
+                self.skip_angles();
+                if capturing {
+                    for inner in &self.toks[before + 1..self.pos] {
+                        ret.push(inner.text.clone());
+                    }
+                }
+            } else {
+                self.bump();
+            }
+        }
+        let body = if self.at_punct('{') {
+            let start = self.pos + 1;
+            self.skip_group('{', '}');
+            Some((start, self.pos.saturating_sub(1)))
+        } else {
+            self.bump(); // ;
+            None
+        };
+        let qual_name = impl_ctx.map_or_else(
+            || name.clone(),
+            |ctx| format!("{}::{}", ctx.type_name, name),
+        );
+        self.model.fns.push(FnInfo {
+            name,
+            qual_name,
+            impl_ctx: impl_ctx.cloned(),
+            is_pub,
+            in_test: in_test || attrs.iter().any(Attr::is_test),
+            has_must_use: attrs.iter().any(Attr::is_must_use),
+            attrs: attrs.iter().map(|a| a.text.clone()).collect(),
+            line,
+            col,
+            body,
+            ret,
+        });
+    }
+
+    fn parse_impl(&mut self, in_test: bool) {
+        self.bump(); // impl
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        // Collect header tokens up to `{` or `where`, splitting on a
+        // depth-0 `for` (trait impl). `for<'a>` higher-ranked bounds are
+        // not a split: the `for` there is directly followed by `<`.
+        let mut parts: [Vec<&Token>; 2] = [Vec::new(), Vec::new()];
+        let mut part = 0usize;
+        loop {
+            let Some(t) = self.peek() else { return };
+            if t.is_punct('{') || t.is_ident("where") {
+                break;
+            }
+            if t.is_ident("for") && !self.peek_at(1).is_some_and(|n| n.is_punct('<')) {
+                part = 1;
+                self.bump();
+                continue;
+            }
+            if t.is_punct('<') {
+                let before = self.pos;
+                self.skip_angles();
+                for inner in &self.toks[before..self.pos] {
+                    parts[part].push(inner);
+                }
+                continue;
+            }
+            parts[part].push(t);
+            self.bump();
+        }
+        while let Some(t) = self.peek() {
+            if t.is_punct('{') {
+                break;
+            }
+            self.bump();
+        }
+        let (trait_name, type_part) = if parts[1].is_empty() {
+            (None, &parts[0])
+        } else {
+            (base_name(&parts[0]), &parts[1])
+        };
+        let ctx = ImplCtx {
+            type_name: base_name(type_part).unwrap_or_else(|| "?".to_string()),
+            trait_name,
+            is_trait_decl: false,
+        };
+        if self.at_punct('{') {
+            self.bump();
+            self.items(in_test, Some(&ctx));
+        }
+    }
+
+    fn parse_struct(&mut self, _in_test: bool) {
+        self.bump(); // struct
+        let Some(name_tok) = self.peek() else { return };
+        let (name, line) = (name_tok.text.clone(), name_tok.line);
+        self.bump();
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        while let Some(t) = self.peek() {
+            if t.is_punct('{') || t.is_punct('(') || t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('<') {
+                self.skip_angles();
+            } else {
+                self.bump();
+            }
+        }
+        if self.at_punct('(') {
+            self.skip_group('(', ')');
+            if self.at_punct(';') {
+                self.bump();
+            }
+            return;
+        }
+        if self.at_punct(';') {
+            self.bump();
+            return;
+        }
+        if !self.at_punct('{') {
+            return;
+        }
+        self.bump();
+        let mut fields: Vec<(String, String)> = Vec::new();
+        loop {
+            while self.at_punct('#') {
+                let _ = self.attr();
+            }
+            if self.at_punct('}') {
+                self.bump();
+                break;
+            }
+            if self.peek().is_none() {
+                break;
+            }
+            if self.at_ident("pub") {
+                self.bump();
+                if self.at_punct('(') {
+                    self.skip_group('(', ')');
+                }
+            }
+            let Some(field_tok) = self.peek() else { break };
+            if field_tok.kind != TokKind::Ident {
+                self.bump();
+                continue;
+            }
+            let field = field_tok.text.clone();
+            self.bump();
+            if !self.at_punct(':') {
+                continue;
+            }
+            self.bump();
+            let mut ty: Vec<String> = Vec::new();
+            while let Some(t) = self.peek() {
+                if t.is_punct(',') {
+                    self.bump();
+                    break;
+                }
+                if t.is_punct('}') {
+                    break;
+                }
+                if t.is_punct('<') {
+                    let before = self.pos;
+                    self.skip_angles();
+                    for inner in &self.toks[before..self.pos] {
+                        ty.push(inner.text.clone());
+                    }
+                    continue;
+                }
+                ty.push(t.text.clone());
+                self.bump();
+            }
+            fields.push((field, ty.join(" ")));
+        }
+        self.model.structs.push(StructInfo { name, fields, line });
+    }
+}
+
+/// The base name of a path-ish token sequence: the last identifier of
+/// the leading path, stopping at the first depth-0 `<`. Keywords that
+/// can prefix a type (`mut`, `dyn`) are ignored.
+fn base_name(toks: &[&Token]) -> Option<String> {
+    let mut last: Option<String> = None;
+    for t in toks {
+        if t.is_punct('<') {
+            break;
+        }
+        if t.kind == TokKind::Ident && t.text != "mut" && t.text != "dyn" {
+            last = Some(t.text.clone());
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn model(src: &str) -> FileModel {
+        parse_file(&tokenize(src))
+    }
+
+    #[test]
+    fn finds_fns_with_impl_context() {
+        let m = model(
+            "impl<M: Clone> Outbox<'_, M> {\n\
+             pub fn send(&mut self, port: usize, msg: M) {}\n\
+             }\n\
+             impl Protocol for LinialCascade {\n\
+             fn step(&mut self) -> Option<u64> { None }\n\
+             }\n\
+             fn free() {}\n",
+        );
+        assert_eq!(m.fns.len(), 3);
+        assert_eq!(m.fns[0].qual_name, "Outbox::send");
+        assert!(m.fns[0].is_pub);
+        assert_eq!(
+            m.fns[1]
+                .impl_ctx
+                .as_ref()
+                .and_then(|c| c.trait_name.clone()),
+            Some("Protocol".to_string())
+        );
+        assert_eq!(
+            m.fns[1].impl_ctx.as_ref().map(|c| c.type_name.clone()),
+            Some("LinialCascade".to_string())
+        );
+        assert_eq!(m.fns[2].qual_name, "free");
+    }
+
+    #[test]
+    fn cfg_test_modules_mark_contents() {
+        let m = model(
+            "fn lib_code() {}\n\
+             #[cfg(test)]\nmod tests {\n\
+             #[test]\nfn a_test() { x.unwrap(); }\n\
+             struct Helper;\n\
+             impl Helper { fn go(&self) {} }\n\
+             }\n",
+        );
+        assert!(!m.fns[0].in_test);
+        assert!(m.fns[1].in_test);
+        assert!(m.fns[2].in_test);
+        assert_eq!(m.fns[2].qual_name, "Helper::go");
+    }
+
+    #[test]
+    fn returns_self_detects_builders() {
+        let m = model(
+            "impl RunConfig {\n\
+             pub fn seeded(mut self, seed: u64) -> Self { self.seed = seed; self }\n\
+             #[must_use]\npub fn named(self) -> RunConfig { self }\n\
+             pub fn seed(&self) -> u64 { self.seed }\n\
+             }\n",
+        );
+        assert!(m.fns[0].returns_self());
+        assert!(!m.fns[0].has_must_use);
+        assert!(m.fns[1].returns_self());
+        assert!(m.fns[1].has_must_use);
+        assert!(!m.fns[2].returns_self());
+    }
+
+    #[test]
+    fn struct_fields_capture_types() {
+        let m = model(
+            "pub struct Cache {\n\
+             pub dist: HashMap<(u32, u32), u64>,\n\
+             names: Vec<String>,\n\
+             }\n",
+        );
+        assert_eq!(m.structs.len(), 1);
+        assert_eq!(m.structs[0].fields[0].0, "dist");
+        assert!(m.structs[0].fields[0].1.contains("HashMap"));
+        assert_eq!(m.structs[0].fields[1].0, "names");
+    }
+
+    #[test]
+    fn hrtb_for_does_not_split_impl_headers() {
+        let m = model(
+            "impl<F> Runner<F> where F: for<'a> Fn(&'a str) -> u64 {\n\
+             fn go(&self) {}\n\
+             }\n",
+        );
+        assert_eq!(m.fns[0].qual_name, "Runner::go");
+        assert!(m.fns[0]
+            .impl_ctx
+            .as_ref()
+            .is_some_and(|c| c.trait_name.is_none()));
+    }
+
+    #[test]
+    fn arrow_in_bounds_does_not_close_generics() {
+        let m = model(
+            "pub fn run_with<P, F: FnMut(&NodeContext) -> P>(factory: F) -> Option<P> { None }\n",
+        );
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].name, "run_with");
+        assert_eq!(m.fns[0].ret, vec!["Option", "<", "P", ">"]);
+    }
+
+    #[test]
+    fn trait_decl_methods_are_not_builder_candidates() {
+        let m = model(
+            "pub trait Builderish {\n\
+             fn build(self) -> Self;\n\
+             fn with_default(self) -> Self { self }\n\
+             }\n",
+        );
+        assert_eq!(m.fns.len(), 2);
+        assert!(m.fns[0].body.is_none());
+        assert!(m.fns[1].body.is_some());
+        // `-> Self` in a trait decl still reads as returns_self (literal
+        // Self), which hygiene rules must filter via is_trait_decl.
+        assert!(m.fns[0].impl_ctx.as_ref().is_some_and(|c| c.is_trait_decl));
+    }
+}

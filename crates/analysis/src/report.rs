@@ -1,0 +1,102 @@
+//! Findings and the analysis report: human text and JSON rendering.
+
+use crate::baseline::BaselineEntry;
+use serde::{Serialize, Value};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, Serialize)]
+pub struct Finding {
+    /// The rule id (`LCL-A01`).
+    pub rule: &'static str,
+    /// Workspace-relative file path with forward slashes.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// Qualified path of the enclosing item (`Outbox::broadcast`), used
+    /// as the baseline key.
+    pub item: String,
+    /// Human explanation of the violation.
+    pub message: String,
+}
+
+/// A suppressed finding together with its baseline justification.
+#[derive(Debug, Clone, Serialize)]
+pub struct Suppressed {
+    /// The finding the baseline swallowed.
+    pub finding: Finding,
+    /// The justification from the baseline entry.
+    pub reason: String,
+}
+
+/// The result of one analysis run.
+#[derive(Debug, Serialize)]
+pub struct AnalysisReport {
+    /// Findings not covered by the baseline, sorted by source position.
+    pub findings: Vec<Finding>,
+    /// Findings the baseline suppressed.
+    pub suppressed: Vec<Suppressed>,
+    /// Baseline entries that suppressed nothing (stale).
+    pub stale_baseline: Vec<BaselineEntry>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of baseline entries loaded.
+    pub baseline_entries: usize,
+}
+
+impl AnalysisReport {
+    /// Whether the workspace is clean: no active findings. Stale
+    /// baseline entries are reported but do not fail the run.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The one-line-per-finding human rendering, ending with a summary.
+    #[must_use]
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{} {}:{}:{} [{}] {}\n",
+                f.rule, f.file, f.line, f.col, f.item, f.message
+            ));
+        }
+        for s in &self.stale_baseline {
+            out.push_str(&format!(
+                "stale-baseline {}:{} `{} {} {}` suppresses nothing — delete it\n",
+                "ANALYSIS_BASELINE.txt", s.line, s.rule, s.file, s.item
+            ));
+        }
+        out.push_str(&format!(
+            "analyze: {} finding(s), {} suppressed by baseline ({} entr{}, {} stale), \
+             {} file(s) scanned\n",
+            self.findings.len(),
+            self.suppressed.len(),
+            self.baseline_entries,
+            if self.baseline_entries == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            self.stale_baseline.len(),
+            self.files_scanned,
+        ));
+        out
+    }
+
+    /// The machine-readable `ANALYSIS.json` payload.
+    #[must_use]
+    pub fn to_json_value(&self) -> Value {
+        self.to_value()
+    }
+}
+
+/// Sorts findings into the canonical report order: file, line, column,
+/// rule id.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}

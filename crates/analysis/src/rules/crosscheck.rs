@@ -1,0 +1,122 @@
+//! `LCL-X01`/`X02`: invariant cross-checks between workspace layers.
+//!
+//! These rules do not inspect single files; they assert that artifacts
+//! which must stay in lockstep actually do:
+//!
+//! - `LCL-X01`: every `Protocol` impl under
+//!   `crates/algorithms/src/protocols/` is named by the differential
+//!   suite (`crates/harness/tests/engine_differential.rs`) or by the
+//!   harness adapters that the suite drives — an unexercised protocol
+//!   has no bit-identity guarantee.
+//! - `LCL-X02`: every `ProblemSpec` preset's `describe()` string
+//!   appears in the plan-schema golden
+//!   (`crates/bench/golden/plan_schema.txt`) — a preset missing from
+//!   the golden is a preset the classifier gate never sees. The ground
+//!   truth comes from `lcl_core` itself, so adding a preset without
+//!   regenerating the golden fails `lcl analyze` immediately.
+//!
+//! Both checks no-op when their subject files are absent (the analyzer
+//! fixtures are miniature workspaces without a harness or golden).
+
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::workspace::SourceFile;
+use lcl_core::ProblemSpec;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+const PROTOCOLS_DIR: &str = "crates/algorithms/src/protocols/";
+const DIFFERENTIAL: &str = "crates/harness/tests/engine_differential.rs";
+const ADAPTERS: &str = "crates/harness/src/adapters.rs";
+const PLAN_GOLDEN: &str = "crates/bench/golden/plan_schema.txt";
+
+/// Runs both cross-checks over the scanned workspace.
+pub fn check(files: &[SourceFile], root: &Path, findings: &mut Vec<Finding>) {
+    check_protocol_coverage(files, findings);
+    check_preset_coverage(files, root, findings);
+}
+
+fn check_protocol_coverage(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let mut exercised: BTreeSet<&str> = BTreeSet::new();
+    let mut harness_present = false;
+    for file in files {
+        if file.rel == DIFFERENTIAL || file.rel == ADAPTERS {
+            harness_present = true;
+            for t in &file.toks {
+                if t.kind == TokKind::Ident {
+                    exercised.insert(t.text.as_str());
+                }
+            }
+        }
+    }
+    if !harness_present {
+        return;
+    }
+    for file in files {
+        if !file.rel.starts_with(PROTOCOLS_DIR) {
+            continue;
+        }
+        for f in &file.model.fns {
+            if f.in_test || f.name != "step" {
+                continue;
+            }
+            let Some(ctx) = f.impl_ctx.as_ref() else {
+                continue;
+            };
+            if ctx.trait_name.as_deref() != Some("Protocol") {
+                continue;
+            }
+            if !exercised.contains(ctx.type_name.as_str()) {
+                findings.push(Finding {
+                    rule: "LCL-X01",
+                    file: file.rel.clone(),
+                    line: f.line,
+                    col: f.col,
+                    item: ctx.type_name.clone(),
+                    message: format!(
+                        "`Protocol` impl `{}` is not exercised by the engine \
+                         differential suite ({DIFFERENTIAL}) or its adapters — \
+                         it has no bit-identity guarantee across chunk sizes \
+                         and thread counts",
+                        ctx.type_name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_preset_coverage(files: &[SourceFile], root: &Path, findings: &mut Vec<Finding>) {
+    // Only meaningful when analyzing the real workspace: the preset
+    // registry file must be among the scanned sources and the golden on
+    // disk.
+    if !files
+        .iter()
+        .any(|f| f.rel == "crates/core/src/problem_spec.rs")
+    {
+        return;
+    }
+    let Ok(golden) = fs::read_to_string(root.join(PLAN_GOLDEN)) else {
+        return;
+    };
+    for (name, spec) in ProblemSpec::presets() {
+        let needle = format!("problem={}", spec.describe());
+        if !golden.contains(&needle) {
+            findings.push(Finding {
+                rule: "LCL-X02",
+                file: PLAN_GOLDEN.to_string(),
+                line: 1,
+                col: 1,
+                item: name.to_string(),
+                message: format!(
+                    "preset `{name}` (`{needle}`) is missing from the \
+                     plan-schema golden — regenerate it by piping \
+                     `lcl solve <preset> | grep '^PLAN '` for every preset \
+                     into {PLAN_GOLDEN} (see the CI golden-diff step) so \
+                     the classifier gate covers the preset"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! `LCL-D01`/`D02`/`D03`: determinism hygiene of the library crates.
+//!
+//! Everything the engine reports — labels, rounds, message counts —
+//! must be a pure function of `(graph, ids, seed, protocol)`. These
+//! rules flag the three classic ways nondeterminism leaks in:
+//! iterating a randomized-order hash container, deriving values from
+//! the wall clock, and branching on thread identity.
+//!
+//! `LCL-D01` is a lexical taint pass, not a type analysis: a local is
+//! tainted when its `let` statement mentions `HashMap`/`HashSet`, a
+//! field when its declared type does. Calling an *iteration* method on
+//! a tainted name is a finding — unless the iterator chain terminates
+//! in an order-independent fold (`count`, `sum`, `min`, `max`, `all`,
+//! `any`), which is the one blessed pattern. Keyed access (`get`,
+//! `entry`, `contains_key`) never taints anything.
+
+use crate::lexer::{TokKind, Token};
+use crate::model::FnInfo;
+use crate::report::Finding;
+use crate::rules::{body, skip_balanced};
+use crate::workspace::SourceFile;
+use std::collections::BTreeSet;
+
+/// Crates whose `src/` trees carry the determinism contract. The bench
+/// crate is deliberately out of scope: it is the measurement layer, and
+/// wall-clock use is its job.
+const SCOPE: &[&str] = &[
+    "crates/graph/src/",
+    "crates/local/src/",
+    "crates/core/src/",
+    "crates/algorithms/src/",
+    "crates/decidability/src/",
+    "crates/harness/src/",
+];
+
+/// Hash containers with randomized iteration order.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Methods that expose iteration order on a hash container.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Adapters that preserve the order question — scanning continues past
+/// them to the chain's terminal.
+const PASSTHROUGH: &[&str] = &["copied", "cloned", "by_ref"];
+
+/// Order-independent terminals: folding every element commutatively.
+const ORDER_FREE: &[&str] = &["count", "sum", "min", "max", "all", "any", "len"];
+
+fn in_scope(rel: &str) -> bool {
+    SCOPE.iter().any(|pre| rel.starts_with(pre))
+}
+
+/// Runs the three determinism rules over one file.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if !in_scope(&file.rel) {
+        return;
+    }
+    let field_taint: BTreeSet<String> = file
+        .model
+        .structs
+        .iter()
+        .flat_map(|s| s.fields.iter())
+        .filter(|(_, ty)| HASH_TYPES.iter().any(|h| ty.contains(h)))
+        .map(|(name, _)| name.clone())
+        .collect();
+    for f in &file.model.fns {
+        if f.in_test {
+            continue;
+        }
+        let toks = body(file, f);
+        check_hash_iteration(file, f, toks, &field_taint, findings);
+        for t in toks {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if t.text == "Instant" || t.text == "SystemTime" {
+                findings.push(finding(
+                    "LCL-D02",
+                    file,
+                    f,
+                    t,
+                    format!(
+                        "wall-clock type `{}` in library fn `{}` — values derived \
+                         from time are not a function of (graph, ids, seed)",
+                        t.text, f.name
+                    ),
+                ));
+            }
+            if t.text == "ThreadId" {
+                findings.push(finding(
+                    "LCL-D03",
+                    file,
+                    f,
+                    t,
+                    format!("thread-identity type `ThreadId` in library fn `{}`", f.name),
+                ));
+            }
+        }
+        for i in 0..toks.len() {
+            if toks[i].is_ident("thread")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.is_ident("current"))
+            {
+                findings.push(finding(
+                    "LCL-D03",
+                    file,
+                    f,
+                    &toks[i],
+                    format!(
+                        "`thread::current()` in library fn `{}` — results must not \
+                         depend on which worker runs a chunk",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The `LCL-D01` taint pass over one function body.
+fn check_hash_iteration(
+    file: &SourceFile,
+    f: &FnInfo,
+    toks: &[Token],
+    field_taint: &BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut taint: BTreeSet<String> = field_taint.clone();
+    // Seed locals: `let [mut] name … = …;` statements whose tokens
+    // mention a hash container type.
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name_tok) = toks.get(j).filter(|t| t.kind == TokKind::Ident) {
+                let stmt_end = toks[j..]
+                    .iter()
+                    .position(|t| t.is_punct(';'))
+                    .map_or(toks.len(), |off| j + off);
+                if toks[j..stmt_end]
+                    .iter()
+                    .any(|t| HASH_TYPES.iter().any(|h| t.is_ident(h)))
+                {
+                    taint.insert(name_tok.text.clone());
+                }
+            }
+        }
+        i += 1;
+    }
+    if taint.is_empty() {
+        return;
+    }
+    // Flag iteration-order exposure on tainted names.
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        let tainted_here = t.kind == TokKind::Ident && taint.contains(&t.text);
+        if !tainted_here {
+            i += 1;
+            continue;
+        }
+        // `for pat in [&]tainted {` — direct iteration of the container.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct('{')) && preceded_by_in(toks, i) {
+            findings.push(finding(
+                "LCL-D01",
+                file,
+                f,
+                t,
+                format!(
+                    "iteration over hash container `{}` in fn `{}` — order is \
+                     randomized per process",
+                    t.text, f.name
+                ),
+            ));
+            i += 1;
+            continue;
+        }
+        // `tainted.method(…)` with an iteration method: walk the chain.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| ITER_METHODS.contains(&n.text.as_str()))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct('('))
+        {
+            let method = &toks[i + 2];
+            if !chain_is_order_free(toks, i + 3) {
+                findings.push(finding(
+                    "LCL-D01",
+                    file,
+                    f,
+                    method,
+                    format!(
+                        "order-dependent use of `{}.{}()` in fn `{}` — hash \
+                         iteration order is randomized; use a sorted or indexed \
+                         container, or fold order-independently",
+                        t.text, method.text, f.name
+                    ),
+                ));
+            }
+            i += 3;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Whether the tainted name at `i` sits in a `for … in …` header, i.e.
+/// is preceded by `in` with only `&`/`mut`/`self`/`.` between.
+fn preceded_by_in(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct('&') || t.is_punct('.') || t.is_ident("mut") || t.is_ident("self") {
+            continue;
+        }
+        return t.is_ident("in");
+    }
+    false
+}
+
+/// Follows a method chain starting at the `(` of the flagged iteration
+/// call; returns true when the chain ends in an order-independent
+/// terminal.
+fn chain_is_order_free(toks: &[Token], open_idx: usize) -> bool {
+    let mut i = skip_balanced(toks, open_idx, '(', ')');
+    loop {
+        if !toks.get(i).is_some_and(|t| t.is_punct('.')) {
+            // Chain ends without a terminal: the iterator escapes (a
+            // `for` loop, an argument, a return) — order-dependent.
+            return false;
+        }
+        let Some(m) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            return false;
+        };
+        if ORDER_FREE.contains(&m.text.as_str()) {
+            return true;
+        }
+        if !PASSTHROUGH.contains(&m.text.as_str()) {
+            return false;
+        }
+        let Some(open) = toks.get(i + 2).filter(|t| t.is_punct('(')) else {
+            return false;
+        };
+        let _ = open;
+        i = skip_balanced(toks, i + 2, '(', ')');
+    }
+}
+
+fn finding(
+    rule: &'static str,
+    file: &SourceFile,
+    f: &FnInfo,
+    t: &Token,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        file: file.rel.clone(),
+        line: t.line,
+        col: t.col,
+        item: f.qual_name.clone(),
+        message,
+    }
+}

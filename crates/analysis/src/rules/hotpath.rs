@@ -1,0 +1,205 @@
+//! `LCL-A01`/`A02`/`A03`: purity of the engine's per-round hot path.
+//!
+//! The engine's performance contract (ARCHITECTURE.md, invariant 1)
+//! says steady-state rounds allocate nothing: arenas are preallocated,
+//! messages move by index, and a protocol `step` runs millions of times
+//! per instance. These rules make the contract lexical: inside the
+//! designated hot functions, any allocating call, lock, or `unsafe`
+//! block is a finding.
+//!
+//! Hot functions are: the per-round/per-chunk core of
+//! `crates/local/src/engine.rs` (`step_region`, `mail_waiting`, and all
+//! methods of the `Inbox`/`InboxIter`/`Outbox` message views) and every
+//! method of a `Protocol` impl under `crates/algorithms/src/protocols/`.
+
+use crate::model::FnInfo;
+use crate::report::Finding;
+use crate::rules::{body, macro_at, method_call_at, path_call_at};
+use crate::workspace::SourceFile;
+
+const ENGINE_FILE: &str = "crates/local/src/engine.rs";
+const PROTOCOLS_DIR: &str = "crates/algorithms/src/protocols/";
+
+/// Engine functions that run per round or per chunk.
+const ENGINE_HOT_FNS: &[&str] = &["step_region", "mail_waiting"];
+
+/// Engine types whose methods sit on the message path of every step.
+const ENGINE_HOT_TYPES: &[&str] = &["Inbox", "InboxIter", "Outbox"];
+
+/// Methods that allocate (or can reallocate) on their receiver.
+const ALLOC_METHODS: &[&str] = &[
+    "push",
+    "collect",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "clone",
+    "insert",
+    "reserve",
+    "extend_from_slice",
+    "append",
+];
+
+/// `Type::constructor` pairs that allocate.
+const ALLOC_PATHS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+    ("HashMap", "new"),
+    ("HashMap", "with_capacity"),
+    ("HashSet", "new"),
+    ("HashSet", "with_capacity"),
+    ("BTreeMap", "new"),
+    ("BTreeSet", "new"),
+    ("VecDeque", "new"),
+    ("VecDeque", "with_capacity"),
+    ("Rc", "new"),
+    ("Arc", "new"),
+];
+
+/// Macros that allocate or format on every expansion.
+const ALLOC_MACROS: &[&str] = &["vec", "format", "println", "eprintln", "print", "eprint"];
+
+/// Identifiers of blocking synchronization primitives.
+const LOCK_TYPES: &[&str] = &["Mutex", "RwLock", "Condvar", "Barrier", "mpsc"];
+
+/// Whether `f` in `file` is part of the designated hot path.
+#[must_use]
+pub fn is_hot(file: &SourceFile, f: &FnInfo) -> bool {
+    if f.in_test {
+        return false;
+    }
+    if file.rel == ENGINE_FILE {
+        let hot_free = ENGINE_HOT_FNS.contains(&f.name.as_str());
+        let hot_impl = f
+            .impl_ctx
+            .as_ref()
+            .is_some_and(|ctx| ENGINE_HOT_TYPES.contains(&ctx.type_name.as_str()));
+        return hot_free || hot_impl;
+    }
+    file.rel.starts_with(PROTOCOLS_DIR)
+        && f.impl_ctx
+            .as_ref()
+            .is_some_and(|ctx| ctx.trait_name.as_deref() == Some("Protocol"))
+}
+
+/// Runs the three hot-path rules over one file.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if file.rel != ENGINE_FILE && !file.rel.starts_with(PROTOCOLS_DIR) {
+        return;
+    }
+    for f in &file.model.fns {
+        if !is_hot(file, f) {
+            continue;
+        }
+        let toks = body(file, f);
+        for i in 0..toks.len() {
+            if let Some(m) = method_call_at(toks, i) {
+                if ALLOC_METHODS.contains(&m.text.as_str()) {
+                    findings.push(finding(
+                        "LCL-A01",
+                        file,
+                        f,
+                        m.line,
+                        m.col,
+                        format!(
+                            "allocating call `.{}(…)` in hot-path fn `{}` — \
+                             hot rounds must reuse preallocated buffers",
+                            m.text, f.name
+                        ),
+                    ));
+                }
+                if m.text == "lock" {
+                    findings.push(finding(
+                        "LCL-A02",
+                        file,
+                        f,
+                        m.line,
+                        m.col,
+                        format!(
+                            "lock acquisition `.lock(…)` in hot-path fn `{}` — \
+                             chunk ownership must make locks unnecessary",
+                            f.name
+                        ),
+                    ));
+                }
+            }
+            if let Some((first, second)) = path_call_at(toks, i) {
+                if ALLOC_PATHS
+                    .iter()
+                    .any(|(a, b)| first.is_ident(a) && second.is_ident(b))
+                {
+                    findings.push(finding(
+                        "LCL-A01",
+                        file,
+                        f,
+                        first.line,
+                        first.col,
+                        format!(
+                            "allocating constructor `{}::{}(…)` in hot-path fn `{}`",
+                            first.text, second.text, f.name
+                        ),
+                    ));
+                }
+            }
+            if let Some(m) = macro_at(toks, i) {
+                if ALLOC_MACROS.contains(&m.text.as_str()) {
+                    findings.push(finding(
+                        "LCL-A01",
+                        file,
+                        f,
+                        m.line,
+                        m.col,
+                        format!("allocating macro `{}!` in hot-path fn `{}`", m.text, f.name),
+                    ));
+                }
+            }
+            let t = &toks[i];
+            if t.kind == crate::lexer::TokKind::Ident && LOCK_TYPES.contains(&t.text.as_str()) {
+                findings.push(finding(
+                    "LCL-A02",
+                    file,
+                    f,
+                    t.line,
+                    t.col,
+                    format!(
+                        "synchronization primitive `{}` in hot-path fn `{}`",
+                        t.text, f.name
+                    ),
+                ));
+            }
+            if t.is_ident("unsafe") {
+                findings.push(finding(
+                    "LCL-A03",
+                    file,
+                    f,
+                    t.line,
+                    t.col,
+                    format!("`unsafe` block in hot-path fn `{}`", f.name),
+                ));
+            }
+        }
+    }
+}
+
+fn finding(
+    rule: &'static str,
+    file: &SourceFile,
+    f: &FnInfo,
+    line: u32,
+    col: u32,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        file: file.rel.clone(),
+        line,
+        col,
+        item: f.qual_name.clone(),
+        message,
+    }
+}

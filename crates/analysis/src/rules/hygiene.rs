@@ -1,0 +1,116 @@
+//! `LCL-H01`/`H02`: API hygiene of the public-facing crates.
+//!
+//! `lcl_core`, `lcl_harness`, and `lcl_local` are the crates a caller
+//! links against (the ROADMAP's `lcld` service will sit directly on
+//! them), so their non-test code must fail through typed errors, never
+//! through `unwrap`/`expect`/`panic!`. Invariant *assertions*
+//! (`assert!`, `debug_assert!`, `unreachable!`) stay allowed: they
+//! document impossibilities rather than handle fallible paths.
+//!
+//! `LCL-H02` marks builder-style methods — `pub fn … -> Self` in an
+//! inherent impl — that lack `#[must_use]`: dropping the return value
+//! of a builder silently discards the configuration it carries.
+
+use crate::model::FnInfo;
+use crate::report::Finding;
+use crate::rules::{body, macro_at, method_call_at};
+use crate::workspace::SourceFile;
+
+/// Crates under the typed-error contract.
+const SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/harness/src/",
+    "crates/local/src/",
+];
+
+/// Panicking macros forbidden in library code.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+fn in_scope(rel: &str) -> bool {
+    SCOPE.iter().any(|pre| rel.starts_with(pre))
+}
+
+/// Runs both hygiene rules over one file.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if !in_scope(&file.rel) {
+        return;
+    }
+    for f in &file.model.fns {
+        if f.in_test {
+            continue;
+        }
+        let toks = body(file, f);
+        for i in 0..toks.len() {
+            if let Some(m) = method_call_at(toks, i) {
+                if m.text == "unwrap" || m.text == "expect" {
+                    findings.push(finding(
+                        "LCL-H01",
+                        file,
+                        f,
+                        m.line,
+                        m.col,
+                        format!(
+                            "`.{}()` in library fn `{}` — return a typed error \
+                             instead of panicking",
+                            m.text, f.name
+                        ),
+                    ));
+                }
+            }
+            if let Some(m) = macro_at(toks, i) {
+                if PANIC_MACROS.contains(&m.text.as_str()) {
+                    findings.push(finding(
+                        "LCL-H01",
+                        file,
+                        f,
+                        m.line,
+                        m.col,
+                        format!(
+                            "`{}!` in library fn `{}` — return a typed error \
+                             instead of panicking",
+                            m.text, f.name
+                        ),
+                    ));
+                }
+            }
+        }
+        if f.is_pub
+            && f.returns_self()
+            && !f.has_must_use
+            && f.impl_ctx
+                .as_ref()
+                .is_some_and(|ctx| ctx.trait_name.is_none() && !ctx.is_trait_decl)
+        {
+            findings.push(finding(
+                "LCL-H02",
+                file,
+                f,
+                f.line,
+                f.col,
+                format!(
+                    "builder-style `pub fn {}(…) -> Self` lacks `#[must_use]` — \
+                     a dropped return value loses the configuration",
+                    f.name
+                ),
+            ));
+        }
+    }
+}
+
+fn finding(
+    rule: &'static str,
+    file: &SourceFile,
+    f: &FnInfo,
+    line: u32,
+    col: u32,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        file: file.rel.clone(),
+        line,
+        col,
+        item: f.qual_name.clone(),
+        message,
+    }
+}

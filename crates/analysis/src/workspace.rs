@@ -1,0 +1,82 @@
+//! Deterministic workspace source discovery.
+//!
+//! Walks the repository for `.rs` files, excluding build output
+//! (`target/`), the vendored dependency stand-ins (`vendor/` — not our
+//! code, not our invariants), version control, and the analyzer's own
+//! known-bad test fixtures. Files are returned sorted by their
+//! workspace-relative path so every downstream report is byte-stable.
+
+use crate::lexer::{tokenize, Token};
+use crate::model::{parse_file, FileModel};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One scanned source file: its workspace-relative path (forward
+/// slashes), token stream, and recovered item structure.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// The full token stream of the file.
+    pub toks: Vec<Token>,
+    /// The structural model parsed from `toks`.
+    pub model: FileModel,
+}
+
+/// Directory names never descended into, wherever they appear.
+const EXCLUDED_DIRS: &[&str] = &["target", "vendor", ".git", "bench-results"];
+
+/// Workspace-relative path prefixes excluded from scanning: the
+/// analyzer's deliberately-bad fixture snippets must not lint the
+/// workspace they test.
+const EXCLUDED_PREFIXES: &[&str] = &["crates/analysis/tests/fixtures"];
+
+/// Collects, tokenizes, and parses every analyzable `.rs` file under
+/// `root`, sorted by relative path.
+pub fn scan(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    walk(root, &mut paths)?;
+    let mut rels: Vec<(String, PathBuf)> = paths
+        .into_iter()
+        .filter_map(|p| {
+            let rel = p
+                .strip_prefix(root)
+                .ok()?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            if EXCLUDED_PREFIXES.iter().any(|pre| rel.starts_with(pre)) {
+                return None;
+            }
+            Some((rel, p))
+        })
+        .collect();
+    rels.sort();
+    let mut files = Vec::with_capacity(rels.len());
+    for (rel, path) in rels {
+        let src = fs::read_to_string(&path)?;
+        let toks = tokenize(&src);
+        let model = parse_file(&toks);
+        files.push(SourceFile { rel, toks, model });
+    }
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if EXCLUDED_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

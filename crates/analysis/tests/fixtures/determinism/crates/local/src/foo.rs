@@ -1,0 +1,36 @@
+//! Known-bad determinism fixture for the D-rules.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Registry {
+    table: HashMap<u64, u64>,
+}
+
+impl Registry {
+    pub fn dump(&self) -> u64 {
+        let mut acc = 0;
+        for (_k, v) in self.table.iter() {
+            // line 13: LCL-D01
+            acc += v;
+        }
+        acc
+    }
+
+    pub fn timed(&self) -> u64 {
+        let start = Instant::now(); // line 21: LCL-D02
+        let _ = start;
+        0
+    }
+
+    pub fn who(&self) -> u64 {
+        let id = std::thread::current().id(); // line 27: LCL-D03
+        let _ = id;
+        0
+    }
+
+    pub fn size_is_fine(&self) -> usize {
+        // Order-free terminal fold over a hash container: allowed.
+        self.table.values().count()
+    }
+}

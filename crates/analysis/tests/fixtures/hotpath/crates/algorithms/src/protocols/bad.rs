@@ -1,0 +1,27 @@
+//! A protocol whose `step` allocates — the exact class of regression the
+//! hot-path rules exist to stop.
+
+pub struct BadCast {
+    seen: Vec<u64>,
+}
+
+impl Protocol for BadCast {
+    type Message = u64;
+    type Output = u64;
+
+    fn step(&mut self, inbox: &Inbox) -> Option<u64> {
+        let snapshot = self.seen.to_vec(); // line 13: LCL-A01
+        let boxed = Box::new(snapshot); // line 14: LCL-A01
+        drop(boxed);
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn alloc_in_tests_is_fine() {
+        let v: Vec<u64> = (0..4).collect(); // test code: not flagged
+        assert_eq!(v.len(), 4);
+    }
+}

@@ -1,0 +1,28 @@
+//! Known-bad API-hygiene fixture for the H-rules.
+
+pub struct Thing {
+    value: u64,
+}
+
+impl Thing {
+    /// Missing `#[must_use]` on a builder-style constructor.
+    pub fn new(value: u64) -> Self {
+        // line 9 is the `pub fn new` above: LCL-H02
+        Thing { value }
+    }
+
+    pub fn read(path: &str) -> u64 {
+        let text = std::fs::read_to_string(path).unwrap(); // line 15: LCL-H01
+        text.parse().expect("a number") // line 16: LCL-H01
+    }
+
+    pub fn fail(&self) -> u64 {
+        panic!("library code must not panic") // line 20: LCL-H01
+    }
+
+    pub fn checked(&self) -> u64 {
+        // Invariant documentation is allowed: not findings.
+        assert!(self.value < 1_000);
+        self.value
+    }
+}

@@ -67,6 +67,7 @@ fn bench_sync_engine(c: &mut Criterion) {
                     &EngineConfig {
                         chunk_size: 1_024,
                         threads: 4,
+                        check_arena: false,
                     },
                 )
                 .unwrap()

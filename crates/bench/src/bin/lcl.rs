@@ -8,9 +8,11 @@
 //!         [--json]                  classify a declarative problem, resolve
 //!                                   its best-fit solver, and run the plan
 //! lcl run <algo> [--n N] [--seed S] [--k K] [--d D] [--gamma-mult M]
-//!         [--chunk-size C] [--engine-threads T]
+//!         [--chunk-size C] [--engine-threads T] [--check-arena]
 //!         [--no-verify] [--json]    one seeded run via the registry
-//!                                   (always on the chunked engine)
+//!                                   (always on the chunked engine;
+//!                                   --check-arena turns on the runtime
+//!                                   arena write-discipline checker)
 //! lcl sweep <figure>|all [--tiny] [--schema]
 //!                                   regenerate figures via Session
 //! lcl sweep --scale smoke|ci|full [--chunk-size C] [--threads T]
@@ -22,6 +24,11 @@
 //!                                   class; emits BENCH_classify.json
 //! lcl baseline [--n N]              emit bench-results/BENCH_sweep.json
 //! lcl perfgate [--threshold X]      CI smoke gate vs BENCH_sweep.json
+//! lcl analyze [--strict] [--json] [--baseline PATH] [--root PATH] [--rules]
+//!                                   in-house static analysis of the
+//!                                   workspace sources: hot-path purity,
+//!                                   determinism and API hygiene, invariant
+//!                                   cross-checks; emits ANALYSIS.json
 //! ```
 
 use lcl_bench::figures::{figure_names, run_figure, FigureOpts};
@@ -32,6 +39,7 @@ use lcl_harness::{
 };
 use lcl_local::engine::EngineConfig;
 use serde::Serialize;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -46,6 +54,7 @@ fn main() -> ExitCode {
         Some("classify") => cmd_classify(&args[1..]),
         Some("baseline") => cmd_baseline(&args[1..]),
         Some("perfgate") => cmd_perfgate(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
@@ -62,18 +71,20 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: lcl <list|figures|problems|solve|run|sweep|classify|baseline|perfgate> [options]\n\
+    "usage: lcl <list|figures|problems|solve|run|sweep|classify|baseline|perfgate|analyze> [options]\n\
      lcl list\n\
      lcl figures\n\
      lcl problems\n\
      lcl solve <preset>|<problem.json> [--n N] [--seed S] [--classify-only] [--json]\n\
      lcl run <algo> [--n N] [--seed S] [--k K] [--d D] [--gamma-mult M]\n\
-             [--chunk-size C] [--engine-threads T] [--no-verify] [--json]\n\
+             [--chunk-size C] [--engine-threads T] [--check-arena]\n\
+             [--no-verify] [--json]\n\
      lcl sweep <figure>|all [--tiny] [--schema]\n\
      lcl sweep --scale smoke|ci|full [--chunk-size C] [--threads T]\n\
      lcl classify [--scale tiny|smoke|ci|full] [--strict]\n\
      lcl baseline [--n N]\n\
-     lcl perfgate [--threshold X]";
+     lcl perfgate [--threshold X]\n\
+     lcl analyze [--strict] [--json] [--baseline PATH] [--root PATH] [--rules]";
 
 fn print_usage() {
     println!("{USAGE}");
@@ -320,7 +331,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--chunk-size",
             "--engine-threads",
         ],
-        &["--no-verify", "--json"],
+        &["--no-verify", "--json", "--check-arena"],
     )?;
     let n: usize = flags.parsed("--n")?.unwrap_or(10_000);
     // Every run executes natively on the chunked engine; the flags only
@@ -334,6 +345,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         engine: EngineConfig {
             chunk_size: flags.parsed("--chunk-size")?.unwrap_or(0),
             threads: flags.parsed("--engine-threads")?.unwrap_or(0),
+            // Runtime opt-in, no rebuild: same checker the `arena-check`
+            // feature forces on permanently.
+            check_arena: flags.switch("--check-arena"),
         },
         ..RunConfig::default()
     };
@@ -472,4 +486,64 @@ fn cmd_perfgate(args: &[String]) -> Result<(), String> {
     flags.ensure_known(&["--threshold"], &[])?;
     let threshold: f64 = flags.parsed("--threshold")?.unwrap_or(3.0);
     lcl_bench::scale::perf_gate(threshold)
+}
+
+/// The in-house static analyzer: hot-path purity, determinism and API
+/// hygiene, and cross-artifact invariant checks over the workspace's
+/// own sources, with a per-rule allow-baseline.
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    flags.ensure_known(
+        &["--root", "--baseline"],
+        &["--json", "--strict", "--rules"],
+    )?;
+    if flags.switch("--rules") {
+        for (id, desc) in lcl_analysis::rules::RULES {
+            println!("{id}  {desc}");
+        }
+        return Ok(());
+    }
+    let root = match flags.value("--root")? {
+        Some(p) => PathBuf::from(p),
+        None => workspace_root()?,
+    };
+    let baseline = match flags.value("--baseline")? {
+        Some(p) => Some(PathBuf::from(p)),
+        None => {
+            let default = root.join("ANALYSIS_BASELINE.txt");
+            default.is_file().then_some(default)
+        }
+    };
+    let report = lcl_analysis::analyze(&lcl_analysis::AnalysisConfig { root, baseline })
+        .map_err(|e| e.to_string())?;
+    print!("{}", report.human());
+    if flags.switch("--json") {
+        save_json("ANALYSIS", &report);
+    }
+    if flags.switch("--strict") && !report.is_clean() {
+        return Err(format!(
+            "analyze --strict: {} non-baselined finding(s)",
+            report.findings.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Ascends from the current directory to the workspace root (the first
+/// ancestor whose `Cargo.toml` declares `[workspace]`).
+fn workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(
+                "not inside a cargo workspace — pass `--root <path>` to `lcl analyze`".to_string(),
+            );
+        }
+    }
 }

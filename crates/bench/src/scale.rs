@@ -237,6 +237,7 @@ pub fn run_scale(preset: &str, chunk_size: usize, threads: usize) -> Result<(), 
     let engine_cfg = EngineConfig {
         chunk_size,
         threads,
+        check_arena: false,
     };
     let mut table = Table::new(
         format!("Scale sweep — preset `{preset}`"),
@@ -403,6 +404,7 @@ fn throughput_gate(threshold: f64) -> Result<(), String> {
             .and_then(as_f64)
             .unwrap_or(0.0) as usize,
         threads: field(&baseline, "threads").and_then(as_f64).unwrap_or(0.0) as usize,
+        check_arena: false,
     };
     let points = field(&baseline, "points")
         .and_then(as_array)

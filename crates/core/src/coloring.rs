@@ -108,6 +108,7 @@ impl HierarchicalColoring {
     /// # Panics
     ///
     /// Panics if `k == 0`.
+    #[must_use]
     pub fn new(k: usize, variant: Variant) -> Self {
         assert!(k >= 1, "k must be at least 1");
         HierarchicalColoring { k, variant }

@@ -50,6 +50,7 @@ pub struct DFreeWeight {
 
 impl DFreeWeight {
     /// Creates the problem for a given `d ≥ 0`.
+    #[must_use]
     pub fn new(d: usize) -> Self {
         DFreeWeight { d }
     }

@@ -73,6 +73,7 @@ pub struct LabelingOutput {
 
 impl LabelingOutput {
     /// Convenience constructor.
+    #[must_use]
     pub fn new(label: HierLabel, out_port: Option<usize>) -> Self {
         LabelingOutput { label, out_port }
     }
@@ -90,6 +91,7 @@ impl HierarchicalLabeling {
     /// # Panics
     ///
     /// Panics if `k == 0` or `k > 127`.
+    #[must_use]
     pub fn new(k: usize) -> Self {
         assert!((1..=127).contains(&k), "k must be in 1..=127");
         HierarchicalLabeling { k }

@@ -15,6 +15,7 @@ pub struct Violation {
 
 impl Violation {
     /// Creates a violation report for `node`.
+    #[must_use]
     pub fn new(node: NodeId, rule: impl Into<String>) -> Self {
         Violation {
             node,

@@ -60,6 +60,7 @@ impl WeightAugmented {
     /// # Panics
     ///
     /// Panics if `k` is outside `1..=127`.
+    #[must_use]
     pub fn new(k: usize) -> Self {
         assert!((1..=127).contains(&k), "k must be in 1..=127");
         WeightAugmented { k }

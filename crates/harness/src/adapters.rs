@@ -593,10 +593,12 @@ impl Algorithm for GenericColoring {
 
     fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
         ensure_supported(self, instance)?;
-        let k = instance
-            .spec()
-            .hierarchy_k()
-            .expect("lower-bound specs carry k");
+        let k = instance.spec().hierarchy_k().ok_or_else(|| {
+            HarnessError::BadSpec(format!(
+                "`{}` needs an instance spec carrying a hierarchy depth k",
+                self.name()
+            ))
+        })?;
         let n = instance.node_count();
         let ids = Ids::random(n, cfg.seed);
         let gammas = lcl_core::params::theorem11_gammas(n.max(instance.requested_n()), k);
@@ -614,7 +616,7 @@ impl Algorithm for GenericColoring {
         let outputs: Vec<_> = masked
             .outputs
             .into_iter()
-            .map(|o| o.expect("full mask decides everywhere"))
+            .map(|o| o.unwrap_or_else(|| unreachable!("a full mask decides everywhere")))
             .collect();
         if cfg.verify {
             HierarchicalColoring::new(k, Variant::ThreeHalf)
@@ -635,13 +637,18 @@ fn run_weighted(
     cfg: &RunConfig,
 ) -> Result<RunRecord, HarnessError> {
     ensure_supported(algo, instance)?;
-    let construction = instance
-        .construction()
-        .expect("weighted instances carry a construction");
-    let k = instance
-        .spec()
-        .hierarchy_k()
-        .expect("weighted specs carry k");
+    let construction = instance.construction().ok_or_else(|| {
+        HarnessError::BadSpec(format!(
+            "`{}` needs a weighted instance carrying a construction",
+            algo.name()
+        ))
+    })?;
+    let k = instance.spec().hierarchy_k().ok_or_else(|| {
+        HarnessError::BadSpec(format!(
+            "`{}` needs an instance spec carrying a hierarchy depth k",
+            algo.name()
+        ))
+    })?;
     let d = instance.spec().decline_d().or(cfg.d).ok_or_else(|| {
         HarnessError::BadSpec(format!(
             "`{}` needs a decline budget d (spec or RunConfig)",
@@ -841,13 +848,18 @@ impl Algorithm for WeightAugmentedSolver {
 
     fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
         ensure_supported(self, instance)?;
-        let construction = instance
-            .construction()
-            .expect("weighted instances carry a construction");
-        let k = instance
-            .spec()
-            .hierarchy_k()
-            .expect("weighted specs carry k");
+        let construction = instance.construction().ok_or_else(|| {
+            HarnessError::BadSpec(format!(
+                "`{}` needs a weighted instance carrying a construction",
+                self.name()
+            ))
+        })?;
+        let k = instance.spec().hierarchy_k().ok_or_else(|| {
+            HarnessError::BadSpec(format!(
+                "`{}` needs an instance spec carrying a hierarchy depth k",
+                self.name()
+            ))
+        })?;
         let ids = Ids::random(instance.node_count(), cfg.seed);
         let run = solve_weight_augmented(instance.tree(), construction.kinds(), k, &ids);
         if cfg.verify {
@@ -925,7 +937,7 @@ impl Algorithm for DfreeA {
         let outputs: Vec<_> = run
             .outputs
             .into_iter()
-            .map(|o| o.expect("full-mask run decides everywhere"))
+            .map(|o| o.unwrap_or_else(|| unreachable!("a full-mask run decides everywhere")))
             .collect();
         if cfg.verify {
             DFreeWeight::new(d)
@@ -1002,7 +1014,9 @@ impl Algorithm for FastDecomposition {
         let outputs: Vec<_> = run
             .outputs
             .into_iter()
-            .map(|o| o.expect("standalone run decides everywhere"))
+            .map(|o| {
+                o.unwrap_or_else(|| unreachable!("a standalone full-mask run decides everywhere"))
+            })
             .collect();
         if cfg.verify {
             DFreeWeight::new(d)

@@ -485,15 +485,15 @@ impl Instance {
     /// appears in several [`Session`](crate::Session) shards or figures;
     /// the peeling only depends on topology, so all of them share it.
     ///
-    /// # Panics
-    ///
-    /// Panics if the process-wide cache mutex is poisoned.
+    /// A poisoned cache mutex is recovered, not propagated: the cache
+    /// holds only immutable `Arc<Levels>` values, so a panic elsewhere
+    /// can at worst have lost an insert.
     #[must_use]
     pub fn levels(&self, k: usize) -> Arc<Levels> {
         let key = (self.spec.clone(), k);
         if let Some(hit) = levels_cache()
             .lock()
-            .expect("levels cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .lookup(&key)
         {
             return hit;
@@ -502,7 +502,9 @@ impl Instance {
         // one peeling; a racing equal spec at worst duplicates the work
         // once and the last insert wins.
         let computed = Arc::new(Levels::compute(self.tree(), k));
-        let mut cache = levels_cache().lock().expect("levels cache poisoned");
+        let mut cache = levels_cache()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(hit) = cache.lookup(&key) {
             return hit;
         }

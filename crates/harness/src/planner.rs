@@ -198,7 +198,9 @@ pub fn classify(problem: &ProblemSpec) -> Result<Classification, PlanError> {
     problem.validate().map_err(PlanError::BadProblem)?;
     match problem {
         ProblemSpec::Path(_) | ProblemSpec::Coloring { .. } => {
-            let table = problem.path_table().expect("path-expressible");
+            let Some(table) = problem.path_table() else {
+                unreachable!("Path and Coloring specs are path-expressible")
+            };
             let automaton = PathLcl::new(table.matrix(), table.end_vec());
             let class = automaton.classify();
             let mapped = map_path_class(class, problem)?;

@@ -8,7 +8,7 @@ use lcl_core::problem_spec::ProblemSpec;
 use lcl_local::math::fit_power_law;
 use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// One queued execution: an algorithm, an instance spec, and a config.
 pub struct Job {
@@ -218,7 +218,7 @@ impl Session {
                             break;
                         }
                         let outcome = shard[g].build();
-                        *built[g].lock().expect("build slot poisoned") = Some(outcome);
+                        *built[g].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
                     });
                 }
             });
@@ -226,8 +226,10 @@ impl Session {
                 .into_iter()
                 .map(|slot| {
                     slot.into_inner()
-                        .expect("build slot poisoned")
-                        .expect("every instance was built")
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .unwrap_or_else(|| {
+                            unreachable!("the build scope fills every slot before joining")
+                        })
                 })
                 .collect();
 
@@ -250,7 +252,7 @@ impl Session {
                             Ok(instance) => run_timed(job.algorithm, instance, &job.config),
                             Err(e) => Err(e.clone()),
                         };
-                        *results[i].lock().expect("result slot poisoned") = Some(outcome);
+                        *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
                     });
                 }
             });
@@ -260,8 +262,10 @@ impl Session {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every job was executed")
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or_else(|| {
+                        unreachable!("the run scope executes every job before joining")
+                    })
             })
             .collect()
     }

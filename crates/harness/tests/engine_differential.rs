@@ -25,7 +25,7 @@ use lcl_algorithms::protocols::linial::{cascade_space, LinialCascade};
 use lcl_algorithms::protocols::path_lcl::PathLclProtocol;
 use lcl_algorithms::protocols::randomized::RandomizedColoring;
 use lcl_algorithms::protocols::two_coloring::WaveTwoColoring;
-use lcl_algorithms::protocols::{plan_round_budget, scheduled_cast_factory};
+use lcl_algorithms::protocols::{plan_round_budget, scheduled_cast_factory, ScheduledCast};
 use lcl_algorithms::randomized::randomized_three_color_path;
 use lcl_algorithms::two_coloring::two_color_path;
 use lcl_algorithms::weight_augmented_solver::solve_weight_augmented;
@@ -390,6 +390,7 @@ fn differential_on(algo: &'static dyn Algorithm, spec: InstanceSpec, problem: Op
             let mut cfg = RunConfig::seeded(seed).with_engine(EngineConfig {
                 chunk_size,
                 threads,
+                check_arena: true,
             });
             if let Some(p) = &problem {
                 cfg = cfg.with_problem(p.clone());
@@ -503,6 +504,59 @@ fn differential_path_lcl_rigid_table() {
         InstanceSpec::Path { n: 24 },
         Some(ProblemSpec::Coloring { colors: 2 }),
     );
+}
+
+#[test]
+fn differential_scheduled_cast_protocol() {
+    // The `ScheduledCast` machine itself, outside any adapter: an
+    // adversarial plan (wide round spread, duplicate rounds, round-0
+    // nodes) must execute bit-identically on the chunked engine — every
+    // chunk size and thread count — and the frozen reference engine.
+    use lcl_local::engine::run_sync_with;
+
+    let spec = InstanceSpec::RandomTree {
+        n: 48,
+        max_degree: 4,
+        seed: 3,
+    };
+    let instance = spec.build().expect("random tree builds");
+    let tree = instance.tree();
+    let n = instance.node_count();
+    let labels: Arc<Vec<u64>> = Arc::new((0..n as u64).map(|v| v.wrapping_mul(7) % 5).collect());
+    let rounds: Arc<Vec<u64>> = Arc::new((0..n as u64).map(|v| (v * v) % 23).collect());
+    let budget = plan_round_budget(&rounds);
+    let ids = Ids::sequential(n);
+
+    let reference = run_reference::<ScheduledCast, _>(
+        tree,
+        &ids,
+        scheduled_cast_factory(labels.clone(), rounds.clone()),
+        budget,
+    )
+    .expect("reference engine run");
+    assert_eq!(reference.outputs, *labels, "reference labels");
+    assert_eq!(reference.stats.as_slice(), &rounds[..], "reference rounds");
+
+    for chunk_size in [1, 7, 64, n] {
+        for threads in [1, 2] {
+            let out = run_sync_with(
+                tree,
+                &ids,
+                scheduled_cast_factory(labels.clone(), rounds.clone()),
+                budget,
+                &EngineConfig {
+                    chunk_size,
+                    threads,
+                    check_arena: true,
+                },
+            )
+            .expect("chunked engine run");
+            let ctx = format!("scheduled-cast cs={chunk_size} t={threads}");
+            assert_eq!(out.outputs, *labels, "{ctx}: labels");
+            assert_eq!(out.stats.as_slice(), &rounds[..], "{ctx}: rounds");
+            assert_eq!(out.profile, reference.profile, "{ctx}: profile");
+        }
+    }
 }
 
 #[test]

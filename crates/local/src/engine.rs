@@ -58,7 +58,7 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// One message slot of an arena: the payload stamped with its delivery
 /// round. Readers ignore slots whose stamp is not the round being read, so
@@ -436,6 +436,15 @@ pub struct EngineConfig {
     /// instances and `1` (inline, no spawns) for small ones; an explicit
     /// value is honored exactly.
     pub threads: usize,
+    /// Runs the arena write-discipline checker alongside the round loop:
+    /// every arena slot is verified to be written at most once per round,
+    /// only by the chunk that owns its sender node, and read only from the
+    /// previous round's arena (never the one being written). Costs two
+    /// atomic words per directed edge plus one atomic op per send/receive,
+    /// so it is off by default; the `arena-check` crate feature forces it
+    /// on for every run without a config change. Never affects results —
+    /// a violation panics instead of corrupting the run.
+    pub check_arena: bool,
 }
 
 /// Below this node count the auto thread policy stays sequential: per-round
@@ -452,7 +461,12 @@ impl EngineConfig {
         EngineConfig {
             chunk_size: 0,
             threads: 1,
+            check_arena: false,
         }
+    }
+
+    fn arena_check_enabled(&self) -> bool {
+        self.check_arena || cfg!(feature = "arena-check")
     }
 
     fn resolved_chunk_size(&self) -> usize {
@@ -528,6 +542,101 @@ fn region_bounds(n: usize, chunk_size: usize, workers: usize) -> Vec<usize> {
     bounds
 }
 
+/// Dynamic twin of the static hot-path rules (`lcl analyze`, LCL-A0x):
+/// verifies at run time that the arena protocol the engine's correctness
+/// argument rests on is actually observed.
+///
+/// One epoch word per directed-edge slot per arena parity records the
+/// round (+1, so `0` = never) in which the slot was last written. Three
+/// invariants are enforced on every send and receive:
+///
+/// 1. **Single writer per round** — a slot's epoch moves to `round + 1`
+///    at most once per round; a second write in the same round is a
+///    double-write race.
+/// 2. **Chunk ownership** — a slot may only be written while its sender
+///    node's chunk is being stepped; regions writing outside their CSR
+///    range would corrupt a neighbor worker's output.
+/// 3. **Read after barrier** — reads in round `r` touch only the arena
+///    written in rounds `< r`; an epoch of `r + 1` on the read side means
+///    a same-round write leaked across the round barrier.
+///
+/// The epochs are deliberately *independent* of the slice-splitting that
+/// makes the engine safe by construction: the checker would still catch a
+/// bug introduced through an incorrect `split_regions` or a wrong
+/// reverse-edge permutation.
+struct ArenaChecker {
+    /// `epochs[parity][slot]`: last-write round + 1 for that arena.
+    epochs: [Vec<AtomicU64>; 2],
+    /// Global chunk index owning each slot's sender node.
+    owner: Vec<u32>,
+}
+
+impl ArenaChecker {
+    fn new(offsets: &[u32], n: usize, chunk_size: usize, slots: usize) -> Self {
+        let mut owner = vec![0u32; slots];
+        for v in 0..n {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            for o in &mut owner[lo..hi] {
+                *o = (v / chunk_size) as u32;
+            }
+        }
+        let fresh = |_| AtomicU64::new(0);
+        ArenaChecker {
+            epochs: [
+                (0..slots).map(fresh).collect(),
+                (0..slots).map(fresh).collect(),
+            ],
+            owner,
+        }
+    }
+
+    /// The arena parity written in `round` (even rounds write arena A).
+    fn write_parity(round: u64) -> usize {
+        (round % 2) as usize
+    }
+
+    /// Registers a write of `slot` during `round` by `writer_chunk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a double-write within the round or a write from a chunk
+    /// that does not own the slot's sender node.
+    fn record_write(&self, slot: usize, round: u64, writer_chunk: usize) {
+        assert_eq!(
+            self.owner[slot] as usize, writer_chunk,
+            "arena ownership violation: slot {slot} (owner chunk {}) written by chunk \
+             {writer_chunk} in round {round}",
+            self.owner[slot]
+        );
+        let epoch = round + 1;
+        let prev = self.epochs[Self::write_parity(round)][slot].swap(epoch, Ordering::Relaxed);
+        assert!(
+            prev < epoch,
+            "arena double-write: slot {slot} written twice in round {round} \
+             (previous epoch {prev})"
+        );
+    }
+
+    /// Registers a read of `slot` from the *read* arena during `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was written in the current round: the read
+    /// arena must only carry messages from before the round barrier.
+    fn record_read(&self, slot: usize, round: u64) {
+        // Round `r` reads the arena of parity `1 - r % 2` — the one
+        // written in round `r - 1`.
+        let parity = 1 - Self::write_parity(round);
+        let epoch = self.epochs[parity][slot].load(Ordering::Relaxed);
+        assert!(
+            epoch <= round,
+            "arena read-before-barrier: slot {slot} read in round {round} but written in \
+             round {} of the same parity",
+            epoch - 1
+        );
+    }
+}
+
 /// Read-only (or atomically shared) state every worker sees during one
 /// round.
 struct RoundShared<'a, M> {
@@ -543,6 +652,8 @@ struct RoundShared<'a, M> {
     /// Mail flags senders set this round for next round's recipients.
     mail_next: &'a [AtomicBool],
     round: u64,
+    /// Write-discipline checker, present only when arena checking is on.
+    checker: Option<&'a ArenaChecker>,
 }
 
 /// One worker's contiguous slice of every per-node array plus its CSR
@@ -626,17 +737,25 @@ fn step_region<P: Protocol>(
             for slot in out_slots.iter_mut() {
                 *slot = None;
             }
+            if let Some(checker) = shared.checker {
+                for p in 0..ctx.degree {
+                    checker.record_read(shared.rev[base + p] as usize, round);
+                }
+            }
             let inbox = Inbox::gather(shared.read, shared.rev, base, ctx.degree, expect);
             let mut outbox = Outbox::slots(out_slots, stamp);
-            let decided = region.machines[i]
-                .as_mut()
-                .expect("running node has a machine")
-                .step(ctx, round, &inbox, &mut outbox);
+            let Some(machine) = region.machines[i].as_mut() else {
+                unreachable!("a node in the Running state has a machine")
+            };
+            let decided = machine.step(ctx, round, &inbox, &mut outbox);
             let wrote = outbox.sent();
             if wrote > 0 {
                 sent += wrote as u64;
                 for (p, slot) in region.write[lo..hi].iter().enumerate() {
                     if slot.is_some() {
+                        if let Some(checker) = shared.checker {
+                            checker.record_write(base + p, round, region.first_chunk + c);
+                        }
                         let w = shared.adjacency[base + p] as usize;
                         shared.mail_next[w / shared.chunk_size].store(true, Ordering::Relaxed);
                     }
@@ -649,11 +768,10 @@ fn step_region<P: Protocol>(
                 region.states[i] = NodeState::Done;
                 terminated += 1;
             } else {
-                let wake = region.machines[i]
-                    .as_ref()
-                    .expect("running node has a machine")
-                    .next_wake(ctx, round)
-                    .max(round + 1);
+                let Some(machine) = region.machines[i].as_ref() else {
+                    unreachable!("a node in the Running state has a machine")
+                };
+                let wake = machine.next_wake(ctx, round).max(round + 1);
                 region.wakes[i] = wake;
                 chunk_wake = chunk_wake.min(wake);
             }
@@ -826,6 +944,12 @@ where
     let mail_a: Vec<AtomicBool> = (0..chunk_count).map(|_| AtomicBool::new(false)).collect();
     let mail_b: Vec<AtomicBool> = (0..chunk_count).map(|_| AtomicBool::new(false)).collect();
 
+    // The checker's epochs persist across rounds (stale-slot expiry is
+    // part of what it validates), so it lives outside the round loop.
+    let checker = config
+        .arena_check_enabled()
+        .then(|| ArenaChecker::new(offsets, n, chunk_size, slots));
+
     let mut running = n;
     let mut messages: u64 = 0;
     let mut round = 0u64;
@@ -862,6 +986,7 @@ where
             mail_now,
             mail_next,
             round,
+            checker: checker.as_ref(),
         };
         let mut regions = split_regions(
             &bounds,
@@ -876,7 +1001,9 @@ where
             write,
         );
         let (terminated, sent) = if regions.len() == 1 {
-            let mut region = regions.pop().expect("one region");
+            let Some(mut region) = regions.pop() else {
+                unreachable!("regions.len() == 1")
+            };
             step_region(&mut region, &shared)
         } else {
             let shared = &shared;
@@ -887,7 +1014,12 @@ where
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("engine worker panicked"))
+                    .map(|h| {
+                        // Re-raise a worker panic with its original payload
+                        // instead of swallowing it behind a generic message.
+                        h.join()
+                            .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                    })
                     .fold((0usize, 0u64), |(t, c), (dt, dc)| (t + dt, c + dc))
             })
         };
@@ -909,10 +1041,12 @@ where
         }
     }
 
-    let outputs = outputs
-        .into_iter()
-        .map(|o| o.expect("all nodes terminated"))
-        .collect();
+    let outputs: Vec<P::Output> = outputs.into_iter().flatten().collect();
+    assert_eq!(
+        outputs.len(),
+        n,
+        "every node has an output once `running` reaches 0"
+    );
     let profile = TerminationProfile::from_counts(terminated_in);
     debug_assert_eq!(profile.total_nodes() as usize, n);
     Ok(SyncOutcome {
@@ -1032,9 +1166,13 @@ pub(crate) mod tests {
                         budget: 17,
                     },
                     100,
+                    // The write-discipline checker rides along on the
+                    // engine's own differential matrix: every chunk size
+                    // and thread count must also be race-clean.
                     &EngineConfig {
                         chunk_size,
                         threads,
+                        check_arena: true,
                     },
                 )
                 .unwrap();
@@ -1377,6 +1515,7 @@ pub(crate) mod tests {
                     &EngineConfig {
                         chunk_size,
                         threads,
+                        check_arena: true,
                     },
                 )
                 .unwrap();
@@ -1586,10 +1725,96 @@ pub(crate) mod tests {
                 &EngineConfig {
                     chunk_size,
                     threads: 1,
+                    check_arena: true,
                 },
             )
             .unwrap();
             assert_eq!(out.outputs[1], 1, "cs={chunk_size}: delivered exactly once");
+        }
+    }
+
+    /// Negative coverage for the arena write-discipline checker: each
+    /// invariant violation is injected directly and must be caught. The
+    /// positive direction (clean runs stay clean) rides along on every
+    /// test above that sets `check_arena: true`.
+    mod arena_checker {
+        use super::*;
+
+        fn checker_for_path(n: usize, chunk_size: usize) -> ArenaChecker {
+            let tree = path(n);
+            ArenaChecker::new(tree.offsets(), n, chunk_size, tree.adjacency().len())
+        }
+
+        #[test]
+        fn normal_rounds_and_stale_slots_are_clean() {
+            let ck = checker_for_path(4, 2);
+            ck.record_write(0, 0, 0);
+            // Round 1 legitimately reads what round 0 wrote.
+            ck.record_read(0, 1);
+            // Re-writing the same slot in a later same-parity round is the
+            // double-buffer reuse the engine lives on.
+            ck.record_write(0, 2, 0);
+            ck.record_read(0, 3);
+            // Stale slots linger (stamps expire them); re-reads much later
+            // are fine.
+            ck.record_read(0, 5);
+        }
+
+        #[test]
+        #[should_panic(expected = "arena double-write")]
+        fn injected_double_write_is_caught() {
+            let ck = checker_for_path(4, 2);
+            ck.record_write(0, 5, 0);
+            ck.record_write(0, 5, 0);
+        }
+
+        #[test]
+        #[should_panic(expected = "arena ownership violation")]
+        fn injected_foreign_chunk_write_is_caught() {
+            let ck = checker_for_path(4, 2);
+            // Slot 0 is node 0's, owned by chunk 0; chunk 1 writes it.
+            ck.record_write(0, 0, 1);
+        }
+
+        #[test]
+        #[should_panic(expected = "arena read-before-barrier")]
+        fn injected_cross_barrier_read_is_caught() {
+            let ck = checker_for_path(4, 2);
+            // A worker racing ahead writes round 4 (arena parity 0) while
+            // another is still reading round 3 — whose read side is the
+            // same parity-0 arena.
+            ck.record_write(0, 4, 0);
+            ck.record_read(0, 3);
+        }
+
+        #[test]
+        fn full_matrix_is_race_clean_under_checking() {
+            // A chatty protocol (every node broadcasts every round) across
+            // the full chunk-size × thread matrix with checking on: the
+            // production write path must satisfy all three invariants.
+            let n = 96;
+            let tree = lcl_graph::generators::star(n);
+            let ids = Ids::random(n, 9);
+            for chunk_size in [1, 7, 64, n] {
+                for threads in [1, 2, 3] {
+                    let out = run_sync_with(
+                        &tree,
+                        &ids,
+                        |c| MinFlood {
+                            best: c.id,
+                            budget: 4,
+                        },
+                        100,
+                        &EngineConfig {
+                            chunk_size,
+                            threads,
+                            check_arena: true,
+                        },
+                    )
+                    .unwrap();
+                    assert!(out.outputs.iter().all(|&m| m == 0));
+                }
+            }
         }
     }
 }

@@ -28,6 +28,7 @@ pub struct Ids {
 
 impl Ids {
     /// IDs `0, 1, ..., n - 1` in node order.
+    #[must_use]
     pub fn sequential(n: usize) -> Self {
         Ids {
             values: (0..n as u64).collect(),
@@ -35,6 +36,7 @@ impl Ids {
     }
 
     /// A random permutation of `{0, ..., n - 1}`, seeded deterministically.
+    #[must_use]
     pub fn random(n: usize, seed: u64) -> Self {
         let mut values: Vec<u64> = (0..n as u64).collect();
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -48,6 +50,7 @@ impl Ids {
     /// # Panics
     ///
     /// Panics if `space < n as u64`.
+    #[must_use]
     pub fn random_from_space(n: usize, space: u64, seed: u64) -> Self {
         assert!(space >= n as u64, "ID space must have at least n values");
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -67,6 +70,7 @@ impl Ids {
     /// # Panics
     ///
     /// Panics if the values are not pairwise distinct.
+    #[must_use]
     pub fn from_vec(values: Vec<u64>) -> Self {
         let mut sorted = values.clone();
         sorted.sort_unstable();

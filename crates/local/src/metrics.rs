@@ -36,6 +36,7 @@ impl RoundStats<'static> {
     /// # Panics
     ///
     /// Panics if `rounds` is empty (the average would be undefined).
+    #[must_use]
     pub fn new(rounds: Vec<u64>) -> Self {
         assert!(
             !rounds.is_empty(),
@@ -53,6 +54,7 @@ impl<'a> RoundStats<'a> {
     /// # Panics
     ///
     /// Panics if `rounds` is empty (the average would be undefined).
+    #[must_use]
     pub fn from_slice(rounds: &'a [u64]) -> Self {
         assert!(
             !rounds.is_empty(),
@@ -99,10 +101,11 @@ impl<'a> RoundStats<'a> {
         self.total() as f64 / self.rounds.len() as f64
     }
 
-    /// Worst-case complexity `max_v T_v` of this execution.
+    /// Worst-case complexity `max_v T_v` of this execution (0 when no
+    /// nodes were recorded).
     #[must_use]
     pub fn worst_case(&self) -> u64 {
-        *self.rounds.iter().max().expect("non-empty")
+        self.rounds.iter().copied().max().unwrap_or(0)
     }
 
     /// Fraction of nodes with termination round at most `r`.
@@ -216,7 +219,8 @@ impl TerminationProfile {
             !rounds.is_empty(),
             "termination profile needs at least one node"
         );
-        let worst = *rounds.iter().max().expect("non-empty") as usize;
+        // The assert above guarantees a maximum exists.
+        let worst = rounds.iter().copied().max().unwrap_or(0) as usize;
         let mut counts = vec![0u64; worst + 1];
         for &r in rounds {
             counts[r as usize] += 1;

@@ -69,7 +69,7 @@ where
         tree.neighbors(w)
             .iter()
             .position(|&x| x as usize == v)
-            .expect("neighbor lists are symmetric")
+            .unwrap_or_else(|| unreachable!("neighbor lists of a tree are symmetric"))
     };
 
     let mut round = 0u64;
@@ -81,21 +81,16 @@ where
             });
         }
         for v in 0..n {
-            if machines[v].is_none() {
-                continue;
-            }
             // The per-node per-round allocation the chunked engine removed;
-            // kept here on purpose.
+            // kept here on purpose (`Vec::new` itself does not allocate).
             let mut outbound: Vec<(usize, P::Message)> = Vec::new();
             let decided = {
+                let Some(machine) = machines[v].as_mut() else {
+                    continue;
+                };
                 let inbox = Inbox::list(&inboxes[v]);
                 let mut outbox = Outbox::list(&mut outbound, contexts[v].degree);
-                machines[v].as_mut().expect("checked above").step(
-                    &contexts[v],
-                    round,
-                    &inbox,
-                    &mut outbox,
-                )
+                machine.step(&contexts[v], round, &inbox, &mut outbox)
             };
             if let Some(output) = decided {
                 outputs[v] = Some(output);
@@ -119,10 +114,12 @@ where
         round += 1;
     }
 
-    let outputs = outputs
-        .into_iter()
-        .map(|o| o.expect("all nodes terminated"))
-        .collect();
+    let outputs: Vec<P::Output> = outputs.into_iter().flatten().collect();
+    assert_eq!(
+        outputs.len(),
+        n,
+        "every node has an output once `running` reaches 0"
+    );
     // Independently derived from the per-node rounds (the chunked engine
     // accumulates its profile per round instead) so the differential tests
     // cross-check the two instrumentation paths against each other.
@@ -207,9 +204,12 @@ mod tests {
                     ids,
                     &factory,
                     max_rounds,
+                    // Arena checking on: agreement with the reference
+                    // engine and write discipline are verified together.
                     &EngineConfig {
                         chunk_size,
                         threads,
+                        check_arena: true,
                     },
                 )
                 .unwrap();

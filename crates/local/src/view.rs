@@ -31,6 +31,7 @@ pub struct BallView<'a> {
 
 impl<'a> BallView<'a> {
     /// Materializes the radius-`radius` ball around `center`.
+    #[must_use]
     pub fn collect(tree: &'a Tree, ids: &'a Ids, center: NodeId, radius: u32) -> Self {
         let mut dist = std::collections::HashMap::new();
         let mut members = Vec::new();
@@ -164,20 +165,42 @@ pub struct ViewOutcome<O> {
     pub stats: RoundStats<'static>,
 }
 
+/// A view algorithm failed to decide within the allotted radius.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Undecided {
+    /// The node that never decided.
+    pub node: NodeId,
+    /// The radius budget that was exhausted.
+    pub max_radius: u32,
+}
+
+impl std::fmt::Display for Undecided {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "node {} did not decide within radius {}",
+            self.node, self.max_radius
+        )
+    }
+}
+
+impl std::error::Error for Undecided {}
+
 /// Runs a view algorithm on every node, growing each node's radius until it
 /// decides.
 ///
 /// `factory` creates the per-node algorithm instance.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if some node does not decide by radius `max_radius`.
+/// Returns [`Undecided`] if some node does not decide by radius
+/// `max_radius`.
 pub fn run_views<A, F>(
     tree: &Tree,
     ids: &Ids,
     mut factory: F,
     max_radius: u32,
-) -> ViewOutcome<A::Output>
+) -> Result<ViewOutcome<A::Output>, Undecided>
 where
     A: ViewAlgorithm,
     F: FnMut(NodeId) -> A,
@@ -196,15 +219,19 @@ where
                 break;
             }
         }
-        let (out, r) =
-            decided.unwrap_or_else(|| panic!("node {v} did not decide within radius {max_radius}"));
+        let Some((out, r)) = decided else {
+            return Err(Undecided {
+                node: v,
+                max_radius,
+            });
+        };
         outputs.push(out);
         rounds.push(r as u64);
     }
-    ViewOutcome {
+    Ok(ViewOutcome {
         outputs,
         stats: RoundStats::new(rounds),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -289,7 +316,7 @@ mod tests {
     fn global_min_needs_eccentricity_rounds() {
         let tree = path(6);
         let ids = Ids::random(6, 2);
-        let out = run_views(&tree, &ids, |_| GlobalMin, 10);
+        let out = run_views(&tree, &ids, |_| GlobalMin, 10).expect("decides");
         assert!(out.outputs.iter().all(|&m| m == 0));
         // Node v requires radius max(v, n-1-v) to see the whole path, plus
         // one extra round to confirm the endpoints have no further edges
@@ -306,7 +333,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "did not decide")]
     fn max_radius_is_enforced() {
         struct Never;
         impl ViewAlgorithm for Never {
@@ -317,6 +343,13 @@ mod tests {
         }
         let tree = path(3);
         let ids = Ids::sequential(3);
-        let _ = run_views(&tree, &ids, |_| Never, 2);
+        let err = run_views(&tree, &ids, |_| Never, 2).unwrap_err();
+        assert_eq!(
+            err,
+            Undecided {
+                node: 0,
+                max_radius: 2
+            }
+        );
     }
 }

@@ -43,7 +43,7 @@ fn two_coloring_matches_view_engine() {
         let tree = path(n);
         let ids = Ids::random(n, n as u64);
         let structural = two_color_path(&tree, &ids);
-        let view = run_views(&tree, &ids, |_| TwoColorView, n as u32 + 2);
+        let view = run_views(&tree, &ids, |_| TwoColorView, n as u32 + 2).expect("decides");
         assert_eq!(view.outputs, structural.outputs, "n = {n}");
         // Termination rounds agree up to the +1 the ball-view engine needs
         // to confirm completeness at an endpoint boundary.
