@@ -1,4 +1,4 @@
-//! `LCL-X01`/`X02`: invariant cross-checks between workspace layers.
+//! `LCL-X01`/`X02`/`X03`: invariant cross-checks between workspace layers.
 //!
 //! These rules do not inspect single files; they assert that artifacts
 //! which must stay in lockstep actually do:
@@ -14,8 +14,12 @@
 //!   the golden is a preset the classifier gate never sees. The ground
 //!   truth comes from `lcl_core` itself, so adding a preset without
 //!   regenerating the golden fails `lcl analyze` immediately.
+//! - `LCL-X03`: every adversarial topology family has a generator fn in
+//!   `crates/graph/src/generators.rs` *and* is named (exact ident) by at
+//!   least one churn-suite file — a family outside the churn
+//!   differential and classify gates is adversarial in name only.
 //!
-//! Both checks no-op when their subject files are absent (the analyzer
+//! All checks no-op when their subject files are absent (the analyzer
 //! fixtures are miniature workspaces without a harness or golden).
 
 use crate::lexer::TokKind;
@@ -30,11 +34,31 @@ const PROTOCOLS_DIR: &str = "crates/algorithms/src/protocols/";
 const DIFFERENTIAL: &str = "crates/harness/tests/engine_differential.rs";
 const ADAPTERS: &str = "crates/harness/src/adapters.rs";
 const PLAN_GOLDEN: &str = "crates/bench/golden/plan_schema.txt";
+const GENERATORS: &str = "crates/graph/src/generators.rs";
+/// The files that together form the dynamic-churn gate surface: the
+/// harness differential suite, the surgery property tests, and the bench
+/// drivers. Naming a family in any one of them counts as coverage.
+const CHURN_SUITES: &[&str] = &[
+    "crates/harness/tests/churn_differential.rs",
+    "crates/graph/tests/surgery_properties.rs",
+    "crates/bench/src/churn.rs",
+    "crates/bench/src/classify.rs",
+];
+/// The adversarial topology families, by generator fn name.
+const ADVERSARIAL_FAMILIES: &[&str] = &[
+    "broom",
+    "caterpillar",
+    "complete_ary_tree",
+    "heavy_path_skewed",
+    "ladder",
+    "spider",
+];
 
-/// Runs both cross-checks over the scanned workspace.
+/// Runs the cross-checks over the scanned workspace.
 pub fn check(files: &[SourceFile], root: &Path, findings: &mut Vec<Finding>) {
     check_protocol_coverage(files, findings);
     check_preset_coverage(files, root, findings);
+    check_adversarial_coverage(files, findings);
 }
 
 fn check_protocol_coverage(files: &[SourceFile], findings: &mut Vec<Finding>) {
@@ -83,6 +107,64 @@ fn check_protocol_coverage(files: &[SourceFile], findings: &mut Vec<Finding>) {
                     ),
                 });
             }
+        }
+    }
+}
+
+fn check_adversarial_coverage(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let Some(generators) = files.iter().find(|f| f.rel == GENERATORS) else {
+        return;
+    };
+    let mut exercised: BTreeSet<&str> = BTreeSet::new();
+    let mut suite_present = false;
+    for file in files {
+        if CHURN_SUITES.contains(&file.rel.as_str()) {
+            suite_present = true;
+            for t in &file.toks {
+                if t.kind == TokKind::Ident {
+                    exercised.insert(t.text.as_str());
+                }
+            }
+        }
+    }
+    if !suite_present {
+        return;
+    }
+    for &family in ADVERSARIAL_FAMILIES {
+        let Some(f) = generators
+            .model
+            .fns
+            .iter()
+            .find(|f| f.name == family && !f.in_test)
+        else {
+            findings.push(Finding {
+                rule: "LCL-X03",
+                file: generators.rel.clone(),
+                line: 1,
+                col: 1,
+                item: family.to_string(),
+                message: format!(
+                    "adversarial family `{family}` has no generator fn in \
+                     {GENERATORS} — the churn and classify suites treat it as \
+                     a first-class topology"
+                ),
+            });
+            continue;
+        };
+        if !exercised.contains(family) {
+            findings.push(Finding {
+                rule: "LCL-X03",
+                file: generators.rel.clone(),
+                line: f.line,
+                col: f.col,
+                item: family.to_string(),
+                message: format!(
+                    "adversarial generator `{family}` is not named by any \
+                     churn-suite file ({}) — the family is outside the \
+                     dynamic-churn differential and classify gates",
+                    CHURN_SUITES.join(", ")
+                ),
+            });
         }
     }
 }

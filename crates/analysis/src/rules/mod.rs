@@ -12,6 +12,7 @@
 //! | `LCL-H02` | `#[must_use]` on builder-style returns |
 //! | `LCL-X01` | every `Protocol` impl is exercised by the differential suite |
 //! | `LCL-X02` | every `ProblemSpec` preset appears in the plan-schema golden |
+//! | `LCL-X03` | every adversarial generator is named by the churn/classify suites |
 //!
 //! The *dynamic* half of the hot-path contract — that every arena slot
 //! is written at most once per round, only by its owning chunk — cannot
@@ -65,6 +66,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "LCL-X02",
         "cross-check: every problem preset appears in the plan-schema golden",
+    ),
+    (
+        "LCL-X03",
+        "cross-check: every adversarial generator is named by the churn/classify suites",
     ),
 ];
 

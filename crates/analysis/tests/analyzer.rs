@@ -95,6 +95,38 @@ fn determinism_fixture_triggers_exact_rules_and_spans() {
 }
 
 #[test]
+fn crosscheck_churn_fixture_triggers_exact_rules_and_spans() {
+    // `caterpillar` is declared and named by the mini churn suite (clean);
+    // four families have no generator fn at all (anchored at line 1);
+    // `spider` is declared but never named by a suite file (anchored at
+    // its fn).
+    let report = run_fixture("crosscheck_churn");
+    assert_eq!(
+        spans(&report),
+        vec![
+            ("LCL-X03", "crates/graph/src/generators.rs", 1),
+            ("LCL-X03", "crates/graph/src/generators.rs", 1),
+            ("LCL-X03", "crates/graph/src/generators.rs", 1),
+            ("LCL-X03", "crates/graph/src/generators.rs", 1),
+            ("LCL-X03", "crates/graph/src/generators.rs", 11),
+        ],
+        "{}",
+        report.human()
+    );
+    let items: Vec<&str> = report.findings.iter().map(|f| f.item.as_str()).collect();
+    assert_eq!(
+        items,
+        vec![
+            "broom",
+            "complete_ary_tree",
+            "heavy_path_skewed",
+            "ladder",
+            "spider"
+        ]
+    );
+}
+
+#[test]
 fn workspace_is_clean_modulo_shipped_baseline() {
     // The analyzer runs on this repository itself: the tree must stay
     // clean, every baseline entry must carry a justification, and no

@@ -1,0 +1,13 @@
+//! Miniature generator registry: `caterpillar` is declared and named by
+//! the churn suite, `spider` is declared but never named, and the other
+//! four adversarial families are missing entirely.
+
+/// A spine with pendant legs.
+pub fn caterpillar(spine: usize, legs: usize) -> usize {
+    spine * (1 + legs)
+}
+
+/// A hub with pendant paths — declared, but no suite names it.
+pub fn spider(legs: usize, leg_len: usize) -> usize {
+    1 + legs * leg_len
+}

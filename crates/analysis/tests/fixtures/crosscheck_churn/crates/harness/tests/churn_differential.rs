@@ -1,0 +1,6 @@
+//! Miniature churn suite: names `caterpillar` only.
+
+#[test]
+fn churns_a_caterpillar() {
+    let _n = caterpillar(3, 2);
+}

@@ -22,6 +22,11 @@
 //!                                   fit every algorithm's measured
 //!                                   node-averaged curve to its landscape
 //!                                   class; emits BENCH_classify.json
+//! lcl churn [--scale tiny|smoke|ci|full] [--schema]
+//!                                   dynamic-tree churn sessions with
+//!                                   incremental re-solving; emits
+//!                                   BENCH_churn.json (ci/full gate the
+//!                                   1M-path incremental speedup)
 //! lcl baseline [--n N]              emit bench-results/BENCH_sweep.json
 //! lcl perfgate [--threshold X]      CI smoke gate vs BENCH_sweep.json
 //! lcl analyze [--strict] [--json] [--baseline PATH] [--root PATH] [--rules]
@@ -52,6 +57,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
+        Some("churn") => cmd_churn(&args[1..]),
         Some("baseline") => cmd_baseline(&args[1..]),
         Some("perfgate") => cmd_perfgate(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
@@ -71,7 +77,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: lcl <list|figures|problems|solve|run|sweep|classify|baseline|perfgate|analyze> [options]\n\
+    "usage: lcl <list|figures|problems|solve|run|sweep|classify|churn|baseline|perfgate|analyze> [options]\n\
      lcl list\n\
      lcl figures\n\
      lcl problems\n\
@@ -82,6 +88,7 @@ const USAGE: &str =
      lcl sweep <figure>|all [--tiny] [--schema]\n\
      lcl sweep --scale smoke|ci|full [--chunk-size C] [--threads T]\n\
      lcl classify [--scale tiny|smoke|ci|full] [--strict]\n\
+     lcl churn [--scale tiny|smoke|ci|full] [--schema]\n\
      lcl baseline [--n N]\n\
      lcl perfgate [--threshold X]\n\
      lcl analyze [--strict] [--json] [--baseline PATH] [--root PATH] [--rules]";
@@ -429,6 +436,23 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
     flags.ensure_known(&["--scale"], &["--strict"])?;
     let preset = flags.value("--scale")?.unwrap_or("ci");
     lcl_bench::classify::run_classify(preset, flags.switch("--strict"))
+}
+
+/// `lcl churn`: dynamic-tree churn sessions over the preset scripts, plus
+/// the incremental-vs-full headline (gated on `ci`/`full`). `--schema`
+/// prints the `BENCH_churn.json` schema as `SCHEMA ` lines, diffed in CI
+/// against `crates/bench/golden/churn_schema.txt`.
+fn cmd_churn(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    flags.ensure_known(&["--scale"], &["--schema"])?;
+    let preset = flags.value("--scale")?.unwrap_or("smoke");
+    let value = lcl_bench::churn::run_churn(preset)?;
+    if flags.switch("--schema") {
+        for line in schema_lines("churn", &value) {
+            println!("SCHEMA {line}");
+        }
+    }
+    Ok(())
 }
 
 #[derive(Serialize)]

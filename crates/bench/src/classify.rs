@@ -44,7 +44,7 @@
 
 use crate::report::{f3, save_json, Table};
 use lcl_core::landscape::ComplexityClass;
-use lcl_harness::{registry, Algorithm, RunConfig, Session};
+use lcl_harness::{registry, Algorithm, InstanceSpec, RunConfig, Session};
 use serde::Serialize;
 
 /// Relative-RMSE penalty per free parameter beyond the constant model's
@@ -422,6 +422,197 @@ pub fn run_classify(preset: &str, strict: bool) -> Result<(), String> {
     if strict && !inconsistent.is_empty() {
         return Err(format!(
             "fitted classes contradict theory for: {}",
+            inconsistent.join(", ")
+        ));
+    }
+    run_adversarial_classify(preset, strict)
+}
+
+/// The adversarial topology families of the classify suite, by name.
+pub const ADVERSARIAL_FAMILIES: [&str; 6] = [
+    "caterpillar",
+    "ladder",
+    "broom",
+    "spider",
+    "complete-ary",
+    "heavy-path",
+];
+
+/// The free-tree solvers the adversarial suite classifies (the registry
+/// entries that accept `InstanceKind::Adversarial`).
+pub const ADVERSARIAL_SOLVERS: [&str; 3] = ["dfree-a", "fast-decomposition", "labeling-solver"];
+
+/// The family member of target size `n`.
+#[must_use]
+pub fn adversarial_spec(family: &str, n: usize) -> Option<InstanceSpec> {
+    let spec = match family {
+        "caterpillar" => InstanceSpec::Caterpillar {
+            spine: (n / 3).max(1),
+            legs: 2,
+        },
+        "ladder" => InstanceSpec::Ladder {
+            rungs: (n / 2).max(1),
+        },
+        "broom" => InstanceSpec::Broom {
+            spine: (n / 2).max(1),
+            bristles: (n / 2).max(1),
+        },
+        "spider" => InstanceSpec::Spider {
+            legs: 4,
+            leg_len: (n / 4).max(1),
+        },
+        "complete-ary" => InstanceSpec::CompleteAry {
+            arity: 2,
+            // The largest complete binary tree with at most n nodes.
+            height: ((usize::BITS - (n + 1).leading_zeros()) as usize)
+                .saturating_sub(2)
+                .max(1),
+        },
+        "heavy-path" => InstanceSpec::HeavyPath { n },
+        _ => return None,
+    };
+    Some(spec)
+}
+
+/// The pinned theoretical node-averaged class per (solver, family) —
+/// the adversarial suite's strict gate compares fitted classes against
+/// these, not against the solver's canonical-family class, because the
+/// node-average is a property of the *pair*:
+///
+/// - `dfree-a` terminates every node at its rake-and-compress collection
+///   radius, Θ(log n) on every bounded-degree family;
+/// - `fast-decomposition`'s geometric decline decay keeps the
+///   node-average O(1) on all six families (the surviving mass on
+///   path-like shapes is a vanishing fraction);
+/// - `labeling-solver`'s O(k·n^{1/k}) bound (k = 2) is *tight* on the
+///   path-like families — their level populations are Θ(√n)-deep — and
+///   collapses to O(1) on complete trees, where peeling exhausts the
+///   tree in O(1) levels.
+fn adversarial_expected(solver: &str, family: &str) -> ComplexityClass {
+    match (solver, family) {
+        ("dfree-a", _) => ComplexityClass::Log,
+        ("fast-decomposition", _) => ComplexityClass::Constant,
+        ("labeling-solver", "complete-ary") => ComplexityClass::Constant,
+        ("labeling-solver", _) => ComplexityClass::poly(0.5),
+        _ => ComplexityClass::Constant,
+    }
+}
+
+/// One classified (solver, adversarial family) pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct AdversarialClassification {
+    /// Family name (see [`ADVERSARIAL_FAMILIES`]).
+    pub family: String,
+    /// Registry name of the solver.
+    pub algorithm: String,
+    /// Rendered pinned theoretical class for this pair.
+    pub theoretical: String,
+    /// Rendered fitted class.
+    pub fitted: String,
+    /// Relative RMSE of the winning fit.
+    pub nrmse: f64,
+    /// Whether the fitted class is consistent with the pinned one.
+    pub consistent: bool,
+    /// The measured `(n, node_averaged)` curve.
+    pub curve: Vec<(u64, f64)>,
+}
+
+/// The emitted `BENCH_classify_adversarial.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct AdversarialReport {
+    /// Preset name.
+    pub preset: String,
+    /// The size ladder the families were swept over.
+    pub sizes: Vec<usize>,
+    /// One row per (solver, family) pair.
+    pub pairs: Vec<AdversarialClassification>,
+}
+
+/// Classifies every free-tree solver on every adversarial family and
+/// writes `bench-results/BENCH_classify_adversarial.json`. Sizes come
+/// from the preset's weight-tree ladder, capped at 262 144 (the √n-class
+/// pairs resolve well below that, and the cap keeps the 18-pair sweep
+/// CI-affordable).
+///
+/// # Errors
+///
+/// Unknown presets, harness errors, and — when `strict` — any pair whose
+/// fitted class contradicts its pinned class.
+pub fn run_adversarial_classify(preset: &str, strict: bool) -> Result<(), String> {
+    let scale = classify_scale(preset)
+        .ok_or_else(|| format!("unknown preset `{preset}` (tiny|smoke|ci|full)"))?;
+    let sizes: Vec<usize> = scale
+        .weight_tree_sizes
+        .iter()
+        .copied()
+        .filter(|&n| n <= 262_144)
+        .collect();
+    let seed = *scale.seeds.first().ok_or("preset has no seeds")?;
+    let mut table = Table::new(
+        format!("Adversarial topology classification — preset `{preset}`"),
+        &[
+            "family",
+            "algorithm",
+            "pinned",
+            "fitted",
+            "nrmse",
+            "consistent",
+        ],
+    );
+    let mut pairs = Vec::new();
+    let mut inconsistent = Vec::new();
+    for family in ADVERSARIAL_FAMILIES {
+        for solver in ADVERSARIAL_SOLVERS {
+            let mut session = Session::new();
+            for &n in &sizes {
+                let spec = adversarial_spec(family, n).ok_or("known family")?;
+                session
+                    .push(solver, spec, RunConfig::seeded(seed))
+                    .map_err(|e| e.to_string())?;
+            }
+            let records = session.run().map_err(|e| e.to_string())?;
+            let curve: Vec<(u64, f64)> = records
+                .iter()
+                .map(|r| (r.n as u64, r.node_averaged))
+                .collect();
+            let points: Vec<(f64, f64)> = curve.iter().map(|&(n, t)| (n as f64, t)).collect();
+            let classification = classify_curve(&points)?;
+            let expected = adversarial_expected(solver, family);
+            let consistent = expected.consistent_with(&classification.best);
+            table.row(&[
+                family.to_string(),
+                solver.to_string(),
+                expected.describe(),
+                classification.best.describe(),
+                f3(classification.fit.nrmse),
+                consistent.to_string(),
+            ]);
+            if !consistent {
+                inconsistent.push(format!("{solver} on {family}"));
+            }
+            pairs.push(AdversarialClassification {
+                family: family.to_string(),
+                algorithm: solver.to_string(),
+                theoretical: expected.describe(),
+                fitted: classification.best.describe(),
+                nrmse: classification.fit.nrmse,
+                consistent,
+                curve,
+            });
+        }
+    }
+    table.print();
+    save_json(
+        "BENCH_classify_adversarial",
+        &AdversarialReport {
+            preset: preset.to_string(),
+            sizes,
+            pairs,
+        },
+    );
+    if strict && !inconsistent.is_empty() {
+        return Err(format!(
+            "adversarial fitted classes contradict their pinned classes for: {}",
             inconsistent.join(", ")
         ));
     }

@@ -50,6 +50,52 @@ fn tiny_sweep_matches_golden_schema() {
 }
 
 #[test]
+fn tiny_churn_matches_golden_schema_and_is_deterministic() {
+    let output = lcl(&["churn", "--scale", "tiny", "--schema"]);
+    assert!(output.status.success(), "lcl churn failed: {output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let churn_lines: Vec<&str> = stdout.lines().filter(|l| l.starts_with("CHURN ")).collect();
+    assert!(!churn_lines.is_empty(), "churn printed no CHURN lines");
+    // The CHURN lines carry no wall-clock: a second run of the same
+    // preset must reproduce them byte-for-byte.
+    let again = lcl(&["churn", "--scale", "tiny", "--schema"]);
+    assert!(again.status.success(), "second churn run failed: {again:?}");
+    let again_stdout = String::from_utf8_lossy(&again.stdout);
+    let again_lines: Vec<&str> = again_stdout
+        .lines()
+        .filter(|l| l.starts_with("CHURN "))
+        .collect();
+    assert_eq!(
+        churn_lines, again_lines,
+        "CHURN lines are not deterministic"
+    );
+    let emitted: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("SCHEMA "))
+        .collect();
+    assert!(!emitted.is_empty(), "churn printed no schema lines");
+    let golden = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/churn_schema.txt"),
+    )
+    .expect("golden churn schema file is checked in");
+    for line in emitted {
+        assert!(
+            golden.contains(line),
+            "schema line not in golden file (regenerate with \
+             `lcl churn --scale tiny --schema | grep '^SCHEMA '`): {line}"
+        );
+    }
+}
+
+#[test]
+fn churn_rejects_unknown_preset() {
+    let output = lcl(&["churn", "--scale", "galactic"]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown churn preset"), "stderr: {stderr}");
+}
+
+#[test]
 fn classify_runs_at_tiny_scale() {
     // The tiny ladders cannot resolve the landscape (log* is constant
     // across them), so no --strict: this only checks the pipeline runs

@@ -1,0 +1,236 @@
+//! The `ChurnScript` vocabulary: declarative, seeded dynamic-tree workloads.
+//!
+//! A script names *what* churn to apply — how many batches, how many ops per
+//! batch, and the insert/delete/re-hang mix — without fixing a topology or a
+//! solver. The harness's `DynamicSession` pairs a script with an instance
+//! spec and a solver, materializes each batch deterministically from
+//! `(seed, batch index)` via `lcl_graph::surgery`, and re-solves
+//! incrementally. Keeping the vocabulary here (and the randomness in
+//! `lcl_graph`) mirrors the `ProblemSpec` split: `lcl_core` stays a pure
+//! description layer.
+
+use serde::Serialize;
+
+/// The op mix of a churn script, as relative integer weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ChurnMix {
+    /// Relative weight of leaf insertions.
+    pub insert: u32,
+    /// Relative weight of subtree deletions.
+    pub delete: u32,
+    /// Relative weight of edge re-hangs.
+    pub rehang: u32,
+}
+
+impl ChurnMix {
+    /// Builds a mix from the three relative weights.
+    #[must_use]
+    pub fn new(insert: u32, delete: u32, rehang: u32) -> Self {
+        ChurnMix {
+            insert,
+            delete,
+            rehang,
+        }
+    }
+}
+
+/// A seeded dynamic-tree workload: `batches` batches of `ops_per_batch`
+/// tree-surgery operations drawn from `mix`.
+///
+/// Scripts are pure descriptions; all randomness is derived downstream from
+/// `seed` and the batch index, so a script names one exact workload.
+///
+/// # Examples
+///
+/// ```
+/// use lcl_core::churn::ChurnScript;
+///
+/// let script = ChurnScript::preset("leaf-growth").unwrap();
+/// assert_eq!(script.mix.delete, 0);
+/// assert!(script.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ChurnScript {
+    /// Human-readable workload name (unique among presets).
+    pub name: String,
+    /// Base seed; batch `b` derives its op stream from `seed ^ b`.
+    pub seed: u64,
+    /// Number of batches to apply.
+    pub batches: usize,
+    /// Number of surgery ops per batch.
+    pub ops_per_batch: usize,
+    /// Relative weights of the three op kinds.
+    pub mix: ChurnMix,
+}
+
+impl ChurnScript {
+    /// Builds a script with explicit parameters.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        seed: u64,
+        batches: usize,
+        ops_per_batch: usize,
+        mix: ChurnMix,
+    ) -> Self {
+        ChurnScript {
+            name: name.into(),
+            seed,
+            batches,
+            ops_per_batch,
+            mix,
+        }
+    }
+
+    /// The named preset scripts every churn surface (differential suite,
+    /// `lcl churn`) agrees on:
+    ///
+    /// - `leaf-growth` — pure insertion; the tree only grows.
+    /// - `prune-regrow` — balanced insertions and subtree deletions.
+    /// - `rehang-storm` — re-hang dominated, with light insert/delete noise.
+    #[must_use]
+    pub fn presets() -> Vec<ChurnScript> {
+        vec![
+            ChurnScript::new(
+                "leaf-growth",
+                0xC0FFEE,
+                3,
+                24,
+                ChurnMix {
+                    insert: 1,
+                    delete: 0,
+                    rehang: 0,
+                },
+            ),
+            ChurnScript::new(
+                "prune-regrow",
+                0xBEEF,
+                3,
+                24,
+                ChurnMix {
+                    insert: 2,
+                    delete: 2,
+                    rehang: 0,
+                },
+            ),
+            ChurnScript::new(
+                "rehang-storm",
+                0xF00D,
+                3,
+                24,
+                ChurnMix {
+                    insert: 1,
+                    delete: 1,
+                    rehang: 4,
+                },
+            ),
+        ]
+    }
+
+    /// Looks up a preset by name.
+    #[must_use]
+    pub fn preset(name: &str) -> Option<ChurnScript> {
+        ChurnScript::presets().into_iter().find(|s| s.name == name)
+    }
+
+    /// Returns a copy with a different base seed (for seed sweeps).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy scaled to `ops_per_batch` ops and `batches` batches
+    /// (for size presets).
+    #[must_use]
+    pub fn with_volume(mut self, batches: usize, ops_per_batch: usize) -> Self {
+        self.batches = batches;
+        self.ops_per_batch = ops_per_batch;
+        self
+    }
+
+    /// The seed of batch `b`, derived so that batches are independent
+    /// streams of one workload.
+    #[must_use]
+    pub fn batch_seed(&self, batch: usize) -> u64 {
+        self.seed ^ (batch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Checks the script is well-formed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found:
+    /// empty name, zero batches/ops, or an all-zero mix.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("script name must not be empty".into());
+        }
+        if self.batches == 0 {
+            return Err("script must have at least one batch".into());
+        }
+        if self.ops_per_batch == 0 {
+            return Err("script must have at least one op per batch".into());
+        }
+        if self.mix.insert == 0 && self.mix.delete == 0 && self.mix.rehang == 0 {
+            return Err("op mix must not be all zero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid_and_distinct() {
+        let presets = ChurnScript::presets();
+        assert!(presets.len() >= 3);
+        for s in &presets {
+            s.validate().unwrap();
+        }
+        let names: std::collections::BTreeSet<&str> =
+            presets.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), presets.len());
+        assert!(ChurnScript::preset("prune-regrow").is_some());
+        assert!(ChurnScript::preset("nonsense").is_none());
+    }
+
+    #[test]
+    fn batch_seeds_differ_but_are_stable() {
+        let s = ChurnScript::preset("leaf-growth").unwrap();
+        assert_eq!(s.batch_seed(0), s.seed);
+        assert_ne!(s.batch_seed(1), s.batch_seed(2));
+        assert_eq!(s.batch_seed(1), s.batch_seed(1));
+        let reseeded = s.clone().with_seed(7);
+        assert_eq!(reseeded.batch_seed(0), 7);
+    }
+
+    #[test]
+    fn validation_catches_degenerate_scripts() {
+        let mix = ChurnMix {
+            insert: 1,
+            delete: 0,
+            rehang: 0,
+        };
+        assert!(ChurnScript::new("", 1, 1, 1, mix).validate().is_err());
+        assert!(ChurnScript::new("x", 1, 0, 1, mix).validate().is_err());
+        assert!(ChurnScript::new("x", 1, 1, 0, mix).validate().is_err());
+        let zero = ChurnMix {
+            insert: 0,
+            delete: 0,
+            rehang: 0,
+        };
+        assert!(ChurnScript::new("x", 1, 1, 1, zero).validate().is_err());
+        assert!(ChurnScript::new("x", 1, 1, 1, mix).validate().is_ok());
+    }
+
+    #[test]
+    fn scripts_serialize() {
+        let s = ChurnScript::preset("rehang-storm").unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"rehang\":4"));
+        assert!(json.contains("rehang-storm"));
+    }
+}

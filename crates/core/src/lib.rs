@@ -18,7 +18,9 @@
 //! - [`params`] — concrete instance parameters (`ℓ_i`, `γ_i`),
 //! - [`problem_spec`] — the declarative, serializable [`ProblemSpec`]
 //!   vocabulary the problem-first solver surface is built on (explicit
-//!   path/black-white tables plus every named paper family).
+//!   path/black-white tables plus every named paper family),
+//! - [`churn`] — the seeded dynamic-workload vocabulary ([`ChurnScript`])
+//!   driving the harness's incremental re-solving sessions.
 //!
 //! # Examples
 //!
@@ -37,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod churn;
 pub mod coloring;
 pub mod dfree;
 pub mod labeling;
@@ -47,6 +50,7 @@ pub mod problem_spec;
 pub mod weight_augmented;
 pub mod weighted;
 
+pub use churn::{ChurnMix, ChurnScript};
 pub use coloring::{ColorLabel, HierarchicalColoring, Variant};
 pub use problem::{LclProblem, Violation};
 pub use problem_spec::{BwTable, PathTable, ProblemRegime, ProblemSpec};

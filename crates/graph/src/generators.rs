@@ -170,6 +170,66 @@ pub fn random_bounded_degree_tree(n: usize, max_degree: usize, seed: u64) -> Tre
     b.build().expect("random construction is a tree")
 }
 
+/// A ladder (pectinate/comb) tree: a spine path on `rungs` nodes with one
+/// pendant leaf per spine node, `n = 2 * rungs` in total.
+///
+/// Spine nodes are `0..rungs`; the rung of spine node `s` is `rungs + s`.
+/// Every spine node has the same local view as its neighbors up to distance
+/// `min(s, rungs - 1 - s)`, which makes ladders a worst case for
+/// symmetry-breaking arguments on bounded-degree trees.
+///
+/// # Panics
+///
+/// Panics if `rungs == 0`.
+pub fn ladder(rungs: usize) -> Tree {
+    assert!(rungs > 0, "ladder needs a non-empty spine");
+    let n = 2 * rungs;
+    let mut b = TreeBuilder::new(n);
+    for v in 1..rungs {
+        b.add_edge(v - 1, v);
+    }
+    for s in 0..rungs {
+        b.add_edge(s, rungs + s);
+    }
+    b.build().expect("ladder is a tree")
+}
+
+/// A heavy-path-skewed tree on exactly `n` nodes: a spine whose pendant
+/// paths grow linearly along it, so almost all mass hangs near the far end
+/// while the spine stays the unique heavy path. Maximum degree 3.
+///
+/// The shape is the adversarial case for heavy-path decompositions: every
+/// spine node is the heavy child of its predecessor, yet subtree sizes are
+/// maximally unbalanced between the spine and its pendants.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn heavy_path_skewed(n: usize) -> Tree {
+    assert!(n > 0, "tree must be non-empty");
+    let mut b = TreeBuilder::new(n);
+    let mut spine = 0usize;
+    let mut next = 1usize;
+    let mut step = 0usize;
+    while next < n {
+        // Extend the spine by one node...
+        b.add_edge(spine, next);
+        spine = next;
+        next += 1;
+        step += 1;
+        // ...then hang a pendant path whose length grows with the spine
+        // position (truncated when the node budget runs out).
+        let len = (step / 2).min(n - next);
+        let mut prev = spine;
+        for _ in 0..len {
+            b.add_edge(prev, next);
+            prev = next;
+            next += 1;
+        }
+    }
+    b.build().expect("heavy-path-skewed construction is a tree")
+}
+
 /// A random path-like "broom" used in tests: a path of `spine` nodes with a
 /// star of `bristles` leaves on one end.
 pub fn broom(spine: usize, bristles: usize) -> Result<Tree, TreeError> {
@@ -278,6 +338,35 @@ mod tests {
         let t = random_bounded_degree_tree(50, 2, 7);
         assert_eq!(t.max_degree(), 2);
         assert_eq!(t.diameter(), 49);
+    }
+
+    #[test]
+    fn ladder_shape() {
+        let t = ladder(5);
+        assert_eq!(t.node_count(), 10);
+        assert_eq!(t.degree(0), 2); // one spine neighbor + its rung
+        assert_eq!(t.degree(2), 3); // two spine neighbors + its rung
+        assert_eq!(t.degree(7), 1); // rungs are leaves
+        assert_eq!(t.max_degree(), 3);
+        assert_eq!(ladder(1).node_count(), 2);
+    }
+
+    #[test]
+    fn heavy_path_skewed_shape() {
+        for n in [1, 2, 3, 10, 137, 500] {
+            let t = heavy_path_skewed(n);
+            assert_eq!(t.node_count(), n);
+            assert!(t.max_degree() <= 3, "n={n}");
+        }
+        // Deterministic, branching (not a bare path), and skewed: nodes
+        // within half the eccentricity of node 0 are a small minority.
+        let t = heavy_path_skewed(500);
+        assert_eq!(t, heavy_path_skewed(500));
+        assert_eq!(t.max_degree(), 3);
+        let dist = t.bfs_distances(0);
+        let ecc = *dist.iter().max().unwrap();
+        let near = dist.iter().filter(|&&d| d <= ecc / 2).count();
+        assert!(near < 250, "mass should skew away from the spine head");
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! - the weighted construction of Definition 25 ([`weighted`]),
 //! - rake-and-compress `(γ, ℓ, L)`-decompositions, strict (Definition 71)
 //!   and relaxed (Definition 43), with full property validation
-//!   ([`decompose`]).
+//!   ([`decompose`]),
+//! - port-preserving tree [`surgery`] — seeded churn batches (leaf
+//!   insertions, subtree deletions, edge re-hangs) and dirty-region
+//!   component extraction for incremental re-solving.
 //!
 //! # Examples
 //!
@@ -40,9 +43,14 @@ pub mod generators;
 pub mod hierarchical;
 pub mod levels;
 pub mod mask;
+pub mod surgery;
 pub mod tree;
 pub mod weighted;
 
 pub use error::TreeError;
 pub use mask::{induced_components, induced_paths, InducedPath, NodeMask};
+pub use surgery::{
+    churn_batch, extract_components, BatchResult, OpWeights, RegionComponent, ShapeDiscipline,
+    Surgeon, TreeOp,
+};
 pub use tree::{NodeId, Tree, TreeBuilder};

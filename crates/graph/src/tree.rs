@@ -60,6 +60,107 @@ impl Tree {
         b.build()
     }
 
+    /// Builds a tree directly from CSR arrays, preserving the given per-node
+    /// neighbor (port) order exactly.
+    ///
+    /// [`TreeBuilder`] derives port order from edge-insertion order, which is
+    /// fine for generators but destroys the order of a tree that already
+    /// exists — tree surgery (`crate::surgery`) must keep the ports of
+    /// untouched nodes stable so that local views are unchanged, so it
+    /// assembles CSR arrays itself and validates them here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError`] if the arrays are not a well-formed CSR layout
+    /// (monotone offsets starting at 0 and ending at `adjacency.len()`), or
+    /// the encoded graph is not a connected acyclic mutual adjacency on
+    /// `offsets.len() - 1` nodes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcl_graph::Tree;
+    /// // 1 - 0 - 2, with node 0 listing neighbor 2 before neighbor 1.
+    /// let t = Tree::from_csr(vec![0, 2, 3, 4], vec![2, 1, 0, 0])?;
+    /// assert_eq!(t.neighbors(0), &[2, 1]);
+    /// # Ok::<(), lcl_graph::TreeError>(())
+    /// ```
+    pub fn from_csr(offsets: Vec<u32>, adjacency: Vec<u32>) -> Result<Self, TreeError> {
+        if offsets.len() < 2 {
+            return Err(TreeError::DegenerateParameters(
+                "tree must have at least one node".into(),
+            ));
+        }
+        let n = offsets.len() - 1;
+        let malformed = offsets[0] != 0
+            || offsets.windows(2).any(|w| w[0] > w[1])
+            || offsets[n] as usize != adjacency.len();
+        if malformed {
+            return Err(TreeError::DegenerateParameters(
+                "offsets must be monotone, start at 0, and cover the adjacency array".into(),
+            ));
+        }
+        if adjacency.len() != 2 * (n - 1) {
+            return Err(TreeError::NotATree {
+                nodes: n,
+                edges: adjacency.len() / 2,
+            });
+        }
+        let tree = Tree { offsets, adjacency };
+        for v in 0..n {
+            for &w in tree.neighbors(v) {
+                let w = w as usize;
+                if w >= n {
+                    return Err(TreeError::NodeOutOfRange { node: w, n });
+                }
+                if w == v {
+                    return Err(TreeError::InvalidEdge { u: v, v: w });
+                }
+            }
+        }
+        // Mutuality: every directed edge (v, w) must have exactly one mate
+        // (w, v). With the degree sum fixed at 2(n-1) it suffices to check
+        // the sorted directed edge lists are mirror images.
+        let mut fwd: Vec<(u32, u32)> = Vec::with_capacity(tree.adjacency.len());
+        let mut rev: Vec<(u32, u32)> = Vec::with_capacity(tree.adjacency.len());
+        for v in 0..n {
+            for &w in tree.neighbors(v) {
+                fwd.push((v as u32, w));
+                rev.push((w, v as u32));
+            }
+        }
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        if fwd != rev {
+            return Err(TreeError::DegenerateParameters(
+                "adjacency is not mutual: some directed edge has no reverse".into(),
+            ));
+        }
+        for v in 0..n {
+            let mut nb: Vec<u32> = tree.neighbors(v).to_vec();
+            nb.sort_unstable();
+            if let Some(w) = nb.windows(2).find(|w| w[0] == w[1]) {
+                return Err(TreeError::InvalidEdge {
+                    u: v,
+                    v: w[0] as usize,
+                });
+            }
+        }
+        // Connectivity: n - 1 mutual, duplicate-free edges + connected ⇒ tree.
+        let reached = tree
+            .bfs_distances(0)
+            .iter()
+            .filter(|&&d| d != u32::MAX)
+            .count();
+        if reached != n {
+            return Err(TreeError::NotATree {
+                nodes: n,
+                edges: tree.adjacency.len() / 2,
+            });
+        }
+        Ok(tree)
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
@@ -537,6 +638,42 @@ mod tests {
     #[test]
     fn rejects_empty() {
         assert!(Tree::from_edges(0, &[]).is_err());
+    }
+
+    #[test]
+    fn from_csr_preserves_port_order() {
+        let t = Tree::from_csr(vec![0, 2, 3, 4], vec![2, 1, 0, 0]).unwrap();
+        assert_eq!(t.neighbors(0), &[2, 1]);
+        assert_eq!(t.node_count(), 3);
+        let single = Tree::from_csr(vec![0, 0], vec![]).unwrap();
+        assert_eq!(single.node_count(), 1);
+    }
+
+    #[test]
+    fn from_csr_roundtrips_builder_output() {
+        let t = small_tree();
+        let r = Tree::from_csr(t.offsets().to_vec(), t.adjacency().to_vec()).unwrap();
+        assert_eq!(t, r);
+    }
+
+    #[test]
+    fn from_csr_rejects_malformed_layouts() {
+        // Empty offsets.
+        assert!(Tree::from_csr(vec![], vec![]).is_err());
+        // Non-monotone offsets.
+        assert!(Tree::from_csr(vec![0, 2, 1, 4], vec![1, 2, 0, 0]).is_err());
+        // Offsets not covering adjacency.
+        assert!(Tree::from_csr(vec![0, 1, 2], vec![1, 0, 0]).is_err());
+        // Wrong edge count (cycle on 3 nodes).
+        assert!(Tree::from_csr(vec![0, 2, 4, 6], vec![1, 2, 0, 2, 0, 1]).is_err());
+        // Self-loop.
+        assert!(Tree::from_csr(vec![0, 2, 3, 4], vec![0, 1, 0, 0]).is_err());
+        // Out of range.
+        assert!(Tree::from_csr(vec![0, 2, 3, 4], vec![9, 1, 0, 0]).is_err());
+        // Non-mutual adjacency: 0 lists 1 twice, 1 and 2 each list 0.
+        assert!(Tree::from_csr(vec![0, 2, 3, 4], vec![1, 1, 0, 0]).is_err());
+        // Disconnected two-cycle + isolated pair is caught by mutuality/dup.
+        assert!(Tree::from_csr(vec![0, 1, 2, 4], vec![1, 0, 1, 1]).is_err());
     }
 
     #[test]

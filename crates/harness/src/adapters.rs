@@ -20,7 +20,7 @@
 //! on any path-expressible table, so the resolver always prefers the
 //! specialist and falls back to the generic solver otherwise.
 
-use crate::algorithm::{Algorithm, RunConfig, RunRecord};
+use crate::algorithm::{Algorithm, RegionOutcome, RegionRun, RunConfig, RunRecord, SessionScope};
 use crate::instance::{HarnessError, Instance, InstanceKind, InstanceSpec};
 use crate::planner::SolverFit;
 use lcl_algorithms::a35::a35;
@@ -50,7 +50,9 @@ use lcl_core::weighted::{WeightedColoring, WeightedOutput};
 use lcl_decidability::path_lcl::{PathClass, PathLcl};
 use lcl_graph::weighted::WeightedConstruction;
 use lcl_graph::{NodeMask, Tree};
-use lcl_local::engine::{run_sync_with, EngineConfig, NodeContext, Protocol, SyncOutcome};
+use lcl_local::engine::{
+    run_sync_region, run_sync_with, EngineConfig, NodeContext, Protocol, SyncOutcome,
+};
 use lcl_local::identifiers::Ids;
 use std::sync::Arc;
 
@@ -453,10 +455,49 @@ impl Algorithm for LinialColoring {
         (c >= 3).then(|| SolverFit::new(90, "deterministic Θ(log* n) coloring (c ≥ 3)"))
     }
 
+    fn churn_radius(&self, scope: &SessionScope) -> Option<u64> {
+        // The cascade runs in lockstep for a number of rounds fixed by the
+        // frozen id space: a node's trajectory depends only on ids within
+        // that many hops.
+        Some(linial_round_count(scope.space, 2) + 2)
+    }
+
+    fn run_region(&self, region: &RegionRun<'_>) -> Option<RegionOutcome> {
+        let ids = Ids::from_vec(region.ids.to_vec());
+        let space = region.scope.space;
+        let budget = linial_round_count(space, 2) + 2;
+        let result = run_sync_region(
+            region.tree,
+            &ids,
+            |c: &NodeContext| LinialCascade::new(c.id, space, 2),
+            budget,
+            region.engine,
+            region.ambient_n,
+        )
+        .map(|o| {
+            let rounds = o.stats.as_slice().to_vec();
+            (o.outputs, rounds)
+        })
+        .map_err(|e| HarnessError::EngineDivergence {
+            algorithm: self.name().to_string(),
+            detail: format!("region run failed: {e}"),
+        });
+        Some(result)
+    }
+
     fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
         ensure_supported(self, instance)?;
-        let ids = Ids::random(instance.node_count(), cfg.seed);
-        let space = cascade_space(&ids, 2);
+        // Under a dynamic-session scope, ids and the cascade space are
+        // frozen by the session so that incremental region runs and this
+        // full baseline see identical trajectories.
+        let (ids, space) = match &cfg.scope {
+            Some(scope) => (Ids::from_vec(scope.ids.as_ref().clone()), scope.space),
+            None => {
+                let ids = Ids::random(instance.node_count(), cfg.seed);
+                let space = cascade_space(&ids, 2);
+                (ids, space)
+            }
+        };
         let budget = linial_round_count(space, 2) + 2;
         let outcome = execute_protocol(
             self,
@@ -526,18 +567,61 @@ impl Algorithm for RandomizedColoring {
         (c >= 3).then(|| SolverFit::new(60, "randomized O(1) node-averaged coloring"))
     }
 
+    fn churn_radius(&self, scope: &SessionScope) -> Option<u64> {
+        // Coins are keyed on persistent ids and the budget on the
+        // monotone n_hint, so a node's trajectory depends only on its
+        // budget-radius ball.
+        Some(RandomizedProtocol::round_budget(scope.n_hint))
+    }
+
+    fn run_region(&self, region: &RegionRun<'_>) -> Option<RegionOutcome> {
+        let ids = Ids::from_vec(region.ids.to_vec());
+        let seed = region.seed;
+        let budget = RandomizedProtocol::round_budget(region.scope.n_hint.max(region.ambient_n));
+        let result = run_sync_region(
+            region.tree,
+            &ids,
+            |c: &NodeContext| RandomizedProtocol::new(seed, c.id as usize),
+            budget,
+            region.engine,
+            region.ambient_n,
+        )
+        .map(|o| {
+            let labels = o.outputs.iter().map(|&c| color_code(c)).collect();
+            let rounds = o.stats.as_slice().to_vec();
+            (labels, rounds)
+        })
+        .map_err(|e| HarnessError::EngineDivergence {
+            algorithm: self.name().to_string(),
+            detail: format!("region run failed: {e}"),
+        });
+        Some(result)
+    }
+
     fn run(&self, instance: &Instance, cfg: &RunConfig) -> Result<RunRecord, HarnessError> {
         ensure_supported(self, instance)?;
         let n = instance.node_count();
-        let ids = Ids::sequential(n);
+        // Coins are drawn per *id*: for static runs ids are sequential so
+        // this equals the historical per-node keying; under a
+        // dynamic-session scope the persistent ids keep each surviving
+        // node's coin stream stable across churn. The round budget uses
+        // the monotone n_hint so a shrinking tree cannot lower it below
+        // rounds legitimately reached before the shrink.
+        let (ids, budget_n) = match &cfg.scope {
+            Some(scope) => (
+                Ids::from_vec(scope.ids.as_ref().clone()),
+                scope.n_hint.max(n),
+            ),
+            None => (Ids::sequential(n), n),
+        };
         let seed = cfg.seed;
         let outcome = execute_protocol(
             self,
             instance.tree(),
             &ids,
             &cfg.engine,
-            |c| RandomizedProtocol::new(seed, c.node),
-            RandomizedProtocol::round_budget(n),
+            |c| RandomizedProtocol::new(seed, c.id as usize),
+            RandomizedProtocol::round_budget(budget_n),
         )?;
         if cfg.verify {
             check_proper(instance.tree(), &outcome.outputs)
@@ -911,6 +995,7 @@ impl Algorithm for DfreeA {
             InstanceKind::WeightTree,
             InstanceKind::RandomTree,
             InstanceKind::Path,
+            InstanceKind::Adversarial,
         ]
     }
 
@@ -981,6 +1066,7 @@ impl Algorithm for FastDecomposition {
             InstanceKind::WeightTree,
             InstanceKind::RandomTree,
             InstanceKind::Path,
+            InstanceKind::Adversarial,
         ]
     }
 
@@ -1064,6 +1150,7 @@ impl Algorithm for LabelingSolver {
             InstanceKind::WeightTree,
             InstanceKind::Path,
             InstanceKind::LowerBound,
+            InstanceKind::Adversarial,
         ]
     }
 

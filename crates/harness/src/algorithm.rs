@@ -4,9 +4,54 @@ use crate::instance::{HarnessError, Instance, InstanceKind, InstanceSpec};
 use crate::planner::SolverFit;
 use lcl_core::landscape::ComplexityClass;
 use lcl_core::problem_spec::ProblemSpec;
+use lcl_graph::Tree;
 use lcl_local::engine::EngineConfig;
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Frozen per-session context for dynamic (churn) workloads.
+///
+/// A [`DynamicSession`](crate::DynamicSession) assigns every node a
+/// *persistent* id that survives tree surgery, and freezes the parameters a
+/// protocol's trajectory depends on so that incremental region runs and
+/// from-scratch baseline runs see identical inputs:
+///
+/// - `ids[v]` is the persistent id of current node `v` (inserted nodes get
+///   fresh ids; ids are never reused),
+/// - `space` is the frozen id-space bound for id-space-driven cascades
+///   (Linial); it only grows, and growing it forces a full re-solve,
+/// - `n_hint` is the largest node count the session has ever seen — round
+///   budgets derived from `n` must use it so that a shrinking tree cannot
+///   invalidate rounds reached before the shrink.
+#[derive(Debug, Clone)]
+pub struct SessionScope {
+    /// Persistent id of every current node, indexed by node id.
+    pub ids: Arc<Vec<u64>>,
+    /// Frozen id-space bound (strictly above every id ever issued).
+    pub space: u64,
+    /// Monotone maximum of the session's node counts.
+    pub n_hint: usize,
+}
+
+/// One extracted dirty-region component handed to
+/// [`Algorithm::run_region`].
+#[derive(Debug)]
+pub struct RegionRun<'a> {
+    /// The region as a standalone tree (port order matches the ambient
+    /// tree; boundary nodes have their out-of-region ports truncated).
+    pub tree: &'a Tree,
+    /// Persistent ids of the region nodes, aligned with `tree`.
+    pub ids: &'a [u64],
+    /// Node count of the ambient tree the region was cut from.
+    pub ambient_n: usize,
+    /// The session scope the run must stay consistent with.
+    pub scope: &'a SessionScope,
+    /// Chunked-engine knobs for the region run.
+    pub engine: &'a EngineConfig,
+    /// The session's coin seed.
+    pub seed: u64,
+}
 
 /// Knobs shared by every algorithm run.
 ///
@@ -37,6 +82,11 @@ pub struct RunConfig {
     /// (`path-lcl`); filled by the planner, ignored by algorithms whose
     /// problem is fixed by their instance family.
     pub problem: Option<ProblemSpec>,
+    /// Dynamic-session context (persistent ids, frozen id space, monotone
+    /// `n`). `None` for ordinary static runs; set by
+    /// [`DynamicSession`](crate::DynamicSession) on both incremental *and*
+    /// baseline runs so the two see identical inputs.
+    pub scope: Option<SessionScope>,
 }
 
 impl Default for RunConfig {
@@ -49,6 +99,7 @@ impl Default for RunConfig {
             verify: true,
             engine: EngineConfig::default(),
             problem: None,
+            scope: None,
         }
     }
 }
@@ -89,6 +140,13 @@ impl RunConfig {
     #[must_use]
     pub fn with_problem(mut self, problem: ProblemSpec) -> Self {
         self.problem = Some(problem);
+        self
+    }
+
+    /// Returns `self` carrying a dynamic-session scope.
+    #[must_use]
+    pub fn with_scope(mut self, scope: SessionScope) -> Self {
+        self.scope = Some(scope);
         self
     }
 
@@ -306,7 +364,47 @@ pub trait Algorithm: Send + Sync {
         let _ = problem;
         None
     }
+
+    /// The causal round radius of this solver under a dynamic-session
+    /// scope: `Some(T)` promises that a node's output and termination
+    /// round depend only on its distance-`T` ball plus per-node state that
+    /// survives churn (persistent id, coins keyed on it) — so after a
+    /// batch, only nodes within `T` of a touched node can change, and a
+    /// region of radius `2T + 1` around the touch set suffices to recompute
+    /// them exactly (corruption from the truncated region boundary needs
+    /// `T + 1` rounds to reach them, one past their termination).
+    ///
+    /// The default `None` declares the solver *global*: any topology
+    /// change invalidates every label and the session falls back to a full
+    /// re-solve (which is still differentially checked).
+    fn churn_radius(&self, scope: &SessionScope) -> Option<u64> {
+        let _ = scope;
+        None
+    }
+
+    /// Runs the solver's protocol on one extracted dirty-region component,
+    /// returning per-node labels (in the same encoding as
+    /// [`RunRecord::labels`]) and termination rounds, aligned with
+    /// `region.tree`.
+    ///
+    /// Must be implemented by every solver whose
+    /// [`churn_radius`](Algorithm::churn_radius) is `Some`; the default
+    /// returns `None` ("no region entry"), which forces a full re-solve.
+    ///
+    /// # Errors
+    ///
+    /// Implementations surface engine failures as
+    /// [`HarnessError::EngineDivergence`]; the session treats any error as
+    /// "fall back to a full re-solve".
+    fn run_region(&self, region: &RegionRun<'_>) -> Option<RegionOutcome> {
+        let _ = region;
+        None
+    }
 }
+
+/// What [`Algorithm::run_region`] produces on success: per-node labels and
+/// termination rounds aligned with the extracted region's tree.
+pub type RegionOutcome = Result<(Vec<u64>, Vec<u64>), HarnessError>;
 
 /// Runs `algorithm` on `instance` and stamps the wall-clock time into the
 /// record. This is what [`Session`](crate::Session) workers call.

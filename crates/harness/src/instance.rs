@@ -95,6 +95,10 @@ pub enum InstanceKind {
     WeightTree,
     /// A seeded random bounded-degree tree.
     RandomTree,
+    /// A hostile deterministic topology (caterpillar, ladder, broom,
+    /// spider, complete Δ-ary tree, heavy-path-skewed tree) from the
+    /// adversarial generator module.
+    Adversarial,
 }
 
 /// A declarative, comparable description of one paper instance.
@@ -183,6 +187,62 @@ pub enum InstanceSpec {
         /// Topology seed (distinct from the run's ID seed).
         seed: u64,
     },
+    /// A caterpillar: a spine path with `legs` pendant leaves per spine
+    /// node (`n = spine · (1 + legs)`).
+    Caterpillar {
+        /// Spine length.
+        spine: usize,
+        /// Pendant leaves per spine node.
+        legs: usize,
+    },
+    /// A ladder (comb) tree: a spine of `rungs` nodes, one pendant leaf
+    /// each (`n = 2 · rungs`).
+    Ladder {
+        /// Spine length.
+        rungs: usize,
+    },
+    /// A broom: a path of `spine` nodes with `bristles` leaves on one end.
+    Broom {
+        /// Handle length.
+        spine: usize,
+        /// Leaves on the far end.
+        bristles: usize,
+    },
+    /// A spider: `legs` paths of `leg_len` nodes joined at a hub
+    /// (`n = 1 + legs · leg_len`).
+    Spider {
+        /// Number of legs.
+        legs: usize,
+        /// Nodes per leg.
+        leg_len: usize,
+    },
+    /// A complete `arity`-ary tree of the given height.
+    CompleteAry {
+        /// Children per internal node.
+        arity: usize,
+        /// Tree height (0 = single root).
+        height: usize,
+    },
+    /// A heavy-path-skewed tree on `n` nodes (max degree 3): pendant paths
+    /// grow along the spine, the adversarial case for heavy-path
+    /// decompositions.
+    HeavyPath {
+        /// Node count.
+        n: usize,
+    },
+    /// A churned instance: `base` after `batch` batches of tree surgery,
+    /// now on `n` nodes. Built only by
+    /// [`DynamicSession`](crate::DynamicSession) via [`Instance::from_tree`]
+    /// (the topology is the product of the session's op stream, so the spec
+    /// alone cannot rebuild it).
+    Churned {
+        /// The spec the session started from.
+        base: Box<InstanceSpec>,
+        /// How many batches have been applied.
+        batch: u64,
+        /// Current node count.
+        n: usize,
+    },
 }
 
 impl InstanceSpec {
@@ -197,6 +257,13 @@ impl InstanceSpec {
             | InstanceSpec::WeightedUnit { .. } => InstanceKind::Weighted,
             InstanceSpec::BalancedWeight { .. } => InstanceKind::WeightTree,
             InstanceSpec::RandomTree { .. } => InstanceKind::RandomTree,
+            InstanceSpec::Caterpillar { .. }
+            | InstanceSpec::Ladder { .. }
+            | InstanceSpec::Broom { .. }
+            | InstanceSpec::Spider { .. }
+            | InstanceSpec::CompleteAry { .. }
+            | InstanceSpec::HeavyPath { .. } => InstanceKind::Adversarial,
+            InstanceSpec::Churned { ref base, .. } => base.kind(),
         }
     }
 
@@ -210,8 +277,23 @@ impl InstanceSpec {
             | InstanceSpec::WeightedPoly { n, .. }
             | InstanceSpec::WeightedLogStar { n, .. }
             | InstanceSpec::WeightedUnit { n, .. }
-            | InstanceSpec::RandomTree { n, .. } => n,
+            | InstanceSpec::RandomTree { n, .. }
+            | InstanceSpec::HeavyPath { n }
+            | InstanceSpec::Churned { n, .. } => n,
             InstanceSpec::BalancedWeight { w, .. } => w,
+            InstanceSpec::Caterpillar { spine, legs } => spine * (1 + legs),
+            InstanceSpec::Ladder { rungs } => 2 * rungs,
+            InstanceSpec::Broom { spine, bristles } => spine + bristles,
+            InstanceSpec::Spider { legs, leg_len } => 1 + legs * leg_len,
+            InstanceSpec::CompleteAry { arity, height } => {
+                let mut nodes = 1usize;
+                let mut level = 1usize;
+                for _ in 0..height {
+                    level = level.saturating_mul(arity);
+                    nodes = nodes.saturating_add(level);
+                }
+                nodes
+            }
         }
     }
 
@@ -223,6 +305,7 @@ impl InstanceSpec {
             | InstanceSpec::WeightedPoly { k, .. }
             | InstanceSpec::WeightedLogStar { k, .. }
             | InstanceSpec::WeightedUnit { k, .. } => Some(k),
+            InstanceSpec::Churned { ref base, .. } => base.hierarchy_k(),
             _ => None,
         }
     }
@@ -234,6 +317,7 @@ impl InstanceSpec {
             InstanceSpec::WeightedPoly { d, .. } | InstanceSpec::WeightedLogStar { d, .. } => {
                 Some(d)
             }
+            InstanceSpec::Churned { ref base, .. } => base.decline_d(),
             _ => None,
         }
     }
@@ -262,6 +346,23 @@ impl InstanceSpec {
                 seed,
             } => {
                 format!("random-tree(n={n},max_degree={max_degree},seed={seed})")
+            }
+            InstanceSpec::Caterpillar { spine, legs } => {
+                format!("caterpillar(spine={spine},legs={legs})")
+            }
+            InstanceSpec::Ladder { rungs } => format!("ladder(rungs={rungs})"),
+            InstanceSpec::Broom { spine, bristles } => {
+                format!("broom(spine={spine},bristles={bristles})")
+            }
+            InstanceSpec::Spider { legs, leg_len } => {
+                format!("spider(legs={legs},leg_len={leg_len})")
+            }
+            InstanceSpec::CompleteAry { arity, height } => {
+                format!("complete-ary(arity={arity},height={height})")
+            }
+            InstanceSpec::HeavyPath { n } => format!("heavy-path(n={n})"),
+            InstanceSpec::Churned { ref base, batch, n } => {
+                format!("churned({},batch={batch},n={n})", base.describe())
             }
         }
     }
@@ -322,6 +423,55 @@ impl InstanceSpec {
                     ));
                 }
                 InstanceData::Plain(generators::random_bounded_degree_tree(n, max_degree, seed))
+            }
+            InstanceSpec::Caterpillar { spine, legs } => {
+                if spine == 0 {
+                    return Err(HarnessError::BadSpec("caterpillar needs spine >= 1".into()));
+                }
+                InstanceData::Plain(generators::caterpillar(spine, legs))
+            }
+            InstanceSpec::Ladder { rungs } => {
+                if rungs == 0 {
+                    return Err(HarnessError::BadSpec("ladder needs rungs >= 1".into()));
+                }
+                InstanceData::Plain(generators::ladder(rungs))
+            }
+            InstanceSpec::Broom { spine, bristles } => InstanceData::Plain(
+                generators::broom(spine, bristles)
+                    .map_err(|e| HarnessError::BadSpec(format!("broom: {e}")))?,
+            ),
+            InstanceSpec::Spider { legs, leg_len } => {
+                if legs > 0 && leg_len == 0 {
+                    return Err(HarnessError::BadSpec(
+                        "spider legs must be non-empty".into(),
+                    ));
+                }
+                InstanceData::Plain(generators::spider(legs, leg_len))
+            }
+            InstanceSpec::CompleteAry { arity, height } => {
+                if arity == 0 && height > 0 {
+                    return Err(HarnessError::BadSpec(
+                        "complete-ary needs arity >= 1".into(),
+                    ));
+                }
+                if self.requested_n() > 50_000_000 {
+                    return Err(HarnessError::BadSpec(
+                        "complete-ary parameters overflow a reasonable node count".into(),
+                    ));
+                }
+                InstanceData::Plain(generators::complete_ary_tree(arity, height))
+            }
+            InstanceSpec::HeavyPath { n } => {
+                if n == 0 {
+                    return Err(HarnessError::BadSpec("heavy-path needs n >= 1".into()));
+                }
+                InstanceData::Plain(generators::heavy_path_skewed(n))
+            }
+            InstanceSpec::Churned { .. } => {
+                return Err(HarnessError::BadSpec(
+                    "churned instances are materialized by DynamicSession, not from the spec"
+                        .into(),
+                ));
             }
         };
         Ok(Instance {
@@ -415,6 +565,20 @@ pub struct Instance {
 }
 
 impl Instance {
+    /// Wraps an externally materialized plain tree under the given spec.
+    ///
+    /// This is the [`DynamicSession`](crate::DynamicSession) entry point:
+    /// churned topologies are products of an op stream, not of a generator,
+    /// so they bypass [`InstanceSpec::build`]. The spec (normally
+    /// [`InstanceSpec::Churned`]) keeps records self-describing.
+    #[must_use]
+    pub fn from_tree(spec: InstanceSpec, tree: Tree) -> Self {
+        Instance {
+            spec,
+            data: InstanceData::Plain(tree),
+        }
+    }
+
     /// The spec this instance was built from.
     #[must_use]
     pub fn spec(&self) -> &InstanceSpec {

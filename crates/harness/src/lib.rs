@@ -18,6 +18,10 @@
 //! - [`InstanceSpec`] / [`Instance`] — declarative instance descriptions
 //!   wrapping the generators (paths, `LowerBoundGraph`,
 //!   `WeightedConstruction`) with cached peelings,
+//! - [`DynamicSession`] — dynamic-tree churn workloads: scripted batches
+//!   of tree surgery ([`ChurnScript`](lcl_core::churn::ChurnScript)) with
+//!   incremental dirty-region re-solving for local solvers and
+//!   differentially checked full re-solves for global ones,
 //! - [`Session`] / [`SessionBuilder`] — seeded, size-swept batch
 //!   execution on a std-thread pool, queueing *problems* (presets or raw
 //!   specs) and algorithm/instance pairs interchangeably, emitting
@@ -60,6 +64,7 @@
 
 pub mod adapters;
 pub mod algorithm;
+pub mod dynamic;
 pub mod instance;
 pub mod planner;
 pub mod registry;
@@ -68,7 +73,10 @@ pub mod replay;
 pub mod session;
 
 pub use adapters::{run_on_construction, WeightedRegime};
-pub use algorithm::{run_timed, Algorithm, RoundBin, RunConfig, RunRecord};
+pub use algorithm::{
+    run_timed, Algorithm, RegionRun, RoundBin, RunConfig, RunRecord, SessionScope,
+};
+pub use dynamic::{DynamicSession, StepOutcome};
 pub use instance::{HarnessError, Instance, InstanceKind, InstanceSpec};
 pub use planner::{
     canonical_instance, classify, plan, ClassSource, Classification, Plan, PlanError, SolverFit,

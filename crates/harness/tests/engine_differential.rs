@@ -350,6 +350,10 @@ fn small_specs(algo: &dyn Algorithm) -> Vec<InstanceSpec> {
                 seed: 3,
             }),
             InstanceKind::LowerBound => Some(InstanceSpec::Theorem11 { n: 400, k: 2 }),
+            InstanceKind::Adversarial => Some(InstanceSpec::Spider {
+                legs: 3,
+                leg_len: 8,
+            }),
             // Weighted parameters (Δ, d, k) are algorithm-specific; the
             // smallest spec above is the canonical small instance.
             InstanceKind::Weighted => None,

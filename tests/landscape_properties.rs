@@ -1,9 +1,14 @@
-//! Property tests for the landscape formulas and the synthesis procedures.
+//! Property tests for the landscape formulas, the synthesis procedures,
+//! and the adversarial topology suite.
 
 use lcl_landscape::core::landscape::{
     alpha1_log_star, alpha1_poly, efficiency_x, efficiency_x_prime, synthesize_log_star,
     synthesize_poly,
 };
+use lcl_landscape::graph::generators::{
+    broom, caterpillar, complete_ary_tree, heavy_path_skewed, ladder, spider,
+};
+use lcl_landscape::harness::InstanceSpec;
 use proptest::prelude::*;
 
 proptest! {
@@ -52,5 +57,100 @@ proptest! {
             prop_assert!(spec.lower_exponent >= lo - 1e-9);
             prop_assert!(spec.delta >= spec.d + 3);
         }
+    }
+
+    // --- adversarial topology suite ------------------------------------
+
+    #[test]
+    fn adversarial_specs_build_to_their_closed_form_sizes(
+        spine in 1usize..40,
+        legs in 1usize..5,
+        rungs in 1usize..60,
+        bristles in 1usize..30,
+        leg_len in 1usize..30,
+        n in 1usize..200,
+    ) {
+        // Every adversarial spec's `requested_n` is its closed-form node
+        // count, and the built instance realizes it exactly.
+        let cases = [
+            (InstanceSpec::Caterpillar { spine, legs }, spine * (1 + legs)),
+            (InstanceSpec::Ladder { rungs }, 2 * rungs),
+            (InstanceSpec::Broom { spine, bristles }, spine + bristles),
+            (InstanceSpec::Spider { legs, leg_len }, 1 + legs * leg_len),
+            (InstanceSpec::HeavyPath { n }, n),
+        ];
+        for (spec, closed_form) in cases {
+            let instance = spec.build().map_err(|e| {
+                TestCaseError::fail(format!("{} failed to build: {e}", spec.describe()))
+            })?;
+            prop_assert_eq!(instance.node_count(), closed_form, "{}", spec.describe());
+            prop_assert_eq!(spec.requested_n(), closed_form, "{}", spec.describe());
+        }
+    }
+
+    #[test]
+    fn complete_ary_counts_are_geometric(arity in 2usize..5, height in 0usize..6) {
+        let spec = InstanceSpec::CompleteAry { arity, height };
+        let instance = spec.build().map_err(|e| {
+            TestCaseError::fail(format!("{} failed to build: {e}", spec.describe()))
+        })?;
+        let mut expected = 1usize;
+        let mut level = 1usize;
+        for _ in 0..height {
+            level *= arity;
+            expected += level;
+        }
+        prop_assert_eq!(instance.node_count(), expected);
+        prop_assert_eq!(spec.requested_n(), expected);
+        // Internal nodes have arity + 1 neighbors (heap layout, parent
+        // plus arity children); the root has arity.
+        if height > 0 {
+            let want = if expected > arity + 1 { arity + 1 } else { arity };
+            prop_assert_eq!(instance.tree().max_degree(), want);
+        }
+    }
+
+    #[test]
+    fn adversarial_generators_have_their_shapes(
+        spine in 2usize..40,
+        legs in 2usize..6,
+        leg_len in 1usize..30,
+        bristles in 1usize..30,
+        rungs in 2usize..60,
+        n in 2usize..200,
+    ) {
+        // Spider: one hub of degree `legs`, everything else on a path.
+        let s = spider(legs, leg_len);
+        prop_assert_eq!(s.node_count(), 1 + legs * leg_len);
+        prop_assert_eq!(s.neighbors(0).len(), legs);
+        prop_assert_eq!(s.max_degree(), legs.max(2));
+
+        // Caterpillar: spine nodes carry `legs` pendant leaves each, so
+        // exactly `spine * legs` nodes are leaves hanging off the spine.
+        let c = caterpillar(spine, legs);
+        let leaf_count = (0..c.node_count())
+            .filter(|&v| c.neighbors(v).len() == 1)
+            .count();
+        prop_assert!(leaf_count >= spine * legs);
+
+        // Ladder: every spine node carries exactly one rung leaf.
+        let l = ladder(rungs);
+        for rung in rungs..2 * rungs {
+            prop_assert_eq!(l.neighbors(rung).len(), 1);
+        }
+
+        // Broom: all bristles attach to the last spine node.
+        let b = broom(spine, bristles).map_err(|e| {
+            TestCaseError::fail(format!("broom({spine}, {bristles}): {e}"))
+        })?;
+        prop_assert_eq!(b.neighbors(spine - 1).len(), bristles + 1);
+
+        // Heavy-path-skewed: exactly `n` nodes, connected by construction.
+        let h = heavy_path_skewed(n);
+        prop_assert_eq!(h.node_count(), n);
+
+        // Complete binary: see `complete_ary_counts_are_geometric`.
+        let t = complete_ary_tree(2, 3);
+        prop_assert_eq!(t.node_count(), 15);
     }
 }
