@@ -18,6 +18,13 @@
 //!   `crates/graph/src/generators.rs` *and* is named (exact ident) by at
 //!   least one churn-suite file — a family outside the churn
 //!   differential and classify gates is adversarial in name only.
+//! - `LCL-X04`: every `lcld` wire-protocol variant — each request op in
+//!   [`lcl_service::protocol::REQUEST_OPS`] and each response kind in
+//!   [`lcl_service::protocol::RESPONSE_KINDS`] — is named by the
+//!   round-trip suite (`crates/service/tests/protocol_roundtrip.rs`).
+//!   The ground truth comes from `lcl_service` itself, so adding a wire
+//!   variant without extending the round-trip coverage fails
+//!   `lcl analyze` immediately.
 //!
 //! All checks no-op when their subject files are absent (the analyzer
 //! fixtures are miniature workspaces without a harness or golden).
@@ -35,6 +42,7 @@ const DIFFERENTIAL: &str = "crates/harness/tests/engine_differential.rs";
 const ADAPTERS: &str = "crates/harness/src/adapters.rs";
 const PLAN_GOLDEN: &str = "crates/bench/golden/plan_schema.txt";
 const GENERATORS: &str = "crates/graph/src/generators.rs";
+const WIRE_SUITE: &str = "crates/service/tests/protocol_roundtrip.rs";
 /// The files that together form the dynamic-churn gate surface: the
 /// harness differential suite, the surgery property tests, and the bench
 /// drivers. Naming a family in any one of them counts as coverage.
@@ -59,6 +67,56 @@ pub fn check(files: &[SourceFile], root: &Path, findings: &mut Vec<Finding>) {
     check_protocol_coverage(files, findings);
     check_preset_coverage(files, root, findings);
     check_adversarial_coverage(files, findings);
+    check_wire_coverage(files, findings);
+}
+
+/// `LCL-X04`: every wire-protocol variant must be round-tripped. The
+/// suite names each covered variant by its wire tag (a string literal
+/// in the coverage ledger); a tag in neither the suite's string
+/// literals nor its idents is a variant that can silently drift from
+/// the golden schema and from external clients.
+fn check_wire_coverage(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let Some(suite) = files.iter().find(|f| f.rel == WIRE_SUITE) else {
+        return;
+    };
+    let mut named: BTreeSet<String> = BTreeSet::new();
+    for t in &suite.toks {
+        match t.kind {
+            TokKind::Ident => {
+                named.insert(t.text.clone());
+            }
+            // String literals carry the wire tags (`"overloaded"`);
+            // strip the quotes so tags compare exactly.
+            TokKind::Str => {
+                named.insert(t.text.trim_matches('"').to_string());
+            }
+            _ => {}
+        }
+    }
+    let tags = lcl_service::protocol::REQUEST_OPS
+        .iter()
+        .map(|op| ("request op", *op))
+        .chain(
+            lcl_service::protocol::RESPONSE_KINDS
+                .iter()
+                .map(|kind| ("response kind", *kind)),
+        );
+    for (what, tag) in tags {
+        if !named.contains(tag) {
+            findings.push(Finding {
+                rule: "LCL-X04",
+                file: suite.rel.clone(),
+                line: 1,
+                col: 1,
+                item: tag.to_string(),
+                message: format!(
+                    "wire {what} `{tag}` is not named by the round-trip suite \
+                     ({WIRE_SUITE}) — the variant has no serialization \
+                     round-trip or golden-schema guarantee"
+                ),
+            });
+        }
+    }
 }
 
 fn check_protocol_coverage(files: &[SourceFile], findings: &mut Vec<Finding>) {

@@ -1,8 +1,9 @@
 //! `LCL-H01`/`H02`: API hygiene of the public-facing crates.
 //!
-//! `lcl_core`, `lcl_harness`, and `lcl_local` are the crates a caller
-//! links against (the ROADMAP's `lcld` service will sit directly on
-//! them), so their non-test code must fail through typed errors, never
+//! `lcl_core`, `lcl_harness`, `lcl_local`, and `lcl_service` are the
+//! crates a caller links against (the `lcld` service sits directly on
+//! the first three and fronts them over a wire protocol), so their
+//! non-test code must fail through typed errors, never
 //! through `unwrap`/`expect`/`panic!`. Invariant *assertions*
 //! (`assert!`, `debug_assert!`, `unreachable!`) stay allowed: they
 //! document impossibilities rather than handle fallible paths.
@@ -21,6 +22,7 @@ const SCOPE: &[&str] = &[
     "crates/core/src/",
     "crates/harness/src/",
     "crates/local/src/",
+    "crates/service/src/",
 ];
 
 /// Panicking macros forbidden in library code.

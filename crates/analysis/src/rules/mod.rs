@@ -13,6 +13,7 @@
 //! | `LCL-X01` | every `Protocol` impl is exercised by the differential suite |
 //! | `LCL-X02` | every `ProblemSpec` preset appears in the plan-schema golden |
 //! | `LCL-X03` | every adversarial generator is named by the churn/classify suites |
+//! | `LCL-X04` | every `lcld` wire-protocol variant is round-tripped by the protocol suite |
 //!
 //! The *dynamic* half of the hot-path contract — that every arena slot
 //! is written at most once per round, only by its owning chunk — cannot
@@ -70,6 +71,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "LCL-X03",
         "cross-check: every adversarial generator is named by the churn/classify suites",
+    ),
+    (
+        "LCL-X04",
+        "cross-check: every lcld wire-protocol variant is round-tripped by the protocol suite",
     ),
 ];
 

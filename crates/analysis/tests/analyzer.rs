@@ -127,6 +127,21 @@ fn crosscheck_churn_fixture_triggers_exact_rules_and_spans() {
 }
 
 #[test]
+fn crosscheck_service_fixture_triggers_exact_rules_and_spans() {
+    // The mini round-trip suite names every wire tag except the
+    // `overloaded` response kind; `LCL-X04` must report exactly that
+    // one variant, anchored at the suite file.
+    let report = run_fixture("crosscheck_service");
+    assert_eq!(
+        spans(&report),
+        vec![("LCL-X04", "crates/service/tests/protocol_roundtrip.rs", 1)],
+        "{}",
+        report.human()
+    );
+    assert_eq!(report.findings[0].item, "overloaded");
+}
+
+#[test]
 fn workspace_is_clean_modulo_shipped_baseline() {
     // The analyzer runs on this repository itself: the tree must stay
     // clean, every baseline entry must carry a justification, and no

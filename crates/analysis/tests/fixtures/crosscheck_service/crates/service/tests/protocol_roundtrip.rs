@@ -1,0 +1,12 @@
+//! Fixture: a round-trip suite that covers every wire variant except
+//! the `overloaded` response kind — `LCL-X04` must report exactly that
+//! one missing tag.
+
+#[test]
+fn every_wire_variant_round_trips_here() {
+    let covered = [
+        "classify", "solve", "stats", "shutdown", // request ops
+        "plan", "record", "done", "error", // response kinds (one missing)
+    ];
+    assert!(!covered.is_empty());
+}

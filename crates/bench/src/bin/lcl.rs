@@ -27,8 +27,20 @@
 //!                                   incremental re-solving; emits
 //!                                   BENCH_churn.json (ci/full gate the
 //!                                   1M-path incremental speedup)
+//! lcl serve [--socket PATH] [--workers N] [--queue N] [--schema]
+//!                                   run the lcld batch solver service:
+//!                                   JSON-lines over stdio (default) or a
+//!                                   Unix socket; --schema prints the wire
+//!                                   schema as SCHEMA lines (golden-diffed
+//!                                   in CI against service_schema.txt)
+//! lcl loadgen [--scale tiny|ci|full] [--clients N] [--jobs N]
+//!         [--socket PATH]           closed-loop load against lcld; emits
+//!                                   BENCH_service.json (jobs/sec, p50/p99,
+//!                                   plan-cache hit rate); fails on any
+//!                                   job error or a cold plan cache
 //! lcl baseline [--n N]              emit bench-results/BENCH_sweep.json
-//! lcl perfgate [--threshold X]      CI smoke gate vs BENCH_sweep.json
+//! lcl perfgate [--threshold X]      CI smoke gate vs BENCH_sweep.json,
+//!                                   BENCH_engine.json, BENCH_service.json
 //! lcl analyze [--strict] [--json] [--baseline PATH] [--root PATH] [--rules]
 //!                                   in-house static analysis of the
 //!                                   workspace sources: hot-path purity,
@@ -58,6 +70,8 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
         Some("churn") => cmd_churn(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("baseline") => cmd_baseline(&args[1..]),
         Some("perfgate") => cmd_perfgate(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
@@ -77,7 +91,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: lcl <list|figures|problems|solve|run|sweep|classify|churn|baseline|perfgate|analyze> [options]\n\
+    "usage: lcl <list|figures|problems|solve|run|sweep|classify|churn|serve|loadgen|baseline|perfgate|analyze> [options]\n\
      lcl list\n\
      lcl figures\n\
      lcl problems\n\
@@ -89,6 +103,8 @@ const USAGE: &str =
      lcl sweep --scale smoke|ci|full [--chunk-size C] [--threads T]\n\
      lcl classify [--scale tiny|smoke|ci|full] [--strict]\n\
      lcl churn [--scale tiny|smoke|ci|full] [--schema]\n\
+     lcl serve [--socket PATH] [--workers N] [--queue N] [--schema]\n\
+     lcl loadgen [--scale tiny|ci|full] [--clients N] [--jobs N] [--socket PATH]\n\
      lcl baseline [--n N]\n\
      lcl perfgate [--threshold X]\n\
      lcl analyze [--strict] [--json] [--baseline PATH] [--root PATH] [--rules]";
@@ -453,6 +469,62 @@ fn cmd_churn(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `lcl serve`: the lcld batch solver service. JSON-lines over stdio by
+/// default; `--socket PATH` binds a Unix-domain socket instead and
+/// serves until killed. `--schema` prints the wire schema as stable
+/// `SCHEMA ` lines (CI diffs them against
+/// `crates/bench/golden/service_schema.txt`) and exits.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    flags.ensure_known(&["--socket", "--workers", "--queue"], &["--schema"])?;
+    if flags.switch("--schema") {
+        for line in lcl_service::protocol::schema_lines() {
+            println!("SCHEMA {line}");
+        }
+        return Ok(());
+    }
+    let cfg = lcl_service::ServiceConfig {
+        workers: flags.parsed("--workers")?.unwrap_or(0),
+        queue_capacity: flags.parsed("--queue")?.unwrap_or(64),
+        ..lcl_service::ServiceConfig::default()
+    };
+    let service = lcl_service::Service::start(cfg);
+    match flags.value("--socket")? {
+        Some(path) => {
+            let socket = lcl_service::serve_unix(&service, std::path::Path::new(path))
+                .map_err(|e| format!("cannot bind `{path}`: {e}"))?;
+            eprintln!(
+                "lcld: serving on {path} with {} worker(s); send {{\"op\":\"shutdown\"}} to stop",
+                service.worker_count()
+            );
+            socket.join();
+        }
+        None => {
+            eprintln!(
+                "lcld: serving JSON-lines on stdio with {} worker(s)",
+                service.worker_count()
+            );
+            lcl_service::serve_stdio(&service);
+        }
+    }
+    Ok(())
+}
+
+/// `lcl loadgen`: closed-loop load against the lcld service (in-process
+/// unless `--socket` targets a running `lcl serve`). Emits
+/// `bench-results/BENCH_service.json`; CI gates the `ci` scale.
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    flags.ensure_known(&["--scale", "--clients", "--jobs", "--socket"], &[])?;
+    let scale = flags.value("--scale")?.unwrap_or("ci");
+    lcl_bench::service_bench::run_loadgen(
+        scale,
+        flags.parsed("--clients")?,
+        flags.parsed("--jobs")?,
+        flags.value("--socket")?,
+    )
 }
 
 #[derive(Serialize)]

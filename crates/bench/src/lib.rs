@@ -17,3 +17,4 @@ pub mod figures;
 pub mod measure;
 pub mod report;
 pub mod scale;
+pub mod service_bench;

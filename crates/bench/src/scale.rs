@@ -480,6 +480,10 @@ fn throughput_gate(threshold: f64) -> Result<(), String> {
 ///    point re-measured, failing when nodes/sec regresses beyond
 ///    `threshold`×.
 ///
+/// 3. **Service throughput and latency** vs `BENCH_service.json`: the
+///    `lcld` load generator re-run at the baseline's scale, failing when
+///    jobs/sec or p99 latency regresses beyond `threshold`×.
+///
 /// # Errors
 ///
 /// Missing/unreadable baselines, harness errors, any algorithm regressing
@@ -581,7 +585,8 @@ pub fn perf_gate(threshold: f64) -> Result<(), String> {
             failures.join(", ")
         ));
     }
-    throughput_gate(threshold)
+    throughput_gate(threshold)?;
+    crate::service_bench::service_gate(threshold)
 }
 
 #[cfg(test)]

@@ -1,0 +1,173 @@
+//! Process-wide bounded caches and their observable statistics.
+//!
+//! Long-running consumers of the harness — above all the `lcld` batch
+//! solver service — see the same [`ProblemSpec`](lcl_core::problem_spec::ProblemSpec)s
+//! and [`InstanceSpec`](crate::InstanceSpec)s over and over: classifying a
+//! repeated problem is a pure function of the spec, and building a
+//! repeated instance is a pure function of the spec too. This module is
+//! the one implementation those memoizations share: a tiny bounded LRU
+//! map kept behind a `Mutex`, with hit/miss counters that every consumer
+//! can snapshot as a [`CacheStats`] (the service reports them per
+//! `stats` request, the load generator gates on them).
+//!
+//! The concrete process-wide caches built on it:
+//!
+//! - the **peeling cache** (`(InstanceSpec, k)` → `Arc<Levels>`, see
+//!   [`crate::instance::levels_cache_stats`]),
+//! - the **instance cache** (`InstanceSpec` → `Arc<Instance>`, see
+//!   [`InstanceSpec::build_shared`](crate::InstanceSpec::build_shared)),
+//! - the **plan cache** (`ProblemSpec` → classification outcome, see
+//!   [`crate::plan_cache`]).
+//!
+//! Caching must never change answers: classification and instance
+//! construction are deterministic, and the service's differential and
+//! soak suites assert bit-identical results cold vs. warm.
+
+use serde::Serialize;
+
+/// A point-in-time snapshot of one process-wide cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (the caller recomputed and inserted).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries before least-recently-used eviction.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `0.0..=1.0` (`0.0` when nothing was looked up).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded least-recently-used map with hit/miss accounting.
+///
+/// Linear scan over a `Vec` — every cache built on this holds a few
+/// dozen entries at most, where a scan beats hashing and keeps
+/// iteration order (and therefore eviction) fully deterministic.
+pub(crate) struct BoundedLru<K, V> {
+    /// Most recently used last.
+    entries: Vec<(K, V)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: PartialEq, V: Clone> BoundedLru<K, V> {
+    /// An empty cache evicting beyond `capacity` entries.
+    pub(crate) fn new(capacity: usize) -> Self {
+        BoundedLru {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Counted lookup: refreshes recency on hit, bumps the miss counter
+    /// otherwise.
+    pub(crate) fn lookup(&mut self, key: &K) -> Option<V> {
+        match self.entries.iter().position(|(k, _)| k == key) {
+            Some(pos) => {
+                self.hits += 1;
+                let entry = self.entries.remove(pos);
+                let value = entry.1.clone();
+                self.entries.push(entry);
+                Some(value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Uncounted lookup, for re-checks after a racing recompute: two
+    /// threads missing the same key both compute, and the loser must not
+    /// count a second miss (or a phantom hit) for the same request.
+    pub(crate) fn peek(&mut self, key: &K) -> Option<V> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    }
+
+    /// Inserts (replacing any equal key) and evicts the least recently
+    /// used entry beyond capacity.
+    pub(crate) fn insert(&mut self, key: K, value: V) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        }
+        self.entries.push((key, value));
+        if self.entries.len() > self.capacity {
+            self.entries.remove(0);
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_oldest_and_counts() {
+        let mut c: BoundedLru<u32, u32> = BoundedLru::new(2);
+        assert_eq!(c.lookup(&1), None);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.lookup(&1), Some(10)); // refreshes 1; 2 is now oldest
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.lookup(&2), None);
+        assert_eq!(c.lookup(&1), Some(10));
+        assert_eq!(c.lookup(&3), Some(30));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.capacity), (3, 2, 2, 2));
+        assert!(s.hit_rate() > 0.59 && s.hit_rate() < 0.61);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut c: BoundedLru<u32, u32> = BoundedLru::new(2);
+        c.insert(1, 10);
+        assert_eq!(c.peek(&1), Some(10));
+        assert_eq!(c.peek(&9), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+    }
+
+    #[test]
+    fn insert_replaces_equal_keys() {
+        let mut c: BoundedLru<u32, u32> = BoundedLru::new(4);
+        c.insert(1, 10);
+        c.insert(1, 11);
+        assert_eq!(c.lookup(&1), Some(11));
+        assert_eq!(c.stats().entries, 1);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_zero() {
+        let c: BoundedLru<u32, u32> = BoundedLru::new(1);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+}

@@ -6,6 +6,7 @@
 //! the same instance — the common case in seeded sweeps — do not recompute
 //! them.
 
+use crate::cache::{BoundedLru, CacheStats};
 use lcl_core::params;
 use lcl_graph::hierarchical::LowerBoundGraph;
 use lcl_graph::levels::Levels;
@@ -479,7 +480,45 @@ impl InstanceSpec {
             data,
         })
     }
+
+    /// Builds through the process-wide instance cache: a repeated spec
+    /// returns the same immutable `Arc<Instance>` instead of regenerating
+    /// the topology. Generators are deterministic, so sharing cannot
+    /// change answers (the service's differential suite asserts this).
+    ///
+    /// Oversized instances (above one million nodes) are
+    /// built but not retained; build errors are never cached — they are
+    /// cheap to rediscover and keep the cache value type simple.
+    ///
+    /// # Errors
+    ///
+    /// The same [`HarnessError::BadSpec`] conditions as [`Self::build`].
+    pub fn build_shared(&self) -> Result<Arc<Instance>, HarnessError> {
+        if let Some(hit) = instance_cache()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .lookup(self)
+        {
+            return Ok(hit);
+        }
+        // Build outside the lock; a racing equal spec at worst duplicates
+        // the work once and the first insert is kept.
+        let built = Arc::new(self.build()?);
+        if built.node_count() <= INSTANCE_CACHE_MAX_NODES {
+            let mut cache = instance_cache()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(hit) = cache.peek(self) {
+                return Ok(hit);
+            }
+            cache.insert(self.clone(), built.clone());
+        }
+        Ok(built)
+    }
 }
+
+/// Maximum number of cached peelings (distinct `(spec, k)` pairs).
+const LEVELS_CACHE_CAP: usize = 32;
 
 /// Process-wide peeling cache shared by every [`Instance`] built from an
 /// equal spec — including instances living in different [`Session`]
@@ -488,41 +527,47 @@ impl InstanceSpec {
 /// appearing in several figures no longer re-peels per shard.
 ///
 /// Kept small and LRU-evicted: at production scale one entry is `n` bytes.
-struct LevelsCache {
-    /// Most recently used last.
-    entries: Vec<((InstanceSpec, usize), Arc<Levels>)>,
+type LevelsLru = BoundedLru<(InstanceSpec, usize), Arc<Levels>>;
+
+fn levels_cache() -> &'static Mutex<LevelsLru> {
+    static CACHE: OnceLock<Mutex<LevelsLru>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BoundedLru::new(LEVELS_CACHE_CAP)))
 }
 
-/// Maximum number of cached peelings (distinct `(spec, k)` pairs).
-const LEVELS_CACHE_CAP: usize = 32;
-
-impl LevelsCache {
-    fn lookup(&mut self, key: &(InstanceSpec, usize)) -> Option<Arc<Levels>> {
-        let pos = self.entries.iter().position(|(k, _)| k == key)?;
-        let entry = self.entries.remove(pos);
-        let levels = entry.1.clone();
-        self.entries.push(entry);
-        Some(levels)
-    }
-
-    fn insert(&mut self, key: (InstanceSpec, usize), levels: Arc<Levels>) {
-        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
-            self.entries.remove(pos);
-        }
-        self.entries.push((key, levels));
-        if self.entries.len() > LEVELS_CACHE_CAP {
-            self.entries.remove(0);
-        }
-    }
+/// Snapshot of the process-wide peeling cache counters (the service
+/// reports this per `stats` request).
+#[must_use]
+pub fn levels_cache_stats() -> CacheStats {
+    levels_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .stats()
 }
 
-fn levels_cache() -> &'static Mutex<LevelsCache> {
-    static CACHE: OnceLock<Mutex<LevelsCache>> = OnceLock::new();
-    CACHE.get_or_init(|| {
-        Mutex::new(LevelsCache {
-            entries: Vec::new(),
-        })
-    })
+/// Maximum number of cached built instances.
+const INSTANCE_CACHE_CAP: usize = 8;
+
+/// Instances above this node count are built but never retained: the
+/// cache bounds entry *count*, so it must also bound entry *size* or a
+/// scale sweep could pin hundreds of megabytes of topology.
+const INSTANCE_CACHE_MAX_NODES: usize = 1_000_000;
+
+/// Process-wide built-instance cache behind
+/// [`InstanceSpec::build_shared`]: generators are deterministic, so a
+/// repeated spec (the `lcld` service solving the same preset for many
+/// clients) reuses one immutable topology instead of rebuilding it.
+fn instance_cache() -> &'static Mutex<BoundedLru<InstanceSpec, Arc<Instance>>> {
+    static CACHE: OnceLock<Mutex<BoundedLru<InstanceSpec, Arc<Instance>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BoundedLru::new(INSTANCE_CACHE_CAP)))
+}
+
+/// Snapshot of the process-wide built-instance cache counters.
+#[must_use]
+pub fn instance_cache_stats() -> CacheStats {
+    instance_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .stats()
 }
 
 fn check_weighted_params(n: usize, k: usize) -> Result<(), HarnessError> {
@@ -669,7 +714,9 @@ impl Instance {
         let mut cache = levels_cache()
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if let Some(hit) = cache.lookup(&key) {
+        // Uncounted re-check: the miss above already accounted for this
+        // request; a racing equal spec should not skew the counters.
+        if let Some(hit) = cache.peek(&key) {
             return hit;
         }
         cache.insert(key, computed.clone());
@@ -722,6 +769,24 @@ mod tests {
         let second = spec.build().unwrap();
         let b = second.levels(3);
         assert!(Arc::ptr_eq(&a, &b), "peeling recomputed across instances");
+    }
+
+    #[test]
+    fn build_shared_reuses_one_topology_and_counts_hits() {
+        let spec = InstanceSpec::Caterpillar { spine: 41, legs: 2 };
+        let a = spec.build_shared().unwrap();
+        let b = spec.build_shared().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "instance rebuilt despite the cache");
+        let stats = instance_cache_stats();
+        assert!(stats.hits >= 1, "{stats:?}");
+        assert!(stats.entries >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn build_shared_propagates_bad_specs() {
+        assert!(InstanceSpec::Path { n: 0 }.build_shared().is_err());
+        // Errors are not cached: a later equal lookup still misses.
+        assert!(InstanceSpec::Path { n: 0 }.build_shared().is_err());
     }
 
     #[test]

@@ -64,8 +64,10 @@
 
 pub mod adapters;
 pub mod algorithm;
+pub mod cache;
 pub mod dynamic;
 pub mod instance;
+pub mod plan_cache;
 pub mod planner;
 pub mod registry;
 #[cfg(any(test, feature = "direct-oracle"))]
@@ -76,8 +78,12 @@ pub use adapters::{run_on_construction, WeightedRegime};
 pub use algorithm::{
     run_timed, Algorithm, RegionRun, RoundBin, RunConfig, RunRecord, SessionScope,
 };
+pub use cache::CacheStats;
 pub use dynamic::{DynamicSession, StepOutcome};
-pub use instance::{HarnessError, Instance, InstanceKind, InstanceSpec};
+pub use instance::{
+    instance_cache_stats, levels_cache_stats, HarnessError, Instance, InstanceKind, InstanceSpec,
+};
+pub use plan_cache::{classify_cached, plan_cache_stats, plan_cached};
 pub use planner::{
     canonical_instance, classify, plan, ClassSource, Classification, Plan, PlanError, SolverFit,
 };

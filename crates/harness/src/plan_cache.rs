@@ -1,0 +1,143 @@
+//! Process-wide memoization of problem classification — the plan cache.
+//!
+//! Classifying a [`ProblemSpec`] is a pure function of the spec: the
+//! path automaton, the Section 11 good-function search, and the declared
+//! closed-form exponents are all deterministic. It is also by far the
+//! most expensive step of [`plan`](crate::planner::plan) — the
+//! good-function search enumerates candidate functions, the automaton
+//! analyzes the table — while the tail (resolving a solver bid and
+//! concretizing an instance spec) is cheap. So the cache memoizes the
+//! *classification outcome*, successes and typed failures alike
+//! (an unsolvable table stays unsolvable; re-deriving the proof per
+//! request would be pure waste), and [`plan_cached`] rebuilds the rest of
+//! the plan fresh per request.
+//!
+//! This is what lets the `lcld` service answer a repeated preset without
+//! re-running the decision procedures, with hit/miss counters surfaced
+//! through [`plan_cache_stats`] for the service's `stats` response and
+//! the load generator's gate. Caching must not change answers: the
+//! service's differential and soak suites assert bit-identical records
+//! cold vs. warm.
+
+use crate::algorithm::RunConfig;
+use crate::cache::{BoundedLru, CacheStats};
+use crate::planner::{classify, finish_plan, Classification, Plan, PlanError};
+use lcl_core::problem_spec::ProblemSpec;
+use std::sync::{Mutex, OnceLock};
+
+/// Maximum number of memoized classification outcomes. Comfortably above
+/// the preset count so a service cycling every preset never thrashes,
+/// small enough that adversarial custom tables cannot pin much memory.
+const PLAN_CACHE_CAP: usize = 64;
+
+type Outcome = Result<Classification, PlanError>;
+
+fn plan_cache() -> &'static Mutex<BoundedLru<ProblemSpec, Outcome>> {
+    static CACHE: OnceLock<Mutex<BoundedLru<ProblemSpec, Outcome>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BoundedLru::new(PLAN_CACHE_CAP)))
+}
+
+/// Snapshot of the plan-cache counters.
+#[must_use]
+pub fn plan_cache_stats() -> CacheStats {
+    plan_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .stats()
+}
+
+/// [`classify`] through the process-wide cache.
+/// The boolean is `true` when the outcome was served from the cache.
+///
+/// # Errors
+///
+/// Exactly the errors of [`classify`] — including memoized ones: a
+/// problem that classified as unsolvable yesterday is still unsolvable.
+pub fn classify_cached(problem: &ProblemSpec) -> (Result<Classification, PlanError>, bool) {
+    if let Some(outcome) = plan_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .lookup(problem)
+    {
+        return (outcome, true);
+    }
+    // Classify outside the lock: good-function searches on distinct
+    // problems must not serialize on the cache mutex.
+    let outcome = classify(problem);
+    let mut cache = plan_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Uncounted re-check: the miss above already accounted for this
+    // request; a racing equal problem at worst classified twice.
+    if let Some(existing) = cache.peek(problem) {
+        return (existing, false);
+    }
+    cache.insert(problem.clone(), outcome.clone());
+    (outcome, false)
+}
+
+/// [`plan`](crate::planner::plan) with the classification step memoized.
+/// The boolean is `true` when classification was served from the cache;
+/// the rest of the plan (solver resolution, instance spec, config) is
+/// always built fresh for the requested `n` and `base`.
+///
+/// # Errors
+///
+/// Every [`PlanError`] variant, exactly as [`plan`](crate::planner::plan).
+pub fn plan_cached(
+    problem: &ProblemSpec,
+    n: usize,
+    base: &RunConfig,
+) -> Result<(Plan, bool), PlanError> {
+    let (outcome, cached) = classify_cached(problem);
+    let classification = outcome?;
+    finish_plan(problem, classification, n, base).map(|plan| (plan, cached))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_classification_hits_the_cache() {
+        let problem = ProblemSpec::preset("5-coloring").expect("known preset");
+        let (first, _) = classify_cached(&problem);
+        let (second, cached) = classify_cached(&problem);
+        assert!(cached, "second classification of an equal spec must hit");
+        let (a, b) = (first.expect("classifies"), second.expect("classifies"));
+        assert_eq!(a.class, b.class);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.detail, b.detail);
+        let stats = plan_cache_stats();
+        assert!(stats.hits >= 1, "{stats:?}");
+        assert!(stats.misses >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn failures_are_memoized_as_values() {
+        let bad = ProblemSpec::Coloring { colors: 1 };
+        let (first, _) = classify_cached(&bad);
+        assert!(matches!(first, Err(PlanError::BadProblem(_))), "{first:?}");
+        let (second, cached) = classify_cached(&bad);
+        assert!(cached, "memoized failures must hit too");
+        assert_eq!(first.unwrap_err(), second.unwrap_err());
+    }
+
+    #[test]
+    fn plan_cached_matches_plan() {
+        let problem = ProblemSpec::preset("3-coloring").expect("known preset");
+        let base = RunConfig::seeded(9);
+        let direct = crate::planner::plan(&problem, 700, &base).expect("plans");
+        let (cached, _) = plan_cached(&problem, 700, &base).expect("plans");
+        assert_eq!(direct.solver.name(), cached.solver.name());
+        assert_eq!(direct.spec, cached.spec);
+        assert_eq!(
+            direct.classification.class.describe(),
+            cached.classification.class.describe()
+        );
+        let a = direct.run().expect("runs");
+        let b = cached.run().expect("runs");
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.rounds, b.rounds);
+    }
+}

@@ -336,6 +336,19 @@ pub fn canonical_instance(problem: &ProblemSpec, n: usize) -> InstanceSpec {
 /// problems, and capability gaps.
 pub fn plan(problem: &ProblemSpec, n: usize, base: &RunConfig) -> Result<Plan, PlanError> {
     let classification = classify(problem)?;
+    finish_plan(problem, classification, n, base)
+}
+
+/// The post-classification tail of [`plan`]: resolve the best-fit solver
+/// and concretize the instance and configuration. Split out so the plan
+/// cache ([`crate::plan_cache`]) can memoize the expensive classification
+/// step and still produce a fresh `Plan` per request.
+pub(crate) fn finish_plan(
+    problem: &ProblemSpec,
+    classification: Classification,
+    n: usize,
+    base: &RunConfig,
+) -> Result<Plan, PlanError> {
     let (solver, fit) = resolver().resolve(problem)?;
     let mut config = base.clone();
     if let Some(k) = problem.hierarchy_k() {

@@ -1,0 +1,39 @@
+//! `lcld`: the concurrent batch solver service.
+//!
+//! The problem-first surface (`ProblemSpec` → `Plan` → run) is a
+//! request/response API in disguise; this crate serves it as a
+//! long-running daemon. Clients speak JSON-lines — over stdin/stdout
+//! (`lcl serve`), a Unix-domain socket (`lcl serve --socket PATH`), or
+//! in-process ([`Service::connect`]) — submitting `classify` and `solve`
+//! jobs for any preset or embedded spec and receiving typed responses
+//! per job id.
+//!
+//! Three invariants define the service (and its test program holds it to
+//! them):
+//!
+//! 1. **Caching never changes answers.** Classification is memoized in
+//!    the process-wide plan cache, instances in the shared instance
+//!    cache, peelings in the peeling cache — all pure functions of their
+//!    specs. The differential and soak suites assert bit-identical
+//!    records cold vs. warm, across worker counts and concurrent
+//!    clients.
+//! 2. **Backpressure is explicit.** The job queue is bounded; a full
+//!    queue answers `overloaded` immediately. Per-connection response
+//!    buffers are bounded too — nothing in the service buffers without
+//!    limit.
+//! 3. **Failures are typed.** Malformed JSON, oversized lines, invalid
+//!    or unsolvable specs, saturated queues, shutdown races: every one
+//!    is a typed response or a clean connection close, never a panic or
+//!    a hang (the fault-injection suite).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{
+    ErrorKind, Request, Response, ServiceStats, WireError, WireRecord, ERROR_KINDS, REQUEST_OPS,
+    RESPONSE_KINDS,
+};
+pub use server::{serve_stdio, serve_unix, Service, ServiceConfig, SocketServer};

@@ -1,0 +1,126 @@
+//! Differential suite: every preset solved through the `lcld` service —
+//! cold and cache-warm, across worker counts {1, 4} — must be
+//! bit-identical in labels, rounds, and profile statistics to a direct
+//! single-threaded plan-and-run. Caching and concurrency must never
+//! change answers.
+
+use lcl_core::problem_spec::ProblemSpec;
+use lcl_harness::{plan, RunConfig, RunRecord};
+use lcl_service::{Request, Response, Service, ServiceConfig};
+use std::time::Duration;
+
+const N: usize = 500;
+const SEED: u64 = 11;
+const RECV: Duration = Duration::from_secs(120);
+
+/// Direct oracle: the same plan the service builds, run without any
+/// service machinery (fresh instance build, no worker pool).
+fn oracle(problem: &ProblemSpec) -> RunRecord {
+    let planned = plan(problem, N, &RunConfig::seeded(SEED)).expect("preset plans");
+    planned.run().expect("preset runs")
+}
+
+#[test]
+fn every_preset_matches_direct_runs_cold_and_warm() {
+    for workers in [1usize, 4] {
+        let service = Service::start(ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        });
+        let conn = service.connect();
+        for (name, problem) in ProblemSpec::presets() {
+            let direct = oracle(&problem);
+            // Two sequential solves: the first may or may not hit the
+            // process-wide plan cache (other tests share it), the second
+            // is guaranteed warm. Both must match the oracle exactly.
+            let mut warm_seen = false;
+            for (pass, id) in [("cold", 1u64), ("warm", 2u64)] {
+                conn.request(&Request::Solve {
+                    id,
+                    problem: problem.clone(),
+                    n: N,
+                    seed: SEED,
+                    detail: true,
+                });
+                let line = conn
+                    .recv_timeout(RECV)
+                    .unwrap_or_else(|e| panic!("{name}/{pass} (workers={workers}): recv {e}"));
+                let response = Response::from_line(&line)
+                    .unwrap_or_else(|e| panic!("{name}/{pass}: bad response {e:?}"));
+                let Response::Record { id: got, record } = response else {
+                    panic!("{name}/{pass} (workers={workers}): expected record, got {line}");
+                };
+                assert_eq!(got, id);
+                assert_eq!(record.algorithm, direct.algorithm, "{name}/{pass}");
+                assert_eq!(record.n as usize, direct.n, "{name}/{pass}");
+                assert_eq!(record.seed, direct.seed, "{name}/{pass}");
+                assert_eq!(
+                    record.labels.as_deref().expect("detail requested"),
+                    &direct.labels[..],
+                    "{name}/{pass} (workers={workers}): labels differ"
+                );
+                assert_eq!(
+                    record.rounds.as_deref().expect("detail requested"),
+                    &direct.rounds[..],
+                    "{name}/{pass} (workers={workers}): rounds differ"
+                );
+                // Profile statistics are pure functions of the rounds —
+                // identical vectors must yield identical profiles.
+                assert_eq!(record.node_averaged, direct.node_averaged, "{name}/{pass}");
+                assert_eq!(record.worst_case, direct.worst_case, "{name}/{pass}");
+                assert_eq!(record.median_round, direct.median_round, "{name}/{pass}");
+                assert_eq!(
+                    record.waiting_averaged, direct.waiting_averaged,
+                    "{name}/{pass}"
+                );
+                assert!(record.verified, "{name}/{pass}: run did not verify");
+                assert_eq!(
+                    record.labels_fnv,
+                    lcl_service::protocol::fnv1a_u64s(&direct.labels),
+                    "{name}/{pass}: label checksum"
+                );
+                if pass == "warm" {
+                    warm_seen = record.plan_cached;
+                }
+            }
+            assert!(
+                warm_seen,
+                "{name} (workers={workers}): second solve did not hit the plan cache"
+            );
+        }
+        service.shutdown();
+    }
+}
+
+#[test]
+fn classify_agrees_with_the_planner() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let conn = service.connect();
+    for (name, problem) in ProblemSpec::presets() {
+        let direct = plan(&problem, N, &RunConfig::seeded(SEED)).expect("preset plans");
+        conn.request(&Request::Classify {
+            id: 7,
+            problem: problem.clone(),
+        });
+        let line = conn.recv_timeout(RECV).expect("classify answered");
+        let Ok(Response::Plan {
+            id,
+            class,
+            source,
+            solver,
+            score,
+            ..
+        }) = Response::from_line(&line)
+        else {
+            panic!("{name}: expected plan, got {line}");
+        };
+        assert_eq!(id, 7);
+        assert_eq!(class, direct.classification.class.describe(), "{name}");
+        assert_eq!(source, direct.classification.source.describe(), "{name}");
+        assert_eq!(solver, direct.solver.name(), "{name}");
+        assert_eq!(score, u64::from(direct.fit.score), "{name}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Soak test: N concurrent socket clients hammer the service with
+//! repeated presets; every record must be bit-identical to a
+//! single-threaded oracle run computed up front. Cache hits (plan,
+//! instance, peeling) must not change answers, the queue must never
+//! wedge, and the plan cache must actually be exercised.
+
+use lcl_core::problem_spec::ProblemSpec;
+use lcl_harness::{plan, RunConfig};
+use lcl_service::{serve_unix, Request, Response, Service, ServiceConfig};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+type Oracle = BTreeMap<(String, u64), (Vec<u64>, Vec<u64>)>;
+
+const N: usize = 400;
+const CLIENTS: usize = 5;
+const REPS: usize = 2;
+const SEEDS: [u64; 2] = [1, 5];
+
+fn socket_path() -> PathBuf {
+    std::env::temp_dir().join(format!("lcld-soak-{}.sock", std::process::id()))
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_records() {
+    // Single-threaded oracle, computed before the service exists.
+    let mut oracle: Oracle = BTreeMap::new();
+    for (name, problem) in ProblemSpec::presets() {
+        for seed in SEEDS {
+            let record = plan(&problem, N, &RunConfig::seeded(seed))
+                .expect("preset plans")
+                .run()
+                .expect("preset runs");
+            oracle.insert((name.to_string(), seed), (record.labels, record.rounds));
+        }
+    }
+    let oracle = Arc::new(oracle);
+
+    let service = Service::start(ServiceConfig {
+        workers: 4,
+        queue_capacity: 256,
+        ..ServiceConfig::default()
+    });
+    let path = socket_path();
+    let socket = serve_unix(&service, &path).expect("socket binds");
+
+    let clients: Vec<std::thread::JoinHandle<u64>> = (0..CLIENTS)
+        .map(|client| {
+            let path = path.clone();
+            let oracle = Arc::clone(&oracle);
+            std::thread::spawn(move || {
+                let stream = UnixStream::connect(&path).expect("client connects");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                let mut jobs: u64 = 0;
+                // Closed loop: send one job, verify its record, repeat.
+                // Clients start at different presets so the cache sees
+                // overlapping, not identical, request streams.
+                for rep in 0..REPS {
+                    let presets = ProblemSpec::presets();
+                    for offset in 0..presets.len() {
+                        let (name, problem) = &presets[(client + offset) % presets.len()];
+                        let seed = SEEDS[(client + rep + offset) % SEEDS.len()];
+                        jobs += 1;
+                        let request = Request::Solve {
+                            id: jobs,
+                            problem: problem.clone(),
+                            n: N,
+                            seed,
+                            detail: true,
+                        };
+                        writer
+                            .write_all(format!("{}\n", request.to_line()).as_bytes())
+                            .expect("request written");
+                        let mut line = String::new();
+                        reader.read_line(&mut line).expect("response read");
+                        let response =
+                            Response::from_line(line.trim_end()).expect("response parses");
+                        let Response::Record { id, record } = response else {
+                            panic!("client {client}: expected record, got {line}");
+                        };
+                        assert_eq!(id, jobs, "client {client}: id mismatch");
+                        let (labels, rounds) =
+                            oracle.get(&(name.to_string(), seed)).expect("oracle entry");
+                        assert_eq!(
+                            record.labels.as_deref().expect("detail"),
+                            &labels[..],
+                            "client {client}, {name} seed {seed}: labels diverged"
+                        );
+                        assert_eq!(
+                            record.rounds.as_deref().expect("detail"),
+                            &rounds[..],
+                            "client {client}, {name} seed {seed}: rounds diverged"
+                        );
+                        assert!(record.verified, "client {client}: unverified record");
+                    }
+                }
+                jobs
+            })
+        })
+        .collect();
+
+    let total: u64 = clients
+        .into_iter()
+        .map(|c| c.join().expect("client ok"))
+        .sum();
+    let expected = (CLIENTS * REPS * ProblemSpec::presets().len()) as u64;
+    assert_eq!(total, expected, "not every job completed");
+
+    let stats = service.stats();
+    assert_eq!(stats.jobs_failed, 0, "soak produced failures: {stats:?}");
+    assert!(stats.jobs_ok >= total, "{stats:?}");
+    assert!(
+        stats.plan_cache.hits > 0,
+        "plan cache never hit under soak: {stats:?}"
+    );
+    assert!(
+        stats.instance_cache.hits > 0,
+        "instance cache never hit under soak: {stats:?}"
+    );
+    drop(socket);
+    service.shutdown();
+}
