@@ -16,6 +16,7 @@
 use crate::linial::{eliminated_color, reduced_color, step_params};
 use lcl_local::engine::{Inbox, NodeContext, Outbox, Protocol};
 use lcl_local::identifiers::Ids;
+use lcl_local::packed::bits_for;
 
 /// The ID-space parameter the cascade must be seeded with to match
 /// [`linial_coloring`](crate::linial::linial_coloring) on the same
@@ -98,6 +99,12 @@ impl Protocol for LinialCascade {
         }
         outbox.broadcast(self.color);
         None
+    }
+
+    fn message_bits(&self, _ctx: &NodeContext) -> Option<u32> {
+        // Colors only ever shrink below the initial palette size `m`
+        // (hinted before the first step, so `self.m` is still initial).
+        Some(bits_for(u128::from(self.m - 1)))
     }
 }
 

@@ -36,6 +36,7 @@ pub mod randomized;
 pub mod two_coloring;
 
 use lcl_local::engine::{Inbox, NodeContext, Outbox, Protocol};
+use lcl_local::packed::bits_for;
 use std::sync::Arc;
 
 /// A node that stays silent until its scheduled round, then terminates
@@ -81,6 +82,11 @@ impl Protocol for ScheduledCast {
 
     fn next_wake(&self, _ctx: &NodeContext, _now: u64) -> u64 {
         self.target_round
+    }
+
+    fn message_bits(&self, _ctx: &NodeContext) -> Option<u32> {
+        // The node only ever broadcasts its own precomputed label.
+        Some(bits_for(u128::from(self.label)))
     }
 }
 

@@ -17,6 +17,7 @@
 //!   both waves passed it — the round equal to its eccentricity.
 
 use lcl_local::engine::{Inbox, NodeContext, Outbox, Protocol};
+use lcl_local::packed::bits_for;
 
 /// How a node learns its termination round.
 #[derive(Debug, Clone)]
@@ -108,6 +109,15 @@ impl Protocol for PathLclProtocol {
             Timing::At(target) => target,
             // Purely reactive after round 0: mail wakes the node.
             Timing::Waves(_) => u64::MAX,
+        }
+    }
+
+    fn message_bits(&self, ctx: &NodeContext) -> Option<u32> {
+        match self.timing {
+            // Scheduled nodes only broadcast their final label.
+            Timing::At(_) => Some(bits_for(u128::from(self.label))),
+            // Rigid waves carry hop distances below `n`.
+            Timing::Waves(_) => Some(bits_for(ctx.n as u128)),
         }
     }
 }

@@ -15,6 +15,7 @@
 use crate::randomized::{convergence_limit, draw_color, node_rng};
 use lcl_core::coloring::ColorLabel;
 use lcl_local::engine::{Inbox, NodeContext, Outbox, Protocol};
+use lcl_local::packed::PackableMessage;
 use rand::rngs::SmallRng;
 
 /// One round's message: the sender's tentative proposal, or the color it
@@ -25,6 +26,47 @@ pub enum ColorNews {
     Propose(ColorLabel),
     /// The sender terminated with this color.
     Final(ColorLabel),
+}
+
+/// `ColorNews` packs into 4 bits: a tag bit (`Final` = set) over a 3-bit
+/// [`ColorLabel`] variant index.
+impl PackableMessage for ColorNews {
+    const CEIL_BITS: u32 = 4;
+
+    fn pack(&self) -> u128 {
+        let (tag, color) = match *self {
+            ColorNews::Propose(c) => (0u128, c),
+            ColorNews::Final(c) => (0b1000, c),
+        };
+        let index: u128 = match color {
+            ColorLabel::White => 0,
+            ColorLabel::Black => 1,
+            ColorLabel::Exempt => 2,
+            ColorLabel::Decline => 3,
+            ColorLabel::Red => 4,
+            ColorLabel::Green => 5,
+            ColorLabel::Yellow => 6,
+        };
+        tag | index
+    }
+
+    fn unpack(bits: u128) -> Self {
+        let color = match bits & 0b111 {
+            0 => ColorLabel::White,
+            1 => ColorLabel::Black,
+            2 => ColorLabel::Exempt,
+            3 => ColorLabel::Decline,
+            4 => ColorLabel::Red,
+            5 => ColorLabel::Green,
+            6 => ColorLabel::Yellow,
+            other => unreachable!("invalid packed ColorLabel index {other}"),
+        };
+        if bits & 0b1000 != 0 {
+            ColorNews::Final(color)
+        } else {
+            ColorNews::Propose(color)
+        }
+    }
 }
 
 /// Per-node state machine of the randomized coloring.
@@ -90,6 +132,10 @@ impl Protocol for RandomizedColoring {
         self.proposal = Some(next);
         outbox.broadcast(ColorNews::Propose(next));
         None
+    }
+
+    fn message_bits(&self, _ctx: &NodeContext) -> Option<u32> {
+        Some(ColorNews::CEIL_BITS)
     }
 }
 

@@ -12,6 +12,7 @@
 
 use lcl_core::coloring::ColorLabel;
 use lcl_local::engine::{Inbox, NodeContext, Outbox, Protocol};
+use lcl_local::packed::bits_for;
 
 /// One wave hop: `(originating endpoint's id, sender's distance to it)`.
 pub type WaveMsg = (u64, u64);
@@ -82,6 +83,12 @@ impl Protocol for WaveTwoColoring {
         // Purely reactive after round 0: progress only happens when a wave
         // arrives, and mail always wakes the node.
         u64::MAX
+    }
+
+    fn message_bits(&self, ctx: &NodeContext) -> Option<u32> {
+        // `(endpoint id, distance)` packs id-low/distance-high; the id can
+        // use its full 64 bits, the hop distance is below `n`.
+        Some(64 + bits_for(ctx.n as u128))
     }
 }
 

@@ -25,6 +25,11 @@
 //!   The ground truth comes from `lcl_service` itself, so adding a wire
 //!   variant without extending the round-trip coverage fails
 //!   `lcl analyze` immediately.
+//! - `LCL-X05`: every `ShardConfig` knob — each entry of
+//!   [`lcl_local::engine::SHARD_KNOBS`] — is named by the shard
+//!   differential suite (`crates/harness/tests/shard_differential.rs`).
+//!   A knob the suite never sweeps is an execution shape with no
+//!   bit-identity guarantee against the monolithic engine.
 //!
 //! All checks no-op when their subject files are absent (the analyzer
 //! fixtures are miniature workspaces without a harness or golden).
@@ -43,6 +48,7 @@ const ADAPTERS: &str = "crates/harness/src/adapters.rs";
 const PLAN_GOLDEN: &str = "crates/bench/golden/plan_schema.txt";
 const GENERATORS: &str = "crates/graph/src/generators.rs";
 const WIRE_SUITE: &str = "crates/service/tests/protocol_roundtrip.rs";
+const SHARD_SUITE: &str = "crates/harness/tests/shard_differential.rs";
 /// The files that together form the dynamic-churn gate surface: the
 /// harness differential suite, the surgery property tests, and the bench
 /// drivers. Naming a family in any one of them counts as coverage.
@@ -68,6 +74,49 @@ pub fn check(files: &[SourceFile], root: &Path, findings: &mut Vec<Finding>) {
     check_preset_coverage(files, root, findings);
     check_adversarial_coverage(files, findings);
     check_wire_coverage(files, findings);
+    check_shard_knob_coverage(files, findings);
+}
+
+/// `LCL-X05`: every `ShardConfig` knob must be swept by the shard
+/// differential suite. The ground truth is
+/// [`lcl_local::engine::SHARD_KNOBS`] — the engine's own list of its
+/// sharding knobs — so adding a knob to `ShardConfig` without teaching
+/// the differential suite to vary it fails `lcl analyze` immediately.
+fn check_shard_knob_coverage(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let Some(suite) = files.iter().find(|f| f.rel == SHARD_SUITE) else {
+        return;
+    };
+    let mut named: BTreeSet<String> = BTreeSet::new();
+    for t in &suite.toks {
+        match t.kind {
+            TokKind::Ident => {
+                named.insert(t.text.clone());
+            }
+            // Knobs may be named via string literals (e.g. in a
+            // coverage ledger); strip the quotes so they compare
+            // exactly, as in the wire-coverage check.
+            TokKind::Str => {
+                named.insert(t.text.trim_matches('"').to_string());
+            }
+            _ => {}
+        }
+    }
+    for &knob in lcl_local::engine::SHARD_KNOBS {
+        if !named.contains(knob) {
+            findings.push(Finding {
+                rule: "LCL-X05",
+                file: suite.rel.clone(),
+                line: 1,
+                col: 1,
+                item: knob.to_string(),
+                message: format!(
+                    "`ShardConfig` knob `{knob}` is not named by the shard \
+                     differential suite ({SHARD_SUITE}) — the knob has no \
+                     bit-identity guarantee against the monolithic engine"
+                ),
+            });
+        }
+    }
 }
 
 /// `LCL-X04`: every wire-protocol variant must be round-tripped. The

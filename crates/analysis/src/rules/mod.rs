@@ -5,6 +5,7 @@
 //! | `LCL-A01` | no allocation in hot-path functions |
 //! | `LCL-A02` | no locks or channels in hot-path functions |
 //! | `LCL-A03` | no `unsafe` in hot-path functions |
+//! | `LCL-A04` | no allocation or file I/O in the per-round shard pass |
 //! | `LCL-D01` | no order-dependent `HashMap`/`HashSet` iteration in library code |
 //! | `LCL-D02` | no wall-clock (`Instant`/`SystemTime`) values in library code |
 //! | `LCL-D03` | no thread-identity-dependent logic in library code |
@@ -14,6 +15,7 @@
 //! | `LCL-X02` | every `ProblemSpec` preset appears in the plan-schema golden |
 //! | `LCL-X03` | every adversarial generator is named by the churn/classify suites |
 //! | `LCL-X04` | every `lcld` wire-protocol variant is round-tripped by the protocol suite |
+//! | `LCL-X05` | every `ShardConfig` knob is swept by the shard differential suite |
 //!
 //! The *dynamic* half of the hot-path contract — that every arena slot
 //! is written at most once per round, only by its owning chunk — cannot
@@ -25,6 +27,7 @@ pub mod crosscheck;
 pub mod determinism;
 pub mod hotpath;
 pub mod hygiene;
+pub mod shardpath;
 
 use crate::lexer::{TokKind, Token};
 use crate::model::FnInfo;
@@ -43,6 +46,10 @@ pub const RULES: &[(&str, &str)] = &[
         "hot-path purity: no locks, channels, or blocking primitives",
     ),
     ("LCL-A03", "hot-path purity: no unsafe blocks"),
+    (
+        "LCL-A04",
+        "shard-pass purity: no allocation or file I/O inside the per-round shard pass",
+    ),
     (
         "LCL-D01",
         "determinism: no order-dependent HashMap/HashSet iteration",
@@ -76,6 +83,10 @@ pub const RULES: &[(&str, &str)] = &[
         "LCL-X04",
         "cross-check: every lcld wire-protocol variant is round-tripped by the protocol suite",
     ),
+    (
+        "LCL-X05",
+        "cross-check: every ShardConfig knob is swept by the shard differential suite",
+    ),
 ];
 
 /// Runs every rule over the scanned workspace. `root` is used by the
@@ -85,6 +96,7 @@ pub fn run_all(files: &[SourceFile], root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
     for file in files {
         hotpath::check(file, &mut findings);
+        shardpath::check(file, &mut findings);
         determinism::check(file, &mut findings);
         hygiene::check(file, &mut findings);
     }

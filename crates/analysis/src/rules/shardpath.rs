@@ -1,0 +1,180 @@
+//! `LCL-A04`: purity of the sharded executor's per-round shard pass.
+//!
+//! The out-of-core contract (ARCHITECTURE.md, sharded execution) says
+//! all allocation and I/O happen at run start — halo buffers, packed
+//! arenas, and the spill pool are set up before round 0, and residency
+//! changes (spill/reload) happen only at the round barrier on the main
+//! thread. The per-round shard pass itself (`shard_pass`, which executes
+//! every due node of one resident shard, and `capture_halos`, which
+//! mirrors boundary slots into other shards' halo buffers) must neither
+//! allocate nor touch the filesystem: any allocating call/constructor/
+//! macro or file-I/O call inside those functions is a finding.
+
+use crate::model::FnInfo;
+use crate::report::Finding;
+use crate::rules::{body, macro_at, method_call_at, path_call_at};
+use crate::workspace::SourceFile;
+
+const RUNNER_FILE: &str = "crates/shard/src/runner.rs";
+
+/// The per-round functions of the sharded executor.
+const SHARD_HOT_FNS: &[&str] = &["shard_pass", "capture_halos"];
+
+/// Methods that allocate (or can reallocate) on their receiver — the
+/// same surface the engine hot-path rule polices.
+const ALLOC_METHODS: &[&str] = &[
+    "push",
+    "collect",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "clone",
+    "insert",
+    "reserve",
+    "extend_from_slice",
+    "append",
+];
+
+/// `Type::constructor` pairs that allocate.
+const ALLOC_PATHS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("HashMap", "new"),
+    ("BTreeMap", "new"),
+    ("VecDeque", "new"),
+    ("Rc", "new"),
+    ("Arc", "new"),
+];
+
+/// Macros that allocate or format on every expansion.
+const ALLOC_MACROS: &[&str] = &["vec", "format", "println", "eprintln", "print", "eprint"];
+
+/// File/stream methods: a shard pass reading or writing spill storage
+/// mid-round would serialize the pass on disk latency and break the
+/// "residency changes only at the barrier" invariant.
+const IO_METHODS: &[&str] = &[
+    "read",
+    "read_exact",
+    "read_to_end",
+    "write",
+    "write_all",
+    "seek",
+    "flush",
+    "sync_all",
+    "set_len",
+];
+
+/// `Type::constructor` pairs that open file handles.
+const IO_PATHS: &[(&str, &str)] = &[
+    ("File", "open"),
+    ("File", "create"),
+    ("File", "create_new"),
+    ("OpenOptions", "new"),
+];
+
+/// Runs the shard-pass purity rule over one file.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if file.rel != RUNNER_FILE {
+        return;
+    }
+    for f in &file.model.fns {
+        if f.in_test || !SHARD_HOT_FNS.contains(&f.name.as_str()) {
+            continue;
+        }
+        let toks = body(file, f);
+        for i in 0..toks.len() {
+            if let Some(m) = method_call_at(toks, i) {
+                if ALLOC_METHODS.contains(&m.text.as_str()) {
+                    findings.push(finding(
+                        file,
+                        f,
+                        m.line,
+                        m.col,
+                        format!(
+                            "allocating call `.{}(…)` in shard-pass fn `{}` — \
+                             halo buffers and scratch space are preallocated \
+                             at run start",
+                            m.text, f.name
+                        ),
+                    ));
+                }
+                if IO_METHODS.contains(&m.text.as_str()) {
+                    findings.push(finding(
+                        file,
+                        f,
+                        m.line,
+                        m.col,
+                        format!(
+                            "I/O call `.{}(…)` in shard-pass fn `{}` — spill \
+                             traffic belongs to the round barrier, never to \
+                             the pass itself",
+                            m.text, f.name
+                        ),
+                    ));
+                }
+            }
+            if let Some((first, second)) = path_call_at(toks, i) {
+                if ALLOC_PATHS
+                    .iter()
+                    .any(|(a, b)| first.is_ident(a) && second.is_ident(b))
+                {
+                    findings.push(finding(
+                        file,
+                        f,
+                        first.line,
+                        first.col,
+                        format!(
+                            "allocating constructor `{}::{}(…)` in shard-pass fn `{}`",
+                            first.text, second.text, f.name
+                        ),
+                    ));
+                }
+                if IO_PATHS
+                    .iter()
+                    .any(|(a, b)| first.is_ident(a) && second.is_ident(b))
+                {
+                    findings.push(finding(
+                        file,
+                        f,
+                        first.line,
+                        first.col,
+                        format!(
+                            "file handle `{}::{}(…)` opened in shard-pass fn `{}` — \
+                             the spill pool is created at run start",
+                            first.text, second.text, f.name
+                        ),
+                    ));
+                }
+            }
+            if let Some(m) = macro_at(toks, i) {
+                if ALLOC_MACROS.contains(&m.text.as_str()) {
+                    findings.push(finding(
+                        file,
+                        f,
+                        m.line,
+                        m.col,
+                        format!(
+                            "allocating macro `{}!` in shard-pass fn `{}`",
+                            m.text, f.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn finding(file: &SourceFile, f: &FnInfo, line: u32, col: u32, message: String) -> Finding {
+    Finding {
+        rule: "LCL-A04",
+        file: file.rel.clone(),
+        line,
+        col,
+        item: f.qual_name.clone(),
+        message,
+    }
+}

@@ -127,6 +127,44 @@ fn crosscheck_churn_fixture_triggers_exact_rules_and_spans() {
 }
 
 #[test]
+fn shardpath_fixture_triggers_exact_rules_and_spans() {
+    let report = run_fixture("shardpath");
+    assert_eq!(
+        spans(&report),
+        vec![
+            ("LCL-A04", "crates/shard/src/runner.rs", 6),
+            ("LCL-A04", "crates/shard/src/runner.rs", 7),
+            ("LCL-A04", "crates/shard/src/runner.rs", 8),
+            ("LCL-A04", "crates/shard/src/runner.rs", 14),
+            ("LCL-A04", "crates/shard/src/runner.rs", 15),
+        ],
+        "{}",
+        report.human()
+    );
+    assert_eq!(report.findings[0].item, "shard_pass");
+    assert_eq!(report.findings[3].item, "capture_halos");
+    // The barrier-time helper and the `#[cfg(test)]` fn named
+    // `shard_pass` are not reported: only the two pass fns are policed,
+    // and never in test code.
+    assert!(report.findings.iter().all(|f| f.item != "refill_residency"));
+}
+
+#[test]
+fn crosscheck_shard_fixture_triggers_exact_rules_and_spans() {
+    // The mini shard suite names every `ShardConfig` knob except
+    // `max_resident`; `LCL-X05` must report exactly that one knob,
+    // anchored at the suite file.
+    let report = run_fixture("crosscheck_shard");
+    assert_eq!(
+        spans(&report),
+        vec![("LCL-X05", "crates/harness/tests/shard_differential.rs", 1)],
+        "{}",
+        report.human()
+    );
+    assert_eq!(report.findings[0].item, "max_resident");
+}
+
+#[test]
 fn crosscheck_service_fixture_triggers_exact_rules_and_spans() {
     // The mini round-trip suite names every wire tag except the
     // `overloaded` response kind; `LCL-X04` must report exactly that

@@ -1,0 +1,9 @@
+//! Fixture: a shard differential suite that sweeps every `ShardConfig`
+//! knob except the resident-count one — `LCL-X05` must report exactly
+//! that one missing knob.
+
+#[test]
+fn every_shard_knob_is_swept_here() {
+    let swept = ["shards", "packing"];
+    assert!(!swept.is_empty());
+}

@@ -68,6 +68,7 @@ fn bench_sync_engine(c: &mut Criterion) {
                         chunk_size: 1_024,
                         threads: 4,
                         check_arena: false,
+                        shard: None,
                     },
                 )
                 .unwrap()

@@ -9,15 +9,25 @@
 //!                                   its best-fit solver, and run the plan
 //! lcl run <algo> [--n N] [--seed S] [--k K] [--d D] [--gamma-mult M]
 //!         [--chunk-size C] [--engine-threads T] [--check-arena]
+//!         [--shards S] [--max-resident R] [--packing]
 //!         [--no-verify] [--json]    one seeded run via the registry
 //!                                   (always on the chunked engine;
 //!                                   --check-arena turns on the runtime
-//!                                   arena write-discipline checker)
+//!                                   arena write-discipline checker;
+//!                                   --shards selects the partitioned
+//!                                   out-of-core executor, --max-resident
+//!                                   caps in-memory shard arenas (0 =
+//!                                   all), --packing bit-packs message
+//!                                   arenas via protocol hints)
 //! lcl sweep <figure>|all [--tiny] [--schema]
 //!                                   regenerate figures via Session
-//! lcl sweep --scale smoke|ci|full [--chunk-size C] [--threads T]
+//! lcl sweep --scale smoke|ci|full|huge [--chunk-size C] [--threads T]
+//!         [--shards S] [--max-resident R] [--packing]
 //!                                   large-n suite on the chunked engine;
 //!                                   emits bench-results/BENCH_engine.json
+//!                                   (`huge` = the 10M-node out-of-core
+//!                                   acceptance preset, sharded with
+//!                                   max_resident < shards by default)
 //! lcl classify [--scale tiny|smoke|ci|full] [--strict]
 //!                                   fit every algorithm's measured
 //!                                   node-averaged curve to its landscape
@@ -54,7 +64,7 @@ use lcl_core::problem_spec::ProblemSpec;
 use lcl_harness::{
     classify, find, plan, registry, run_timed, PlanError, RunConfig, Session, SweepReport,
 };
-use lcl_local::engine::EngineConfig;
+use lcl_local::engine::{EngineConfig, ShardConfig};
 use serde::Serialize;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -98,9 +108,11 @@ const USAGE: &str =
      lcl solve <preset>|<problem.json> [--n N] [--seed S] [--classify-only] [--json]\n\
      lcl run <algo> [--n N] [--seed S] [--k K] [--d D] [--gamma-mult M]\n\
              [--chunk-size C] [--engine-threads T] [--check-arena]\n\
+             [--shards S] [--max-resident R] [--packing]\n\
              [--no-verify] [--json]\n\
      lcl sweep <figure>|all [--tiny] [--schema]\n\
-     lcl sweep --scale smoke|ci|full [--chunk-size C] [--threads T]\n\
+     lcl sweep --scale smoke|ci|full|huge [--chunk-size C] [--threads T]\n\
+             [--shards S] [--max-resident R] [--packing]\n\
      lcl classify [--scale tiny|smoke|ci|full] [--strict]\n\
      lcl churn [--scale tiny|smoke|ci|full] [--schema]\n\
      lcl serve [--socket PATH] [--workers N] [--queue N] [--schema]\n\
@@ -337,6 +349,26 @@ impl<'a> Flags<'a> {
     }
 }
 
+/// Builds the optional `ShardConfig` from `--shards`, `--max-resident`,
+/// and `--packing`. Residency and packing only make sense with a shard
+/// count, so they require `--shards`.
+fn shard_flags(flags: &Flags<'_>) -> Result<Option<ShardConfig>, String> {
+    let shards: Option<usize> = flags.parsed("--shards")?;
+    let max_resident: Option<usize> = flags.parsed("--max-resident")?;
+    let packing = flags.switch("--packing");
+    match shards {
+        Some(shards) => Ok(Some(ShardConfig {
+            shards,
+            max_resident: max_resident.unwrap_or(0),
+            packing,
+        })),
+        None if max_resident.is_some() || packing => {
+            Err("--max-resident/--packing need --shards <S>".to_string())
+        }
+        None => Ok(None),
+    }
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let name = args
         .first()
@@ -353,8 +385,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--gamma-mult",
             "--chunk-size",
             "--engine-threads",
+            "--shards",
+            "--max-resident",
         ],
-        &["--no-verify", "--json", "--check-arena"],
+        &["--no-verify", "--json", "--check-arena", "--packing"],
     )?;
     let n: usize = flags.parsed("--n")?.unwrap_or(10_000);
     // Every run executes natively on the chunked engine; the flags only
@@ -371,6 +405,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             // Runtime opt-in, no rebuild: same checker the `arena-check`
             // feature forces on permanently.
             check_arena: flags.switch("--check-arena"),
+            shard: shard_flags(&flags)?,
         },
         ..RunConfig::default()
     };
@@ -411,10 +446,20 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     // of a figure.
     let scale_flags = Flags { args };
     if let Some(preset) = scale_flags.value("--scale")? {
-        scale_flags.ensure_known(&["--scale", "--chunk-size", "--threads"], &[])?;
+        scale_flags.ensure_known(
+            &[
+                "--scale",
+                "--chunk-size",
+                "--threads",
+                "--shards",
+                "--max-resident",
+            ],
+            &["--packing"],
+        )?;
         let chunk_size: usize = scale_flags.parsed("--chunk-size")?.unwrap_or(0);
         let threads: usize = scale_flags.parsed("--threads")?.unwrap_or(0);
-        return lcl_bench::scale::run_scale(preset, chunk_size, threads);
+        let shard = shard_flags(&scale_flags)?;
+        return lcl_bench::scale::run_scale(preset, chunk_size, threads, shard);
     }
     let target = args
         .first()

@@ -19,7 +19,7 @@
 
 use crate::report::{f1, f3, save_json, Table};
 use lcl_harness::{find, registry, run_timed, InstanceSpec, RunConfig, ScaleConfig, Session};
-use lcl_local::engine::EngineConfig;
+use lcl_local::engine::{EngineConfig, ShardConfig};
 use serde::{Serialize, Value};
 
 /// One suite entry: algorithm plus its canonical scale instance.
@@ -118,18 +118,23 @@ fn suite() -> Vec<ScaleEntry> {
 /// Names of the available presets.
 #[must_use]
 pub fn preset_names() -> &'static [&'static str] {
-    &["smoke", "ci", "full"]
+    &["smoke", "ci", "full", "huge"]
 }
 
-/// Sizes for a preset: `(ladder, million_for_log_class)`.
-fn preset_sizes(preset: &str) -> Option<(Vec<usize>, bool)> {
+/// Sizes for a preset: `(ladder, acceptance_n_for_log_class)`.
+fn preset_sizes(preset: &str) -> Option<(Vec<usize>, Option<usize>)> {
     match preset {
         // Fast end-to-end exercise of the whole suite.
-        "smoke" => Some((vec![50_000], false)),
+        "smoke" => Some((vec![50_000], None)),
         // Mid-size ladder plus the acceptance bar: a 1,000,000-node
         // random tree through a Θ(log n)-class algorithm on the engine.
-        "ci" => Some((vec![250_000], true)),
-        "full" => Some((vec![1_000_000], true)),
+        "ci" => Some((vec![250_000], Some(1_000_000))),
+        "full" => Some((vec![1_000_000], Some(1_000_000))),
+        // The out-of-core acceptance preset: only the log-class
+        // algorithms, at 10,000,000 nodes, through the sharded executor
+        // (defaults to more shards than resident arenas — see
+        // [`run_scale`]) so the full arena set never has to fit at once.
+        "huge" => Some((vec![], Some(10_000_000))),
         _ => None,
     }
 }
@@ -160,6 +165,11 @@ struct ScalePoint {
     engine_ms: f64,
     /// Engine throughput: nodes processed per second of wall-clock.
     engine_nodes_per_sec: f64,
+    /// Peak resident arena footprint (bytes): the residency high-water
+    /// mark plus halo buffers under the sharded executor, the full
+    /// double-buffered arena otherwise. Deterministic per `(spec, seed,
+    /// engine config)`.
+    peak_arena_bytes: u64,
 }
 
 /// Per-algorithm comparison against the `BENCH_sweep.json` baseline.
@@ -193,6 +203,13 @@ struct EngineBench {
     chunk_size: usize,
     /// Engine worker threads (0 = auto).
     threads: usize,
+    /// Shard count of the partitioned executor (0 = monolithic engine,
+    /// no sharding).
+    shards: usize,
+    /// Resident-arena limit of the sharded executor (0 = all resident).
+    max_resident: usize,
+    /// Whether message arenas were bit-packed via protocol hints.
+    packing: bool,
     /// All measured points.
     points: Vec<ScalePoint>,
     /// Comparison against `BENCH_sweep.json`, when that file is present.
@@ -228,16 +245,35 @@ fn run_one(
 /// Runs the scale suite for `preset` and writes
 /// `bench-results/BENCH_engine.json`.
 ///
+/// `shard` selects the partitioned out-of-core executor for every run;
+/// `None` keeps the monolithic engine — except under the `huge` preset,
+/// which defaults to an out-of-core configuration (6 shards, 2 resident,
+/// packing on) so the acceptance point genuinely runs with
+/// `max_resident < shards`.
+///
 /// # Errors
 ///
 /// Unknown presets and any harness error.
-pub fn run_scale(preset: &str, chunk_size: usize, threads: usize) -> Result<(), String> {
-    let (sizes, million) = preset_sizes(preset)
-        .ok_or_else(|| format!("unknown scale preset `{preset}` (smoke|ci|full)"))?;
+pub fn run_scale(
+    preset: &str,
+    chunk_size: usize,
+    threads: usize,
+    shard: Option<ShardConfig>,
+) -> Result<(), String> {
+    let (sizes, acceptance_n) = preset_sizes(preset)
+        .ok_or_else(|| format!("unknown scale preset `{preset}` (smoke|ci|full|huge)"))?;
+    let shard = shard.or_else(|| {
+        (preset == "huge").then_some(ShardConfig {
+            shards: 6,
+            max_resident: 2,
+            packing: true,
+        })
+    });
     let engine_cfg = EngineConfig {
         chunk_size,
         threads,
         check_arena: false,
+        shard: shard.clone(),
     };
     let mut table = Table::new(
         format!("Scale sweep — preset `{preset}`"),
@@ -248,15 +284,19 @@ pub fn run_scale(preset: &str, chunk_size: usize, threads: usize) -> Result<(), 
             "worst",
             "engine ms",
             "knodes/s",
+            "peak MiB",
         ],
     );
     let mut points = Vec::new();
     for entry in suite() {
         let mut entry_sizes = sizes.clone();
-        // The acceptance instance: a million-node tree end-to-end on the
-        // chunked engine for every log-class algorithm.
-        if million && entry.million && !entry_sizes.contains(&1_000_000) {
-            entry_sizes.push(1_000_000);
+        // The acceptance instance: a million-node (`ci`/`full`) or
+        // ten-million-node (`huge`) tree end-to-end on the engine for
+        // every log-class algorithm.
+        if let Some(acceptance_n) = acceptance_n {
+            if entry.million && !entry_sizes.contains(&acceptance_n) {
+                entry_sizes.push(acceptance_n);
+            }
         }
         for &requested_n in &entry_sizes {
             let spec = (entry.spec)(requested_n);
@@ -269,6 +309,7 @@ pub fn run_scale(preset: &str, chunk_size: usize, threads: usize) -> Result<(), 
                 record.worst_case.to_string(),
                 f1(record.elapsed_ms),
                 f1(throughput / 1_000.0),
+                f1(record.peak_arena_bytes as f64 / (1024.0 * 1024.0)),
             ]);
             points.push(ScalePoint {
                 algorithm: entry.algorithm.to_string(),
@@ -282,6 +323,7 @@ pub fn run_scale(preset: &str, chunk_size: usize, threads: usize) -> Result<(), 
                 worst_case: record.worst_case,
                 engine_ms: record.elapsed_ms,
                 engine_nodes_per_sec: throughput,
+                peak_arena_bytes: record.peak_arena_bytes,
             });
         }
     }
@@ -293,6 +335,9 @@ pub fn run_scale(preset: &str, chunk_size: usize, threads: usize) -> Result<(), 
             preset: preset.to_string(),
             chunk_size,
             threads,
+            shards: shard.as_ref().map_or(0, |s| s.shards),
+            max_resident: shard.as_ref().map_or(0, |s| s.max_resident),
+            packing: shard.as_ref().is_some_and(|s| s.packing),
             points,
             baseline_comparison,
         },
@@ -328,6 +373,13 @@ fn as_f64(value: &Value) -> Option<f64> {
 fn as_str(value: &Value) -> Option<&str> {
     match value {
         Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn as_bool(value: &Value) -> Option<bool> {
+    match value {
+        Value::Bool(b) => Some(*b),
         _ => None,
     }
 }
@@ -399,12 +451,26 @@ fn throughput_gate(threshold: f64) -> Result<(), String> {
         .map_err(|e| format!("cannot read bench-results/BENCH_engine.json: {e}"))?;
     let baseline =
         serde_json::from_str(&text).map_err(|e| format!("cannot parse BENCH_engine.json: {e}"))?;
+    // A sharded baseline is re-measured sharded: the gate compares the
+    // executor that produced the committed numbers, not the monolithic
+    // engine. `shards = 0` (or a pre-sharding baseline) means monolithic.
+    let baseline_shards = field(&baseline, "shards").and_then(as_f64).unwrap_or(0.0) as usize;
+    let shard = (baseline_shards > 0).then(|| ShardConfig {
+        shards: baseline_shards,
+        max_resident: field(&baseline, "max_resident")
+            .and_then(as_f64)
+            .unwrap_or(0.0) as usize,
+        packing: field(&baseline, "packing")
+            .and_then(as_bool)
+            .unwrap_or(false),
+    });
     let engine_cfg = EngineConfig {
         chunk_size: field(&baseline, "chunk_size")
             .and_then(as_f64)
             .unwrap_or(0.0) as usize,
         threads: field(&baseline, "threads").and_then(as_f64).unwrap_or(0.0) as usize,
         check_arena: false,
+        shard,
     };
     let points = field(&baseline, "points")
         .and_then(as_array)

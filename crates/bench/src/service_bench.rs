@@ -163,6 +163,9 @@ fn client_loop(path: &Path, client: usize, jobs: usize, n: usize) -> Result<Vec<
             n,
             seed: 1 + ((client + j) % 4) as u64,
             detail: false,
+            shards: None,
+            max_resident: None,
+            packing: None,
         };
         let started = Instant::now();
         send_request(&mut writer, &request)?;

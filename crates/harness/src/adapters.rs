@@ -12,7 +12,8 @@
 //! against the matching problem verifier, and then execute the plan as
 //! [`ScheduledCast`](lcl_algorithms::protocols::ScheduledCast) machines.
 //! Either way the engine-observed outputs and termination rounds become
-//! the [`RunRecord`], always stamped `engine = "chunked"`.
+//! the [`RunRecord`], stamped `engine = "chunked"` (or `"sharded"` when
+//! the config routes the run through the out-of-core executor).
 //!
 //! Since ISSUE 5 every adapter also *bids* on declarative problems via
 //! [`Algorithm::solves`]: a specialized adapter bids high on exactly the
@@ -54,6 +55,8 @@ use lcl_local::engine::{
     run_sync_region, run_sync_with, EngineConfig, NodeContext, Protocol, SyncOutcome,
 };
 use lcl_local::identifiers::Ids;
+use lcl_local::packed::PackableMessage;
+use lcl_shard::run_sharded;
 use std::sync::Arc;
 
 /// Which scheduling regime drives the phase parameters on a weighted
@@ -226,8 +229,11 @@ fn augmented_code(o: &AugmentedOutput) -> u64 {
     }
 }
 
-/// Runs a protocol factory natively on the chunked engine; an engine
-/// error (e.g. a blown round budget) is an engine or adapter bug, never a
+/// Runs a protocol factory natively on the chunked engine — monolithic by
+/// default, or the partitioned out-of-core executor when the config
+/// carries a [`ShardConfig`](lcl_local::engine::ShardConfig) (the two are
+/// bit-identical; the shard differential suite pins it). An engine error
+/// (e.g. a blown round budget) is an engine or adapter bug, never a
 /// caller error.
 fn execute_protocol<P, F>(
     algo: &dyn Algorithm,
@@ -239,17 +245,24 @@ fn execute_protocol<P, F>(
 ) -> Result<SyncOutcome<P::Output>, HarnessError>
 where
     P: Protocol,
+    P::Message: PackableMessage,
     F: FnMut(&NodeContext) -> P,
 {
-    run_sync_with(tree, ids, factory, budget, engine).map_err(|e| HarnessError::EngineDivergence {
+    let result = if engine.shard.is_some() {
+        run_sharded(tree, ids, factory, budget, engine).map_err(|e| e.to_string())
+    } else {
+        run_sync_with(tree, ids, factory, budget, engine).map_err(|e| e.to_string())
+    };
+    result.map_err(|e| HarnessError::EngineDivergence {
         algorithm: algo.name().to_string(),
         detail: format!("chunked engine failed to complete the run: {e}"),
     })
 }
 
-/// Assembles the production record from an engine-observed outcome. Every
-/// record carries `engine = "chunked"`: the chunked engine is the only
-/// execution path.
+/// Assembles the production record from an engine-observed outcome. The
+/// record names the execution path that observed it: `"chunked"` (the
+/// monolithic engine) or `"sharded"` (the out-of-core executor) — the
+/// two are bit-identical, so the tag is telemetry, never semantics.
 fn record_outcome(
     algo: &dyn Algorithm,
     instance: &Instance,
@@ -257,7 +270,13 @@ fn record_outcome(
     labels: Vec<u64>,
     rounds: Vec<u64>,
     waiting: Option<f64>,
+    peak_arena_bytes: u64,
 ) -> RunRecord {
+    let engine = if cfg.engine.shard.is_some() {
+        "sharded"
+    } else {
+        "chunked"
+    };
     RunRecord::from_rounds(
         algo.name(),
         instance.spec(),
@@ -267,7 +286,8 @@ fn record_outcome(
         waiting,
         cfg.verify,
     )
-    .on_engine("chunked")
+    .on_engine(engine)
+    .with_peak_arena_bytes(peak_arena_bytes)
 }
 
 /// Checks an engine outcome against the structural plan it executed;
@@ -313,13 +333,15 @@ fn run_plan(
         budget,
     )?;
     check_plan(algo, &outcome, &labels, &rounds)?;
+    let rounds = outcome.stats.as_slice().to_vec();
     Ok(record_outcome(
         algo,
         instance,
         cfg,
         outcome.outputs,
-        outcome.stats.as_slice().to_vec(),
+        rounds,
         waiting,
+        outcome.peak_arena_bytes,
     ))
 }
 
@@ -411,7 +433,15 @@ impl Algorithm for TwoColoring {
         }
         let labels = outcome.outputs.iter().map(|&c| color_code(c)).collect();
         let rounds = outcome.stats.as_slice().to_vec();
-        Ok(record_outcome(self, instance, cfg, labels, rounds, None))
+        Ok(record_outcome(
+            self,
+            instance,
+            cfg,
+            labels,
+            rounds,
+            None,
+            outcome.peak_arena_bytes,
+        ))
     }
 }
 
@@ -525,6 +555,7 @@ impl Algorithm for LinialColoring {
             outcome.outputs,
             rounds,
             None,
+            outcome.peak_arena_bytes,
         ))
     }
 }
@@ -629,7 +660,15 @@ impl Algorithm for RandomizedColoring {
         }
         let labels = outcome.outputs.iter().map(|&c| color_code(c)).collect();
         let rounds = outcome.stats.as_slice().to_vec();
-        Ok(record_outcome(self, instance, cfg, labels, rounds, None))
+        Ok(record_outcome(
+            self,
+            instance,
+            cfg,
+            labels,
+            rounds,
+            None,
+            outcome.peak_arena_bytes,
+        ))
     }
 }
 
@@ -1314,6 +1353,7 @@ impl Algorithm for PathLclSolver {
             outcome.outputs,
             rounds,
             None,
+            outcome.peak_arena_bytes,
         ))
     }
 }

@@ -217,13 +217,23 @@ pub struct RunRecord {
     /// Whether the output was verified against the problem constraints
     /// (false = verification was skipped via [`RunConfig::verify`]).
     pub verified: bool,
-    /// Which executor produced the rounds. Every production record says
-    /// `"chunked"` (the chunked LOCAL engine is the only execution path);
-    /// `"direct"` appears only on structural-oracle assemblies in tests.
+    /// Which executor produced the rounds: `"chunked"` (the monolithic
+    /// chunked LOCAL engine) or `"sharded"` (the out-of-core executor;
+    /// bit-identical outputs, so the tag is telemetry only). `"direct"`
+    /// appears only on structural-oracle assemblies in tests.
     pub engine: String,
     /// Wall-clock milliseconds of the algorithm proper (filled by
     /// [`run_timed`]; `0.0` for direct [`Algorithm::run`] calls).
     pub elapsed_ms: f64,
+    /// Peak resident message-arena bytes of the engine run: the
+    /// monolithic engine's two full arenas, or the sharded engine's
+    /// high-water mark of resident shard arenas plus halo buffers. `0`
+    /// on structural-oracle assemblies (no engine run).
+    pub peak_arena_bytes: u64,
+    /// Engine throughput in nodes per wall-clock second (filled by
+    /// [`run_timed`] alongside `elapsed_ms`; `0.0` for direct
+    /// [`Algorithm::run`] calls).
+    pub engine_nodes_per_sec: f64,
 }
 
 impl RunRecord {
@@ -275,14 +285,25 @@ impl RunRecord {
             verified,
             engine: "direct".to_string(),
             elapsed_ms: 0.0,
+            peak_arena_bytes: 0,
+            engine_nodes_per_sec: 0.0,
         }
     }
 
     /// Returns the record re-attributed to the given executor; the
-    /// adapters stamp `"chunked"` on every engine-observed record.
+    /// adapters stamp `"chunked"` or `"sharded"` on every
+    /// engine-observed record.
     #[must_use]
     pub fn on_engine(mut self, engine: &str) -> Self {
         self.engine = engine.to_string();
+        self
+    }
+
+    /// Returns the record carrying the engine run's peak resident arena
+    /// bytes (see [`RunRecord::peak_arena_bytes`]).
+    #[must_use]
+    pub fn with_peak_arena_bytes(mut self, bytes: u64) -> Self {
+        self.peak_arena_bytes = bytes;
         self
     }
 
@@ -419,7 +440,9 @@ pub fn run_timed(
 ) -> Result<RunRecord, HarnessError> {
     let start = Instant::now();
     let mut record = algorithm.run(instance, cfg)?;
-    record.elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    let secs = start.elapsed().as_secs_f64();
+    record.elapsed_ms = secs * 1_000.0;
+    record.engine_nodes_per_sec = record.n as f64 / secs.max(1e-9);
     Ok(record)
 }
 

@@ -80,9 +80,12 @@ pub use algorithm::{
 };
 pub use cache::CacheStats;
 pub use dynamic::{DynamicSession, StepOutcome};
+// Engine tuning travels inside `RunConfig`; re-exported so harness
+// consumers (the service, benches) need not depend on `lcl_local`.
 pub use instance::{
     instance_cache_stats, levels_cache_stats, HarnessError, Instance, InstanceKind, InstanceSpec,
 };
+pub use lcl_local::engine::{EngineConfig, ShardConfig};
 pub use plan_cache::{classify_cached, plan_cache_stats, plan_cached};
 pub use planner::{
     canonical_instance, classify, plan, ClassSource, Classification, Plan, PlanError, SolverFit,

@@ -70,6 +70,7 @@ fn run_session(
         chunk_size,
         threads,
         check_arena: true,
+        shard: None,
     });
     let ctx = format!(
         "{name} × {} seed {seed} cs={chunk_size} t={threads}",
@@ -221,6 +222,7 @@ fn local_solvers_actually_splice() {
             chunk_size: 64,
             threads: 1,
             check_arena: true,
+            shard: None,
         });
         let mut session =
             DynamicSession::new(name, base_spec(name), script, cfg).expect("session opens");
@@ -270,6 +272,7 @@ fn adversarial_shape_families_survive_churn() {
                 chunk_size: 7,
                 threads: 2,
                 check_arena: true,
+                shard: None,
             });
             let ctx = format!("{name} on {}", spec.describe());
             let mut session = DynamicSession::new(name, spec.clone(), script.clone(), cfg)

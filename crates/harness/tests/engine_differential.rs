@@ -395,6 +395,7 @@ fn differential_on(algo: &'static dyn Algorithm, spec: InstanceSpec, problem: Op
                 chunk_size,
                 threads,
                 check_arena: true,
+                shard: None,
             });
             if let Some(p) = &problem {
                 cfg = cfg.with_problem(p.clone());
@@ -552,6 +553,7 @@ fn differential_scheduled_cast_protocol() {
                     chunk_size,
                     threads,
                     check_arena: true,
+                    shard: None,
                 },
             )
             .expect("chunked engine run");

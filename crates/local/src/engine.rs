@@ -100,8 +100,8 @@ enum InboxInner<'a, M> {
         /// Only slots stamped with this delivery round are visible.
         expect: u32,
     },
-    /// Reference engine: explicit `(port, message)` list.
-    #[cfg(any(test, feature = "reference-engine"))]
+    /// Explicit `(port, message)` list (reference engine, and the sharded
+    /// engine's decoded packed-arena reads).
     List(&'a [(usize, M)]),
 }
 
@@ -124,8 +124,11 @@ impl<'a, M> Inbox<'a, M> {
         }
     }
 
-    #[cfg(any(test, feature = "reference-engine"))]
-    pub(crate) fn list(list: &'a [(usize, M)]) -> Self {
+    /// An inbox over an explicit `(port, message)` list, sorted or not.
+    /// Used by alternative executors (the reference engine, the sharded
+    /// engine's decoded halo/arena reads) to drive unmodified protocols.
+    #[must_use]
+    pub fn list(list: &'a [(usize, M)]) -> Self {
         Inbox {
             inner: InboxInner::List(list),
         }
@@ -150,7 +153,6 @@ impl<'a, M> Inbox<'a, M> {
                     expect: *expect,
                     port: 0,
                 },
-                #[cfg(any(test, feature = "reference-engine"))]
                 InboxInner::List(list) => InboxIterInner::List(list.iter()),
             },
         }
@@ -175,7 +177,6 @@ impl<'a, M> Inbox<'a, M> {
                     _ => None,
                 }
             }
-            #[cfg(any(test, feature = "reference-engine"))]
             InboxInner::List(list) => list.iter().find(|(p, _)| *p == port).map(|(_, m)| m),
         }
     }
@@ -207,7 +208,6 @@ enum InboxIterInner<'a, M> {
         expect: u32,
         port: usize,
     },
-    #[cfg(any(test, feature = "reference-engine"))]
     List(std::slice::Iter<'a, (usize, M)>),
 }
 
@@ -235,7 +235,6 @@ impl<'a, M> Iterator for InboxIter<'a, M> {
                 }
                 None
             }
-            #[cfg(any(test, feature = "reference-engine"))]
             InboxIterInner::List(it) => it.next().map(|(p, m)| (*p, m)),
         }
     }
@@ -258,7 +257,6 @@ enum OutboxInner<'a, M> {
         /// Delivery-round stamp written next to every message.
         stamp: u32,
     },
-    #[cfg(any(test, feature = "reference-engine"))]
     List(&'a mut Vec<(usize, M)>),
 }
 
@@ -271,8 +269,12 @@ impl<'a, M> Outbox<'a, M> {
         }
     }
 
-    #[cfg(any(test, feature = "reference-engine"))]
-    pub(crate) fn list(list: &'a mut Vec<(usize, M)>, degree: usize) -> Self {
+    /// An outbox collecting sends into an explicit `(port, message)`
+    /// list. Used by alternative executors (the reference engine, the
+    /// sharded engine's encode-after-step path) to drive unmodified
+    /// protocols; the caller clears/reuses the backing vector.
+    #[must_use]
+    pub fn list(list: &'a mut Vec<(usize, M)>, degree: usize) -> Self {
         Outbox {
             degree,
             sent: 0,
@@ -312,7 +314,6 @@ impl<'a, M> Outbox<'a, M> {
                 );
                 slots[port] = Some((*stamp, msg));
             }
-            #[cfg(any(test, feature = "reference-engine"))]
             OutboxInner::List(list) => {
                 assert!(
                     list.iter().all(|(p, _)| *p != port),
@@ -376,6 +377,26 @@ pub trait Protocol: Send {
     fn next_wake(&self, _ctx: &NodeContext, now: u64) -> u64 {
         now
     }
+
+    /// Width hint for bit-packed message arenas: an upper bound, in bits,
+    /// on the packed form (see
+    /// [`PackableMessage::pack`](crate::packed::PackableMessage::pack)) of
+    /// every message **this node** ever sends during the run.
+    ///
+    /// The sharded engine sizes its packed arenas as the maximum hint over
+    /// all nodes, so a node only needs to bound what it *originates*:
+    /// protocols that forward other nodes' values verbatim are covered by
+    /// the originators' own hints. Returning `None` (the default) on any
+    /// node makes the engine fall back to the message type's declared
+    /// ceiling ([`PackableMessage::CEIL_BITS`](crate::packed::PackableMessage::CEIL_BITS)),
+    /// which is always safe. A hint that is too narrow fails loudly: the
+    /// sharded engine asserts that every packed message fits.
+    ///
+    /// Purely an arena-sizing hint — outcomes are bit-identical whether or
+    /// not it is honored, and the monolithic engine ignores it.
+    fn message_bits(&self, _ctx: &NodeContext) -> Option<u32> {
+        None
+    }
 }
 
 /// Errors from [`run_sync`].
@@ -423,6 +444,13 @@ pub struct SyncOutcome<O> {
     /// instead, which can differ on terminal rounds for messages sent to
     /// just-terminated nodes).
     pub messages: u64,
+    /// Peak bytes of message-arena storage resident in memory at any point
+    /// of the run. The monolithic engine reports its two full-tree arenas;
+    /// the sharded engine reports the high-water mark of resident shard
+    /// arenas plus halo buffers — the number that shrinks when spilling is
+    /// on. Deterministic per `(instance, config)`; `0` from executors
+    /// without arenas (the reference engine).
+    pub peak_arena_bytes: u64,
 }
 
 /// Tuning knobs of the chunked engine. The all-zero [`Default`] resolves
@@ -445,6 +473,56 @@ pub struct EngineConfig {
     /// on for every run without a config change. Never affects results —
     /// a violation panics instead of corrupting the run.
     pub check_arena: bool,
+    /// Partitioned out-of-core execution (the `lcl_shard` crate): `None`
+    /// runs the monolithic in-memory engine, `Some` splits the CSR into
+    /// contiguous node-range shards with bounded residency, halo exchange
+    /// at round barriers, and bit-packed message arenas. Never affects
+    /// results — the shard differential suite pins bit-identity.
+    pub shard: Option<ShardConfig>,
+}
+
+/// Knobs of the partitioned out-of-core executor. Carried on
+/// [`EngineConfig::shard`]; interpreted by the `lcl_shard` crate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of contiguous node-range shards to split the CSR into
+    /// (shard boundaries align to chunk boundaries). `0` means one shard.
+    pub shards: usize,
+    /// Maximum number of shard arena sets resident in memory at once;
+    /// the rest spill to a per-run on-disk pool. `0` means "all resident"
+    /// (no spilling); any other value is clamped to at least 1.
+    pub max_resident: usize,
+    /// Bit-pack message arenas using per-protocol
+    /// [`Protocol::message_bits`] hints; when `false` (or whenever any
+    /// node declines to hint) slots use the message type's full declared
+    /// ceiling. Never affects results, only arena width.
+    pub packing: bool,
+}
+
+/// The knob names of [`ShardConfig`], as spelled in configs and CLI flags.
+/// Ground truth for the `lcl analyze` cross-check that every knob is
+/// exercised by the shard differential suite.
+pub const SHARD_KNOBS: &[&str] = &["shards", "max_resident", "packing"];
+
+impl ShardConfig {
+    /// Shard count with the `0 = one shard` default applied.
+    #[must_use]
+    pub fn resolved_shards(&self) -> usize {
+        self.shards.max(1)
+    }
+
+    /// Residency limit with defaults applied: `0` means all shards
+    /// resident, other values are clamped to at least 1 and at most the
+    /// shard count.
+    #[must_use]
+    pub fn resolved_max_resident(&self) -> usize {
+        let shards = self.resolved_shards();
+        if self.max_resident == 0 {
+            shards
+        } else {
+            self.max_resident.clamp(1, shards)
+        }
+    }
 }
 
 /// Below this node count the auto thread policy stays sequential: per-round
@@ -462,14 +540,21 @@ impl EngineConfig {
             chunk_size: 0,
             threads: 1,
             check_arena: false,
+            shard: None,
         }
     }
 
-    fn arena_check_enabled(&self) -> bool {
+    /// True when the arena write-discipline checker is active, either via
+    /// [`check_arena`](EngineConfig::check_arena) or the `arena-check`
+    /// crate feature.
+    #[must_use]
+    pub fn arena_check_enabled(&self) -> bool {
         self.check_arena || cfg!(feature = "arena-check")
     }
 
-    fn resolved_chunk_size(&self) -> usize {
+    /// Chunk size with the `0 = default (1024)` rule applied.
+    #[must_use]
+    pub fn resolved_chunk_size(&self) -> usize {
         if self.chunk_size == 0 {
             DEFAULT_CHUNK_SIZE
         } else {
@@ -477,7 +562,9 @@ impl EngineConfig {
         }
     }
 
-    fn resolved_threads(&self, n: usize) -> usize {
+    /// Worker count for an `n`-node run with the `0 = auto` rule applied.
+    #[must_use]
+    pub fn resolved_threads(&self, n: usize) -> usize {
         match self.threads {
             0 if n < AUTO_PARALLEL_MIN_NODES => 1,
             0 => std::thread::available_parallelism()
@@ -499,7 +586,10 @@ enum NodeState {
 /// The reverse-edge permutation: for each directed edge `offsets[v] + p`
 /// (node `v`, port `p`, neighbor `w`), the index of the reverse edge
 /// `(w -> v)` in the CSR layout. Computed once per run in `O(n)`.
-fn reverse_edges(tree: &Tree) -> Vec<u32> {
+/// Public for the sharded executor (`lcl_shard`), which shares the
+/// monolithic engine's arena geometry.
+#[must_use]
+pub fn reverse_edges(tree: &Tree) -> Vec<u32> {
     let offsets = tree.offsets();
     let adjacency = tree.adjacency();
     let mut rev = vec![0u32; adjacency.len()];
@@ -526,8 +616,11 @@ fn reverse_edges(tree: &Tree) -> Vec<u32> {
 }
 
 /// Region cut points: `workers + 1` node indices, every internal cut on a
-/// chunk boundary, chunks distributed as evenly as possible.
-fn region_bounds(n: usize, chunk_size: usize, workers: usize) -> Vec<usize> {
+/// chunk boundary, chunks distributed as evenly as possible. Public for
+/// the sharded executor, whose shard partitioner and intra-shard worker
+/// split both reuse this geometry.
+#[must_use]
+pub fn region_bounds(n: usize, chunk_size: usize, workers: usize) -> Vec<usize> {
     let chunks = n.div_ceil(chunk_size);
     let workers = workers.clamp(1, chunks.max(1));
     let base = chunks / workers;
@@ -1105,6 +1198,8 @@ where
         stats: RoundStats::new(rounds.into_iter().map(u64::from).collect()),
         profile,
         messages,
+        // Both full-tree double-buffered arenas live for the whole run.
+        peak_arena_bytes: 2 * (slots * std::mem::size_of::<ArenaSlot<P::Message>>()) as u64,
     })
 }
 
@@ -1224,6 +1319,7 @@ pub(crate) mod tests {
                         chunk_size,
                         threads,
                         check_arena: true,
+                        shard: None,
                     },
                 )
                 .unwrap();
@@ -1567,6 +1663,7 @@ pub(crate) mod tests {
                         chunk_size,
                         threads,
                         check_arena: true,
+                        shard: None,
                     },
                 )
                 .unwrap();
@@ -1777,6 +1874,7 @@ pub(crate) mod tests {
                     chunk_size,
                     threads: 1,
                     check_arena: true,
+                    shard: None,
                 },
             )
             .unwrap();
@@ -1860,6 +1958,7 @@ pub(crate) mod tests {
                             chunk_size,
                             threads,
                             check_arena: true,
+                            shard: None,
                         },
                     )
                     .unwrap();

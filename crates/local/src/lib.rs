@@ -15,6 +15,9 @@
 //! - a ball-view engine ([`view`]) implementing the equivalent
 //!   "collect radius-*r* view, then decide" formulation, used as reference
 //!   semantics for cross-validating fast structural implementations,
+//! - bit-packable message encodings ([`packed`]) and the shard/packing
+//!   knobs ([`engine::ShardConfig`]) consumed by the partitioned
+//!   out-of-core executor (`lcl_shard`),
 //! - unique-identifier assignments over polynomial ID spaces
 //!   ([`identifiers`]),
 //! - round statistics and the node-averaged complexity measure of Section 2
@@ -54,15 +57,17 @@ pub mod engine;
 pub mod identifiers;
 pub mod math;
 pub mod metrics;
+pub mod packed;
 #[cfg(any(test, feature = "reference-engine"))]
 pub mod reference_engine;
 pub mod view;
 
 pub use engine::{
     run_sync, run_sync_region, run_sync_with, EngineConfig, Inbox, NodeContext, Outbox, Protocol,
-    RunError, SyncOutcome,
+    RunError, ShardConfig, SyncOutcome,
 };
 pub use identifiers::Ids;
 pub use metrics::RoundStats;
+pub use packed::PackableMessage;
 #[cfg(any(test, feature = "reference-engine"))]
 pub use reference_engine::run_reference;

@@ -1,0 +1,115 @@
+//! Bit-packable message encodings for the sharded engine's packed arenas.
+//!
+//! The monolithic engine stores each in-flight message as a full
+//! `Option<(u32, M)>` slot. The sharded engine (`lcl_shard`) instead
+//! packs messages into dense bit arrays: every message type it can carry
+//! implements [`PackableMessage`], a reversible encoding into the low
+//! bits of a `u128`. The *declared* width ([`PackableMessage::CEIL_BITS`])
+//! is an upper bound that is always safe; protocols can narrow it per run
+//! through [`Protocol::message_bits`](crate::engine::Protocol::message_bits)
+//! hints (e.g. a 3-coloring cascade fits each message in a handful of
+//! bits), and the engine falls back to the full ceiling whenever any node
+//! declines to hint.
+//!
+//! The contract is exact round-tripping: for every value `m` a protocol
+//! ever sends, `unpack(pack(m)) == m`, and `pack(m)` fits in the width
+//! the engine selected. The sharded engine asserts the latter on every
+//! send, so a wrong hint fails loudly instead of corrupting messages.
+
+/// A message type with a reversible fixed-ceiling bit encoding.
+pub trait PackableMessage: Sized {
+    /// Upper bound on the significant bits of any [`pack`](Self::pack)
+    /// result; must be ≤ 128. Using exactly this many bits per arena slot
+    /// is always correct.
+    const CEIL_BITS: u32;
+
+    /// Encodes the message into the low `CEIL_BITS` bits of a `u128`.
+    fn pack(&self) -> u128;
+
+    /// Decodes a value produced by [`pack`](Self::pack).
+    fn unpack(bits: u128) -> Self;
+}
+
+/// Number of significant bits of `value` (0 for 0): the minimal slot
+/// width that can hold it.
+#[must_use]
+pub fn bits_for(value: u128) -> u32 {
+    128 - value.leading_zeros()
+}
+
+impl PackableMessage for () {
+    const CEIL_BITS: u32 = 0;
+
+    fn pack(&self) -> u128 {
+        0
+    }
+
+    fn unpack(_bits: u128) -> Self {}
+}
+
+impl PackableMessage for u64 {
+    const CEIL_BITS: u32 = 64;
+
+    fn pack(&self) -> u128 {
+        u128::from(*self)
+    }
+
+    fn unpack(bits: u128) -> Self {
+        bits as u64
+    }
+}
+
+/// Pairs pack as `high << 64 | low`: `.0` in the low half, `.1` in the
+/// high half, so a small `.1` (e.g. a hop distance) keeps the packed
+/// value — and thus a [`bits_for`]-derived hint — small.
+impl PackableMessage for (u64, u64) {
+    const CEIL_BITS: u32 = 128;
+
+    fn pack(&self) -> u128 {
+        (u128::from(self.1) << 64) | u128::from(self.0)
+    }
+
+    fn unpack(bits: u128) -> Self {
+        (bits as u64, (bits >> 64) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_matches_significant_bits() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u128::MAX), 128);
+    }
+
+    #[test]
+    fn unit_round_trips_in_zero_bits() {
+        assert_eq!(<()>::CEIL_BITS, 0);
+        assert_eq!(().pack(), 0);
+        <()>::unpack(0);
+    }
+
+    #[test]
+    fn u64_round_trips() {
+        for v in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(u64::unpack(v.pack()), v);
+            assert!(bits_for(v.pack()) <= u64::CEIL_BITS);
+        }
+    }
+
+    #[test]
+    fn pair_round_trips_with_low_first() {
+        for pair in [(0u64, 0u64), (7, 3), (u64::MAX, 0), (0, u64::MAX)] {
+            assert_eq!(<(u64, u64)>::unpack(pair.pack()), pair);
+        }
+        // `.1` occupies the high half: a small distance keeps hints small.
+        assert_eq!(bits_for((u64::MAX, 0).pack()), 64);
+        assert_eq!(bits_for((3u64, 1u64).pack()), 65);
+    }
+}

@@ -129,6 +129,8 @@ where
         stats: RoundStats::new(rounds),
         profile,
         messages,
+        // The reference engine keeps per-round message lists, not arenas.
+        peak_arena_bytes: 0,
     })
 }
 
@@ -210,6 +212,7 @@ mod tests {
                         chunk_size,
                         threads,
                         check_arena: true,
+                        shard: None,
                     },
                 )
                 .unwrap();

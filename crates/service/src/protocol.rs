@@ -87,6 +87,16 @@ pub enum Request {
         seed: u64,
         /// When true, the record carries the full label/round vectors.
         detail: bool,
+        /// Shard count for the partitioned out-of-core executor; omitted
+        /// (or `0`) runs the monolithic engine. Sharding never changes
+        /// results — only memory shape — so records stay bit-identical.
+        shards: Option<u64>,
+        /// Resident-arena cap of the sharded executor (`0`/omitted = all
+        /// resident); only meaningful with `shards`.
+        max_resident: Option<u64>,
+        /// Bit-pack message arenas via protocol hints; only meaningful
+        /// with `shards`.
+        packing: Option<bool>,
     },
     /// Snapshot the service counters and cache statistics.
     Stats {
@@ -180,6 +190,18 @@ impl Request {
                         message: m,
                     })?
                     .unwrap_or(false),
+                shards: opt_u64(&value, "shards").map_err(|m| WireError {
+                    id: Some(id),
+                    message: m,
+                })?,
+                max_resident: opt_u64(&value, "max_resident").map_err(|m| WireError {
+                    id: Some(id),
+                    message: m,
+                })?,
+                packing: opt_bool(&value, "packing").map_err(|m| WireError {
+                    id: Some(id),
+                    message: m,
+                })?,
             }),
             "stats" => Ok(Request::Stats { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
@@ -205,14 +227,31 @@ impl Serialize for Request {
                 n,
                 seed,
                 detail,
-            } => Value::Object(vec![
-                ("op".into(), Value::Str("solve".into())),
-                ("id".into(), Value::UInt(*id)),
-                ("problem".into(), problem.to_value()),
-                ("n".into(), Value::UInt(*n as u64)),
-                ("seed".into(), Value::UInt(*seed)),
-                ("detail".into(), Value::Bool(*detail)),
-            ]),
+                shards,
+                max_resident,
+                packing,
+            } => {
+                let mut fields = vec![
+                    ("op".into(), Value::Str("solve".into())),
+                    ("id".into(), Value::UInt(*id)),
+                    ("problem".into(), problem.to_value()),
+                    ("n".into(), Value::UInt(*n as u64)),
+                    ("seed".into(), Value::UInt(*seed)),
+                    ("detail".into(), Value::Bool(*detail)),
+                ];
+                // The shard knobs are optional on the wire: absent means
+                // "monolithic", matching the tolerant parse above.
+                if let Some(s) = shards {
+                    fields.push(("shards".into(), Value::UInt(*s)));
+                }
+                if let Some(r) = max_resident {
+                    fields.push(("max_resident".into(), Value::UInt(*r)));
+                }
+                if let Some(p) = packing {
+                    fields.push(("packing".into(), Value::Bool(*p)));
+                }
+                Value::Object(fields)
+            }
             Request::Stats { id } => Value::Object(vec![
                 ("op".into(), Value::Str("stats".into())),
                 ("id".into(), Value::UInt(*id)),
@@ -319,6 +358,9 @@ pub struct WireRecord {
     pub engine: String,
     /// Wall-clock of the run in milliseconds.
     pub elapsed_ms: f64,
+    /// Peak resident arena footprint in bytes — deterministic per
+    /// `(problem, n, seed, engine config)`, unlike `elapsed_ms`.
+    pub peak_arena_bytes: u64,
     /// Whether classification came from the plan cache.
     pub plan_cached: bool,
     /// FNV-1a checksum of the label vector.
@@ -598,6 +640,7 @@ fn parse_record(value: &Value) -> Result<WireRecord, String> {
         verified: get_bool(value, "verified")?,
         engine: get_str(value, "engine")?,
         elapsed_ms: get_f64(value, "elapsed_ms")?,
+        peak_arena_bytes: get_u64(value, "peak_arena_bytes")?,
         plan_cached: get_bool(value, "plan_cached")?,
         labels_fnv: get_u64(value, "labels_fnv")?,
         rounds_fnv: get_u64(value, "rounds_fnv")?,
@@ -722,6 +765,7 @@ pub fn schema_samples() -> Vec<(String, Value)> {
         verified: true,
         engine: "chunked".into(),
         elapsed_ms: 1.5,
+        peak_arena_bytes: 16_384,
         plan_cached: true,
         labels_fnv: fnv1a_u64s(&[1, 2]),
         rounds_fnv: fnv1a_u64s(&[3, 4]),
@@ -762,6 +806,9 @@ pub fn schema_samples() -> Vec<(String, Value)> {
                 n: 800,
                 seed: 7,
                 detail: true,
+                shards: Some(4),
+                max_resident: Some(2),
+                packing: Some(true),
             }
             .to_value(),
         ),

@@ -20,6 +20,7 @@
 //! bounded, so one stalled connection cannot grow memory without bound.
 
 use crate::protocol::{fnv1a_u64s, ErrorKind, Request, Response, ServiceStats, WireRecord};
+use lcl_harness::ShardConfig;
 use lcl_harness::{
     instance_cache_stats, levels_cache_stats, plan_cache_stats, plan_cached, resolver, run_timed,
     Plan, RunConfig, RunRecord,
@@ -401,9 +402,12 @@ fn process(request: &Request) -> Response {
             n,
             seed,
             detail,
+            shards,
+            max_resident,
+            packing,
         } => {
             let base = RunConfig::seeded(*seed);
-            let (plan, plan_was_cached) = match plan_cached(problem, *n, &base) {
+            let (mut plan, plan_was_cached) = match plan_cached(problem, *n, &base) {
                 Ok(planned) => planned,
                 Err(e) => {
                     return Response::Error {
@@ -412,6 +416,18 @@ fn process(request: &Request) -> Response {
                         message: e.to_string(),
                     }
                 }
+            };
+            // The shard knobs are execution shape, not plan inputs: apply
+            // them after planning so cached plans serve sharded and
+            // monolithic solves alike (results are bit-identical either
+            // way; only the memory footprint differs).
+            plan.config.engine.shard = match shards.unwrap_or(0) {
+                0 => None,
+                s => Some(ShardConfig {
+                    shards: s as usize,
+                    max_resident: max_resident.unwrap_or(0) as usize,
+                    packing: packing.unwrap_or(false),
+                }),
             };
             let instance = match plan.spec.build_shared() {
                 Ok(instance) => instance,
@@ -459,6 +475,7 @@ fn wire_record(plan: &Plan, record: &RunRecord, plan_cached: bool, detail: bool)
         verified: record.verified,
         engine: record.engine.clone(),
         elapsed_ms: record.elapsed_ms,
+        peak_arena_bytes: record.peak_arena_bytes,
         plan_cached,
         labels_fnv: fnv1a_u64s(&record.labels),
         rounds_fnv: fnv1a_u64s(&record.rounds),

@@ -141,6 +141,9 @@ fn invalid_and_unsolvable_specs_get_typed_errors() {
         n: 200,
         seed: 1,
         detail: false,
+        shards: None,
+        max_resident: None,
+        packing: None,
     });
     let response = parse(&conn.recv_timeout(RECV).expect("answered"));
     match response {
@@ -218,6 +221,9 @@ fn disconnect_mid_response_does_not_wedge_the_pool() {
             n: 100_000,
             seed: round,
             detail: true,
+            shards: None,
+            max_resident: None,
+            packing: None,
         };
         client.send_raw(format!("{}\n", request.to_line()).as_bytes());
         drop(client);
@@ -245,6 +251,9 @@ fn saturated_queue_answers_overloaded_and_recovers() {
             n: 200,
             seed: 1,
             detail: false,
+            shards: None,
+            max_resident: None,
+            packing: None,
         });
     }
     let mut records = 0u64;
@@ -273,6 +282,9 @@ fn saturated_queue_answers_overloaded_and_recovers() {
         n: 200,
         seed: 1,
         detail: false,
+        shards: None,
+        max_resident: None,
+        packing: None,
     });
     loop {
         match parse(&conn.recv_timeout(RECV).expect("recovery answered")) {
@@ -285,6 +297,9 @@ fn saturated_queue_answers_overloaded_and_recovers() {
                     n: 200,
                     seed: 1,
                     detail: false,
+                    shards: None,
+                    max_resident: None,
+                    packing: None,
                 });
             }
             other => panic!("unexpected recovery response {other:?}"),
@@ -308,6 +323,9 @@ fn shutdown_drains_with_typed_errors_and_refuses_new_work() {
             n: 200,
             seed: 1,
             detail: false,
+            shards: None,
+            max_resident: None,
+            packing: None,
         });
     }
     conn.request(&Request::Shutdown { id: 10 });

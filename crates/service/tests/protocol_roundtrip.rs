@@ -123,6 +123,7 @@ fn record_from(seed: u64, detail: bool) -> WireRecord {
         verified: seed & 1 == 0,
         engine: "chunked".into(),
         elapsed_ms: sixteenth((seed / 3) as u32),
+        peak_arena_bytes: seed % 1_000_000,
         plan_cached: seed & 2 == 0,
         labels_fnv: fnv1a_u64s(&labels),
         rounds_fnv: fnv1a_u64s(&rounds),
@@ -177,6 +178,11 @@ proptest! {
                 n: (seed % 1_000_000) as usize,
                 seed,
                 detail: seed & 1 == 1,
+                // Shard knobs cycle through present/absent so the wire
+                // round-trip covers both encodings.
+                shards: (seed % 3 == 0).then_some(seed % 9),
+                max_resident: (seed % 5 == 0).then_some(seed % 4),
+                packing: (seed % 2 == 0).then_some(seed % 4 == 0),
             },
             2 => Request::Stats { id },
             _ => Request::Shutdown { id },
@@ -226,6 +232,9 @@ proptest! {
             n: (seed % 100_000) as usize,
             seed,
             detail: false,
+            shards: None,
+            max_resident: None,
+            packing: None,
         };
         // Unknown fields at the top level AND inside the problem object.
         let Value::Object(mut fields) = request.to_value() else {
@@ -282,6 +291,9 @@ fn every_wire_variant_round_trips_here() {
                 n: 800,
                 seed: 7,
                 detail: true,
+                shards: Some(4),
+                max_resident: Some(2),
+                packing: Some(true),
             },
         ),
         ("stats", Request::Stats { id: 3 }),
@@ -366,6 +378,9 @@ fn preset_names_are_accepted_for_problem() {
         n,
         seed,
         detail,
+        shards,
+        max_resident,
+        packing,
     } = parsed
     else {
         panic!("wrong variant");
@@ -378,6 +393,7 @@ fn preset_names_are_accepted_for_problem() {
     assert_eq!(n, DEFAULT_N);
     assert_eq!(seed, DEFAULT_SEED);
     assert!(!detail);
+    assert_eq!((shards, max_resident, packing), (None, None, None));
     let err = Request::from_line(r#"{"op":"solve","id":9,"problem":"no-such"}"#).unwrap_err();
     assert_eq!(err.id, Some(9), "id must be recovered for attribution");
     assert!(err.message.contains("unknown preset"), "{}", err.message);

@@ -41,6 +41,9 @@ fn every_preset_matches_direct_runs_cold_and_warm() {
                     n: N,
                     seed: SEED,
                     detail: true,
+                    shards: None,
+                    max_resident: None,
+                    packing: None,
                 });
                 let line = conn
                     .recv_timeout(RECV)
@@ -123,4 +126,69 @@ fn classify_agrees_with_the_planner() {
         assert_eq!(solver, direct.solver.name(), "{name}");
         assert_eq!(score, u64::from(direct.fit.score), "{name}");
     }
+}
+
+#[test]
+fn sharded_solves_are_bit_identical_to_monolithic() {
+    // The wire-level half of the sharding acceptance criteria: a solve
+    // carrying shard/packing knobs must return the exact labels, rounds,
+    // and checksums of the monolithic run — out-of-core execution is an
+    // execution shape, never a semantic.
+    let service = Service::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let conn = service.connect();
+    for (name, problem) in ProblemSpec::presets() {
+        let direct = oracle(&problem);
+        for (pass, shards, max_resident, packing) in
+            [("spilling", 4, 1, true), ("resident", 3, 0, false)]
+        {
+            conn.request(&Request::Solve {
+                id: 21,
+                problem: problem.clone(),
+                n: N,
+                seed: SEED,
+                detail: true,
+                shards: Some(shards),
+                max_resident: Some(max_resident),
+                packing: Some(packing),
+            });
+            let line = conn
+                .recv_timeout(RECV)
+                .unwrap_or_else(|e| panic!("{name}/{pass}: recv {e}"));
+            let Ok(Response::Record { id, record }) = Response::from_line(&line) else {
+                panic!("{name}/{pass}: expected record, got {line}");
+            };
+            assert_eq!(id, 21);
+            assert_eq!(
+                record.labels.as_deref().expect("detail requested"),
+                &direct.labels[..],
+                "{name}/{pass}: sharded labels diverged"
+            );
+            assert_eq!(
+                record.rounds.as_deref().expect("detail requested"),
+                &direct.rounds[..],
+                "{name}/{pass}: sharded rounds diverged"
+            );
+            assert_eq!(record.node_averaged, direct.node_averaged, "{name}/{pass}");
+            assert_eq!(record.worst_case, direct.worst_case, "{name}/{pass}");
+            assert_eq!(
+                record.labels_fnv,
+                lcl_service::protocol::fnv1a_u64s(&direct.labels),
+                "{name}/{pass}: label checksum"
+            );
+            assert_eq!(
+                record.rounds_fnv,
+                lcl_service::protocol::fnv1a_u64s(&direct.rounds),
+                "{name}/{pass}: round checksum"
+            );
+            assert!(record.verified, "{name}/{pass}");
+            assert!(
+                record.peak_arena_bytes > 0,
+                "{name}/{pass}: sharded records report the arena high-water mark"
+            );
+        }
+    }
+    service.shutdown();
 }

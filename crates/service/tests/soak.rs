@@ -71,6 +71,9 @@ fn concurrent_clients_get_bit_identical_records() {
                             n: N,
                             seed,
                             detail: true,
+                            shards: None,
+                            max_resident: None,
+                            packing: None,
                         };
                         writer
                             .write_all(format!("{}\n", request.to_line()).as_bytes())

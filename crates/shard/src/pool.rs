@@ -1,0 +1,195 @@
+//! The per-run on-disk spill pool for evicted shard arenas.
+//!
+//! One temporary file per run, created at run start (never inside the
+//! round loop's shard passes), with a fixed byte region per shard sized
+//! for its four arena word sections (packed × 2 parities, presence × 2
+//! parities, in that order). Eviction writes a shard's sections into its
+//! region; reload reads them back. A shard that has never been spilled is
+//! simply absent (`is_valid` is false) and reloads as all-zero arenas.
+//!
+//! Word vectors travel through a reusable little-endian staging byte
+//! buffer, so the pool needs no `unsafe` and the file format is
+//! platform-independent. The file is unlinked on drop.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes spill files of concurrent runs within one process.
+static POOL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A per-run spill file with one fixed-size region per shard.
+#[derive(Debug)]
+pub struct SpillPool {
+    file: File,
+    path: PathBuf,
+    /// Byte offset of each shard's region (length `shards + 1`).
+    offsets: Vec<u64>,
+    /// Whether the shard's region holds spilled data (vs. never written).
+    valid: Vec<bool>,
+    /// Reusable little-endian staging buffer.
+    staging: Vec<u8>,
+}
+
+impl SpillPool {
+    /// Creates the pool file in the system temp directory with room for
+    /// `shard_bytes[s]` bytes per shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the file.
+    pub fn create(shard_bytes: &[u64]) -> io::Result<SpillPool> {
+        let mut offsets = Vec::with_capacity(shard_bytes.len() + 1);
+        let mut total = 0u64;
+        offsets.push(0);
+        for &b in shard_bytes {
+            total += b;
+            offsets.push(total);
+        }
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        loop {
+            let seq = POOL_SEQ.fetch_add(1, Ordering::Relaxed);
+            let path = dir.join(format!("lcl-shard-{pid}-{seq}.spill"));
+            match OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(file) => {
+                    return Ok(SpillPool {
+                        file,
+                        path,
+                        valid: vec![false; shard_bytes.len()],
+                        offsets,
+                        staging: Vec::new(),
+                    });
+                }
+                // A leftover file from a crashed run with the same pid
+                // and sequence: advance the sequence and retry.
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Whether shard `s` has spilled data to read back.
+    #[must_use]
+    pub fn is_valid(&self, s: usize) -> bool {
+        self.valid[s]
+    }
+
+    /// Spills `sections` (the shard's word vectors, fixed order) into
+    /// shard `s`'s region.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from seeking or writing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sections exceed the shard's region.
+    pub fn write(&mut self, s: usize, sections: &[&[u64]]) -> io::Result<()> {
+        let total: usize = sections.iter().map(|sec| sec.len() * 8).sum();
+        assert!(
+            self.offsets[s] + total as u64 <= self.offsets[s + 1],
+            "shard {s} spill overflows its region"
+        );
+        self.staging.clear();
+        self.staging.reserve(total);
+        for sec in sections {
+            for &word in *sec {
+                self.staging.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+        self.file.seek(SeekFrom::Start(self.offsets[s]))?;
+        self.file.write_all(&self.staging)?;
+        self.valid[s] = true;
+        Ok(())
+    }
+
+    /// Reloads shard `s`'s region into `sections` (same shapes and order
+    /// as the corresponding [`write`](SpillPool::write)).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from seeking or reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shard `s` has no spilled data.
+    pub fn read(&mut self, s: usize, sections: &mut [&mut [u64]]) -> io::Result<()> {
+        assert!(self.valid[s], "shard {s} was never spilled");
+        let total: usize = sections.iter().map(|sec| sec.len() * 8).sum();
+        self.staging.resize(total, 0);
+        self.file.seek(SeekFrom::Start(self.offsets[s]))?;
+        self.file.read_exact(&mut self.staging)?;
+        let mut at = 0;
+        for sec in sections {
+            for word in sec.iter_mut() {
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(&self.staging[at..at + 8]);
+                *word = u64::from_le_bytes(raw);
+                at += 8;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for SpillPool {
+    fn drop(&mut self) {
+        // Best effort; a leaked temp file is not worth a panic-in-drop.
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spill_and_reload_round_trips_per_shard() {
+        let mut pool = SpillPool::create(&[32, 48]).unwrap();
+        assert!(!pool.is_valid(0));
+        let a = vec![1u64, 2, 3];
+        let b = vec![u64::MAX];
+        pool.write(0, &[&a, &b]).unwrap();
+        let c = vec![7u64; 6];
+        pool.write(1, &[&c]).unwrap();
+        assert!(pool.is_valid(0) && pool.is_valid(1));
+
+        let (mut a2, mut b2) = (vec![0u64; 3], vec![0u64; 1]);
+        pool.read(0, &mut [&mut a2, &mut b2]).unwrap();
+        assert_eq!((a2, b2), (a, b));
+        let mut c2 = vec![0u64; 6];
+        pool.read(1, &mut [&mut c2]).unwrap();
+        assert_eq!(c2, c);
+
+        // Overwrite in place.
+        let a3 = vec![9u64, 9, 9];
+        pool.write(0, &[&a3, &[0u64; 1][..]]).unwrap();
+        let mut a4 = vec![0u64; 3];
+        pool.read(0, &mut [&mut a4, &mut [0u64; 1][..]]).unwrap();
+        assert_eq!(a4, a3);
+    }
+
+    #[test]
+    fn pool_file_is_removed_on_drop() {
+        let pool = SpillPool::create(&[8]).unwrap();
+        let path = pool.path.clone();
+        assert!(path.exists());
+        drop(pool);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    #[should_panic(expected = "never spilled")]
+    fn reading_an_unspilled_shard_panics() {
+        let mut pool = SpillPool::create(&[8]).unwrap();
+        let mut sec = vec![0u64; 1];
+        let _ = pool.read(0, &mut [&mut sec]);
+    }
+}
